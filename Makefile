@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench repro repro-full examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+repro:
+	dune exec bin/repro.exe -- all --out results
+
+repro-full:
+	dune exec bin/repro.exe -- all --full --out results-full
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/custom_cca.exe
+	dune exec examples/ne_prediction.exe
+	dune exec examples/buffer_sizing.exe
+	dune exec examples/trace_dynamics.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
