@@ -1,0 +1,348 @@
+(* Benchmark harness.
+
+   Three sections, all run by default:
+
+   1. [figures] — regenerates every paper table/figure (quick mode), i.e.
+      the same rows the paper reports. Full paper-scale grids:
+      `dune exec bin/repro.exe -- all --full`.
+   2. [micro] — one Bechamel Test.make per table/figure benchmarking that
+      figure's computational kernel, plus core-substrate kernels.
+   3. [ablations] — the design-choice experiments called out in DESIGN.md:
+      BBR's 2xBDP in-flight cap, CUBIC's TCP-friendly region, and the fluid
+      simulator's CUBIC synchronization modes.
+
+   Set REPRO_BENCH_SECTIONS to a comma-separated subset (e.g. "micro") to
+   run less. *)
+
+open Bechamel
+open Toolkit
+
+let params_10bdp =
+  Ccmodel.Params.of_paper_units ~mbps:50.0 ~buffer_bdp:10.0 ~rtt_ms:40.0
+
+let buffer_grid = [ 1.0; 2.0; 5.0; 10.0; 20.0; 50.0 ]
+
+(* A small packet-level simulation used as the unit kernel for the
+   simulation-driven figures: 4 flows, 4 simulated seconds. *)
+let short_sim ~other () =
+  let config =
+    {
+      Tcpflow.Experiment.default_config with
+      rate_bps = Sim_engine.Units.mbps 20.0;
+      buffer_bytes =
+        Tcpflow.Experiment.buffer_bytes_of_bdp
+          ~rate_bps:(Sim_engine.Units.mbps 20.0) ~rtt:0.02 ~bdp:3.0;
+      flows =
+        [
+          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+          Tcpflow.Experiment.flow_config ~base_rtt:0.02 other;
+          Tcpflow.Experiment.flow_config ~base_rtt:0.02 other;
+        ];
+      duration = 4.0;
+      warmup = 1.0;
+    }
+  in
+  ignore (Tcpflow.Experiment.run config)
+
+let short_fluid ~kind () =
+  let rtt = 0.04 in
+  let capacity_bps = Sim_engine.Units.mbps 100.0 in
+  let config =
+    {
+      Fluidsim.Fluid_sim.default_config with
+      capacity_bps;
+      buffer_bytes =
+        5.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
+      flows =
+        List.init 10 (fun i ->
+            {
+              Fluidsim.Fluid_sim.kind =
+                (if i < 5 then Fluidsim.Fluid_sim.Cubic else kind);
+              rtt;
+            });
+      duration = 10.0;
+      warmup = 2.0;
+    }
+  in
+  ignore (Fluidsim.Fluid_sim.run config)
+
+(* One Test.make per paper artifact: the figure's computational kernel. *)
+let figure_tests =
+  [
+    Test.make ~name:"table1/notation"
+      (Staged.stage (fun () ->
+           ignore (Format.asprintf "%a" Ccmodel.Notation.pp_table ())));
+    Test.make ~name:"fig01/ware-model-sweep"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun bdp ->
+               let params =
+                 Ccmodel.Params.of_paper_units ~mbps:50.0 ~buffer_bdp:bdp
+                   ~rtt_ms:40.0
+               in
+               ignore
+                 (Ccmodel.Ware.bbr_fraction ~params ~n_bbr:1 ~duration:120.0))
+             buffer_grid));
+    Test.make ~name:"fig03/two-flow-solve-sweep"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun bdp ->
+               let params =
+                 Ccmodel.Params.of_paper_units ~mbps:50.0 ~buffer_bdp:bdp
+                   ~rtt_ms:40.0
+               in
+               ignore (Ccmodel.Two_flow.solve params))
+             buffer_grid));
+    Test.make ~name:"fig04/multi-flow-interval"
+      (Staged.stage (fun () ->
+           ignore
+             (Ccmodel.Multi_flow.per_flow_bbr_interval params_10bdp
+                ~n_cubic:10 ~n_bbr:10)));
+    Test.make ~name:"fig05/predict-all-mixes"
+      (Staged.stage (fun () ->
+           for k = 1 to 19 do
+             ignore
+               (Ccmodel.Multi_flow.predict params_10bdp ~n_cubic:(20 - k)
+                  ~n_bbr:k ~sync:Ccmodel.Multi_flow.Synchronized)
+           done));
+    Test.make ~name:"fig06/nash-region"
+      (Staged.stage (fun () ->
+           ignore (Ccmodel.Ne.nash_region params_10bdp ~n:10)));
+    Test.make ~name:"fig07/short-sim-vivace"
+      (Staged.stage (short_sim ~other:"vivace"));
+    Test.make ~name:"fig08/short-sim-bbr" (Staged.stage (short_sim ~other:"bbr"));
+    Test.make ~name:"fig09/nash-region-50flows"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun bdp ->
+               let params =
+                 Ccmodel.Params.of_paper_units ~mbps:100.0 ~buffer_bdp:bdp
+                   ~rtt_ms:40.0
+               in
+               ignore (Ccmodel.Ne.nash_region params ~n:50))
+             buffer_grid));
+    Test.make ~name:"fig10/grouped-ne-check"
+      (Staged.stage (fun () ->
+           let payoffs =
+             {
+               Ccgame.Grouped_game.u_cubic =
+                 (fun ~group ~counts ->
+                   10.0 /. float_of_int (1 + group + counts.(group)));
+               u_bbr =
+                 (fun ~group ~counts ->
+                   8.0 /. float_of_int (1 + group + counts.(group)));
+             }
+           in
+           ignore
+             (Ccgame.Grouped_game.equilibria ~sizes:[| 5; 5; 5 |] payoffs)));
+    Test.make ~name:"fig11/short-fluid-bbr2"
+      (Staged.stage (short_fluid ~kind:Fluidsim.Fluid_sim.Bbr2));
+    Test.make ~name:"fig12/ultra-deep-solve"
+      (Staged.stage (fun () ->
+           let params =
+             Ccmodel.Params.of_paper_units ~mbps:50.0 ~buffer_bdp:250.0
+               ~rtt_ms:40.0
+           in
+           ignore (Ccmodel.Two_flow.solve params)));
+  ]
+
+let substrate_tests =
+  [
+    Test.make ~name:"engine/event-queue-1k"
+      (Staged.stage (fun () ->
+           let q = Sim_engine.Event_queue.create () in
+           for i = 0 to 999 do
+             ignore
+               (Sim_engine.Event_queue.add q
+                  ~time:(float_of_int ((i * 7919) mod 1000))
+                  ignore)
+           done;
+           while Sim_engine.Event_queue.pop q <> None do
+             ()
+           done));
+    Test.make ~name:"engine/rng-splitmix"
+      (Staged.stage (fun () ->
+           let rng = Sim_engine.Rng.create 7 in
+           for _ = 1 to 1000 do
+             ignore (Sim_engine.Rng.float rng 1.0)
+           done));
+    Test.make ~name:"cca/windowed-max-filter"
+      (Staged.stage (fun () ->
+           let f = Cca.Windowed_filter.Max_rounds.create ~window:10 in
+           for round = 0 to 999 do
+             Cca.Windowed_filter.Max_rounds.update f ~round
+               (float_of_int (round mod 97));
+             ignore (Cca.Windowed_filter.Max_rounds.get f)
+           done));
+    Test.make ~name:"netsim/droptail-queue"
+      (Staged.stage (fun () ->
+           let q = Netsim.Droptail_queue.create ~capacity_bytes:1_500_000 () in
+           for seq = 0 to 999 do
+             ignore
+               (Netsim.Droptail_queue.enqueue q
+                  (Netsim.Packet.make ~flow:(seq mod 8) ~seq ~size:1500
+                     ~retransmit:false ~sent_time:0.0 ~delivered:0.0
+                     ~delivered_time:0.0 ~app_limited:false))
+           done;
+           while Netsim.Droptail_queue.dequeue q <> None do
+             ()
+           done));
+    Test.make ~name:"tcpflow/short-sim-cubic-v-bbr"
+      (Staged.stage (short_sim ~other:"bbr"));
+    Test.make ~name:"fluid/short-10flows"
+      (Staged.stage (short_fluid ~kind:Fluidsim.Fluid_sim.Bbr));
+  ]
+
+let run_bechamel tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false
+      ~compaction:false ()
+  in
+  let test = Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | _ -> nan
+      in
+      if ns >= 1e6 then
+        Printf.printf "%-45s %12.3f ms/run\n%!" name (ns /. 1e6)
+      else Printf.printf "%-45s %12.1f ns/run\n%!" name ns)
+    (List.sort compare rows)
+
+(* --- Ablations ------------------------------------------------------- *)
+
+let mbps_of = Sim_engine.Units.bps_to_mbps
+
+(* DESIGN.md ablation: BBR's in-flight cap (ProbeBW cwnd gain). The paper's
+   model assumes 2xBDP; its §5 discusses that reality sits between 1x and
+   2x. *)
+let ablation_bbr_cap () =
+  Printf.printf "\n-- ablation: BBR ProbeBW cwnd gain (in-flight cap) --\n";
+  Printf.printf "%6s %14s %14s\n" "gain" "bbr(Mbps)" "cubic(Mbps)";
+  List.iter
+    (fun gain ->
+      Cca.Registry.register "bbr-cap" (fun ~mss ~rng ->
+          Cca.Bbr.make
+            ~params:{ Cca.Bbr.default_params with probe_bw_cwnd_gain = gain }
+            ~mss ~rng ());
+      let summary =
+        Experiments.Runs.mix ~mode:Experiments.Common.Quick ~mbps:50.0
+          ~rtt_ms:40.0 ~buffer_bdp:8.0 ~n_cubic:1 ~other:"bbr-cap" ~n_other:1
+          ()
+      in
+      Printf.printf "%6.2f %14.2f %14.2f\n%!" gain
+        (mbps_of summary.per_flow_other_bps)
+        (mbps_of summary.per_flow_cubic_bps))
+    [ 1.0; 1.5; 2.0; 3.0 ]
+
+(* CUBIC's TCP-friendly (Reno-tracking) region, competing against BBR. *)
+let ablation_tcp_friendly () =
+  Printf.printf "\n-- ablation: CUBIC TCP-friendly region (vs BBR, 3 BDP) --\n";
+  Printf.printf "%6s %14s %14s\n" "on" "cubic(Mbps)" "bbr(Mbps)";
+  List.iter
+    (fun tcp_friendly ->
+      Cca.Registry.register "cubic-tf" (fun ~mss ~rng:_ ->
+          Cca.Cubic.make
+            ~params:{ Cca.Cubic.default_params with tcp_friendly }
+            ~mss ());
+      let rate_bps = Sim_engine.Units.mbps 50.0 in
+      let result =
+        Tcpflow.Experiment.run
+          {
+            Tcpflow.Experiment.default_config with
+            rate_bps;
+            buffer_bytes =
+              Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.04
+                ~bdp:3.0;
+            flows =
+              [
+                Tcpflow.Experiment.flow_config ~base_rtt:0.04 "cubic-tf";
+                Tcpflow.Experiment.flow_config ~base_rtt:0.04 "bbr";
+              ];
+          }
+      in
+      Printf.printf "%6b %14.2f %14.2f\n%!" tcp_friendly
+        (mbps_of (Tcpflow.Experiment.mean_throughput_of_cca result "cubic-tf"))
+        (mbps_of (Tcpflow.Experiment.mean_throughput_of_cca result "bbr")))
+    [ true; false ]
+
+(* DESIGN.md ablation: fluid-simulator CUBIC synchronization mode. *)
+let ablation_fluid_sync () =
+  Printf.printf
+    "\n-- ablation: fluid CUBIC synchronization mode (5v5, 10 BDP) --\n";
+  Printf.printf "%-14s %14s %14s\n" "mode" "bbr(Mbps)" "cubic(Mbps)";
+  let rtt = 0.04 in
+  let capacity_bps = Sim_engine.Units.mbps 100.0 in
+  List.iter
+    (fun (name, sync) ->
+      let config =
+        {
+          Fluidsim.Fluid_sim.default_config with
+          capacity_bps;
+          buffer_bytes =
+            10.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
+          flows =
+            List.init 10 (fun i ->
+                {
+                  Fluidsim.Fluid_sim.kind =
+                    (if i < 5 then Fluidsim.Fluid_sim.Cubic
+                     else Fluidsim.Fluid_sim.Bbr);
+                  rtt;
+                });
+          sync;
+          duration = 60.0;
+          warmup = 20.0;
+        }
+      in
+      let result = Fluidsim.Fluid_sim.run config in
+      Printf.printf "%-14s %14.2f %14.2f\n%!" name
+        (mbps_of
+           (Fluidsim.Fluid_sim.mean_bps_of_kind result Fluidsim.Fluid_sim.Bbr))
+        (mbps_of
+           (Fluidsim.Fluid_sim.mean_bps_of_kind result
+              Fluidsim.Fluid_sim.Cubic)))
+    [
+      ("synchronized", Fluidsim.Fluid_sim.Synchronized);
+      ("desynchronized", Fluidsim.Fluid_sim.Desynchronized);
+      ("stochastic-0.5", Fluidsim.Fluid_sim.Stochastic 0.5);
+    ]
+
+let sections () =
+  match Sys.getenv_opt "REPRO_BENCH_SECTIONS" with
+  | None | Some "" -> [ "figures"; "micro"; "ablations" ]
+  | Some s -> String.split_on_char ',' s
+
+let () =
+  let sections = sections () in
+  let t0 = Unix.gettimeofday () in
+  if List.mem "figures" sections then begin
+    Printf.printf "==== Paper tables & figures (quick mode) ====\n\n%!";
+    List.iter
+      (fun entry ->
+        let table = entry.Experiments.Catalog.run Experiments.Common.Quick in
+        Experiments.Common.print_table Format.std_formatter table)
+      Experiments.Catalog.all
+  end;
+  if List.mem "micro" sections then begin
+    Printf.printf "==== Bechamel micro-benchmarks ====\n%!";
+    run_bechamel (figure_tests @ substrate_tests)
+  end;
+  if List.mem "ablations" sections then begin
+    Printf.printf "\n==== Ablations ====\n%!";
+    ablation_bbr_cap ();
+    ablation_tcp_friendly ();
+    ablation_fluid_sync ()
+  end;
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

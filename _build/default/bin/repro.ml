@@ -1,0 +1,112 @@
+(* Command-line driver: regenerate any of the paper's tables/figures.
+
+   Usage:
+     repro list
+     repro run fig03 [--full] [--out results/]
+     repro all [--full] [--out results/]
+*)
+
+let mode_of_full full = if full then Experiments.Common.Full else Experiments.Common.Quick
+
+let run_entry ~out entry mode =
+  let t0 = Unix.gettimeofday () in
+  let table = entry.Experiments.Catalog.run mode in
+  Experiments.Common.print_table Format.std_formatter table;
+  (match out with
+  | Some dir ->
+    let path = Experiments.Common.write_csv ~dir table in
+    Format.printf "wrote %s@." path
+  | None -> ());
+  Format.printf "(%s took %.1f s)@.@." entry.id (Unix.gettimeofday () -. t0)
+
+open Cmdliner
+
+let full_arg =
+  let doc = "Paper-scale grids and 2-minute runs (default: quick mode)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let out_arg =
+  let doc = "Also write each table as CSV into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-8s %s@." e.Experiments.Catalog.id e.summary)
+      Experiments.Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment by id (see $(b,list))." in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
+  in
+  let run id full out =
+    match Experiments.Catalog.find id with
+    | None ->
+      Format.eprintf "unknown experiment %S; try: %s@." id
+        (String.concat ", " (Experiments.Catalog.ids ()));
+      exit 1
+    | Some entry -> run_entry ~out entry (mode_of_full full)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ id_arg $ full_arg $ out_arg)
+
+let model_cmd =
+  let doc =
+    "Print the model's predictions (two-flow split, Ware baseline, Nash \
+     region) for a given network."
+  in
+  let mbps_arg =
+    Arg.(value & opt float 100.0 & info [ "mbps" ] ~docv:"MBPS" ~doc:"Link capacity.")
+  in
+  let rtt_arg =
+    Arg.(value & opt float 40.0 & info [ "rtt" ] ~docv:"MS" ~doc:"Base RTT in ms.")
+  in
+  let buffer_arg =
+    Arg.(value & opt float 10.0 & info [ "buffer" ] ~docv:"BDP" ~doc:"Buffer in BDP.")
+  in
+  let flows_arg =
+    Arg.(value & opt int 10 & info [ "flows" ] ~docv:"N" ~doc:"Total flows for the NE prediction.")
+  in
+  let run mbps rtt_ms buffer_bdp n =
+    let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+    let s = Ccmodel.Two_flow.solve params in
+    let to_mbps = Sim_engine.Units.bps_to_mbps in
+    Format.printf "network: %a@." Ccmodel.Params.pp params;
+    Format.printf "2-flow model: CUBIC %.2f Mbps, BBR %.2f Mbps (b_b = %.0f B, b_cmin = %.0f B)@."
+      (to_mbps s.cubic_bandwidth_bps) (to_mbps s.bbr_bandwidth_bps)
+      s.bbr_buffer_bytes s.cubic_min_buffer_bytes;
+    Format.printf "predicted queuing delay: %.1f ms@."
+      (1e3 *. Ccmodel.Two_flow.predicted_queuing_delay params);
+    Format.printf "ware et al. baseline: BBR %.2f Mbps@."
+      (to_mbps (Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1 ~duration:120.0));
+    let region = Ccmodel.Ne.nash_region params ~n in
+    Format.printf
+      "Nash region for %d flows: %.1f (synch) to %.1f (desynch) CUBIC flows@."
+      n region.cubic_at_ne_sync region.cubic_at_ne_desync
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ mbps_arg $ rtt_arg $ buffer_arg $ flows_arg)
+
+let all_cmd =
+  let doc = "Run every experiment in paper order." in
+  let run full out =
+    List.iter
+      (fun entry -> run_entry ~out entry (mode_of_full full))
+      Experiments.Catalog.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ full_arg $ out_arg)
+
+let main_cmd =
+  let doc =
+    "Reproduce the experiments of 'Are we heading towards a BBR-dominant \
+     Internet?' (IMC 2022)"
+  in
+  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; model_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

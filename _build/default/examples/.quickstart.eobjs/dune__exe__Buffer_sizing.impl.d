@@ -1,0 +1,1 @@
+examples/buffer_sizing.ml: List Printf Sim_engine Tcpflow

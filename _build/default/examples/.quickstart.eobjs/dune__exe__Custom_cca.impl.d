@@ -1,0 +1,1 @@
+examples/custom_cca.ml: Cca Float List Printf Sim_engine Tcpflow

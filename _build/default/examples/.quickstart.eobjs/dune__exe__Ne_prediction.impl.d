@@ -1,0 +1,1 @@
+examples/ne_prediction.ml: Ccmodel Experiments List Printf Sim_engine String

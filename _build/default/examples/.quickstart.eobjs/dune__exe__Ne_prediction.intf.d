@@ -1,0 +1,1 @@
+examples/ne_prediction.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ccmodel Printf Sim_engine Tcpflow

@@ -1,0 +1,1 @@
+examples/trace_dynamics.ml: Cca Filename List Netsim Printf Sim_engine Tcpflow

@@ -1,0 +1,60 @@
+(* Quickstart: simulate one CUBIC flow competing with one BBR flow and
+   compare the measured shares against the paper's model.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let mbps = 50.0 and rtt_ms = 40.0 and buffer_bdp = 8.0 in
+  Printf.printf
+    "Bottleneck: %.0f Mbps, base RTT %.0f ms, buffer %.0f BDP\n\n" mbps
+    rtt_ms buffer_bdp;
+
+  (* 1. Packet-level simulation (the substitute for the paper's testbed). *)
+  let rate_bps = Sim_engine.Units.mbps mbps in
+  let rtt = Sim_engine.Units.ms rtt_ms in
+  let config =
+    {
+      Tcpflow.Experiment.default_config with
+      rate_bps;
+      buffer_bytes =
+        Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp;
+      flows =
+        [
+          Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
+          Tcpflow.Experiment.flow_config ~base_rtt:rtt "bbr";
+        ];
+      duration = 60.0;
+      warmup = 15.0;
+    }
+  in
+  let result = Tcpflow.Experiment.run config in
+  let measured name =
+    Sim_engine.Units.bps_to_mbps
+      (Tcpflow.Experiment.mean_throughput_of_cca result name)
+  in
+  Printf.printf "simulated:  CUBIC %.2f Mbps   BBR %.2f Mbps\n"
+    (measured "cubic") (measured "bbr");
+  Printf.printf "            queuing delay %.1f ms, link utilization %.0f%%\n"
+    (result.Tcpflow.Experiment.queuing_delay *. 1e3)
+    (100.0 *. result.Tcpflow.Experiment.utilization);
+
+  (* 2. The paper's 2-flow model (Eqs. 18-20). *)
+  let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+  let solution = Ccmodel.Two_flow.solve params in
+  Printf.printf "\nmodel:      CUBIC %.2f Mbps   BBR %.2f Mbps\n"
+    (Sim_engine.Units.bps_to_mbps solution.cubic_bandwidth_bps)
+    (Sim_engine.Units.bps_to_mbps solution.bbr_bandwidth_bps);
+
+  (* 3. The Ware et al. baseline the paper refutes. *)
+  let ware =
+    Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1 ~duration:60.0
+  in
+  Printf.printf "ware et al: BBR %.2f Mbps (over-estimate)\n"
+    (Sim_engine.Units.bps_to_mbps ware);
+
+  let err =
+    Sim_engine.Stats.relative_error
+      ~predicted:solution.bbr_bandwidth_bps
+      ~actual:(Tcpflow.Experiment.mean_throughput_of_cca result "bbr")
+  in
+  Printf.printf "\nmodel-vs-simulation error for BBR: %.1f%%\n" (100.0 *. err)

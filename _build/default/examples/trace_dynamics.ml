@@ -1,0 +1,71 @@
+(* Tracing congestion dynamics: the classic cwnd-over-time picture.
+
+   Races one CUBIC flow against one BBR flow and dumps both flows' cwnd /
+   in-flight traces as CSV (to stdout paths), plus a textual summary of
+   BBR's state-machine occupancy — the sawtooth-vs-flat picture from the
+   paper's §2 background.
+
+   Run with:  dune exec examples/trace_dynamics.exe *)
+
+module Sim = Sim_engine.Sim
+module Units = Sim_engine.Units
+
+let () =
+  let rate_bps = Units.mbps 50.0 in
+  let rtt = 0.040 in
+  let sim = Sim.create ~seed:7 () in
+  let net =
+    Netsim.Dumbbell.create ~sim ~rate_bps
+      ~buffer_bytes:
+        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:5.0)
+      ~flows:
+        [
+          { Netsim.Dumbbell.flow = 0; base_rtt = rtt };
+          { Netsim.Dumbbell.flow = 1; base_rtt = rtt };
+        ]
+      ()
+  in
+  let mk flow name =
+    let rng = Sim_engine.Rng.split (Sim.rng sim) in
+    let cc = Cca.Registry.create name ~mss:Units.mss ~rng in
+    Tcpflow.Sender.create ~net ~flow ~cc ()
+  in
+  let cubic = mk 0 "cubic" and bbr = mk 1 "bbr" in
+  let trace_cubic = Tcpflow.Flow_trace.attach ~sim ~sender:cubic ~period:0.05 in
+  let trace_bbr = Tcpflow.Flow_trace.attach ~sim ~sender:bbr ~period:0.05 in
+  Sim.run ~until:60.0 sim;
+
+  let write name trace =
+    let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+    let oc = open_out path in
+    output_string oc (Tcpflow.Flow_trace.to_csv trace);
+    close_out oc;
+    path
+  in
+  Printf.printf "cwnd traces written:\n  %s\n  %s\n\n"
+    (write "cubic_trace.csv" trace_cubic)
+    (write "bbr_trace.csv" trace_bbr);
+
+  let summarize name trace =
+    let series = Tcpflow.Flow_trace.cwnd_series trace in
+    Printf.printf
+      "%-6s cwnd min/mean/max = %6.0f / %6.0f / %6.0f bytes; goodput(10-60s) \
+       = %.2f Mbps\n"
+      name
+      (Sim_engine.Timeseries.min_value series ~from_:10.0 ())
+      (Sim_engine.Timeseries.time_weighted_mean series ~from_:10.0 ~until:60.0)
+      (Sim_engine.Timeseries.max_value series ~from_:10.0 ())
+      (Units.bps_to_mbps
+         (Tcpflow.Flow_trace.throughput_between trace ~from_:10.0 ~until:60.0))
+  in
+  summarize "cubic" trace_cubic;
+  summarize "bbr" trace_bbr;
+
+  Printf.printf "\nBBR state occupancy (fraction of samples):\n";
+  List.iter
+    (fun (state, frac) -> Printf.printf "  %-10s %5.1f%%\n" state (100.0 *. frac))
+    (Tcpflow.Flow_trace.state_occupancy trace_bbr);
+  Printf.printf
+    "\nThe CUBIC trace shows the 0.7x sawtooth of Eq. (1); BBR holds ~2x its\n\
+     estimated BDP with 10-second ProbeRTT dips - the mechanics behind the\n\
+     paper's model.\n"

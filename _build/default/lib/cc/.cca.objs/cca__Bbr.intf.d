@@ -1,0 +1,1 @@
+lib/cc/bbr.mli: Cc_types Sim_engine

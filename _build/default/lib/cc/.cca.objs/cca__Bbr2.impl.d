@@ -1,0 +1,1 @@
+lib/cc/bbr2.ml: Array Cc_types Float Sim_engine Windowed_filter

@@ -1,0 +1,1 @@
+lib/cc/bbr2.mli: Cc_types Sim_engine

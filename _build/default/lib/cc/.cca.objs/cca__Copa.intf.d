@@ -1,0 +1,1 @@
+lib/cc/copa.mli: Cc_types

@@ -1,0 +1,1 @@
+lib/cc/registry.ml: Bbr Bbr2 Cc_types Copa Cubic Hashtbl List Printf Reno Sim_engine String Vegas Vivace

@@ -1,0 +1,1 @@
+lib/cc/registry.mli: Cc_types Sim_engine

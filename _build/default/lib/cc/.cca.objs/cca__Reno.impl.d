@@ -1,0 +1,1 @@
+lib/cc/reno.ml: Cc_types Float

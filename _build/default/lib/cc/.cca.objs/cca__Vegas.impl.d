@@ -1,0 +1,1 @@
+lib/cc/vegas.ml: Cc_types Float

@@ -1,0 +1,1 @@
+lib/cc/windowed_filter.mli:

@@ -1,0 +1,195 @@
+type params = {
+  bw_window_rounds : int;
+  rtprop_window : float;
+  probe_rtt_duration : float;
+  probe_bw_cwnd_gain : float;
+  high_gain : float;
+}
+
+let default_params =
+  {
+    bw_window_rounds = 10;
+    rtprop_window = 10.0;
+    probe_rtt_duration = 0.2;
+    probe_bw_cwnd_gain = 2.0;
+    high_gain = 2.0 /. log 2.0;
+  }
+
+type mode = Startup | Drain | ProbeBW | ProbeRTT
+
+let gain_cycle = [| 1.25; 0.75; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+
+type t = {
+  params : params;
+  mss : float;
+  rng : Sim_engine.Rng.t;
+  btlbw : Windowed_filter.Max_rounds.t;  (* bytes/s *)
+  mutable rtprop : float;  (* seconds; infinity before first sample *)
+  mutable rtprop_stamp : float;
+  mutable mode : mode;
+  mutable pacing_gain : float;
+  mutable cwnd_gain : float;
+  mutable full_bw : float;
+  mutable full_bw_count : int;
+  mutable filled_pipe : bool;
+  mutable cycle_index : int;
+  mutable cycle_stamp : float;
+  mutable probe_rtt_done_stamp : float;  (* nan until in-flight reached 4 MSS *)
+}
+
+let bdp t =
+  let bw = Windowed_filter.Max_rounds.get t.btlbw in
+  if bw = 0.0 || t.rtprop = infinity then 0.0 else bw *. t.rtprop
+
+let min_cwnd t = 4.0 *. t.mss
+
+let cwnd_bytes t =
+  match t.mode with
+  | ProbeRTT -> min_cwnd t
+  | Startup | Drain | ProbeBW ->
+    let bdp = bdp t in
+    if bdp = 0.0 then 10.0 *. t.mss
+    else Float.max (t.cwnd_gain *. bdp) (min_cwnd t)
+
+let pacing_rate t =
+  let bw = Windowed_filter.Max_rounds.get t.btlbw in
+  if bw = 0.0 then None else Some (t.pacing_gain *. bw)
+
+let enter_probe_bw t ~now =
+  t.mode <- ProbeBW;
+  t.cwnd_gain <- t.params.probe_bw_cwnd_gain;
+  (* Random initial phase, excluding the 0.75 drain phase (index 1). *)
+  let idx = Sim_engine.Rng.int t.rng (Array.length gain_cycle) in
+  t.cycle_index <- (if idx = 1 then 2 else idx);
+  t.pacing_gain <- gain_cycle.(t.cycle_index);
+  t.cycle_stamp <- now
+
+let check_full_pipe t =
+  if not t.filled_pipe then begin
+    let bw = Windowed_filter.Max_rounds.get t.btlbw in
+    if bw >= t.full_bw *. 1.25 then begin
+      t.full_bw <- bw;
+      t.full_bw_count <- 0
+    end
+    else begin
+      t.full_bw_count <- t.full_bw_count + 1;
+      if t.full_bw_count >= 3 then t.filled_pipe <- true
+    end
+  end
+
+let advance_cycle t (ack : Cc_types.ack_info) =
+  let elapsed = ack.now -. t.cycle_stamp in
+  let inflight = float_of_int ack.inflight_bytes in
+  let should_advance =
+    if t.pacing_gain = 1.0 then elapsed > t.rtprop
+    else if t.pacing_gain > 1.0 then
+      (* Stay in the up-probe until we have actually filled the pipe to the
+         probing target (or a full RTprop elapsed). *)
+      elapsed > t.rtprop && inflight >= t.pacing_gain *. bdp t
+    else
+      (* Leave the 0.75 drain phase as soon as the excess is drained. *)
+      elapsed > t.rtprop || inflight <= bdp t
+  in
+  if should_advance then begin
+    t.cycle_index <- (t.cycle_index + 1) mod Array.length gain_cycle;
+    t.pacing_gain <- gain_cycle.(t.cycle_index);
+    t.cycle_stamp <- ack.now
+  end
+
+let enter_probe_rtt t =
+  t.mode <- ProbeRTT;
+  t.probe_rtt_done_stamp <- nan
+
+let exit_probe_rtt t ~now =
+  t.rtprop_stamp <- now;
+  if t.filled_pipe then enter_probe_bw t ~now
+  else begin
+    t.mode <- Startup;
+    t.pacing_gain <- t.params.high_gain;
+    t.cwnd_gain <- t.params.high_gain
+  end
+
+(* The Linux rule: a smaller sample always wins; an expired estimate adopts
+   the next sample unconditionally (and, below, triggers ProbeRTT). *)
+let update_rtprop t (ack : Cc_types.ack_info) ~expired =
+  if ack.rtt_sample < t.rtprop || expired then begin
+    t.rtprop <- ack.rtt_sample;
+    t.rtprop_stamp <- ack.now
+  end
+
+let handle_probe_rtt t (ack : Cc_types.ack_info) =
+  if Float.is_nan t.probe_rtt_done_stamp then begin
+    if float_of_int ack.inflight_bytes <= min_cwnd t then
+      t.probe_rtt_done_stamp <- ack.now +. t.params.probe_rtt_duration
+  end
+  else if ack.now >= t.probe_rtt_done_stamp then exit_probe_rtt t ~now:ack.now
+
+let on_ack t (ack : Cc_types.ack_info) =
+  (* Bandwidth filter: app-limited samples only raise the estimate. *)
+  if
+    ack.delivery_rate > 0.0
+    && ((not ack.rate_app_limited)
+        || ack.delivery_rate > Windowed_filter.Max_rounds.get t.btlbw)
+  then
+    Windowed_filter.Max_rounds.update t.btlbw ~round:ack.round
+      ack.delivery_rate;
+  let rtprop_expired =
+    t.rtprop < infinity
+    && ack.now -. t.rtprop_stamp > t.params.rtprop_window
+  in
+  update_rtprop t ack ~expired:rtprop_expired;
+  (match t.mode with
+  | Startup ->
+    if ack.round_start then check_full_pipe t;
+    if t.filled_pipe then begin
+      t.mode <- Drain;
+      t.pacing_gain <- 1.0 /. t.params.high_gain
+    end
+  | Drain ->
+    if float_of_int ack.inflight_bytes <= bdp t then enter_probe_bw t ~now:ack.now
+  | ProbeBW -> advance_cycle t ack
+  | ProbeRTT -> ());
+  (* ProbeRTT entry check applies in every mode except ProbeRTT itself. *)
+  (match t.mode with
+  | ProbeRTT -> ()
+  | Startup | Drain | ProbeBW -> if rtprop_expired then enter_probe_rtt t);
+  if t.mode = ProbeRTT then handle_probe_rtt t ack
+
+let make ?(params = default_params) ~mss ~rng () =
+  let t =
+    {
+      params;
+      mss = float_of_int mss;
+      rng;
+      btlbw = Windowed_filter.Max_rounds.create ~window:params.bw_window_rounds;
+      rtprop = infinity;
+      rtprop_stamp = 0.0;
+      mode = Startup;
+      pacing_gain = params.high_gain;
+      cwnd_gain = params.high_gain;
+      full_bw = 0.0;
+      full_bw_count = 0;
+      filled_pipe = false;
+      cycle_index = 0;
+      cycle_stamp = 0.0;
+      probe_rtt_done_stamp = nan;
+    }
+  in
+  {
+    Cc_types.name = "bbr";
+    on_ack = on_ack t;
+    (* BBRv1 is loss-agnostic (paper §2.3, assumption 4). *)
+    on_loss = (fun (_ : Cc_types.loss_info) -> ());
+    on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
+    cwnd_bytes = (fun () -> cwnd_bytes t);
+    pacing_rate = (fun () -> pacing_rate t);
+    state =
+      (fun () ->
+        match t.mode with
+        | Startup -> "Startup"
+        | Drain -> "Drain"
+        | ProbeBW -> "ProbeBW"
+        | ProbeRTT -> "ProbeRTT");
+  }
+
+let mode_of (cc : Cc_types.t) = cc.state ()

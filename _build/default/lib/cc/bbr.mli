@@ -1,0 +1,39 @@
+(** BBR v1 (Cardwell et al., 2016) — the paper's protagonist.
+
+    Faithful to the published design at the level the paper's model depends
+    on:
+
+    - Startup: pacing/cwnd gain 2/ln 2 ≈ 2.885, exits when the bandwidth
+      estimate plateaus (< 25% growth for 3 rounds);
+    - Drain: inverse Startup gain until in-flight ≤ 1 estimated BDP;
+    - ProbeBW: the 8-phase gain cycle [1.25, 0.75, 1 × 6], one phase per
+      RTprop;
+    - ProbeRTT: every 10 s, cwnd clamped to 4 MSS for 200 ms so the RTprop
+      estimate can refresh (the mechanism behind the paper's Eq. 9);
+    - bandwidth filter: windowed max over 10 rounds of delivery-rate samples;
+    - RTprop: running minimum with the Linux rule that an expired estimate
+      adopts the next sample unconditionally;
+    - in-flight cap: cwnd = cwnd_gain × BDP with cwnd_gain = 2 in ProbeBW —
+      the 2×BDP cap at the heart of the paper's model (§2.3, assumption 2);
+    - loss-agnostic: packet loss does not change the window (§2.3,
+      assumption 4).
+
+    Omitted (documented simplifications): long-term bandwidth sampling for
+    policers, packet conservation during recovery, delayed-ACK compensation. *)
+
+type params = {
+  bw_window_rounds : int;  (** Bandwidth max-filter window (default 10). *)
+  rtprop_window : float;  (** RTprop expiry (default 10 s). *)
+  probe_rtt_duration : float;  (** ProbeRTT hold time (default 0.2 s). *)
+  probe_bw_cwnd_gain : float;  (** cwnd gain in ProbeBW (default 2.0). *)
+  high_gain : float;  (** Startup gain (default 2/ln 2). *)
+}
+
+val default_params : params
+
+val make :
+  ?params:params -> mss:int -> rng:Sim_engine.Rng.t -> unit -> Cc_types.t
+
+val mode_of : Cc_types.t -> string
+(** Convenience alias for [t.state ()] (one of "Startup", "Drain", "ProbeBW",
+    "ProbeRTT"). *)

@@ -1,0 +1,252 @@
+type params = {
+  beta : float;
+  probe_rtt_interval : float;
+  probe_rtt_cwnd_gain : float;
+  headroom_growth : float;
+}
+
+let default_params =
+  {
+    beta = 0.7;
+    probe_rtt_interval = 5.0;
+    probe_rtt_cwnd_gain = 0.5;
+    headroom_growth = 1.25;
+  }
+
+type mode = Startup | Drain | ProbeBW | ProbeRTT
+
+let gain_cycle = [| 1.25; 0.75; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+let high_gain = 2.0 /. log 2.0
+
+type t = {
+  params : params;
+  mss : float;
+  rng : Sim_engine.Rng.t;
+  btlbw : Windowed_filter.Max_rounds.t;
+  mutable rtprop : float;
+  mutable rtprop_stamp : float;
+  mutable mode : mode;
+  mutable pacing_gain : float;
+  mutable cwnd_gain : float;
+  mutable full_bw : float;
+  mutable full_bw_count : int;
+  mutable filled_pipe : bool;
+  mutable cycle_index : int;
+  mutable cycle_stamp : float;
+  mutable probe_rtt_done_stamp : float;
+  mutable inflight_hi : float;  (* bytes; upper bound learned from loss *)
+  mutable hi_growth_mss : float;  (* PROBE_UP per-round growth, doubles *)
+  mutable loss_in_round : bool;
+  mutable round_id : int;
+  mutable round_delivered : float;  (* bytes acked this round *)
+  mutable round_lost : float;  (* bytes lost this round *)
+}
+
+let bdp t =
+  let bw = Windowed_filter.Max_rounds.get t.btlbw in
+  if bw = 0.0 || t.rtprop = infinity then 0.0 else bw *. t.rtprop
+
+let min_cwnd t = 4.0 *. t.mss
+
+let cwnd_bytes t =
+  match t.mode with
+  | ProbeRTT ->
+    Float.max (t.params.probe_rtt_cwnd_gain *. bdp t) (min_cwnd t)
+  | Startup | Drain | ProbeBW ->
+    let bdp = bdp t in
+    if bdp = 0.0 then 10.0 *. t.mss
+    else begin
+      (* In cruise the draft leaves headroom below the bound for other
+         flows; during probes the bound itself is ramped upward (the
+         additive growth in [on_ack]), so no overshoot is needed here. *)
+      let hi =
+        if t.pacing_gain > 1.0 then t.inflight_hi
+        else 0.85 *. t.inflight_hi
+      in
+      let model_cwnd = Float.max (t.cwnd_gain *. bdp) (min_cwnd t) in
+      Float.max (Float.min model_cwnd hi) (min_cwnd t)
+    end
+
+let pacing_rate t =
+  let bw = Windowed_filter.Max_rounds.get t.btlbw in
+  if bw = 0.0 then None else Some (t.pacing_gain *. bw)
+
+let enter_probe_bw t ~now =
+  t.mode <- ProbeBW;
+  t.cwnd_gain <- 2.0;
+  let idx = Sim_engine.Rng.int t.rng (Array.length gain_cycle) in
+  t.cycle_index <- (if idx = 1 then 2 else idx);
+  t.pacing_gain <- gain_cycle.(t.cycle_index);
+  t.cycle_stamp <- now
+
+let check_full_pipe t =
+  if not t.filled_pipe then begin
+    let bw = Windowed_filter.Max_rounds.get t.btlbw in
+    if bw >= t.full_bw *. 1.25 then begin
+      t.full_bw <- bw;
+      t.full_bw_count <- 0
+    end
+    else begin
+      t.full_bw_count <- t.full_bw_count + 1;
+      if t.full_bw_count >= 3 then t.filled_pipe <- true
+    end
+  end
+
+let advance_cycle t (ack : Cc_types.ack_info) =
+  let elapsed = ack.now -. t.cycle_stamp in
+  let inflight = float_of_int ack.inflight_bytes in
+  let should_advance =
+    if t.pacing_gain = 1.0 then elapsed > t.rtprop
+    else if t.pacing_gain > 1.0 then
+      elapsed > t.rtprop && inflight >= t.pacing_gain *. bdp t
+    else elapsed > t.rtprop || inflight <= bdp t
+  in
+  if should_advance then begin
+    (* Leaving a loss-free up-probe: the path has headroom, so raise the
+       in-flight bound to what was actually flown, with a growth cap
+       (the draft's PROBE_UP growth). *)
+    if t.pacing_gain > 1.0 && not t.loss_in_round then
+      t.inflight_hi <-
+        Float.min
+          (Float.min
+             (Float.max t.inflight_hi inflight)
+             (t.inflight_hi *. t.params.headroom_growth))
+          (2.0 *. Float.max (bdp t) t.mss);
+    t.cycle_index <- (t.cycle_index + 1) mod Array.length gain_cycle;
+    t.pacing_gain <- gain_cycle.(t.cycle_index);
+    t.cycle_stamp <- ack.now;
+    (* Each up-probe restarts the inflight_hi growth ramp. *)
+    if t.pacing_gain > 1.0 then t.hi_growth_mss <- 1.0
+  end
+
+let exit_probe_rtt t ~now =
+  t.rtprop_stamp <- now;
+  if t.filled_pipe then enter_probe_bw t ~now
+  else begin
+    t.mode <- Startup;
+    t.pacing_gain <- high_gain;
+    t.cwnd_gain <- high_gain
+  end
+
+let handle_probe_rtt t (ack : Cc_types.ack_info) =
+  if Float.is_nan t.probe_rtt_done_stamp then begin
+    if float_of_int ack.inflight_bytes <= cwnd_bytes t then
+      t.probe_rtt_done_stamp <- ack.now +. 0.2
+  end
+  else if ack.now >= t.probe_rtt_done_stamp then exit_probe_rtt t ~now:ack.now
+
+let on_ack t (ack : Cc_types.ack_info) =
+  if
+    ack.delivery_rate > 0.0
+    && ((not ack.rate_app_limited)
+        || ack.delivery_rate > Windowed_filter.Max_rounds.get t.btlbw)
+  then
+    Windowed_filter.Max_rounds.update t.btlbw ~round:ack.round
+      ack.delivery_rate;
+  let expired = ack.now -. t.rtprop_stamp > t.params.probe_rtt_interval in
+  if ack.rtt_sample < t.rtprop || expired then begin
+    t.rtprop <- ack.rtt_sample;
+    t.rtprop_stamp <- ack.now
+  end;
+  if ack.round > t.round_id then begin
+    t.round_id <- ack.round;
+    t.round_delivered <- 0.0;
+    t.round_lost <- 0.0;
+    t.loss_in_round <- false
+  end;
+  t.round_delivered <- t.round_delivered +. float_of_int ack.acked_bytes;
+  (* PROBE_UP: the in-flight bound is probed upward every round with
+     doubling increments (the draft's bbr2_probe_inflight_hi_upward). *)
+  if
+    ack.round_start && t.mode = ProbeBW && t.pacing_gain > 1.0
+    && t.inflight_hi < infinity
+  then begin
+    t.inflight_hi <-
+      Float.min
+        (t.inflight_hi +. (t.hi_growth_mss *. t.mss))
+        (2.0 *. Float.max (bdp t) (10.0 *. t.mss));
+    t.hi_growth_mss <- Float.min (t.hi_growth_mss *. 2.0) 32.0
+  end;
+  (match t.mode with
+  | Startup ->
+    if ack.round_start then check_full_pipe t;
+    if t.filled_pipe then begin
+      t.mode <- Drain;
+      t.pacing_gain <- 1.0 /. high_gain
+    end
+  | Drain ->
+    if float_of_int ack.inflight_bytes <= bdp t then
+      enter_probe_bw t ~now:ack.now
+  | ProbeBW -> advance_cycle t ack
+  | ProbeRTT -> ());
+  (match t.mode with
+  | ProbeRTT -> ()
+  | Startup | Drain | ProbeBW ->
+    if expired && t.rtprop < infinity then begin
+      t.mode <- ProbeRTT;
+      t.probe_rtt_done_stamp <- nan
+    end);
+  if t.mode = ProbeRTT then handle_probe_rtt t ack
+
+let on_loss t (loss : Cc_types.loss_info) =
+  (* BBRv2's loss response (draft, simplified): the in-flight bound is cut
+     only when the loss rate of the current round exceeds 2% while we are
+     actively probing for bandwidth (Startup or a ProbeBW up-phase); cruise
+     losses are tolerated like BBRv1. At most one cut per round. *)
+  t.round_lost <- t.round_lost +. float_of_int loss.lost_bytes;
+  let probing = t.mode = Startup || t.pacing_gain > 1.0 in
+  let total = t.round_lost +. t.round_delivered in
+  let loss_rate = if total <= 0.0 then 0.0 else t.round_lost /. total in
+  if probing && (not t.loss_in_round) && loss_rate > 0.02 then begin
+    t.loss_in_round <- true;
+    let inflight = float_of_int loss.inflight_bytes in
+    let reference = Float.max inflight (bdp t) in
+    t.inflight_hi <-
+      Float.max
+        (t.params.beta *. Float.min reference t.inflight_hi)
+        (4.0 *. t.mss);
+    t.hi_growth_mss <- 1.0;
+    if t.mode = Startup then t.filled_pipe <- true
+  end
+
+let make ?(params = default_params) ~mss ~rng () =
+  let t =
+    {
+      params;
+      mss = float_of_int mss;
+      rng;
+      btlbw = Windowed_filter.Max_rounds.create ~window:10;
+      rtprop = infinity;
+      rtprop_stamp = 0.0;
+      mode = Startup;
+      pacing_gain = high_gain;
+      cwnd_gain = high_gain;
+      full_bw = 0.0;
+      full_bw_count = 0;
+      filled_pipe = false;
+      cycle_index = 0;
+      cycle_stamp = 0.0;
+      probe_rtt_done_stamp = nan;
+      inflight_hi = infinity;
+      hi_growth_mss = 1.0;
+      loss_in_round = false;
+      round_id = 0;
+      round_delivered = 0.0;
+      round_lost = 0.0;
+    }
+  in
+  {
+    Cc_types.name = "bbr2";
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
+    cwnd_bytes = (fun () -> cwnd_bytes t);
+    pacing_rate = (fun () -> pacing_rate t);
+    state =
+      (fun () ->
+        match t.mode with
+        | Startup -> "Startup"
+        | Drain -> "Drain"
+        | ProbeBW -> "ProbeBW"
+        | ProbeRTT -> "ProbeRTT");
+  }

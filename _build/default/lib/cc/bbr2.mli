@@ -1,0 +1,30 @@
+(** A BBRv2-style congestion controller (Cardwell et al., IETF 104 draft).
+
+    The paper (§4.6) relies on two qualitative properties of BBRv2 relative
+    to BBRv1, both of which this implementation provides:
+
+    - it keeps BBR's model-based probing structure (so it still claims a
+      disproportionate share at low flow counts — Fig. 7), and
+    - it reacts to packet loss by bounding its in-flight data
+      ([inflight_hi], multiplicatively reduced by β = 0.7 on lossy rounds
+      and probed back up gradually), making it less aggressive against
+      CUBIC (Fig. 11: NE with more CUBIC flows than BBRv1).
+
+    Simplifications versus the draft: no ECN response, no loss-rate
+    threshold in Startup, bandwidth probing is time-based (reusing the v1
+    gain cycle) rather than the full REFILL/UP/DOWN/CRUISE machine; the
+    ProbeRTT interval is 5 s with cwnd floor 0.5×BDP per the draft. *)
+
+type params = {
+  beta : float;  (** Multiplicative inflight_hi decrease on loss (0.7). *)
+  probe_rtt_interval : float;  (** Seconds between ProbeRTT episodes (5). *)
+  probe_rtt_cwnd_gain : float;  (** cwnd gain during ProbeRTT (0.5). *)
+  headroom_growth : float;
+      (** Per-probe multiplicative inflight_hi growth when probing finds
+          headroom (1.25). *)
+}
+
+val default_params : params
+
+val make :
+  ?params:params -> mss:int -> rng:Sim_engine.Rng.t -> unit -> Cc_types.t

@@ -1,0 +1,30 @@
+type ack_info = {
+  now : float;
+  rtt_sample : float;
+  acked_bytes : int;
+  delivered : float;
+  delivery_rate : float;
+  rate_app_limited : bool;
+  inflight_bytes : int;
+  round : int;
+  round_start : bool;
+}
+
+type loss_info = {
+  now : float;
+  lost_bytes : int;
+  inflight_bytes : int;
+  via_timeout : bool;
+}
+
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : loss_info -> unit;
+  on_send : now:float -> inflight_bytes:int -> unit;
+  cwnd_bytes : unit -> float;
+  pacing_rate : unit -> float option;
+  state : unit -> string;
+}
+
+let min_cwnd_bytes ~mss = float_of_int (2 * mss)

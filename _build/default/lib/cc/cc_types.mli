@@ -1,0 +1,52 @@
+(** The congestion-control interface shared by every algorithm.
+
+    Internal units: bytes for windows and volumes, bytes/second for rates,
+    seconds for time. The transport layer ({!Tcpflow.Sender}) produces
+    {!ack_info}/{!loss_info} records; the CCA updates its state and exposes a
+    congestion window and an optional pacing rate.
+
+    A CCA is represented as a record of closures ({!t}) so that user code —
+    including the [custom_cca] example — can implement new algorithms without
+    functors, and so that heterogeneous flows can share one experiment. *)
+
+type ack_info = {
+  now : float;  (** Virtual time of the ACK's arrival at the sender. *)
+  rtt_sample : float;  (** RTT measured by this ACK (seconds). *)
+  acked_bytes : int;  (** Bytes newly acknowledged. *)
+  delivered : float;  (** Sender's cumulative delivered bytes. *)
+  delivery_rate : float;
+      (** Delivery-rate sample in bytes/s (BBR-style estimator); [0.] when no
+          valid sample exists. *)
+  rate_app_limited : bool;
+      (** The delivery-rate sample was taken while application-limited and
+          therefore only a lower bound. *)
+  inflight_bytes : int;  (** Bytes in flight after processing this ACK. *)
+  round : int;  (** Count of completed delivery rounds (RTTs). *)
+  round_start : bool;  (** True for the first ACK of a new round. *)
+}
+
+type loss_info = {
+  now : float;
+  lost_bytes : int;  (** Bytes declared lost by this event. *)
+  inflight_bytes : int;  (** Bytes in flight after removing the lost data. *)
+  via_timeout : bool;  (** True for RTO-detected loss (vs fast retransmit). *)
+}
+
+type t = {
+  name : string;
+  on_ack : ack_info -> unit;
+  on_loss : loss_info -> unit;
+  on_send : now:float -> inflight_bytes:int -> unit;
+      (** Called whenever the sender transmits, letting rate-based CCAs track
+          sending epochs. Most algorithms ignore it. *)
+  cwnd_bytes : unit -> float;
+      (** Current congestion window. The sender never lets in-flight data
+          exceed this. *)
+  pacing_rate : unit -> float option;
+      (** Bytes/second pacing rate; [None] means pure ACK clocking. *)
+  state : unit -> string;
+      (** Human-readable internal state (e.g. ["ProbeBW"]) for traces. *)
+}
+
+val min_cwnd_bytes : mss:int -> float
+(** Floor applied by convention in all bundled CCAs: 2 MSS. *)

@@ -1,0 +1,20 @@
+(** Copa (Arun & Balakrishnan, NSDI 2018), default mode.
+
+    Copa targets a sending rate of 1/(δ·d_q) packets per RTT of queuing
+    delay d_q, adjusting cwnd by ±v/(δ·cwnd) per ACK with a velocity
+    parameter v that doubles when the window keeps moving in one direction.
+
+    Only the default mode (δ = 0.5) is implemented — no TCP-competitive mode
+    switching. This matches the paper's empirical finding (§4.2, Fig. 7)
+    that Copa obtains a below-fair-share throughput at every CUBIC/Copa
+    mix: default-mode Copa refuses to sustain standing queues that
+    buffer-filling CUBIC flows create. *)
+
+type params = {
+  delta : float;  (** Queue-sensitivity; default 0.5. *)
+  initial_cwnd_mss : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> mss:int -> unit -> Cc_types.t

@@ -1,0 +1,24 @@
+(** TCP CUBIC (Ha, Rhee, Xu 2008) as implemented in the Linux kernel and as
+    modelled in the paper (§2.1, Eq. 1):
+
+    cwnd(t) = C (t - K)^3 + W_max,  K = cbrt(W_max β / C)
+
+    with C = 0.4, β = 0.3 (so the window shrinks to 0.7 W_max on loss).
+    Slow start and the TCP-friendly (Reno-tracking) region are included;
+    HyStart is omitted (slow-start overshoot is bounded by the first loss,
+    which is the behaviour the paper's model assumes). *)
+
+type params = {
+  c : float;  (** Cubic scaling constant (MSS/s³); Linux default 0.4. *)
+  beta : float;  (** Back-off fraction removed on loss; Linux default 0.3. *)
+  tcp_friendly : bool;  (** Enable the Reno-tracking lower bound. *)
+  initial_cwnd_mss : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> mss:int -> unit -> Cc_types.t
+
+val multiplicative_decrease : params -> float
+(** The factor the window is multiplied by on loss: [1 - beta] (0.7 by
+    default) — the quantity the paper's model depends on. *)

@@ -1,0 +1,27 @@
+type constructor = mss:int -> rng:Sim_engine.Rng.t -> Cc_types.t
+
+let table : (string, constructor) Hashtbl.t = Hashtbl.create 16
+
+let register name ctor = Hashtbl.replace table name ctor
+let find name = Hashtbl.find_opt table name
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) table []
+  |> List.sort compare
+
+let create name ~mss ~rng =
+  match find name with
+  | Some ctor -> ctor ~mss ~rng
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Registry.create: unknown CCA %S (known: %s)" name
+         (String.concat ", " (names ())))
+
+let () =
+  register "reno" (fun ~mss ~rng:_ -> Reno.make ~mss ());
+  register "cubic" (fun ~mss ~rng:_ -> Cubic.make ~mss ());
+  register "bbr" (fun ~mss ~rng -> Bbr.make ~mss ~rng ());
+  register "bbr2" (fun ~mss ~rng -> Bbr2.make ~mss ~rng ());
+  register "copa" (fun ~mss ~rng:_ -> Copa.make ~mss ());
+  register "vegas" (fun ~mss ~rng:_ -> Vegas.make ~mss ());
+  register "vivace" (fun ~mss ~rng -> Vivace.make ~mss ~rng ())

@@ -1,0 +1,18 @@
+(** A name-indexed registry of congestion-control constructors so that
+    experiments (and user code) can select algorithms by string, and the
+    [custom_cca] example can register new ones at run time. *)
+
+type constructor = mss:int -> rng:Sim_engine.Rng.t -> Cc_types.t
+
+val register : string -> constructor -> unit
+(** Replaces any previous binding of the same name. *)
+
+val find : string -> constructor option
+
+val create : string -> mss:int -> rng:Sim_engine.Rng.t -> Cc_types.t
+(** Like {!find} but raises [Invalid_argument] with the list of known names
+    when the algorithm is unknown. *)
+
+val names : unit -> string list
+(** Registered names, sorted. The built-ins ["reno"], ["cubic"], ["bbr"],
+    ["bbr2"], ["copa"], ["vegas"], ["vivace"] are pre-registered. *)

@@ -1,0 +1,6 @@
+(** TCP NewReno congestion control (RFC 5681 congestion windows): slow start,
+    additive increase of one MSS per RTT, multiplicative decrease to half on
+    loss. Included as the historic baseline the paper contrasts with CUBIC's
+    take-over of the Internet (§1, §5). *)
+
+val make : ?initial_cwnd_mss:int -> mss:int -> unit -> Cc_types.t

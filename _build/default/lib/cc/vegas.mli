@@ -1,0 +1,21 @@
+(** TCP Vegas (Brakmo & Peterson 1994) — the classic delay-based algorithm.
+
+    Vegas estimates the number of its own packets queued at the bottleneck,
+    diff = (cwnd/base_rtt − cwnd/rtt) × base_rtt, and nudges the window by
+    ±1 MSS per RTT to keep diff within [α, β] (defaults 2 and 4 packets).
+
+    Included because the paper's related work (§6, refs [1] and [28])
+    builds its game-theoretic lineage on Reno/Vegas interactions; Vegas is
+    also the canonical example of a delay-based CCA that loses to
+    buffer-fillers, making it a useful contrast to Copa and BBR in
+    experiments built on this library. *)
+
+type params = {
+  alpha : float;  (** Lower diff target, packets (default 2). *)
+  beta : float;  (** Upper diff target, packets (default 4). *)
+  initial_cwnd_mss : int;
+}
+
+val default_params : params
+
+val make : ?params:params -> mss:int -> unit -> Cc_types.t

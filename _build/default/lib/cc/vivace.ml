@@ -1,0 +1,176 @@
+type params = {
+  epsilon : float;
+  exponent : float;
+  latency_coeff : float;
+  loss_coeff : float;
+  step_base : float;
+  max_step_frac : float;
+}
+
+let default_params =
+  {
+    epsilon = 0.05;
+    exponent = 0.9;
+    latency_coeff = 900.0;
+    loss_coeff = 11.35;
+    step_base = 1.0;
+    max_step_frac = 0.25;
+  }
+
+type phase =
+  | Starting  (** Double the rate every MI until utility drops. *)
+  | Probe_up  (** Running the r(1+ε) experiment. *)
+  | Probe_down  (** Running the r(1−ε) experiment. *)
+
+type mi = {
+  mutable start_time : float;
+  mutable attempted_rate : float;  (* bytes/s the MI paced at *)
+  mutable acked_bytes : int;
+  mutable lost_bytes : int;
+  mutable first_rtt : float;
+  mutable last_rtt : float;
+}
+
+type t = {
+  params : params;
+  mss : float;
+  mutable rate : float;  (* base rate, bytes/s *)
+  mutable srtt : float;
+  mutable phase : phase;
+  mutable mi : mi;
+  mutable prev_utility : float;  (* Starting phase comparison *)
+  mutable probe_up_utility : float;  (* Probe pair bookkeeping *)
+  mutable consecutive_sign : int;  (* confidence amplifier *)
+  mutable last_sign : int;
+}
+
+let fresh_mi ~now ~attempted_rate =
+  { start_time = now; attempted_rate; acked_bytes = 0; lost_bytes = 0;
+    first_rtt = nan; last_rtt = nan }
+
+let mi_duration t = if Float.is_nan t.srtt then 0.05 else t.srtt
+
+(* Utility of an MI, in the paper's Mbps units. The reward term uses the
+   measured goodput; the latency/loss penalties scale with the rate the MI
+   actually paced at (as in the PCC papers) — otherwise the r(1±ε)
+   experiments become indistinguishable whenever the path caps goodput and
+   the gradient degenerates. *)
+let utility t ~(mi : mi) ~duration =
+  if duration <= 0.0 then 0.0
+  else begin
+    let goodput_mbps =
+      float_of_int mi.acked_bytes /. duration *. 8.0 /. 1e6
+    in
+    let attempted_mbps = mi.attempted_rate *. 8.0 /. 1e6 in
+    let total = mi.acked_bytes + mi.lost_bytes in
+    let loss_frac =
+      if total = 0 then 0.0
+      else float_of_int mi.lost_bytes /. float_of_int total
+    in
+    let rtt_gradient =
+      if Float.is_nan mi.first_rtt || Float.is_nan mi.last_rtt then 0.0
+      else Float.max 0.0 ((mi.last_rtt -. mi.first_rtt) /. duration)
+    in
+    (goodput_mbps ** t.params.exponent)
+    -. (t.params.latency_coeff *. attempted_mbps *. rtt_gradient)
+    -. (t.params.loss_coeff *. attempted_mbps *. loss_frac)
+  end
+
+let current_pacing_rate t =
+  match t.phase with
+  | Starting -> t.rate
+  | Probe_up -> t.rate *. (1.0 +. t.params.epsilon)
+  | Probe_down -> t.rate *. (1.0 -. t.params.epsilon)
+
+let min_rate t = 2.0 *. t.mss /. Float.max (mi_duration t) 0.01
+
+let apply_gradient t ~u_up ~u_down =
+  let eps_rate_mbps = t.params.epsilon *. t.rate *. 8.0 /. 1e6 in
+  if eps_rate_mbps > 0.0 then begin
+    let gradient = (u_up -. u_down) /. (2.0 *. eps_rate_mbps) in
+    let sign = compare gradient 0.0 in
+    if sign <> 0 && sign = t.last_sign then
+      t.consecutive_sign <- t.consecutive_sign + 1
+    else t.consecutive_sign <- 1;
+    t.last_sign <- sign;
+    (* Confidence amplifier: consecutive same-sign gradients double the
+       step (geometric, capped), as in the PCC papers' ω amplification —
+       a linear amplifier recovers from deep back-off too slowly. *)
+    let amplifier = Float.min 32.0 (2.0 ** float_of_int (t.consecutive_sign - 1)) in
+    let step_mbps = t.params.step_base *. amplifier *. gradient in
+    let step = step_mbps *. 1e6 /. 8.0 in
+    let bound = t.params.max_step_frac *. t.rate in
+    let step = Float.max (-.bound) (Float.min bound step) in
+    t.rate <- Float.max (min_rate t) (t.rate +. step)
+  end
+
+let finish_mi t ~now =
+  let duration = now -. t.mi.start_time in
+  let u = utility t ~mi:t.mi ~duration in
+  (match t.phase with
+  | Starting ->
+    if Float.is_nan t.prev_utility || u >= t.prev_utility then begin
+      t.prev_utility <- u;
+      t.rate <- 2.0 *. t.rate
+    end
+    else begin
+      t.rate <- t.rate /. 2.0;
+      t.phase <- Probe_up
+    end
+  | Probe_up ->
+    t.probe_up_utility <- u;
+    t.phase <- Probe_down
+  | Probe_down ->
+    apply_gradient t ~u_up:t.probe_up_utility ~u_down:u;
+    t.phase <- Probe_up);
+  t.mi <- fresh_mi ~now ~attempted_rate:(current_pacing_rate t)
+
+let maybe_roll_mi t ~now =
+  if now -. t.mi.start_time >= mi_duration t then finish_mi t ~now
+
+let on_ack t (ack : Cc_types.ack_info) =
+  t.srtt <-
+    (if Float.is_nan t.srtt then ack.rtt_sample
+     else (0.875 *. t.srtt) +. (0.125 *. ack.rtt_sample));
+  t.mi.acked_bytes <- t.mi.acked_bytes + ack.acked_bytes;
+  if Float.is_nan t.mi.first_rtt then t.mi.first_rtt <- ack.rtt_sample;
+  t.mi.last_rtt <- ack.rtt_sample;
+  maybe_roll_mi t ~now:ack.now
+
+let on_loss t (loss : Cc_types.loss_info) =
+  t.mi.lost_bytes <- t.mi.lost_bytes + loss.lost_bytes;
+  maybe_roll_mi t ~now:loss.now
+
+let make ?(params = default_params) ~mss ~rng:_ () =
+  let t =
+    {
+      params;
+      mss = float_of_int mss;
+      rate = 10.0 *. float_of_int mss /. 0.05;  (* ~10 pkts per 50 ms *)
+      srtt = nan;
+      phase = Starting;
+      mi = fresh_mi ~now:0.0 ~attempted_rate:(10.0 *. float_of_int mss /. 0.05);
+      prev_utility = nan;
+      probe_up_utility = 0.0;
+      consecutive_sign = 0;
+      last_sign = 0;
+    }
+  in
+  {
+    Cc_types.name = "vivace";
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_send = (fun ~now ~inflight_bytes:_ -> maybe_roll_mi t ~now);
+    cwnd_bytes =
+      (fun () ->
+        (* Safety cap: at most two RTTs of data at the current rate. *)
+        let rtt = if Float.is_nan t.srtt then 0.1 else t.srtt in
+        Float.max (2.0 *. current_pacing_rate t *. rtt) (4.0 *. t.mss));
+    pacing_rate = (fun () -> Some (current_pacing_rate t));
+    state =
+      (fun () ->
+        match t.phase with
+        | Starting -> "Starting"
+        | Probe_up -> "ProbeUp"
+        | Probe_down -> "ProbeDown");
+  }

@@ -1,0 +1,30 @@
+(** PCC Vivace (Dong et al., NSDI 2018), latency flavour — an
+    online-learning, rate-based controller.
+
+    Time is split into monitor intervals (MIs) of one smoothed RTT. The
+    sender alternates paired rate experiments at r(1±ε), measures the
+    utility
+
+    U(r) = (r_Mbps)^0.9 − b · r_Mbps · max(0, dRTT/dt) − c · r_Mbps · L
+
+    (L = loss fraction) over each MI, and moves the rate along the utility
+    gradient with a confidence-amplified step, clamped by a dynamic change
+    bound. A slow-start-like doubling phase runs until utility first drops.
+
+    The paper (§4.2, Fig. 7) only needs Vivace's qualitative behaviour —
+    claiming a disproportionately large share against CUBIC at small flow
+    counts — which emerges from the throughput-dominant utility exponent. *)
+
+type params = {
+  epsilon : float;  (** Probe amplitude (default 0.05). *)
+  exponent : float;  (** Throughput utility exponent (default 0.9). *)
+  latency_coeff : float;  (** b, RTT-gradient penalty (default 900). *)
+  loss_coeff : float;  (** c, loss penalty (default 11.35). *)
+  step_base : float;  (** θ₀, base gradient step in Mbps (default 1). *)
+  max_step_frac : float;  (** Dynamic boundary: max |Δr|/r (default 0.25). *)
+}
+
+val default_params : params
+
+val make :
+  ?params:params -> mss:int -> rng:Sim_engine.Rng.t -> unit -> Cc_types.t

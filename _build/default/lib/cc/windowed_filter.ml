@@ -1,0 +1,66 @@
+(* Monotone-deque sliding extremum. Entries are (position, value); the deque
+   is kept sorted so the front holds the current extremum. *)
+
+type entry = { pos : float; value : float }
+
+type deque = {
+  mutable entries : entry list;  (* front = extremum, back = newest *)
+  window : float;
+  keep : float -> float -> bool;  (* [keep old new_] : old still dominates *)
+}
+
+let deque_update d ~pos value =
+  (* Drop dominated entries from the back. *)
+  let rec drop = function
+    | e :: rest when not (d.keep e.value value) -> drop rest
+    | l -> l
+  in
+  let back_trimmed = drop (List.rev d.entries) in
+  let entries = List.rev ({ pos; value } :: back_trimmed) in
+  (* Expire entries older than the window from the front. *)
+  let rec expire = function
+    | e :: (_ :: _ as rest) when e.pos < pos -. d.window -> expire rest
+    | l -> l
+  in
+  d.entries <- expire entries
+
+let deque_front d = match d.entries with [] -> None | e :: _ -> Some e
+
+module Max_rounds = struct
+  type t = { d : deque; mutable last_round : int }
+
+  let create ~window =
+    if window <= 0 then invalid_arg "Max_rounds.create: window";
+    {
+      d = { entries = []; window = float_of_int window; keep = ( > ) };
+      last_round = min_int;
+    }
+
+  let update t ~round value =
+    if round < t.last_round then
+      invalid_arg "Max_rounds.update: decreasing round";
+    t.last_round <- round;
+    deque_update t.d ~pos:(float_of_int round) value
+
+  let get t = match deque_front t.d with None -> 0.0 | Some e -> e.value
+end
+
+module Min_time = struct
+  type t = { d : deque }
+
+  let create ~window =
+    if window <= 0.0 then invalid_arg "Min_time.create: window";
+    { d = { entries = []; window; keep = ( < ) } }
+
+  let update t ~time value = deque_update t.d ~pos:time value
+
+  let get t = match deque_front t.d with None -> infinity | Some e -> e.value
+
+  let age t ~now =
+    match deque_front t.d with None -> infinity | Some e -> now -. e.pos
+
+  let expired t ~now =
+    match deque_front t.d with
+    | None -> true
+    | Some e -> now -. e.pos > t.d.window
+end

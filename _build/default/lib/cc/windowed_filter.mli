@@ -1,0 +1,38 @@
+(** Sliding-window extremum filters, as used by BBR.
+
+    {!Max_rounds} keeps the maximum over the last [window] delivery rounds
+    (BBR's bottleneck-bandwidth filter); {!Min_time} keeps the minimum over
+    the last [window] seconds (BBR's RTprop filter). Both are O(1) amortized
+    via a monotone deque. *)
+
+module Max_rounds : sig
+  type t
+
+  val create : window:int -> t
+  (** [window] is in rounds and must be positive. *)
+
+  val update : t -> round:int -> float -> unit
+  (** Insert a sample observed at [round]. Rounds must be non-decreasing. *)
+
+  val get : t -> float
+  (** Current windowed maximum; [0.] before any sample. *)
+end
+
+module Min_time : sig
+  type t
+
+  val create : window:float -> t
+  (** [window] is in seconds and must be positive. *)
+
+  val update : t -> time:float -> float -> unit
+
+  val get : t -> float
+  (** Current windowed minimum; [infinity] before any sample. *)
+
+  val expired : t -> now:float -> bool
+  (** True when the current minimum is older than the window — i.e. BBR's
+      condition for entering ProbeRTT. *)
+
+  val age : t -> now:float -> float
+  (** Seconds since the current minimum was recorded ([infinity] if none). *)
+end

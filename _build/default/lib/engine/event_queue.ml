@@ -1,0 +1,101 @@
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable heap : event array;
+  mutable length : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = -1; action = ignore; cancelled = true }
+let create () = { heap = Array.make 64 dummy; length = 0; next_seq = 0 }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.length && earlier t.heap.(left) t.heap.(!smallest) then
+    smallest := left;
+  if right < t.length && earlier t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.length;
+  t.heap <- heap
+
+let add t ~time action =
+  if t.length = Array.length t.heap then grow t;
+  let ev = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.length) <- ev;
+  t.length <- t.length + 1;
+  sift_up t (t.length - 1);
+  ev
+
+let cancel (ev : handle) =
+  if not ev.cancelled then ev.cancelled <- true
+
+let is_cancelled (ev : handle) = ev.cancelled
+
+let pop_raw t =
+  if t.length = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    t.length <- t.length - 1;
+    t.heap.(0) <- t.heap.(t.length);
+    t.heap.(t.length) <- dummy;
+    if t.length > 0 then sift_down t 0;
+    Some ev
+  end
+
+let rec pop t =
+  match pop_raw t with
+  | None -> None
+  | Some ev when ev.cancelled -> pop t
+  | Some ev -> Some (ev.time, ev.action)
+
+let rec peek_time t =
+  if t.length = 0 then None
+  else begin
+    let ev = t.heap.(0) in
+    if ev.cancelled then begin
+      ignore (pop_raw t);
+      peek_time t
+    end
+    else Some ev.time
+  end
+
+let size t =
+  let cancelled_in_heap = ref 0 in
+  for i = 0 to t.length - 1 do
+    if t.heap.(i).cancelled then incr cancelled_in_heap
+  done;
+  t.length - !cancelled_in_heap
+
+let is_empty t = peek_time t = None

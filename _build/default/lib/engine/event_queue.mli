@@ -1,0 +1,31 @@
+(** A binary-heap priority queue of timestamped events.
+
+    Events with equal timestamps fire in insertion order, which makes
+    simulation runs fully deterministic. Cancellation is O(1) (lazy removal:
+    cancelled events are skipped at pop time). *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so that it can be cancelled. *)
+
+val create : unit -> t
+
+val add : t -> time:float -> (unit -> unit) -> handle
+(** [add t ~time f] schedules [f] to fire at [time]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val pop : t -> (float * (unit -> unit)) option
+(** Remove and return the earliest live event, or [None] if empty. *)
+
+val peek_time : t -> float option
+(** Timestamp of the earliest live event without removing it. *)
+
+val size : t -> int
+(** Number of live (non-cancelled) events currently queued. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,45 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = Int64.of_int seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+(* 53 uniformly random mantissa bits in [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound =
+  assert (bound > 0.0);
+  unit_float t *. bound
+
+let int t bound =
+  assert (bound > 0);
+  (* Modulo bias is negligible for the small bounds used in simulation. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1)
+                  (Int64.of_int bound))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = unit_float t in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let uniform_in t ~lo ~hi =
+  assert (hi >= lo);
+  lo +. (unit_float t *. (hi -. lo))

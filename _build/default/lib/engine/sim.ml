@@ -1,0 +1,41 @@
+type t = { mutable now : float; queue : Event_queue.t; root_rng : Rng.t }
+type handle = Event_queue.handle
+
+let create ?(seed = 42) () =
+  { now = 0.0; queue = Event_queue.create (); root_rng = Rng.create seed }
+
+let now t = t.now
+let rng t = t.root_rng
+
+let schedule_at t ~time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %g is before now %g" time t.now);
+  Event_queue.add t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) f
+
+let cancel = Event_queue.cancel
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time -> (
+      match until with
+      | Some limit when time > limit ->
+        t.now <- limit;
+        continue := false
+      | _ -> (
+        match Event_queue.pop t.queue with
+        | None -> continue := false
+        | Some (time, action) ->
+          t.now <- time;
+          action ()))
+  done;
+  match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
+
+let pending_events t = Event_queue.size t.queue

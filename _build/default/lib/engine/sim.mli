@@ -1,0 +1,35 @@
+(** Discrete-event simulation driver.
+
+    A [t] owns the virtual clock and the event queue. Components schedule
+    callbacks; {!run} executes them in timestamp order, advancing the clock.
+    Time never flows backwards: scheduling in the past raises
+    [Invalid_argument]. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : ?seed:int -> unit -> t
+(** [create ?seed ()] makes a simulator whose root RNG is seeded with [seed]
+    (default 42). *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+(** Root RNG; components should {!Rng.split} it rather than share it. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay]. [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant of {!schedule}. [time] must be [>= now t]. *)
+
+val cancel : handle -> unit
+
+val run : ?until:float -> t -> unit
+(** Execute events in order until the queue is empty, or until the first
+    event strictly after [until] (the clock is then left at [until]). *)
+
+val pending_events : t -> int

@@ -1,0 +1,30 @@
+(** Streaming and batch summary statistics (Welford accumulator, percentiles,
+    normal-approximation confidence intervals). *)
+
+type t
+(** A streaming accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; [nan] when fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val of_list : float list -> t
+
+val percentile : float list -> p:float -> float
+(** Linear-interpolation percentile, [p] in [\[0, 100\]]. Raises
+    [Invalid_argument] on an empty list or out-of-range [p]. *)
+
+val confidence_interval95 : float list -> float * float
+(** Normal-approximation 95% CI of the mean: [(lo, hi)]. A singleton list
+    yields a degenerate interval at its value. *)
+
+val relative_error : predicted:float -> actual:float -> float
+(** |predicted - actual| / |actual|; [infinity] when [actual = 0] and
+    [predicted <> 0], [0] when both are zero. *)

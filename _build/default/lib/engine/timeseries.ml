@@ -1,0 +1,86 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable length : int;
+}
+
+let create () =
+  { times = Array.make 256 0.0; values = Array.make 256 0.0; length = 0 }
+
+let grow t =
+  let n = Array.length t.times in
+  let times = Array.make (2 * n) 0.0 and values = Array.make (2 * n) 0.0 in
+  Array.blit t.times 0 times 0 t.length;
+  Array.blit t.values 0 values 0 t.length;
+  t.times <- times;
+  t.values <- values
+
+let record t ~time v =
+  if t.length > 0 && time < t.times.(t.length - 1) then
+    invalid_arg "Timeseries.record: decreasing timestamp";
+  if t.length = Array.length t.times then grow t;
+  t.times.(t.length) <- time;
+  t.values.(t.length) <- v;
+  t.length <- t.length + 1
+
+let length t = t.length
+let is_empty t = t.length = 0
+
+let last t =
+  if t.length = 0 then None
+  else Some (t.times.(t.length - 1), t.values.(t.length - 1))
+
+let time_weighted_mean t ~from_ ~until =
+  if t.length = 0 || until <= from_ then nan
+  else begin
+    (* Treat the series as a right-continuous step function. *)
+    let total = ref 0.0 in
+    let value_at_start = ref t.values.(0) in
+    for i = 0 to t.length - 1 do
+      if t.times.(i) <= from_ then value_at_start := t.values.(i)
+    done;
+    let prev_t = ref from_ and prev_v = ref !value_at_start in
+    for i = 0 to t.length - 1 do
+      let ti = t.times.(i) in
+      if ti > from_ && ti <= until then begin
+        total := !total +. (!prev_v *. (ti -. !prev_t));
+        prev_t := ti;
+        prev_v := t.values.(i)
+      end
+      else if ti > until then ()
+    done;
+    total := !total +. (!prev_v *. (until -. !prev_t));
+    !total /. (until -. from_)
+  end
+
+let mean t =
+  if t.length = 0 then nan
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.length - 1 do
+      sum := !sum +. t.values.(i)
+    done;
+    !sum /. float_of_int t.length
+  end
+
+let extremum t ~from_ ~better =
+  let best = ref nan in
+  for i = 0 to t.length - 1 do
+    if t.times.(i) >= from_ then
+      if Float.is_nan !best || better t.values.(i) !best then
+        best := t.values.(i)
+  done;
+  !best
+
+let min_value t ?(from_ = neg_infinity) () = extremum t ~from_ ~better:( < )
+let max_value t ?(from_ = neg_infinity) () = extremum t ~from_ ~better:( > )
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.length - 1 do
+    acc := f !acc ~time:t.times.(i) ~value:t.values.(i)
+  done;
+  !acc
+
+let to_list t =
+  List.init t.length (fun i -> (t.times.(i), t.values.(i)))

@@ -1,0 +1,32 @@
+(** Append-only time series of [(time, value)] samples with time-weighted
+    aggregation, used for queue occupancy and delay traces. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> float -> unit
+(** Samples must be recorded with non-decreasing timestamps. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val last : t -> (float * float) option
+
+val time_weighted_mean : t -> from_:float -> until:float -> float
+(** Mean of the step function defined by the samples over [\[from_, until\]].
+    The value before the first sample is taken as the first sample's value.
+    Returns [nan] when the series is empty or the window is empty. *)
+
+val mean : t -> float
+(** Unweighted mean of the sample values ([nan] if empty). *)
+
+val min_value : t -> ?from_:float -> unit -> float
+(** Minimum sampled value at or after [from_] (default: whole series).
+    [nan] if no samples qualify. *)
+
+val max_value : t -> ?from_:float -> unit -> float
+
+val fold : t -> init:'a -> f:('a -> time:float -> value:float -> 'a) -> 'a
+
+val to_list : t -> (float * float) list

@@ -1,0 +1,13 @@
+let mss = 1500
+let bits_per_byte = 8.0
+let mbps x = x *. 1e6
+let bps_to_mbps x = x /. 1e6
+let bytes_per_sec ~bits_per_sec = bits_per_sec /. bits_per_byte
+let bits_per_sec_of_bytes ~bytes_per_sec = bytes_per_sec *. bits_per_byte
+let ms x = x /. 1e3
+let sec_to_ms x = x *. 1e3
+let bdp_bytes ~rate_bps ~rtt = rate_bps *. rtt /. bits_per_byte
+let bdp_packets ~rate_bps ~rtt = bdp_bytes ~rate_bps ~rtt /. float_of_int mss
+
+let transmission_time ~rate_bps ~bytes =
+  float_of_int bytes *. bits_per_byte /. rate_bps

@@ -1,0 +1,40 @@
+(** Unit conversions used throughout the simulator and models.
+
+    Conventions:
+    - time is in seconds (float),
+    - data volumes are in bytes (float where fractional amounts arise in the
+      fluid models, int for packet counts),
+    - rates are in bits per second unless a function name says otherwise. *)
+
+val mss : int
+(** Default maximum segment size in bytes (payload granularity of the
+    packet-level simulator). *)
+
+val bits_per_byte : float
+
+val mbps : float -> float
+(** [mbps x] is [x] megabits per second expressed in bits per second. *)
+
+val bps_to_mbps : float -> float
+(** Inverse of {!mbps}. *)
+
+val bytes_per_sec : bits_per_sec:float -> float
+(** Convert a rate in bits/s to bytes/s. *)
+
+val bits_per_sec_of_bytes : bytes_per_sec:float -> float
+(** Convert a rate in bytes/s to bits/s. *)
+
+val ms : float -> float
+(** [ms x] is [x] milliseconds in seconds. *)
+
+val sec_to_ms : float -> float
+
+val bdp_bytes : rate_bps:float -> rtt:float -> float
+(** Bandwidth-delay product in bytes for a link of [rate_bps] bits/s and a
+    round-trip time of [rtt] seconds. *)
+
+val bdp_packets : rate_bps:float -> rtt:float -> float
+(** {!bdp_bytes} expressed in MSS-sized packets (fractional). *)
+
+val transmission_time : rate_bps:float -> bytes:int -> float
+(** Serialization delay of [bytes] on a link of [rate_bps] bits/s. *)

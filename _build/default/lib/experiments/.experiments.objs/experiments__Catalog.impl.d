@@ -1,0 +1,1 @@
+lib/experiments/catalog.ml: Common Ext_internals Ext_red Ext_short_flows Ext_two_flow_game Ext_utility Fig01 Fig03 Fig04 Fig05 Fig06 Fig07 Fig08 Fig09 Fig10 Fig11 Fig12 List Table1

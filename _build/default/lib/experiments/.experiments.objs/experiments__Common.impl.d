@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Filename Float Format Fun List Printf Sim_engine String Sys

@@ -1,0 +1,1 @@
+lib/experiments/ext_internals.ml: Ccmodel Common List Printf Sim_engine Tcpflow

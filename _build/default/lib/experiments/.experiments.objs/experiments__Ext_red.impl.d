@@ -1,0 +1,1 @@
+lib/experiments/ext_red.ml: Common List Printf Runs Sim_engine Tcpflow

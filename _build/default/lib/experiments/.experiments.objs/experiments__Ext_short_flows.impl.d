@@ -1,0 +1,1 @@
+lib/experiments/ext_short_flows.ml: Array Cca Ccmodel Common List Netsim Sim_engine Tcpflow

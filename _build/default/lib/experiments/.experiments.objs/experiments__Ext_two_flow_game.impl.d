@@ -1,0 +1,1 @@
+lib/experiments/ext_two_flow_game.ml: Array Ccgame Common Hashtbl List Printf Runs Sim_engine Tcpflow

@@ -1,0 +1,1 @@
+lib/experiments/ext_utility.ml: Ccgame Common Hashtbl List Printf Runs Sim_engine String

@@ -1,0 +1,1 @@
+lib/experiments/fig03.ml: Ccmodel Common List Printf Runs Sim_engine

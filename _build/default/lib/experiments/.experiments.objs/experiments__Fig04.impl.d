@@ -1,0 +1,1 @@
+lib/experiments/fig04.ml: Ccmodel Common Float List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/fig05.ml: Ccmodel Common List Runs Sim_engine

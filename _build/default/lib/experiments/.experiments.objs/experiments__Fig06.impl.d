@@ -1,0 +1,1 @@
+lib/experiments/fig06.ml: Ccmodel Common List Printf Sim_engine

@@ -1,0 +1,1 @@
+lib/experiments/fig07.ml: Common List Printf Runs Sim_engine

@@ -1,0 +1,1 @@
+lib/experiments/fig08.ml: Common Float List Printf Runs Sim_engine

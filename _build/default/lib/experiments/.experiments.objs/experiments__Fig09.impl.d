@@ -1,0 +1,1 @@
+lib/experiments/fig09.ml: Ccmodel Common Float List Ne_search Printf Sim_engine String

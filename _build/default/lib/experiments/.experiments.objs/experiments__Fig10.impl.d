@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Ccgame Ccmodel Common Float Hashtbl List Printf Runs Sim_engine String Tcpflow

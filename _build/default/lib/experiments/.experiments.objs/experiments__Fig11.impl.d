@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Ccmodel Common Fig09 Float List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Ccmodel Common List Printf Runs

@@ -1,0 +1,1 @@
+lib/experiments/ne_search.ml: Ccgame Fluidsim Hashtbl List Runs

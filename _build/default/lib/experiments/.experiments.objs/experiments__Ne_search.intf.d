@@ -1,0 +1,1 @@
+lib/experiments/ne_search.mli: Common Fluidsim

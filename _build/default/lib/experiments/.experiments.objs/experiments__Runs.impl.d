@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Common List Option Sim_engine Tcpflow

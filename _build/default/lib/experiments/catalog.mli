@@ -1,0 +1,16 @@
+(** The experiment registry: every paper artifact (table/figure) mapped to
+    its driver, for the CLI and the bench harness. *)
+
+type entry = {
+  id : string;
+  summary : string;
+  run : Common.mode -> Common.table;
+}
+
+val all : entry list
+(** In paper order: table1, fig01, fig03..fig12, then the extensions
+    (ext-red, ext-utility, ext-short, ext-internals, ext-2flow) motivated
+    by the paper's discussion sections and its ref [21]. *)
+
+val find : string -> entry option
+val ids : unit -> string list

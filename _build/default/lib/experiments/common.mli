@@ -1,0 +1,49 @@
+(** Shared infrastructure for the per-figure experiment drivers.
+
+    Every driver produces a {!table} — the textual equivalent of one paper
+    figure/table — and can run in two modes: {!Quick} (coarser grids,
+    shorter simulated durations, fewer trials; minutes for the whole suite)
+    and {!Full} (paper-scale grids and 2-minute runs). *)
+
+type mode = Quick | Full
+
+type table = {
+  id : string;  (** e.g. ["fig03"]. *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** Caveats/observations appended when printing. *)
+}
+
+val print_table : Format.formatter -> table -> unit
+
+val csv_of_table : table -> string
+
+val write_csv : dir:string -> table -> string
+(** Writes [<dir>/<id>.csv] (creating [dir] if needed); returns the path. *)
+
+val cell : float -> string
+(** Format a float for a table cell ("-" for [nan]). *)
+
+val cell_int : int -> string
+
+val mbps : float -> float
+(** bits/s → Mbps, for presentation. *)
+
+val mean : float list -> float
+
+val duration : mode -> float
+(** Simulated seconds per run: 90 (quick) / 120 (full, as in the paper).
+    Shorter runs systematically under-measure BBR, whose bandwidth filter
+    needs tens of seconds to recover from CUBIC's slow-start overshoot. *)
+
+val warmup : mode -> float
+
+val trials : mode -> int
+(** Seeds per configuration: 1 (quick) / 3 (full). *)
+
+val buffer_grid : mode -> max:float -> float list
+(** Buffer sizes in BDP for sweeps up to [max]: coarse in quick mode. *)
+
+val count_grid : mode -> n:int -> int list
+(** BBR-count grids 0..n: every value in full mode, strided in quick mode. *)

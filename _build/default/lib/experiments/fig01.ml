@@ -1,0 +1,49 @@
+(** Figure 1: Ware et al.'s prediction vs BBR's actual bandwidth share.
+    1 CUBIC vs 1 BBR, 50 Mbps, 40 ms, buffers up to 50 BDP. *)
+
+let mbps = 50.0
+let rtt_ms = 40.0
+
+type point = { buffer_bdp : float; ware_bps : float; actual_bps : float }
+
+let points mode =
+  List.map
+    (fun buffer_bdp ->
+      let params =
+        Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms
+      in
+      let ware_bps =
+        Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
+          ~duration:(Common.duration mode)
+      in
+      let summary =
+        Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
+          ~n_other:1 ()
+      in
+      { buffer_bdp; ware_bps; actual_bps = summary.per_flow_other_bps })
+    (Common.buffer_grid mode ~max:50.0)
+
+let run mode : Common.table =
+  let points = points mode in
+  {
+    Common.id = "fig01";
+    title =
+      Printf.sprintf
+        "BBR bandwidth share, Ware et al. vs simulated (%g Mbps, %g ms)" mbps
+        rtt_ms;
+    header = [ "buffer(BDP)"; "ware(Mbps)"; "actual_bbr(Mbps)" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Common.cell p.buffer_bdp;
+            Common.cell (Common.mbps p.ware_bps);
+            Common.cell (Common.mbps p.actual_bps);
+          ])
+        points;
+    notes =
+      [
+        "Paper finding: Ware et al. over-predicts BBR's share by >=30% in \
+         shallow-to-moderate buffers.";
+      ];
+  }

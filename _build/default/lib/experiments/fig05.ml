@@ -1,0 +1,101 @@
+(** Figure 5(a-d): diminishing returns for BBR. 10 and 20 flows on a
+    100 Mbps link (40 ms), buffers of 3 and 10 BDP; the share of BBR flows
+    varies from 0 to all, and BBR's average per-flow throughput should fall
+    inside the model's region and decrease as BBR flows multiply. *)
+
+let mbps = 100.0
+let rtt_ms = 40.0
+
+type point = {
+  n_total : int;
+  buffer_bdp : float;
+  n_bbr : int;
+  actual_bbr_bps : float;
+  actual_cubic_bps : float;
+  sync_bound_bps : float;
+  desync_bound_bps : float;
+  fair_share_bps : float;
+}
+
+let panels = [ (10, 3.0); (20, 3.0); (10, 10.0); (20, 10.0) ]
+
+let points mode =
+  List.concat_map
+    (fun (n_total, buffer_bdp) ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let fair_share_bps =
+        Sim_engine.Units.mbps mbps /. float_of_int n_total
+      in
+      List.filter_map
+        (fun n_bbr ->
+          if n_bbr = 0 then None
+          else begin
+            let n_cubic = n_total - n_bbr in
+            let interval =
+              Ccmodel.Multi_flow.per_flow_bbr_interval params ~n_cubic ~n_bbr
+            in
+            let summary =
+              Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic ~other:"bbr"
+                ~n_other:n_bbr ()
+            in
+            Some
+              {
+                n_total;
+                buffer_bdp;
+                n_bbr;
+                actual_bbr_bps = summary.per_flow_other_bps;
+                actual_cubic_bps = summary.per_flow_cubic_bps;
+                sync_bound_bps = interval.lower_bbr_per_flow_bps;
+                desync_bound_bps = interval.upper_bbr_per_flow_bps;
+                fair_share_bps;
+              }
+          end)
+        (Common.count_grid mode ~n:n_total))
+    panels
+
+let run mode : Common.table =
+  let points = points mode in
+  (* Diminishing returns: within each panel, BBR's per-flow throughput at
+     the largest BBR count should not exceed that at the smallest. *)
+  let diminishing =
+    List.for_all
+      (fun (n_total, buffer_bdp) ->
+        let panel =
+          List.filter
+            (fun p -> p.n_total = n_total && p.buffer_bdp = buffer_bdp)
+            points
+        in
+        match (panel, List.rev panel) with
+        | first :: _, last :: _ -> last.actual_bbr_bps <= first.actual_bbr_bps
+        | _ -> true)
+      panels
+  in
+  {
+    Common.id = "fig05";
+    title = "Diminishing returns for BBR as its share of flows grows";
+    header =
+      [ "flows"; "buffer(BDP)"; "#bbr"; "bbr_perflow"; "cubic_perflow";
+        "synch_bound"; "desynch_bound"; "fair_share" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Common.cell_int p.n_total;
+            Common.cell p.buffer_bdp;
+            Common.cell_int p.n_bbr;
+            Common.cell (Common.mbps p.actual_bbr_bps);
+            Common.cell (Common.mbps p.actual_cubic_bps);
+            Common.cell (Common.mbps p.sync_bound_bps);
+            Common.cell (Common.mbps p.desync_bound_bps);
+            Common.cell (Common.mbps p.fair_share_bps);
+          ])
+        points;
+    notes =
+      [
+        (if diminishing then
+           "BBR per-flow throughput decreases from the smallest to the \
+            largest BBR share in every panel (the paper's key takeaway)"
+         else
+           "WARNING: diminishing-returns trend violated in some panel");
+      ];
+  }

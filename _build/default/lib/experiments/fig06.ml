@@ -1,0 +1,63 @@
+(** Figure 6: the Nash-Equilibrium geometry (the paper's schematic, realized
+    with the model). For a 10-flow network we tabulate the model's BBR
+    per-flow bandwidth against the fair-share line and report the predicted
+    crossing point (the NE). *)
+
+let mbps = 100.0
+let rtt_ms = 40.0
+let buffer_bdp = 5.0
+let n = 10
+
+type point = {
+  n_bbr : int;
+  bbr_per_flow_sync_bps : float;
+  bbr_per_flow_desync_bps : float;
+  fair_share_bps : float;
+}
+
+let points () =
+  let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+  let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
+  List.map
+    (fun n_bbr ->
+      let p sync =
+        (Ccmodel.Multi_flow.predict params ~n_cubic:(n - n_bbr) ~n_bbr ~sync)
+          .per_flow_bbr_bps
+      in
+      {
+        n_bbr;
+        bbr_per_flow_sync_bps = p Ccmodel.Multi_flow.Synchronized;
+        bbr_per_flow_desync_bps = p Ccmodel.Multi_flow.Desynchronized;
+        fair_share_bps;
+      })
+    (List.init n (fun i -> i + 1))
+
+let run (_mode : Common.mode) : Common.table =
+  let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+  let region = Ccmodel.Ne.nash_region params ~n in
+  {
+    Common.id = "fig06";
+    title =
+      Printf.sprintf
+        "NE geometry: model BBR per-flow bandwidth vs fair share (%d flows, \
+         %g Mbps, %g BDP)"
+        n mbps buffer_bdp;
+    header = [ "#bbr"; "bbr_perflow_synch"; "bbr_perflow_desynch"; "fair_share" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Common.cell_int p.n_bbr;
+            Common.cell (Common.mbps p.bbr_per_flow_sync_bps);
+            Common.cell (Common.mbps p.bbr_per_flow_desync_bps);
+            Common.cell (Common.mbps p.fair_share_bps);
+          ])
+        (points ());
+    notes =
+      [
+        Printf.sprintf
+          "predicted NE (point C of the paper's Fig. 6): %.1f CUBIC flows \
+           (synch bound) to %.1f (desynch bound)"
+          region.cubic_at_ne_sync region.cubic_at_ne_desync;
+      ];
+  }

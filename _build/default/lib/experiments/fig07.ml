@@ -1,0 +1,84 @@
+(** Figure 7: do other congestion-control algorithms also claim a
+    disproportionate bandwidth share against CUBIC? 10 flows, 100 Mbps,
+    2 BDP buffer; X in {BBR, BBRv2, Copa, PCC Vivace}, varying the number of
+    X flows from 0 to 10. *)
+
+let mbps = 100.0
+let rtt_ms = 40.0
+let buffer_bdp = 2.0
+let n = 10
+let algorithms = [ "bbr"; "bbr2"; "copa"; "vivace" ]
+
+type point = {
+  algo : string;
+  n_other : int;
+  other_per_flow_bps : float;
+  cubic_per_flow_bps : float;
+  fair_share_bps : float;
+}
+
+let points mode =
+  let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
+  List.concat_map
+    (fun algo ->
+      List.filter_map
+        (fun n_other ->
+          if n_other = 0 then None
+          else begin
+            let summary =
+              Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp
+                ~n_cubic:(n - n_other) ~other:algo ~n_other ()
+            in
+            Some
+              {
+                algo;
+                n_other;
+                other_per_flow_bps = summary.per_flow_other_bps;
+                cubic_per_flow_bps = summary.per_flow_cubic_bps;
+                fair_share_bps;
+              }
+          end)
+        (Common.count_grid mode ~n))
+    algorithms
+
+let disproportionate points algo =
+  (* The paper's criterion for a NE to exist (property (i) of 4.2): some
+     mix where the per-flow X throughput exceeds the fair share. *)
+  List.exists
+    (fun p ->
+      p.algo = algo
+      && p.n_other < n
+      && p.other_per_flow_bps > p.fair_share_bps *. 1.05)
+    points
+
+let run mode : Common.table =
+  let points = points mode in
+  {
+    Common.id = "fig07";
+    title =
+      "Per-flow throughput of BBR/BBRv2/Copa/Vivace vs CUBIC (10 flows, 2 \
+       BDP)";
+    header =
+      [ "algo"; "#algo"; "algo_perflow"; "cubic_perflow"; "fair_share" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            p.algo;
+            Common.cell_int p.n_other;
+            Common.cell (Common.mbps p.other_per_flow_bps);
+            Common.cell (Common.mbps p.cubic_per_flow_bps);
+            Common.cell (Common.mbps p.fair_share_bps);
+          ])
+        points;
+    notes =
+      List.map
+        (fun algo ->
+          Printf.sprintf "%s: takes a disproportionate share at some mix: %b%s"
+            algo
+            (disproportionate points algo)
+            (match algo with
+            | "copa" -> " (paper expects false: no NE incentive to adopt)"
+            | _ -> " (paper expects true: an NE distribution exists)"))
+        algorithms;
+  }

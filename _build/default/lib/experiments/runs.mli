@@ -1,0 +1,43 @@
+(** Convenience wrappers around {!Tcpflow.Experiment} used by several
+    figures: homogeneous-RTT mixes of CUBIC and one other CCA, averaged over
+    trials. *)
+
+type summary = {
+  per_flow_cubic_bps : float;  (** Mean per-flow CUBIC goodput; nan if none. *)
+  per_flow_other_bps : float;  (** Same for the non-CUBIC CCA. *)
+  aggregate_other_bps : float;
+  queuing_delay : float;  (** Seconds, averaged over trials. *)
+  utilization : float;
+}
+
+val mix :
+  ?duration:float ->
+  ?warmup:float ->
+  ?aqm:Tcpflow.Experiment.aqm ->
+  mode:Common.mode ->
+  mbps:float ->
+  rtt_ms:float ->
+  buffer_bdp:float ->
+  n_cubic:int ->
+  other:string ->
+  n_other:int ->
+  ?base_seed:int ->
+  unit ->
+  summary
+(** Runs [trials mode] packet-level simulations of [n_cubic] CUBIC flows vs
+    [n_other] flows of CCA [other] and averages the results. *)
+
+val config :
+  ?duration:float ->
+  ?warmup:float ->
+  ?aqm:Tcpflow.Experiment.aqm ->
+  mode:Common.mode ->
+  mbps:float ->
+  rtt_ms:float ->
+  buffer_bdp:float ->
+  flows:Tcpflow.Experiment.flow_config list ->
+  seed:int ->
+  unit ->
+  Tcpflow.Experiment.config
+(** The underlying config builder (exposed for bespoke experiments such as
+    the multi-RTT runs). [duration]/[warmup] default to the mode's values. *)

@@ -1,0 +1,13 @@
+(** Table 1: the model's notation glossary. *)
+
+let run (_mode : Common.mode) : Common.table =
+  {
+    Common.id = "table1";
+    title = "Model notation (paper Table 1)";
+    header = [ "Symbol"; "Meaning" ];
+    rows =
+      List.map
+        (fun { Ccmodel.Notation.symbol; meaning } -> [ symbol; meaning ])
+        Ccmodel.Notation.table;
+    notes = [];
+  }

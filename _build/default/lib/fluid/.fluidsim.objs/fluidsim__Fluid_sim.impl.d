@@ -1,0 +1,1 @@
+lib/fluid/fluid_sim.ml: Array Float List Option Sim_engine

@@ -1,0 +1,1 @@
+lib/fluid/fluid_sim.mli:

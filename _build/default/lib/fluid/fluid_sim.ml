@@ -1,0 +1,380 @@
+type kind = Cubic | Bbr | Bbr2
+
+type flow_spec = { kind : kind; rtt : float }
+
+type sync_mode = Synchronized | Desynchronized | Stochastic of float
+
+type config = {
+  capacity_bps : float;
+  buffer_bytes : float;
+  flows : flow_spec list;
+  sync : sync_mode;
+  duration : float;
+  warmup : float;
+  dt : float;
+  seed : int;
+  trace_period : float;  (* 0. = no trace *)
+}
+
+let mss = float_of_int Sim_engine.Units.mss
+
+let default_config =
+  let capacity_bps = Sim_engine.Units.mbps 100.0 in
+  let rtt = 0.040 in
+  {
+    capacity_bps;
+    buffer_bytes = 10.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
+    flows = [ { kind = Cubic; rtt }; { kind = Bbr; rtt } ];
+    sync = Synchronized;
+    duration = 60.0;
+    warmup = 20.0;
+    dt = 0.002;
+    seed = 1;
+    trace_period = 0.0;
+  }
+
+type trace_sample = {
+  t_time : float;
+  t_queue : float;
+  t_w : float array;
+  t_btlbw : float array;
+  t_rtprop : float array;
+}
+
+type result = {
+  per_flow_bps : float array;
+  mean_queue_bytes : float;
+  mean_queuing_delay : float;
+  loss_events : int;
+  flow_kinds : kind array;
+  trace : trace_sample list;
+}
+
+(* Per-flow mutable state. CUBIC fields are unused for BBR flows and vice
+   versa; a single record keeps the hot loop allocation-free. *)
+type flow_state = {
+  spec : flow_spec;
+  mutable w : float;  (* current window / in-flight target, bytes *)
+  (* CUBIC *)
+  mutable in_slow_start : bool;
+  mutable w_max : float;  (* bytes *)
+  mutable epoch : float;  (* time of last back-off *)
+  mutable k : float;  (* cubic K, seconds *)
+  (* BBR *)
+  mutable btlbw : float;  (* bytes/s, windowed max *)
+  mutable btlbw_entries : (float * float) list;  (* (time, rate) deque *)
+  mutable last_bw_update : float;
+  mutable w_cur : float;  (* BBR's actual in-flight (ramps at pacing rate) *)
+  mutable filled_pipe : bool;
+  mutable stall_rounds : int;  (* rounds without >=25% btlbw growth *)
+  mutable rtprop : float;
+  mutable rtprop_stamp : float;
+  mutable probing_until : float;  (* > now while in ProbeRTT *)
+  mutable probe_min_rtt : float;  (* min RTT sampled during current probe *)
+  (* BBRv2 *)
+  mutable inflight_hi : float;
+  mutable last_loss_time : float;
+  mutable last_hi_growth : float;
+  mutable last_backoff : float;  (* for at-most-one back-off per RTT *)
+  (* accounting *)
+  mutable delivered : float;  (* bytes in measurement window *)
+}
+
+let cubic_c = 0.4 (* MSS/s^3 *)
+let cubic_beta = 0.3
+let probe_rtt_interval = 10.0
+let probe_rtt_duration = 0.2
+
+let cubic_window state ~now =
+  let t = now -. state.epoch in
+  let w_mss =
+    (cubic_c *. ((t -. state.k) ** 3.0)) +. (state.w_max /. mss)
+  in
+  Float.max (2.0 *. mss) (w_mss *. mss)
+
+let cubic_backoff state ~now =
+  state.in_slow_start <- false;
+  state.w_max <- state.w;
+  state.k <- Float.cbrt (state.w_max /. mss *. cubic_beta /. cubic_c);
+  state.epoch <- now;
+  state.w <- Float.max (2.0 *. mss) (0.7 *. state.w)
+
+(* Windowed max of the achieved rate over roughly 10 (inflated) RTTs,
+   implemented as a monotone deque on time. *)
+let update_btlbw state ~now ~rate ~window =
+  let entries =
+    List.filter (fun (t, v) -> now -. t <= window && v > rate)
+      state.btlbw_entries
+  in
+  state.btlbw_entries <- entries @ [ (now, rate) ];
+  state.btlbw <-
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0
+      state.btlbw_entries
+
+(* Fluid queue fixed point: find q >= 0 with sum_i w_i/(rtt_i + q/C) = C,
+   or q = 0 when the link is under-utilized. *)
+let solve_queue ~capacity flows =
+  let offered q =
+    Array.fold_left
+      (fun acc f -> acc +. (f.w /. (f.spec.rtt +. (q /. capacity))))
+      0.0 flows
+  in
+  if offered 0.0 <= capacity then 0.0
+  else begin
+    let lo = ref 0.0 and hi = ref (mss *. 16.0) in
+    while offered !hi > capacity do
+      hi := !hi *. 2.0
+    done;
+    for _ = 1 to 50 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if offered mid > capacity then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let is_cubic f = f.spec.kind = Cubic
+let is_bbr_like f = f.spec.kind = Bbr || f.spec.kind = Bbr2
+
+let run config =
+  if config.dt <= 0.0 then invalid_arg "Fluid_sim.run: dt";
+  if config.warmup >= config.duration then
+    invalid_arg "Fluid_sim.run: warmup must precede duration";
+  let rng = Sim_engine.Rng.create config.seed in
+  let capacity = config.capacity_bps /. 8.0 in
+  let n = List.length config.flows in
+  if n = 0 then invalid_arg "Fluid_sim.run: no flows";
+  let fair = capacity /. float_of_int n in
+  let flows =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           (* All flows start together, as in the paper's experiments; the
+              jitter only desynchronizes slow-start exits slightly. *)
+           let jitter = Sim_engine.Rng.uniform_in rng ~lo:0.8 ~hi:1.2 in
+           let w0 = 10.0 *. mss *. jitter in
+           {
+             spec;
+             w = w0;
+             in_slow_start = true;
+             w_max = w0;
+             epoch = -.Sim_engine.Rng.float rng 1.0;
+             k = 0.0;
+             btlbw = w0 /. spec.rtt;
+             btlbw_entries = [];
+             last_bw_update = neg_infinity;
+             w_cur = w0;
+             filled_pipe = false;
+             stall_rounds = 0;
+             rtprop = spec.rtt;
+             rtprop_stamp = Sim_engine.Rng.float rng 2.0;
+             probing_until = 0.0;
+             probe_min_rtt = infinity;
+             inflight_hi = infinity;
+             last_loss_time = neg_infinity;
+             last_hi_growth = 0.0;
+             last_backoff = neg_infinity;
+             delivered = 0.0;
+           })
+         config.flows)
+  in
+  let loss_events = ref 0 in
+  let queue_integral = ref 0.0 and queue_time = ref 0.0 in
+  let prev_qdelay = ref 0.0 in
+  let trace = ref [] in
+  let next_trace = ref 0.0 in
+  let steps = int_of_float (Float.round (config.duration /. config.dt)) in
+  for step = 0 to steps - 1 do
+    let now = float_of_int step *. config.dt in
+    (* 1. Desired in-flight per flow. *)
+    Array.iter
+      (fun f ->
+        match f.spec.kind with
+        | Cubic ->
+          if f.in_slow_start then
+            (* Doubling per (inflated) RTT until the first loss. *)
+            f.w <-
+              f.w
+              *. Float.exp2 (config.dt /. (f.spec.rtt +. !prev_qdelay))
+          else f.w <- cubic_window f ~now
+        | Bbr | Bbr2 ->
+          if now < f.probing_until then f.w <- 4.0 *. mss
+          else begin
+            let cap = 2.0 *. f.btlbw *. f.rtprop in
+            let cap =
+              if f.spec.kind = Bbr2 then Float.min cap f.inflight_hi else cap
+            in
+            (* The in-flight cap applies immediately (it is a cwnd bound);
+               growth toward a raised cap is limited by the pacing surplus
+               of the ProbeBW up-phases (~0.25 x btlbw). *)
+            if f.w_cur > cap then f.w_cur <- cap
+            else
+              f.w_cur <-
+                Float.min cap (f.w_cur +. (0.25 *. f.btlbw *. config.dt));
+            f.w <- Float.max (4.0 *. mss) f.w_cur
+          end)
+      flows;
+    (* 2. Queue fixed point. When the fixed point exceeds the buffer, the
+       queue physically saturates at B and the excess is dropped: rates are
+       the drop-tail shares at q = B, and eligible flows register one loss
+       event per (inflated) RTT. *)
+    let q_star = solve_queue ~capacity flows in
+    let overflowing = q_star > config.buffer_bytes in
+    let q = if overflowing then config.buffer_bytes else q_star in
+    let qdelay = q /. capacity in
+    prev_qdelay := qdelay;
+    let rate_of =
+      if overflowing then begin
+        let demand f = f.w /. (f.spec.rtt +. qdelay) in
+        let total = Array.fold_left (fun acc f -> acc +. demand f) 0.0 flows in
+        fun f -> capacity *. demand f /. total
+      end
+      else fun f -> f.w /. (f.spec.rtt +. qdelay)
+    in
+    if overflowing then begin
+      incr loss_events;
+      let eligible f =
+        now -. f.last_backoff > f.spec.rtt +. qdelay
+      in
+      let cubics =
+        Array.of_list
+          (List.filter (fun f -> is_cubic f && eligible f)
+             (Array.to_list flows))
+      in
+      let backoff f =
+        cubic_backoff f ~now;
+        f.last_backoff <- now
+      in
+      (match config.sync with
+      | Synchronized -> Array.iter backoff cubics
+      | Desynchronized ->
+        let victim =
+          Array.fold_left
+            (fun best f ->
+              match best with
+              | None -> Some f
+              | Some b -> if f.w > b.w then Some f else best)
+            None cubics
+        in
+        Option.iter backoff victim
+      | Stochastic p ->
+        let any = ref false in
+        Array.iter
+          (fun f ->
+            if Sim_engine.Rng.float rng 1.0 < p then begin
+              any := true;
+              backoff f
+            end)
+          cubics;
+        if (not !any) && Array.length cubics > 0 then begin
+          let victim =
+            Array.fold_left
+              (fun best f ->
+                match best with
+                | None -> Some f
+                | Some b -> if f.w > b.w then Some f else best)
+              None cubics
+          in
+          Option.iter backoff victim
+        end);
+      (* BBRv2 reacts to the shared loss round. *)
+      Array.iter
+        (fun f ->
+          if f.spec.kind = Bbr2 && eligible f then begin
+            f.inflight_hi <-
+              Float.max (4.0 *. mss) (0.7 *. Float.min f.w f.inflight_hi);
+            f.last_loss_time <- now;
+            f.last_backoff <- now
+          end)
+        flows
+    end;
+    queue_integral := !queue_integral +. (q *. config.dt);
+    queue_time := !queue_time +. config.dt;
+    if config.trace_period > 0.0 && now >= !next_trace then begin
+      next_trace := now +. config.trace_period;
+      trace :=
+        {
+          t_time = now;
+          t_queue = q;
+          t_w = Array.map (fun f -> f.w) flows;
+          t_btlbw = Array.map (fun f -> f.btlbw) flows;
+          t_rtprop = Array.map (fun f -> f.rtprop) flows;
+        }
+        :: !trace
+    end;
+    (* 4. Per-flow throughput and accounting. *)
+    Array.iter
+      (fun f ->
+        let rate = rate_of f in
+        if now >= config.warmup then f.delivered <- f.delivered +. (rate *. config.dt);
+        if is_bbr_like f then begin
+          let inflated_rtt = f.spec.rtt +. qdelay in
+          (* Bandwidth samples arrive once per (inflated) round trip, as in
+             the real delivery-rate estimator; the in-flight ramp above is
+             what bounds the feedback loop to physical timescales. *)
+          if now -. f.last_bw_update >= inflated_rtt then begin
+            f.last_bw_update <- now;
+            update_btlbw f ~now ~rate ~window:(10.0 *. inflated_rtt)
+          end;
+          (* ProbeRTT state machine. *)
+          if now < f.probing_until then begin
+            f.probe_min_rtt <- Float.min f.probe_min_rtt inflated_rtt;
+            if now +. config.dt >= f.probing_until then begin
+              f.rtprop <- f.probe_min_rtt;
+              f.rtprop_stamp <- now
+            end
+          end
+          else if inflated_rtt < f.rtprop then begin
+            f.rtprop <- inflated_rtt;
+            f.rtprop_stamp <- now
+          end
+          else if now -. f.rtprop_stamp > probe_rtt_interval then begin
+            f.probing_until <- now +. probe_rtt_duration;
+            f.probe_min_rtt <- infinity;
+            f.rtprop_stamp <- now
+          end;
+          (* BBRv2 inflight_hi recovery: multiplicative growth every 2 s of
+             loss-free cruising. *)
+          if
+            f.spec.kind = Bbr2
+            && f.inflight_hi < infinity
+            && now -. f.last_loss_time > 2.0
+            && now -. f.last_hi_growth > 2.0
+          then begin
+            f.inflight_hi <-
+              Float.min
+                (f.inflight_hi *. 1.25)
+                (2.0 *. Float.max f.btlbw fair *. f.rtprop);
+            f.last_hi_growth <- now
+          end
+        end)
+      flows
+  done;
+  let window = config.duration -. config.warmup in
+  {
+    per_flow_bps =
+      Array.map (fun f -> f.delivered /. window *. 8.0) flows;
+    mean_queue_bytes = !queue_integral /. !queue_time;
+    mean_queuing_delay = !queue_integral /. !queue_time /. capacity;
+    loss_events = !loss_events;
+    flow_kinds = Array.map (fun f -> f.spec.kind) flows;
+    trace = List.rev !trace;
+  }
+
+let mean_bps_of_kind result kind =
+  let values = ref [] and count = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if k = kind then begin
+        values := result.per_flow_bps.(i) :: !values;
+        incr count
+      end)
+    result.flow_kinds;
+  if !count = 0 then nan
+  else List.fold_left ( +. ) 0.0 !values /. float_of_int !count
+
+let aggregate_bps_of_kind result kind =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i k -> if k = kind then total := !total +. result.per_flow_bps.(i))
+    result.flow_kinds;
+  !total

@@ -1,0 +1,1 @@
+lib/game/grouped_game.mli:

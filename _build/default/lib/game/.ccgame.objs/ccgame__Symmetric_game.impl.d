@@ -1,0 +1,1 @@
+lib/game/symmetric_game.ml: Array Fun List

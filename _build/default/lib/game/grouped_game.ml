@@ -1,0 +1,57 @@
+type payoffs = {
+  u_cubic : group:int -> counts:int array -> float;
+  u_bbr : group:int -> counts:int array -> float;
+}
+
+let with_delta counts ~group ~delta =
+  let copy = Array.copy counts in
+  copy.(group) <- copy.(group) + delta;
+  copy
+
+let is_equilibrium ?(epsilon = 0.0) ~sizes payoffs counts =
+  if Array.length sizes <> Array.length counts then
+    invalid_arg "Grouped_game.is_equilibrium: length mismatch";
+  if epsilon < 0.0 then invalid_arg "Grouped_game.is_equilibrium: epsilon";
+  let no_gain current target = current >= target *. (1.0 -. epsilon) in
+  Array.for_all Fun.id
+    (Array.mapi
+       (fun g k ->
+         if k < 0 || k > sizes.(g) then
+           invalid_arg "Grouped_game.is_equilibrium: count out of range";
+         let cubic_stays =
+           k = sizes.(g)
+           || no_gain
+                (payoffs.u_cubic ~group:g ~counts)
+                (payoffs.u_bbr ~group:g
+                   ~counts:(with_delta counts ~group:g ~delta:1))
+         in
+         let bbr_stays =
+           k = 0
+           || no_gain
+                (payoffs.u_bbr ~group:g ~counts)
+                (payoffs.u_cubic ~group:g
+                   ~counts:(with_delta counts ~group:g ~delta:(-1)))
+         in
+         cubic_stays && bbr_stays)
+       counts)
+
+let equilibria ?epsilon ~sizes payoffs =
+  let n_groups = Array.length sizes in
+  let counts = Array.make n_groups 0 in
+  let found = ref [] in
+  let rec enumerate g =
+    if g = n_groups then begin
+      if is_equilibrium ?epsilon ~sizes payoffs counts then
+        found := Array.copy counts :: !found
+    end
+    else
+      for k = 0 to sizes.(g) do
+        counts.(g) <- k;
+        enumerate (g + 1)
+      done
+  in
+  enumerate 0;
+  List.rev !found
+
+let total_cubic ~sizes counts =
+  Array.fold_left ( + ) 0 sizes - Array.fold_left ( + ) 0 counts

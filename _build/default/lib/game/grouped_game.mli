@@ -1,0 +1,29 @@
+(** Symmetric game with RTT groups, for the paper's multi-RTT experiment
+    (§4.5, Fig. 10): flows are identical {e within} a group (same RTT), so a
+    strategy profile reduces to one BBR count per group.
+
+    For 3 groups of 10 flows this turns the nominal 2³⁰ profiles into 11³
+    distributions, which is what makes the paper's exhaustive NE search
+    feasible. *)
+
+type payoffs = {
+  u_cubic : group:int -> counts:int array -> float;
+      (** Per-flow CUBIC utility in [group] when [counts.(g)] flows of each
+          group [g] run BBR. Defined when [counts.(group) < sizes.(group)]. *)
+  u_bbr : group:int -> counts:int array -> float;
+      (** Defined when [counts.(group) > 0]. *)
+}
+
+val is_equilibrium :
+  ?epsilon:float -> sizes:int array -> payoffs -> int array -> bool
+(** [sizes.(g)] is the number of flows in group [g]; the candidate is a
+    BBR-count array of the same length. [epsilon] is the relative
+    no-gain tolerance (see {!Symmetric_game.is_equilibrium}). *)
+
+val equilibria :
+  ?epsilon:float -> sizes:int array -> payoffs -> int array list
+(** All equilibrium distributions, lexicographically. The search space is
+    Π (sizes.(g)+1); keep groups small. *)
+
+val total_cubic : sizes:int array -> int array -> int
+(** Total CUBIC flows in a distribution (Fig. 10's y-axis). *)

@@ -1,0 +1,77 @@
+type t = {
+  n_players : int;
+  n_strategies : int;
+  payoff_fn : int array -> int -> float;
+  cache : (int list, float array) Hashtbl.t;
+}
+
+let create ~n_players ~n_strategies ~payoff =
+  if n_players <= 0 || n_strategies <= 0 then
+    invalid_arg "Normal_form.create: sizes must be positive";
+  { n_players; n_strategies; payoff_fn = payoff; cache = Hashtbl.create 64 }
+
+let n_players t = t.n_players
+let n_strategies t = t.n_strategies
+
+let payoffs t profile =
+  let key = Array.to_list profile in
+  match Hashtbl.find_opt t.cache key with
+  | Some p -> p
+  | None ->
+    let p = Array.init t.n_players (t.payoff_fn profile) in
+    Hashtbl.replace t.cache key p;
+    p
+
+let payoff t profile i = (payoffs t profile).(i)
+
+let deviate profile ~player ~strategy =
+  let copy = Array.copy profile in
+  copy.(player) <- strategy;
+  copy
+
+let best_response t profile ~player =
+  let best = ref 0 and best_payoff = ref neg_infinity in
+  for s = 0 to t.n_strategies - 1 do
+    let u = payoff t (deviate profile ~player ~strategy:s) player in
+    if u > !best_payoff then begin
+      best := s;
+      best_payoff := u
+    end
+  done;
+  !best
+
+let is_nash t profile =
+  let profitable_deviation player =
+    let current = payoff t profile player in
+    let rec try_strategy s =
+      if s >= t.n_strategies then false
+      else if
+        s <> profile.(player)
+        && payoff t (deviate profile ~player ~strategy:s) player > current
+      then true
+      else try_strategy (s + 1)
+    in
+    try_strategy 0
+  in
+  let rec check player =
+    if player >= t.n_players then true
+    else if profitable_deviation player then false
+    else check (player + 1)
+  in
+  check 0
+
+let pure_equilibria t =
+  let profile = Array.make t.n_players 0 in
+  let found = ref [] in
+  let rec enumerate player =
+    if player = t.n_players then begin
+      if is_nash t profile then found := Array.copy profile :: !found
+    end
+    else
+      for s = 0 to t.n_strategies - 1 do
+        profile.(player) <- s;
+        enumerate (player + 1)
+      done
+  in
+  enumerate 0;
+  List.rev !found

@@ -1,0 +1,32 @@
+(** Finite normal-form games with pure-strategy Nash Equilibrium enumeration.
+
+    This is the general formulation of the paper's §4 game: players are
+    websites/flows, strategies are congestion-control algorithms, utilities
+    are throughputs. Exhaustive best-response checking is exponential in the
+    number of players, so this module is for small games (the 2-flow games of
+    the authors' earlier APNet work, tests, and pedagogy); the symmetric
+    count-based game used for the paper's large experiments lives in
+    {!Symmetric_game}. *)
+
+type t
+
+val create : n_players:int -> n_strategies:int -> payoff:(int array -> int -> float) -> t
+(** [create ~n_players ~n_strategies ~payoff] — [payoff profile i] is player
+    [i]'s utility under strategy [profile] (an array of strategy indices,
+    one per player). The payoff function is memoized per profile. *)
+
+val n_players : t -> int
+val n_strategies : t -> int
+
+val payoff : t -> int array -> int -> float
+
+val is_nash : t -> int array -> bool
+(** No player can strictly gain by a unilateral deviation. *)
+
+val pure_equilibria : t -> int array list
+(** All pure NE profiles, in lexicographic order. O(strategies^players ×
+    players × strategies): keep the game small. *)
+
+val best_response : t -> int array -> player:int -> int
+(** A strategy maximizing [player]'s payoff with the others fixed (smallest
+    index on ties). *)

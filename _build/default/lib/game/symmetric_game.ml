@@ -1,0 +1,28 @@
+type payoffs = { u_cubic : int -> float; u_bbr : int -> float }
+
+let is_equilibrium ?(epsilon = 0.0) ~n payoffs k =
+  if k < 0 || k > n then invalid_arg "Symmetric_game.is_equilibrium";
+  if epsilon < 0.0 then invalid_arg "Symmetric_game.is_equilibrium: epsilon";
+  let no_gain current target =
+    (* [current >= target] up to a relative tolerance. *)
+    current >= target *. (1.0 -. epsilon)
+  in
+  let cubic_stays =
+    k = n || no_gain (payoffs.u_cubic k) (payoffs.u_bbr (k + 1))
+  in
+  let bbr_stays =
+    k = 0 || no_gain (payoffs.u_bbr k) (payoffs.u_cubic (k - 1))
+  in
+  cubic_stays && bbr_stays
+
+let equilibria ?epsilon ~n payoffs =
+  List.filter (is_equilibrium ?epsilon ~n payoffs) (List.init (n + 1) Fun.id)
+
+let equilibria_cubic_counts ?epsilon ~n payoffs =
+  List.rev_map (fun k -> n - k) (equilibria ?epsilon ~n payoffs)
+  |> List.rev |> List.sort compare
+
+let of_samples ~u_cubic ~u_bbr =
+  if Array.length u_cubic <> Array.length u_bbr then
+    invalid_arg "Symmetric_game.of_samples: length mismatch";
+  { u_cubic = (fun k -> u_cubic.(k)); u_bbr = (fun k -> u_bbr.(k)) }

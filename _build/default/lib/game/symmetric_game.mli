@@ -1,0 +1,42 @@
+(** The paper's game, exploiting symmetry (§4.1): n identical flows, two
+    strategies (CUBIC = 0, BBR = 1), and payoffs that depend only on {e how
+    many} flows play BBR. A distribution with [k] BBR flows is a Nash
+    Equilibrium iff
+
+    - [k < n] implies a CUBIC flow cannot gain by switching:
+      u_c(k) ≥ u_b(k+1), and
+    - [k > 0] implies a BBR flow cannot gain by switching back:
+      u_b(k) ≥ u_c(k−1).
+
+    This reduces the paper's §4.4 methodology ("enumerate all combinations
+    and check if any individual flow gains by switching") from 2ⁿ profiles
+    to n+1 distributions. *)
+
+type payoffs = {
+  u_cubic : int -> float;
+      (** Per-flow CUBIC utility when [k] flows run BBR (defined for
+          [k < n]). *)
+  u_bbr : int -> float;
+      (** Per-flow BBR utility when [k] flows run BBR (defined for
+          [k > 0]). *)
+}
+
+val is_equilibrium : ?epsilon:float -> n:int -> payoffs -> int -> bool
+(** Raises [Invalid_argument] if the distribution is outside [\[0, n\]].
+    [epsilon] (default 0) is a relative tolerance: a deviation must gain
+    more than [epsilon x target] to break the equilibrium — the empirical
+    analogue of the paper's observation that throughput gains are marginal
+    around the NE, so measurement noise produces several neighbouring NE. *)
+
+val equilibria : ?epsilon:float -> n:int -> payoffs -> int list
+(** All equilibrium BBR-counts in increasing order. The paper's argument
+    (Fig. 6) guarantees at least one exists whenever u_b(k) − fair-share
+    crosses zero monotonically; this function just checks all n+1
+    candidates. *)
+
+val equilibria_cubic_counts : ?epsilon:float -> n:int -> payoffs -> int list
+(** {!equilibria} expressed as CUBIC-flow counts (the y-axis of Fig. 9). *)
+
+val of_samples : u_cubic:float array -> u_bbr:float array -> payoffs
+(** Build payoffs from measured tables indexed by the BBR count
+    [k ∈ 0..n]; [u_cubic.(n)] and [u_bbr.(0)] may be [nan] (never read). *)

@@ -1,0 +1,1 @@
+lib/model/multi_flow.ml: Params Sim_engine Two_flow

@@ -1,0 +1,1 @@
+lib/model/multi_flow.mli: Params Two_flow

@@ -1,0 +1,1 @@
+lib/model/ne.ml: Multi_flow Params Sim_engine Solver

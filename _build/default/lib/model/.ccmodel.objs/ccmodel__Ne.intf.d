@@ -1,0 +1,1 @@
+lib/model/ne.mli: Multi_flow Params

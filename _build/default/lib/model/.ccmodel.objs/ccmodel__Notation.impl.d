@@ -1,0 +1,1 @@
+lib/model/notation.ml: Format List

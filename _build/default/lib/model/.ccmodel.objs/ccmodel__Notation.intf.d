@@ -1,0 +1,1 @@
+lib/model/notation.mli: Format

@@ -1,0 +1,1 @@
+lib/model/two_flow.ml: Float Params Sim_engine Solver

@@ -1,0 +1,1 @@
+lib/model/two_flow.mli: Params

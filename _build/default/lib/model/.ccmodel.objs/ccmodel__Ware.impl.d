@@ -1,0 +1,1 @@
+lib/model/ware.ml: Float Params Sim_engine

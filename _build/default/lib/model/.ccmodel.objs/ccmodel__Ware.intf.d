@@ -1,0 +1,1 @@
+lib/model/ware.mli: Params

@@ -1,0 +1,64 @@
+type sync_mode = Synchronized | Desynchronized
+
+let gamma mode ~n_cubic =
+  match mode with
+  | Synchronized -> 0.7
+  | Desynchronized ->
+    if n_cubic <= 0 then 0.7
+    else (float_of_int n_cubic -. 0.3) /. float_of_int n_cubic
+
+type prediction = {
+  aggregate_cubic_bps : float;
+  aggregate_bbr_bps : float;
+  per_flow_cubic_bps : float;
+  per_flow_bbr_bps : float;
+  regime : Two_flow.regime;
+}
+
+let capacity_bps (params : Params.t) =
+  Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.capacity
+
+let predict params ~n_cubic ~n_bbr ~sync =
+  if n_cubic < 0 || n_bbr < 0 || n_cubic + n_bbr = 0 then
+    invalid_arg "Multi_flow.predict: flow counts";
+  let c = capacity_bps params in
+  if n_bbr = 0 then
+    {
+      aggregate_cubic_bps = c;
+      aggregate_bbr_bps = 0.0;
+      per_flow_cubic_bps = c /. float_of_int n_cubic;
+      per_flow_bbr_bps = nan;
+      regime = Two_flow.Valid;
+    }
+  else if n_cubic = 0 then
+    {
+      aggregate_cubic_bps = 0.0;
+      aggregate_bbr_bps = c;
+      per_flow_cubic_bps = nan;
+      per_flow_bbr_bps = c /. float_of_int n_bbr;
+      regime = Two_flow.Valid;
+    }
+  else begin
+    let solution = Two_flow.solve ~gamma:(gamma sync ~n_cubic) params in
+    {
+      aggregate_cubic_bps = solution.cubic_bandwidth_bps;
+      aggregate_bbr_bps = solution.bbr_bandwidth_bps;
+      per_flow_cubic_bps =
+        solution.cubic_bandwidth_bps /. float_of_int n_cubic;
+      per_flow_bbr_bps = solution.bbr_bandwidth_bps /. float_of_int n_bbr;
+      regime = solution.regime;
+    }
+  end
+
+type interval = {
+  lower_bbr_per_flow_bps : float;
+  upper_bbr_per_flow_bps : float;
+}
+
+let per_flow_bbr_interval params ~n_cubic ~n_bbr =
+  let synced = predict params ~n_cubic ~n_bbr ~sync:Synchronized in
+  let desynced = predict params ~n_cubic ~n_bbr ~sync:Desynchronized in
+  {
+    lower_bbr_per_flow_bps = synced.per_flow_bbr_bps;
+    upper_bbr_per_flow_bps = desynced.per_flow_bbr_bps;
+  }

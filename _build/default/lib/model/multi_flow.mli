@@ -1,0 +1,41 @@
+(** The paper's multi-flow model (§2.4): N_c CUBIC flows aggregated into one
+    CUBIC super-flow and N_b BBR flows into one BBR super-flow, reusing the
+    2-flow machinery with two boundary values for CUBIC's back-off depth:
+
+    - {b Synchronized} (Eq. 21): every CUBIC flow backs off together, so the
+      aggregate falls to γ = 0.7 of its peak — the deepest trough, the lower
+      bound for b̄_cmin, and hence the least-bloated BBR RTprop estimate:
+      the {e lower} bound for BBR bandwidth;
+    - {b De-synchronized} (Eq. 22): only one of N_c flows backs off at a
+      time, so γ = (N_c − 0.3)/N_c — the upper bound for b̄_cmin and the
+      {e upper} bound for BBR bandwidth (a fuller buffer during ProbeRTT
+      bloats BBR's RTprop more, letting it keep more data in flight).
+
+    Per-flow averages are Eqs. (23)–(24): λ̄_c/N_c and λ̄_b/N_b. *)
+
+type sync_mode = Synchronized | Desynchronized
+
+val gamma : sync_mode -> n_cubic:int -> float
+(** The aggregate back-off fraction: 0.7 or (N_c − 0.3)/N_c. *)
+
+type prediction = {
+  aggregate_cubic_bps : float;  (** λ̄_c. *)
+  aggregate_bbr_bps : float;  (** λ̄_b. *)
+  per_flow_cubic_bps : float;  (** λ̄_c / N_c ([nan] if N_c = 0). *)
+  per_flow_bbr_bps : float;  (** λ̄_b / N_b ([nan] if N_b = 0). *)
+  regime : Two_flow.regime;
+}
+
+val predict :
+  Params.t -> n_cubic:int -> n_bbr:int -> sync:sync_mode -> prediction
+(** Degenerate mixes are handled directly: all-BBR (N_c = 0) and all-CUBIC
+    (N_b = 0) saturate the link and split it evenly among their flows. *)
+
+type interval = {
+  lower_bbr_per_flow_bps : float;  (** Synchronized bound. *)
+  upper_bbr_per_flow_bps : float;  (** De-synchronized bound. *)
+}
+
+val per_flow_bbr_interval : Params.t -> n_cubic:int -> n_bbr:int -> interval
+(** The paper's "predicted region" (Figs. 4, 5) for the average per-flow BBR
+    throughput. *)

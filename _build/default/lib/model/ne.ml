@@ -1,0 +1,34 @@
+type region = { cubic_at_ne_sync : float; cubic_at_ne_desync : float }
+
+let capacity_bps (params : Params.t) =
+  Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.capacity
+
+let bbr_per_flow_advantage params ~n ~n_bbr ~sync =
+  if n <= 0 then invalid_arg "Ne.bbr_per_flow_advantage: n";
+  if n_bbr <= 0 || n_bbr > n then
+    invalid_arg "Ne.bbr_per_flow_advantage: n_bbr";
+  let fair_share = capacity_bps params /. float_of_int n in
+  let prediction =
+    Multi_flow.predict params ~n_cubic:(n - n_bbr) ~n_bbr ~sync
+  in
+  prediction.per_flow_bbr_bps -. fair_share
+
+let equilibrium_bbr_flows params ~n ~sync =
+  if n <= 0 then invalid_arg "Ne.equilibrium_bbr_flows: n";
+  let advantage k = bbr_per_flow_advantage params ~n ~n_bbr:k ~sync in
+  if advantage 1 <= 0.0 then 1.0
+  else begin
+    match Solver.find_crossing ~f:advantage ~lo:1 ~hi:n with
+    | None -> float_of_int n
+    | Some (k, k1) ->
+      let a = advantage k and b = advantage k1 in
+      if a = b then float_of_int k
+      else float_of_int k +. (a /. (a -. b))
+  end
+
+let nash_region params ~n =
+  let ne sync = float_of_int n -. equilibrium_bbr_flows params ~n ~sync in
+  {
+    cubic_at_ne_sync = ne Multi_flow.Synchronized;
+    cubic_at_ne_desync = ne Multi_flow.Desynchronized;
+  }

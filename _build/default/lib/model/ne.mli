@@ -1,0 +1,29 @@
+(** The paper's Nash-Equilibrium predictor (§4.1, Eq. 25).
+
+    With n symmetric flows, the NE sits where the BBR per-flow bandwidth
+    λ̄_b / N_b crosses the fair share C/n. The model gives one crossing per
+    synchronization mode; the pair forms the "Nash region" plotted in
+    Fig. 9 (expressed, as in the paper, as the number of {e CUBIC} flows at
+    the NE). *)
+
+type region = {
+  cubic_at_ne_sync : float;
+      (** # CUBIC flows at the NE under the synchronized bound. *)
+  cubic_at_ne_desync : float;
+      (** # CUBIC flows at the NE under the de-synchronized bound. *)
+}
+
+val bbr_per_flow_advantage :
+  Params.t -> n:int -> n_bbr:int -> sync:Multi_flow.sync_mode -> float
+(** λ̄_b/N_b − C/n in bits/s: positive when a CUBIC flow gains by switching
+    to BBR (the network state moves right along the paper's Fig. 6). *)
+
+val equilibrium_bbr_flows :
+  Params.t -> n:int -> sync:Multi_flow.sync_mode -> float
+(** The (fractional) number of BBR flows N_b* solving Eq. (25), found by
+    scanning the integer axis for the advantage sign change and
+    interpolating. Clamped to [\[0, n\]]: [n] when BBR keeps its advantage at
+    every mix (paper's Case 1, NE = all-BBR). *)
+
+val nash_region : Params.t -> n:int -> region
+(** Both bounds, in CUBIC-flow counts: [n − equilibrium_bbr_flows]. *)

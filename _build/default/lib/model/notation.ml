@@ -1,0 +1,26 @@
+type entry = { symbol : string; meaning : string }
+
+let table =
+  [
+    { symbol = "C"; meaning = "Bottleneck link capacity" };
+    { symbol = "B"; meaning = "Bottleneck buffer size" };
+    { symbol = "RTT"; meaning = "Base RTT (propagation delay)" };
+    { symbol = "RTT+"; meaning = "BBR's over-estimate of the RTT" };
+    { symbol = "b_c"; meaning = "CUBIC's average buffer occupancy" };
+    { symbol = "b_b"; meaning = "BBR's average buffer occupancy" };
+    { symbol = "Q_d"; meaning = "Queuing delay" };
+    { symbol = "b_cmin"; meaning = "CUBIC's minimum buffer occupancy" };
+    { symbol = "b_cmax"; meaning = "CUBIC's maximum buffer occupancy" };
+    { symbol = "lambda_b"; meaning = "BBR flow's bandwidth" };
+    { symbol = "lambda_c"; meaning = "CUBIC flow's bandwidth" };
+    { symbol = "lambda_cmin"; meaning = "CUBIC's smallest bandwidth share" };
+    { symbol = "lambda_cmax"; meaning = "CUBIC's largest bandwidth share" };
+    { symbol = "W_max"; meaning = "CUBIC's largest cwnd" };
+  ]
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-12s %s@." "Symbol" "Meaning";
+  List.iter
+    (fun { symbol; meaning } ->
+      Format.fprintf ppf "%-12s %s@." symbol meaning)
+    table

@@ -1,0 +1,10 @@
+(** The paper's Table 1 (model notation), exposed programmatically so the
+    [table1] experiment can regenerate it and tests can sanity-check the
+    glossary stays in sync with {!Params}. *)
+
+type entry = { symbol : string; meaning : string }
+
+val table : entry list
+(** In the paper's order. *)
+
+val pp_table : Format.formatter -> unit -> unit

@@ -1,0 +1,31 @@
+type t = { capacity : float; buffer : float; rtt : float }
+
+let make ~capacity_bps ~buffer_bytes ~rtt =
+  if capacity_bps <= 0.0 || buffer_bytes <= 0.0 || rtt <= 0.0 then
+    invalid_arg "Params.make: all parameters must be positive";
+  {
+    capacity = Sim_engine.Units.bytes_per_sec ~bits_per_sec:capacity_bps;
+    buffer = buffer_bytes;
+    rtt;
+  }
+
+let bdp_bytes t = t.capacity *. t.rtt
+
+let of_paper_units ~mbps ~buffer_bdp ~rtt_ms =
+  let capacity_bps = Sim_engine.Units.mbps mbps in
+  let rtt = Sim_engine.Units.ms rtt_ms in
+  let bdp =
+    Sim_engine.Units.bytes_per_sec ~bits_per_sec:capacity_bps *. rtt
+  in
+  make ~capacity_bps ~buffer_bytes:(buffer_bdp *. bdp) ~rtt
+
+let buffer_in_bdp t = t.buffer /. bdp_bytes t
+
+let capacity_mbps t =
+  Sim_engine.Units.bps_to_mbps
+    (Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:t.capacity)
+
+let pp ppf t =
+  Format.fprintf ppf "C=%.1f Mbps, B=%.1f BDP, RTT=%.0f ms" (capacity_mbps t)
+    (buffer_in_bdp t)
+    (t.rtt *. 1e3)

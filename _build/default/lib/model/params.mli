@@ -1,0 +1,28 @@
+(** Network parameters shared by all the analytical models (the paper's
+    Table 1 inputs: capacity C, buffer B, base RTT).
+
+    Internal units: bytes, bytes/second, seconds. Constructors accept the
+    paper's units (Mbps, BDP multiples, milliseconds) and convert. *)
+
+type t = private {
+  capacity : float;  (** C, bytes per second. *)
+  buffer : float;  (** B, bytes. *)
+  rtt : float;  (** Base (propagation) RTT, seconds. *)
+}
+
+val make : capacity_bps:float -> buffer_bytes:float -> rtt:float -> t
+(** [capacity_bps] is in bits/s (converted to bytes/s internally). All values
+    must be positive. *)
+
+val of_paper_units : mbps:float -> buffer_bdp:float -> rtt_ms:float -> t
+(** The units used throughout the paper's figures. *)
+
+val bdp_bytes : t -> float
+(** C × RTT in bytes. *)
+
+val buffer_in_bdp : t -> float
+(** B / (C × RTT) — the x-axis of most of the paper's figures. *)
+
+val capacity_mbps : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+let bisect ?tolerance ?(max_iterations = 200) ~f ~lo ~hi () =
+  if hi <= lo then invalid_arg "Solver.bisect: empty interval";
+  let tolerance =
+    match tolerance with Some t -> t | None -> 1e-9 *. (hi -. lo)
+  in
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then
+    invalid_arg "Solver.bisect: f(lo) and f(hi) have the same sign"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let iterations = ref 0 in
+    while !hi -. !lo > tolerance && !iterations < max_iterations do
+      incr iterations;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if fmid *. !flo < 0.0 then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let find_crossing ~f ~lo ~hi =
+  if hi <= lo then None
+  else begin
+    let rec scan k prev =
+      if k > hi then None
+      else begin
+        let v = f k in
+        if prev = 0.0 || prev *. v <= 0.0 then Some (k - 1, k)
+        else scan (k + 1) v
+      end
+    in
+    scan (lo + 1) (f lo)
+  end

@@ -1,0 +1,23 @@
+(** Scalar root finding. The paper's Eq. (18) reduces to a one-dimensional
+    root; the numerical ecosystem being out of scope, we implement a robust
+    bracketing bisection ourselves. *)
+
+val bisect :
+  ?tolerance:float ->
+  ?max_iterations:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** [bisect ~f ~lo ~hi ()] returns an [x] in [\[lo, hi\]] with
+    [f x ≈ 0], assuming [f lo] and [f hi] have opposite signs (else
+    [Invalid_argument]). Default tolerance [1e-9 × (hi - lo)], 200
+    iterations. *)
+
+val find_crossing :
+  f:(int -> float) -> lo:int -> hi:int -> (int * int) option
+(** Smallest [k] in [\[lo, hi)] such that [f k] and [f (k+1)] have opposite
+    (or zero) signs, returned as [(k, k+1)]; [None] when [f] never changes
+    sign. Used to locate the Nash Equilibrium on the discrete
+    flow-count axis. *)

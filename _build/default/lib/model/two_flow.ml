@@ -1,0 +1,84 @@
+type regime = Shallow | Valid | Ultra_deep
+
+type solution = {
+  bbr_buffer_bytes : float;
+  cubic_min_buffer_bytes : float;
+  cubic_bandwidth_bps : float;
+  bbr_bandwidth_bps : float;
+  regime : regime;
+}
+
+let regime_of params =
+  let x = Params.buffer_in_bdp params in
+  if x < 1.0 then Shallow else if x > 100.0 then Ultra_deep else Valid
+
+(* Residual of Eq. (18) as a function of BBR's buffer share b_b. *)
+let residual ~(params : Params.t) ~gamma ~b_cmin b_b =
+  let c = params.capacity and b = params.buffer and rtt = params.rtt in
+  let bdp = c *. rtt in
+  let lhs = b_cmin +. (b_cmin /. (b_cmin +. b_b) *. bdp) in
+  let rhs = gamma *. (b -. b_b +. ((b -. b_b) /. b *. bdp)) in
+  lhs -. rhs
+
+let solve ?(gamma = 0.7) (params : Params.t) =
+  if gamma <= 0.0 || gamma >= 1.0 then invalid_arg "Two_flow.solve: gamma";
+  let c = params.capacity and b = params.buffer and rtt = params.rtt in
+  let bdp = c *. rtt in
+  let regime = regime_of params in
+  let b_cmin = Float.max 0.0 ((b -. bdp) /. 2.0) in
+  let b_b =
+    if b_cmin = 0.0 then
+      (* Sub-BDP buffers violate assumption 1; the model degenerates. We
+         clamp to the paper's (and Hock et al.'s) empirical observation for
+         shallow buffers: BBR's 2xBDP in-flight overwhelms the buffer and
+         starves CUBIC, i.e. b_b = B and lambda_c ~ 0. *)
+      b
+    else begin
+      let f = residual ~params ~gamma ~b_cmin in
+      (* f(0) < 0 < f(B) whenever B > 1 BDP (see the interface docs);
+         bracket defensively anyway. *)
+      let lo = 0.0 and hi = b in
+      if f lo *. f hi > 0.0 then if f lo > 0.0 then lo else hi
+      else Solver.bisect ~f ~lo ~hi ()
+    end
+  in
+  (* Eq. (19): λ_c (RTT + 2 b_cmin / C) = 2 b_cmin + C RTT − b_b. In the
+     shallow clamp above b_cmin = 0 and b_b = B; feeding Eq. (19) would
+     hand CUBIC the whole wire, which inverts the observed behaviour, so
+     the clamp sets λ_c = 0 directly. *)
+  let lambda_c =
+    if regime = Shallow then 0.0
+    else ((2.0 *. b_cmin) +. bdp -. b_b) /. (rtt +. (2.0 *. b_cmin /. c))
+  in
+  let lambda_c = Float.max 0.0 (Float.min c lambda_c) in
+  let lambda_b = c -. lambda_c in
+  {
+    bbr_buffer_bytes = b_b;
+    cubic_min_buffer_bytes = b_cmin;
+    cubic_bandwidth_bps =
+      Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:lambda_c;
+    bbr_bandwidth_bps =
+      Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:lambda_b;
+    regime;
+  }
+
+(* Eq. (10): the average queue holds 2 b_cmin + C RTT bytes minus the wire
+   component, i.e. queuing delay Qd = RTT + 2 b_cmin / C minus nothing —
+   Qd here is the bottleneck queuing delay seen by both flows. *)
+let predicted_queuing_delay ?gamma params =
+  let solution = solve ?gamma params in
+  let c = params.Params.capacity in
+  if solution.regime = Shallow then params.Params.buffer /. c
+  else begin
+    let qd =
+      params.Params.rtt +. (2.0 *. solution.cubic_min_buffer_bytes /. c)
+    in
+    (* The queue cannot exceed the physical buffer. *)
+    Float.min qd (params.Params.buffer /. c)
+  end
+
+let bbr_share ?gamma params =
+  let solution = solve ?gamma params in
+  solution.bbr_bandwidth_bps
+  /. Sim_engine.Units.bits_per_sec_of_bytes
+       ~bytes_per_sec:params.Params.capacity

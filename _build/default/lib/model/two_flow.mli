@@ -1,0 +1,45 @@
+(** The paper's basic 2-flow model (§2.3): one CUBIC flow competing with one
+    BBR flow at a drop-tail bottleneck with buffer ≥ 1 BDP.
+
+    Pipeline (paper equations in parentheses):
+
+    + b_cmin = (B − C·RTT)/2 — CUBIC's occupancy during BBR's ProbeRTT,
+      from the in-flight cap relation b_b + b_c = 2 b_cmin + C·RTT (10)
+      and the full-buffer approximation b_b + b_c ≈ B;
+    + solve (18) for BBR's buffer share b_b:
+      b_cmin + b_cmin/(b_cmin + b_b) · C·RTT
+        = γ (B − b_b + (B − b_b)/B · C·RTT)
+      where γ = 0.7 is CUBIC's post-loss fraction — generalized here so the
+      multi-flow model (§2.4) can reuse the solver with its sync/de-sync γ;
+    + λ_c (RTT + 2 b_cmin/C) = 2 b_cmin + C·RTT − b_b (19), λ_b = C − λ_c
+      (20).
+
+    Validity: the paper's assumptions hold for 1 BDP ≤ B ≲ 100 BDP (BBR
+    cwnd-limited). {!solve} reports the regime so callers can flag
+    out-of-scope points (Fig. 12). *)
+
+type regime =
+  | Shallow  (** B < 1 BDP: b_cmin would be negative; prediction clamped. *)
+  | Valid
+  | Ultra_deep
+      (** B > 100 BDP: BBR is no longer cwnd-limited; the model is known to
+          over-estimate BBR (paper §5, Fig. 12). *)
+
+type solution = {
+  bbr_buffer_bytes : float;  (** b_b. *)
+  cubic_min_buffer_bytes : float;  (** b_cmin. *)
+  cubic_bandwidth_bps : float;  (** λ_c in bits/s. *)
+  bbr_bandwidth_bps : float;  (** λ_b in bits/s. *)
+  regime : regime;
+}
+
+val solve : ?gamma:float -> Params.t -> solution
+(** [gamma] is CUBIC's aggregate post-back-off fraction (default 0.7). *)
+
+val bbr_share : ?gamma:float -> Params.t -> float
+(** λ_b / C ∈ [0, 1]. *)
+
+val predicted_queuing_delay : ?gamma:float -> Params.t -> float
+(** The shared bottleneck queuing delay implied by Eq. (10):
+    Qd = RTT + 2 b_cmin/C, capped at the buffer's drain time B/C (seconds).
+    This is the model-side counterpart of the paper's Fig. 8(b). *)

@@ -1,0 +1,22 @@
+let mss = float_of_int Sim_engine.Units.mss
+
+let bbr_fraction ~(params : Params.t) ~n_bbr ~duration =
+  if n_bbr <= 0 then invalid_arg "Ware.bbr_fraction: n_bbr";
+  if duration <= 0.0 then invalid_arg "Ware.bbr_fraction: duration";
+  let x = Params.buffer_in_bdp params in
+  let q_packets = params.buffer /. mss in
+  let c_packets = params.capacity /. mss in
+  let p =
+    0.5 -. (1.0 /. (2.0 *. x)) -. (4.0 *. float_of_int n_bbr /. q_packets)
+  in
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  let probe_time =
+    ((q_packets /. c_packets) +. 0.2 +. params.rtt) *. (duration /. 10.0)
+  in
+  let probe_time = Float.min duration probe_time in
+  let frac = (1.0 -. p) *. ((duration -. probe_time) /. duration) in
+  Float.max 0.0 (Float.min 1.0 frac)
+
+let bbr_bandwidth_bps ~params ~n_bbr ~duration =
+  bbr_fraction ~params ~n_bbr ~duration
+  *. Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.Params.capacity

@@ -1,0 +1,27 @@
+(** The state-of-the-art baseline the paper argues against: the model of
+    Ware, Mukerjee, Seshan & Sherry, "Modeling BBR's Interactions with
+    Loss-Based Congestion Control" (IMC 2019), as restated in the paper's
+    Eqs. (2)–(4):
+
+    BBR_frac = (1 − p) (d − Probe_time)/d
+    p          = 1/2 − 1/(2X) − 4N/q
+    Probe_time = (q/c + 0.2 + l)(d/10)
+
+    where X is the buffer in BDP, N the number of BBR flows, q the buffer
+    size (packets), c the capacity (packets/s), l the base RTT and d the
+    experiment duration. The 4N/q term is the 4 packets per BBR flow left
+    in flight during ProbeRTT; Probe_time charges one queue-drain +
+    200 ms + one RTT per 10-second ProbeRTT cycle.
+
+    Key property (the one the paper refutes): the prediction is independent
+    of the number of competing CUBIC flows and assumes a permanently full
+    buffer. *)
+
+val bbr_fraction :
+  params:Params.t -> n_bbr:int -> duration:float -> float
+(** Predicted aggregate fraction of capacity taken by [n_bbr] BBR flows,
+    clamped to [\[0, 1\]]. *)
+
+val bbr_bandwidth_bps :
+  params:Params.t -> n_bbr:int -> duration:float -> float
+(** {!bbr_fraction} × capacity, in bits/s. *)

@@ -1,0 +1,1 @@
+lib/netsim/droptail_queue.ml: Float Hashtbl Option Packet Queue Sim_engine

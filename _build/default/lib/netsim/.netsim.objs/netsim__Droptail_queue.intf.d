@@ -1,0 +1,1 @@
+lib/netsim/droptail_queue.mli: Packet Sim_engine

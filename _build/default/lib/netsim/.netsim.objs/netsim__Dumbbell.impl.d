@@ -1,0 +1,1 @@
+lib/netsim/dumbbell.ml: Droptail_queue Hashtbl Link List Packet Pipe Sim_engine

@@ -1,0 +1,1 @@
+lib/netsim/dumbbell.mli: Droptail_queue Link Packet Sim_engine

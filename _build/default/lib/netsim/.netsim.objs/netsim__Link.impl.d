@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Droptail_queue Packet Sim_engine

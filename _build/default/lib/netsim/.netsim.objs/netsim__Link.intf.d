@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Droptail_queue Packet Sim_engine

@@ -1,0 +1,1 @@
+lib/netsim/pipe.ml: Packet Sim_engine

@@ -1,0 +1,1 @@
+lib/netsim/sampler.ml: Droptail_queue List Sim_engine

@@ -1,0 +1,1 @@
+lib/netsim/sampler.mli: Droptail_queue Sim_engine

@@ -1,0 +1,138 @@
+type verdict = Enqueued | Dropped
+
+type policy =
+  | Tail_drop
+  | Red of {
+      min_threshold : float;
+      max_threshold : float;
+      max_p : float;
+      weight : float;
+      rng : Sim_engine.Rng.t;
+    }
+
+type t = {
+  capacity_bytes : int;
+  policy : policy;
+  fifo : Packet.t Queue.t;
+  mutable bytes : int;
+  mutable avg_bytes : float;  (* RED EWMA; tracks [bytes] under Tail_drop *)
+  per_flow : (int, int) Hashtbl.t;
+  mutable drops : int;
+  mutable early_drops : int;
+  mutable dropped_bytes : int;
+  mutable drop_hook : Packet.t -> unit;
+}
+
+let red_defaults ~rng ~capacity_bytes =
+  let b = float_of_int capacity_bytes in
+  Red
+    {
+      min_threshold = 0.25 *. b;
+      max_threshold = 0.75 *. b;
+      max_p = 0.1;
+      weight = 0.002;
+      rng;
+    }
+
+let create ?(policy = Tail_drop) ~capacity_bytes () =
+  if capacity_bytes <= 0 then invalid_arg "Droptail_queue.create: capacity";
+  (match policy with
+  | Tail_drop -> ()
+  | Red { min_threshold; max_threshold; max_p; weight; _ } ->
+    if
+      min_threshold < 0.0
+      || max_threshold <= min_threshold
+      || max_p <= 0.0 || max_p > 1.0
+      || weight <= 0.0 || weight > 1.0
+    then invalid_arg "Droptail_queue.create: RED parameters");
+  {
+    capacity_bytes;
+    policy;
+    fifo = Queue.create ();
+    bytes = 0;
+    avg_bytes = 0.0;
+    per_flow = Hashtbl.create 16;
+    drops = 0;
+    early_drops = 0;
+    dropped_bytes = 0;
+    drop_hook = ignore;
+  }
+
+let capacity_bytes t = t.capacity_bytes
+
+let adjust_flow t flow delta =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.per_flow flow) in
+  Hashtbl.replace t.per_flow flow (current + delta)
+
+(* RED early-drop decision on arrival (gentle variant, byte mode). *)
+let red_early_drop t =
+  match t.policy with
+  | Tail_drop -> false
+  | Red { min_threshold; max_threshold; max_p; weight; rng } ->
+    t.avg_bytes <-
+      ((1.0 -. weight) *. t.avg_bytes) +. (weight *. float_of_int t.bytes);
+    if t.avg_bytes <= min_threshold then false
+    else begin
+      let p =
+        if t.avg_bytes < max_threshold then
+          max_p
+          *. (t.avg_bytes -. min_threshold)
+          /. (max_threshold -. min_threshold)
+        else
+          (* gentle RED: ramp from max_p to 1 between max_th and 2 max_th *)
+          Float.min 1.0
+            (max_p
+            +. ((1.0 -. max_p)
+               *. (t.avg_bytes -. max_threshold)
+               /. max_threshold))
+      in
+      Sim_engine.Rng.float rng 1.0 < p
+    end
+
+let record_drop t (p : Packet.t) ~early =
+  t.drops <- t.drops + 1;
+  if early then t.early_drops <- t.early_drops + 1;
+  t.dropped_bytes <- t.dropped_bytes + p.size;
+  t.drop_hook p;
+  Dropped
+
+let enqueue t (p : Packet.t) =
+  if t.bytes + p.size > t.capacity_bytes then record_drop t p ~early:false
+  else if red_early_drop t then record_drop t p ~early:true
+  else begin
+    Queue.push p t.fifo;
+    t.bytes <- t.bytes + p.size;
+    adjust_flow t p.flow p.size;
+    Enqueued
+  end
+
+let dequeue t =
+  match Queue.take_opt t.fifo with
+  | None -> None
+  | Some p ->
+    t.bytes <- t.bytes - p.size;
+    adjust_flow t p.flow (-p.size);
+    Some p
+
+let occupancy_bytes t = t.bytes
+
+let occupancy_of_flow t flow =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_flow flow)
+
+let occupancy_of_flows t pred =
+  Hashtbl.fold
+    (fun flow bytes acc -> if pred flow then acc + bytes else acc)
+    t.per_flow 0
+
+let length t = Queue.length t.fifo
+let is_empty t = Queue.is_empty t.fifo
+let drops t = t.drops
+let early_drops t = t.early_drops
+
+let average_queue_bytes t =
+  match t.policy with
+  | Tail_drop -> float_of_int t.bytes
+  | Red _ -> t.avg_bytes
+
+let dropped_bytes t = t.dropped_bytes
+let set_drop_hook t f = t.drop_hook <- f

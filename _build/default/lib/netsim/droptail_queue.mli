@@ -1,0 +1,66 @@
+(** A byte-bounded FIFO bottleneck queue with per-flow occupancy accounting
+    and a pluggable drop policy.
+
+    The default policy is drop-tail — the paper's model setting: packets that
+    arrive when fewer than their size in bytes remain are dropped. A RED
+    (Random Early Detection) policy is provided for the §1/§6 discussion of
+    AQMs: arrivals are dropped probabilistically once the EWMA queue length
+    exceeds [min_threshold] (gentle variant, byte mode).
+
+    Per-flow byte occupancy is tracked so experiments can measure the model
+    quantities [b_c], [b_b], [b_cmin], and [b_cmax] directly. *)
+
+type t
+
+type verdict = Enqueued | Dropped
+
+type policy =
+  | Tail_drop
+  | Red of {
+      min_threshold : float;  (** Bytes; EWMA queue below this never drops. *)
+      max_threshold : float;  (** Bytes; drop probability reaches [max_p]. *)
+      max_p : float;  (** Drop probability at [max_threshold]. *)
+      weight : float;  (** EWMA weight for the average queue (e.g. 0.002). *)
+      rng : Sim_engine.Rng.t;
+    }
+
+val red_defaults : rng:Sim_engine.Rng.t -> capacity_bytes:int -> policy
+(** Classic RED parameterization: min = B/4, max = 3B/4, max_p = 0.1,
+    weight = 0.002. *)
+
+val create : ?policy:policy -> capacity_bytes:int -> unit -> t
+
+val capacity_bytes : t -> int
+
+val enqueue : t -> Packet.t -> verdict
+
+val dequeue : t -> Packet.t option
+
+val occupancy_bytes : t -> int
+(** Total bytes currently queued. *)
+
+val occupancy_of_flow : t -> int -> int
+(** Bytes currently queued belonging to the given flow id. *)
+
+val occupancy_of_flows : t -> (int -> bool) -> int
+(** Total bytes queued over flows whose id satisfies the predicate. *)
+
+val length : t -> int
+(** Number of queued packets. *)
+
+val is_empty : t -> bool
+
+val drops : t -> int
+(** Cumulative count of dropped packets (tail and early drops). *)
+
+val early_drops : t -> int
+(** Drops decided by the RED policy (0 under [Tail_drop]). *)
+
+val average_queue_bytes : t -> float
+(** The RED EWMA average (equals instantaneous occupancy under
+    [Tail_drop]). *)
+
+val dropped_bytes : t -> int
+
+val set_drop_hook : t -> (Packet.t -> unit) -> unit
+(** Invoked synchronously on every drop (after counters update). *)

@@ -1,0 +1,61 @@
+type flow_spec = { flow : int; base_rtt : float }
+
+type t = {
+  sim : Sim_engine.Sim.t;
+  rate_bps : float;
+  queue : Droptail_queue.t;
+  link : Link.t;
+  pipe : Pipe.t;
+  rtts : (int, float) Hashtbl.t;
+  receivers : (int, Packet.t -> unit) Hashtbl.t;
+  mutable orphaned : int;
+}
+
+let create ?policy ~sim ~rate_bps ~buffer_bytes ~flows () =
+  let queue = Droptail_queue.create ?policy ~capacity_bytes:buffer_bytes () in
+  let rtts = Hashtbl.create 16 in
+  List.iter (fun { flow; base_rtt } -> Hashtbl.replace rtts flow base_rtt) flows;
+  let receivers = Hashtbl.create 16 in
+  let t_ref = ref None in
+  let deliver_to_receiver p =
+    match !t_ref with
+    | None -> ()
+    | Some t -> (
+      match Hashtbl.find_opt receivers p.Packet.flow with
+      | Some receive -> receive p
+      | None -> t.orphaned <- t.orphaned + 1)
+  in
+  let delay_of (p : Packet.t) =
+    match Hashtbl.find_opt rtts p.flow with
+    | Some rtt -> rtt /. 2.0
+    | None -> 0.0
+  in
+  let pipe = Pipe.create ~sim ~delay_of ~deliver:deliver_to_receiver in
+  let link = Link.create ~sim ~rate_bps ~queue ~deliver:(Pipe.send pipe) in
+  let t =
+    { sim; rate_bps; queue; link; pipe; rtts; receivers; orphaned = 0 }
+  in
+  t_ref := Some t;
+  t
+
+let sim t = t.sim
+let queue t = t.queue
+let link t = t.link
+let rate_bps t = t.rate_bps
+
+let base_rtt_of t flow =
+  match Hashtbl.find_opt t.rtts flow with
+  | Some rtt -> rtt
+  | None -> raise Not_found
+
+let set_receiver t ~flow receive = Hashtbl.replace t.receivers flow receive
+
+let send t p =
+  let verdict = Droptail_queue.enqueue t.queue p in
+  (match verdict with
+  | Droptail_queue.Enqueued -> Link.kick t.link
+  | Droptail_queue.Dropped -> ());
+  verdict
+
+let reverse_delay t ~flow = base_rtt_of t flow /. 2.0
+let orphaned t = t.orphaned

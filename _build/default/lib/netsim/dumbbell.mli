@@ -1,0 +1,45 @@
+(** The paper's topology: N senders share one drop-tail bottleneck; after the
+    bottleneck link, packets propagate to per-flow receivers, whose ACKs
+    return over an uncongested reverse path.
+
+    Delay budget per flow: the flow's base RTT is split evenly between the
+    forward pipe (after the bottleneck) and the reverse (ACK) path, so a
+    packet that never queues experiences exactly [base_rtt] between send and
+    ACK, plus its own serialization time. *)
+
+type t
+
+type flow_spec = { flow : int; base_rtt : float }
+
+val create :
+  ?policy:Droptail_queue.policy ->
+  sim:Sim_engine.Sim.t ->
+  rate_bps:float ->
+  buffer_bytes:int ->
+  flows:flow_spec list ->
+  unit ->
+  t
+(** [policy] defaults to drop-tail (the paper's setting). *)
+
+val sim : t -> Sim_engine.Sim.t
+val queue : t -> Droptail_queue.t
+val link : t -> Link.t
+val rate_bps : t -> float
+
+val base_rtt_of : t -> int -> float
+(** Base RTT of the given flow id. Raises [Not_found] for unknown flows. *)
+
+val set_receiver : t -> flow:int -> (Packet.t -> unit) -> unit
+(** Install the receive callback for a flow. Packets of flows without a
+    receiver are counted in {!orphaned} and discarded. *)
+
+val send : t -> Packet.t -> Droptail_queue.verdict
+(** Inject a packet at the bottleneck; on [Enqueued], it will eventually be
+    delivered to the flow's receiver. The caller learns of drops only through
+    ACK feedback, as in a real network (but the verdict is returned for
+    instrumentation). *)
+
+val reverse_delay : t -> flow:int -> float
+(** One-way delay of the flow's ACK path. *)
+
+val orphaned : t -> int

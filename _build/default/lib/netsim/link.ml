@@ -1,0 +1,49 @@
+type t = {
+  sim : Sim_engine.Sim.t;
+  rate_bps : float;
+  queue : Droptail_queue.t;
+  deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable delivered_packets : int;
+  mutable delivered_bytes : int;
+  mutable busy_time : float;
+}
+
+let create ~sim ~rate_bps ~queue ~deliver =
+  if rate_bps <= 0.0 then invalid_arg "Link.create: rate";
+  {
+    sim;
+    rate_bps;
+    queue;
+    deliver;
+    busy = false;
+    delivered_packets = 0;
+    delivered_bytes = 0;
+    busy_time = 0.0;
+  }
+
+let rate_bps t = t.rate_bps
+
+let rec start_next t =
+  match Droptail_queue.dequeue t.queue with
+  | None -> t.busy <- false
+  | Some p ->
+    t.busy <- true;
+    let tx =
+      Sim_engine.Units.transmission_time ~rate_bps:t.rate_bps ~bytes:p.size
+    in
+    t.busy_time <- t.busy_time +. tx;
+    ignore
+      (Sim_engine.Sim.schedule t.sim ~delay:tx (fun () ->
+           t.delivered_packets <- t.delivered_packets + 1;
+           t.delivered_bytes <- t.delivered_bytes + p.size;
+           t.deliver p;
+           start_next t))
+
+let kick t = if not t.busy then start_next t
+
+let busy t = t.busy
+let delivered_packets t = t.delivered_packets
+let delivered_bytes t = t.delivered_bytes
+
+let busy_seconds t = t.busy_time

@@ -1,0 +1,20 @@
+type t = {
+  flow : int;
+  seq : int;
+  size : int;
+  retransmit : bool;
+  sent_time : float;
+  delivered : float;
+  delivered_time : float;
+  app_limited : bool;
+}
+
+let make ~flow ~seq ~size ~retransmit ~sent_time ~delivered ~delivered_time
+    ~app_limited =
+  { flow; seq; size; retransmit; sent_time; delivered; delivered_time;
+    app_limited }
+
+let pp ppf p =
+  Format.fprintf ppf "flow=%d seq=%d size=%d%s t=%.6f" p.flow p.seq p.size
+    (if p.retransmit then " retx" else "")
+    p.sent_time

@@ -1,0 +1,38 @@
+(** Data packets traversing the forward path of the simulated network.
+
+    Only data packets are modelled as queue-occupying objects; ACKs travel on
+    the uncongested reverse path and are represented as scheduled callbacks
+    (see {!Tcpflow.Receiver}), matching the paper's single-bottleneck setup
+    where the ACK path is never the bottleneck.
+
+    The [delivered]/[delivered_time]/[app_limited] fields snapshot the
+    sender's delivery state at transmission time; they implement the delivery
+    rate estimator that BBR's bandwidth filter consumes. *)
+
+type t = {
+  flow : int;  (** Flow identifier, unique within an experiment. *)
+  seq : int;  (** Segment sequence number (in MSS units). *)
+  size : int;  (** Wire size in bytes. *)
+  retransmit : bool;  (** True when this is a retransmission. *)
+  sent_time : float;  (** Time this (re)transmission left the sender. *)
+  delivered : float;
+      (** Bytes the sender had cumulatively delivered when this packet was
+          sent. *)
+  delivered_time : float;
+      (** Time of the most recent delivery when this packet was sent. *)
+  app_limited : bool;
+      (** Whether the sender was application-limited at send time. *)
+}
+
+val make :
+  flow:int ->
+  seq:int ->
+  size:int ->
+  retransmit:bool ->
+  sent_time:float ->
+  delivered:float ->
+  delivered_time:float ->
+  app_limited:bool ->
+  t
+
+val pp : Format.formatter -> t -> unit

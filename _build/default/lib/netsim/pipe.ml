@@ -1,0 +1,19 @@
+type t = {
+  sim : Sim_engine.Sim.t;
+  delay_of : Packet.t -> float;
+  deliver : Packet.t -> unit;
+  mutable in_flight : int;
+}
+
+let create ~sim ~delay_of ~deliver = { sim; delay_of; deliver; in_flight = 0 }
+
+let send t p =
+  let delay = t.delay_of p in
+  if delay < 0.0 then invalid_arg "Pipe.send: negative delay";
+  t.in_flight <- t.in_flight + 1;
+  ignore
+    (Sim_engine.Sim.schedule t.sim ~delay (fun () ->
+         t.in_flight <- t.in_flight - 1;
+         t.deliver p))
+
+let in_flight t = t.in_flight

@@ -1,0 +1,16 @@
+(** A pure propagation-delay element: delivers each packet to the next hop
+    after a per-flow one-way delay (supporting the paper's multi-RTT
+    experiments, §4.5). *)
+
+type t
+
+val create :
+  sim:Sim_engine.Sim.t ->
+  delay_of:(Packet.t -> float) ->
+  deliver:(Packet.t -> unit) ->
+  t
+
+val send : t -> Packet.t -> unit
+
+val in_flight : t -> int
+(** Packets currently propagating. *)

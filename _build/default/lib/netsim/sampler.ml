@@ -1,0 +1,50 @@
+type t = {
+  sim : Sim_engine.Sim.t;
+  queue : Droptail_queue.t;
+  period : float;
+  total : Sim_engine.Timeseries.t;
+  classes : (string * (int -> bool) * Sim_engine.Timeseries.t) list;
+  mutable running : bool;
+}
+
+let sample t =
+  let now = Sim_engine.Sim.now t.sim in
+  Sim_engine.Timeseries.record t.total ~time:now
+    (float_of_int (Droptail_queue.occupancy_bytes t.queue));
+  List.iter
+    (fun (_, pred, series) ->
+      Sim_engine.Timeseries.record series ~time:now
+        (float_of_int (Droptail_queue.occupancy_of_flows t.queue pred)))
+    t.classes
+
+let rec tick t () =
+  if t.running then begin
+    sample t;
+    ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period (tick t))
+  end
+
+let create ~sim ~queue ~period ?(flow_classes = []) () =
+  if period <= 0.0 then invalid_arg "Sampler.create: period";
+  let classes =
+    List.map
+      (fun (name, pred) -> (name, pred, Sim_engine.Timeseries.create ()))
+      flow_classes
+  in
+  let t =
+    { sim; queue; period; total = Sim_engine.Timeseries.create (); classes;
+      running = true }
+  in
+  tick t ();
+  t
+
+let stop t = t.running <- false
+let total t = t.total
+
+let class_series t name =
+  match List.find_opt (fun (n, _, _) -> n = name) t.classes with
+  | Some (_, _, series) -> series
+  | None -> raise Not_found
+
+let queuing_delay t ~rate_bps ~from_ ~until =
+  let mean_bytes = Sim_engine.Timeseries.time_weighted_mean t.total ~from_ ~until in
+  mean_bytes *. Sim_engine.Units.bits_per_byte /. rate_bps

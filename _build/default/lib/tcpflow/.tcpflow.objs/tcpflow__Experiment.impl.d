@@ -1,0 +1,1 @@
+lib/tcpflow/experiment.ml: Array Cca Float List Netsim Sender Sim_engine

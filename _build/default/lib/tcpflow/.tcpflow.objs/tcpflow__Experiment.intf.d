@@ -1,0 +1,1 @@
+lib/tcpflow/experiment.mli:

@@ -1,0 +1,1 @@
+lib/tcpflow/flow_trace.ml: Cca Hashtbl List Option Printf Sender Sim_engine String

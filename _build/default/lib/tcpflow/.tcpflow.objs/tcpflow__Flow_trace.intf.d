@@ -1,0 +1,1 @@
+lib/tcpflow/flow_trace.mli: Sender Sim_engine

@@ -1,0 +1,1 @@
+lib/tcpflow/sender.ml: Cca Float Hashtbl Netsim Queue Sim_engine

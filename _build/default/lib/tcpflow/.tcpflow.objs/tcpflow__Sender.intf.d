@@ -1,0 +1,1 @@
+lib/tcpflow/sender.mli: Cca Netsim

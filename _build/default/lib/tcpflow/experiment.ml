@@ -1,0 +1,183 @@
+module Sim = Sim_engine.Sim
+module Units = Sim_engine.Units
+
+type flow_config = { cca : string; base_rtt : float; start_time : float }
+
+let flow_config ?(start_time = 0.0) ?(base_rtt = 0.040) cca =
+  { cca; base_rtt; start_time }
+
+type aqm = Tail_drop | Red_default
+
+type config = {
+  rate_bps : float;
+  buffer_bytes : int;
+  flows : flow_config list;
+  duration : float;
+  warmup : float;
+  seed : int;
+  sample_period : float;
+  aqm : aqm;
+}
+
+let buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp =
+  let bytes = int_of_float (Units.bdp_bytes ~rate_bps ~rtt *. bdp) in
+  max bytes Units.mss
+
+let default_config =
+  let rate_bps = Units.mbps 100.0 and rtt = 0.040 in
+  {
+    rate_bps;
+    buffer_bytes = buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:10.0;
+    flows = [ flow_config "cubic"; flow_config "bbr" ];
+    duration = 40.0;
+    warmup = 10.0;
+    seed = 1;
+    sample_period = 0.001;
+    aqm = Tail_drop;
+  }
+
+type flow_result = {
+  flow_id : int;
+  flow_cca : string;
+  flow_rtt : float;
+  throughput_bps : float;
+  flow_lost_segments : int;
+  flow_retransmitted : int;
+  flow_min_rtt : float;
+}
+
+type result = {
+  config : config;
+  per_flow : flow_result list;
+  queuing_delay : float;
+  queue_mean_bytes : float;
+  class_mean_bytes : (string * float) list;
+  class_min_bytes : (string * float) list;
+  class_max_bytes : (string * float) list;
+  drops : int;
+  utilization : float;
+}
+
+let distinct_ccas flows =
+  List.sort_uniq compare (List.map (fun f -> f.cca) flows)
+
+let run config =
+  if config.warmup >= config.duration then
+    invalid_arg "Experiment.run: warmup must precede duration";
+  let sim = Sim.create ~seed:config.seed () in
+  let flows = Array.of_list config.flows in
+  let specs =
+    Array.to_list
+      (Array.mapi
+         (fun i f -> { Netsim.Dumbbell.flow = i; base_rtt = f.base_rtt })
+         flows)
+  in
+  let policy =
+    match config.aqm with
+    | Tail_drop -> Netsim.Droptail_queue.Tail_drop
+    | Red_default ->
+      Netsim.Droptail_queue.red_defaults
+        ~rng:(Sim_engine.Rng.split (Sim.rng sim))
+        ~capacity_bytes:config.buffer_bytes
+  in
+  let net =
+    Netsim.Dumbbell.create ~policy ~sim ~rate_bps:config.rate_bps
+      ~buffer_bytes:config.buffer_bytes ~flows:specs ()
+  in
+  let cca_of_flow = Array.map (fun f -> f.cca) flows in
+  let flow_classes =
+    List.map
+      (fun name -> (name, fun id -> cca_of_flow.(id) = name))
+      (distinct_ccas config.flows)
+  in
+  let sampler =
+    Netsim.Sampler.create ~sim ~queue:(Netsim.Dumbbell.queue net)
+      ~period:config.sample_period ~flow_classes ()
+  in
+  let senders =
+    Array.mapi
+      (fun i f ->
+        let rng = Sim_engine.Rng.split (Sim.rng sim) in
+        let cc = Cca.Registry.create f.cca ~mss:Units.mss ~rng in
+        Sender.create ~net ~flow:i ~cc ~start_time:f.start_time ())
+      flows
+  in
+  (* Snapshot delivered bytes at the start of the measurement window. *)
+  let delivered_at_warmup = Array.make (Array.length senders) 0.0 in
+  ignore
+    (Sim.schedule sim ~delay:config.warmup (fun () ->
+         Array.iteri
+           (fun i sender ->
+             delivered_at_warmup.(i) <- Sender.delivered_bytes sender)
+           senders));
+  Sim.run ~until:config.duration sim;
+  let window = config.duration -. config.warmup in
+  let per_flow =
+    Array.to_list
+      (Array.mapi
+         (fun i sender ->
+           let delivered =
+             Sender.delivered_bytes sender -. delivered_at_warmup.(i)
+           in
+           {
+             flow_id = i;
+             flow_cca = flows.(i).cca;
+             flow_rtt = flows.(i).base_rtt;
+             throughput_bps =
+               Units.bits_per_sec_of_bytes ~bytes_per_sec:(delivered /. window);
+             flow_lost_segments = Sender.lost_segments sender;
+             flow_retransmitted = Sender.retransmitted_segments sender;
+             flow_min_rtt = Sender.min_rtt_observed sender;
+           })
+         senders)
+  in
+  let from_ = config.warmup and until = config.duration in
+  let class_stat f =
+    List.map
+      (fun (name, _) -> (name, f (Netsim.Sampler.class_series sampler name)))
+      flow_classes
+  in
+  let result =
+    {
+      config;
+      per_flow;
+      queuing_delay =
+        Netsim.Sampler.queuing_delay sampler ~rate_bps:config.rate_bps ~from_
+          ~until;
+      queue_mean_bytes =
+        Sim_engine.Timeseries.time_weighted_mean
+          (Netsim.Sampler.total sampler) ~from_ ~until;
+      class_mean_bytes =
+        class_stat (fun series ->
+            Sim_engine.Timeseries.time_weighted_mean series ~from_ ~until);
+      class_min_bytes =
+        class_stat (fun series ->
+            Sim_engine.Timeseries.min_value series ~from_ ());
+      class_max_bytes =
+        class_stat (fun series ->
+            Sim_engine.Timeseries.max_value series ~from_ ());
+      drops = Netsim.Droptail_queue.drops (Netsim.Dumbbell.queue net);
+      utilization =
+        (* busy_seconds accrues at transmission start, so a packet in
+           flight at the end of the run can push the ratio marginally
+           past 1. *)
+        Float.min 1.0
+          (Netsim.Link.busy_seconds (Netsim.Dumbbell.link net)
+          /. config.duration);
+    }
+  in
+  Netsim.Sampler.stop sampler;
+  result
+
+let throughput_of_cca result name =
+  List.filter_map
+    (fun f -> if f.flow_cca = name then Some f.throughput_bps else None)
+    result.per_flow
+
+let mean_throughput_of_cca result name =
+  match throughput_of_cca result name with
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let aggregate_throughput_of_cca result name =
+  List.fold_left ( +. ) 0.0 (throughput_of_cca result name)

@@ -1,0 +1,72 @@
+(** Packet-level experiment runner: the in-simulator equivalent of the
+    paper's testbed runs.
+
+    An experiment places a set of flows (each with a CCA name from
+    {!Cca.Registry} and a base RTT) on one bottleneck, runs for a simulated
+    duration, and reports per-flow goodput plus the queue statistics the
+    paper's model reasons about (mean queuing delay, per-class buffer
+    occupancy, CUBIC's minimum/maximum occupancy). *)
+
+type flow_config = {
+  cca : string;  (** Registry name, e.g. ["cubic"] or ["bbr"]. *)
+  base_rtt : float;  (** Two-way propagation delay, seconds. *)
+  start_time : float;  (** When the flow starts sending. *)
+}
+
+val flow_config : ?start_time:float -> ?base_rtt:float -> string -> flow_config
+(** Convenience constructor; default RTT 40 ms, start 0. *)
+
+type aqm =
+  | Tail_drop  (** The paper's drop-tail setting. *)
+  | Red_default  (** RED with {!Netsim.Droptail_queue.red_defaults}. *)
+
+type config = {
+  rate_bps : float;  (** Bottleneck capacity. *)
+  buffer_bytes : int;  (** Bottleneck buffer size. *)
+  flows : flow_config list;
+  duration : float;  (** Total simulated seconds. *)
+  warmup : float;  (** Measurement starts here (excludes slow start). *)
+  seed : int;
+  sample_period : float;  (** Queue sampling period, seconds. *)
+  aqm : aqm;  (** Bottleneck drop policy. *)
+}
+
+val default_config : config
+(** 100 Mbps, 40 ms, 10 BDP buffer, 1 CUBIC vs 1 BBR, 40 s run with 10 s
+    warm-up, seed 1, 1 ms sampling. *)
+
+val buffer_bytes_of_bdp : rate_bps:float -> rtt:float -> bdp:float -> int
+(** Buffer size for a multiple [bdp] of the bandwidth-delay product,
+    at least one MSS. *)
+
+type flow_result = {
+  flow_id : int;
+  flow_cca : string;
+  flow_rtt : float;
+  throughput_bps : float;  (** Goodput over the measurement window. *)
+  flow_lost_segments : int;
+  flow_retransmitted : int;
+  flow_min_rtt : float;
+}
+
+type result = {
+  config : config;
+  per_flow : flow_result list;
+  queuing_delay : float;  (** Time-weighted mean over the window, seconds. *)
+  queue_mean_bytes : float;
+  class_mean_bytes : (string * float) list;  (** Per-CCA occupancy means. *)
+  class_min_bytes : (string * float) list;  (** Per-CCA occupancy minima. *)
+  class_max_bytes : (string * float) list;
+  drops : int;
+  utilization : float;  (** Whole-run link utilization (approximate). *)
+}
+
+val run : config -> result
+
+val throughput_of_cca : result -> string -> float list
+(** Per-flow goodputs (bits/s) of all flows running the named CCA. *)
+
+val mean_throughput_of_cca : result -> string -> float
+(** Mean of {!throughput_of_cca}; [nan] when no flow runs that CCA. *)
+
+val aggregate_throughput_of_cca : result -> string -> float

@@ -1,0 +1,105 @@
+type sample = {
+  time : float;
+  cwnd_bytes : float;
+  inflight_bytes : int;
+  pacing_rate : float option;
+  delivered_bytes : float;
+  cc_state : string;
+}
+
+type t = {
+  sim : Sim_engine.Sim.t;
+  sender : Sender.t;
+  period : float;
+  mutable samples : sample list;  (* newest first *)
+  cwnd : Sim_engine.Timeseries.t;
+  mutable running : bool;
+}
+
+let sample t =
+  let now = Sim_engine.Sim.now t.sim in
+  let cc = Sender.cc t.sender in
+  let s =
+    {
+      time = now;
+      cwnd_bytes = cc.Cca.Cc_types.cwnd_bytes ();
+      inflight_bytes = Sender.inflight_bytes t.sender;
+      pacing_rate = cc.Cca.Cc_types.pacing_rate ();
+      delivered_bytes = Sender.delivered_bytes t.sender;
+      cc_state = cc.Cca.Cc_types.state ();
+    }
+  in
+  t.samples <- s :: t.samples;
+  Sim_engine.Timeseries.record t.cwnd ~time:now s.cwnd_bytes
+
+let rec tick t () =
+  if t.running then begin
+    sample t;
+    ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period (tick t))
+  end
+
+let attach ~sim ~sender ~period =
+  if period <= 0.0 then invalid_arg "Flow_trace.attach: period";
+  let t =
+    {
+      sim;
+      sender;
+      period;
+      samples = [];
+      cwnd = Sim_engine.Timeseries.create ();
+      running = true;
+    }
+  in
+  tick t ();
+  t
+
+let stop t = t.running <- false
+let samples t = List.rev t.samples
+let cwnd_series t = t.cwnd
+
+let throughput_between t ~from_ ~until =
+  if until <= from_ then nan
+  else begin
+    (* Last sample at/before each edge. *)
+    let at edge =
+      List.fold_left
+        (fun acc s -> if s.time <= edge then Some s else acc)
+        None (samples t)
+    in
+    match (at from_, at until) with
+    | Some a, Some b when b.time > a.time ->
+      (b.delivered_bytes -. a.delivered_bytes)
+      /. (b.time -. a.time) *. Sim_engine.Units.bits_per_byte
+    | _ -> nan
+  end
+
+let to_csv t =
+  let line s =
+    Printf.sprintf "%.6f,%.0f,%d,%s,%.0f,%s" s.time s.cwnd_bytes
+      s.inflight_bytes
+      (match s.pacing_rate with
+      | Some r -> Printf.sprintf "%.0f" r
+      | None -> "")
+      s.delivered_bytes s.cc_state
+  in
+  String.concat "\n"
+    ("time,cwnd_bytes,inflight_bytes,pacing_Bps,delivered_bytes,state"
+    :: List.map line (samples t))
+  ^ "\n"
+
+let state_occupancy t =
+  let counts = Hashtbl.create 8 in
+  let total = ref 0 in
+  List.iter
+    (fun s ->
+      incr total;
+      Hashtbl.replace counts s.cc_state
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts s.cc_state)))
+    t.samples;
+  if !total = 0 then []
+  else
+    Hashtbl.fold
+      (fun state n acc ->
+        (state, float_of_int n /. float_of_int !total) :: acc)
+      counts []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,39 @@
+(** Periodic sampling of a sender's congestion state into time series —
+    the in-simulator equivalent of the kernel's tcp_probe / ss traces that
+    papers plot cwnd dynamics from.
+
+    A trace samples cwnd, bytes in flight, pacing rate, delivered bytes and
+    the CCA's state string every [period] seconds until stopped. *)
+
+type t
+
+type sample = {
+  time : float;
+  cwnd_bytes : float;
+  inflight_bytes : int;
+  pacing_rate : float option;  (** Bytes/s; [None] for ACK-clocked CCAs. *)
+  delivered_bytes : float;
+  cc_state : string;
+}
+
+val attach : sim:Sim_engine.Sim.t -> sender:Sender.t -> period:float -> t
+(** Starts sampling immediately, then every [period] seconds. *)
+
+val stop : t -> unit
+
+val samples : t -> sample list
+(** In chronological order. *)
+
+val cwnd_series : t -> Sim_engine.Timeseries.t
+(** The cwnd samples as a time series (for aggregation helpers). *)
+
+val throughput_between : t -> from_:float -> until:float -> float
+(** Goodput in bits/s computed from the delivered-bytes samples nearest the
+    window edges; [nan] when the window has fewer than two samples. *)
+
+val to_csv : t -> string
+(** Header + one line per sample. *)
+
+val state_occupancy : t -> (string * float) list
+(** Fraction of samples spent in each CCA state (e.g. how long BBR spent in
+    ProbeBW vs ProbeRTT), sorted by descending share. *)

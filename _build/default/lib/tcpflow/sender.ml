@@ -1,0 +1,369 @@
+module Sim = Sim_engine.Sim
+module Packet = Netsim.Packet
+module Dumbbell = Netsim.Dumbbell
+module Cc = Cca.Cc_types
+
+(* Per-segment transmission state. Entries are garbage-collected once the
+   segment is acknowledged and has left the send-order queue. *)
+type seg_state = {
+  mutable acked : bool;
+  mutable lost : bool;  (* declared lost, awaiting retransmission or ack *)
+  mutable retx_count : int;
+  mutable last_sent_time : float;
+}
+
+(* Send-order queue entry; stale when the segment was acked or has been
+   retransmitted after this transmission. *)
+type order_entry = { o_seq : int; o_sent_time : float }
+
+type t = {
+  sim : Sim.t;
+  net : Dumbbell.t;
+  flow : int;
+  mss : int;
+  cc : Cc.t;
+  seg_limit : int;  (* max_int = unlimited (bulk flow) *)
+  mutable next_seq : int;
+  mutable cum_ack : int;  (* all segments below this are acked *)
+  segs : (int, seg_state) Hashtbl.t;
+  order : order_entry Queue.t;
+  retx_queue : int Queue.t;
+  mutable inflight_bytes : int;
+  (* Delivery accounting (BBR-style). *)
+  mutable delivered : float;
+  mutable delivered_time : float;
+  mutable round : int;
+  mutable next_round_delivered : float;
+  (* RTT estimation. *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable min_rtt : float;
+  (* Recovery state. *)
+  mutable in_recovery : bool;
+  mutable recovery_high : int;
+  (* RTO. *)
+  mutable rto_handle : Sim.handle option;
+  (* Pacing. *)
+  mutable pacing_handle : Sim.handle option;
+  mutable next_send_time : float;
+  (* Counters. *)
+  mutable lost_segments : int;
+  mutable retransmitted_segments : int;
+}
+
+let flow t = t.flow
+let cc t = t.cc
+let delivered_bytes t = t.delivered
+let inflight_bytes t = t.inflight_bytes
+let lost_segments t = t.lost_segments
+let retransmitted_segments t = t.retransmitted_segments
+let rounds t = t.round
+let srtt t = t.srtt
+let min_rtt_observed t = t.min_rtt
+let snapshot_delivered t = (Sim.now t.sim, t.delivered)
+let completed t = t.seg_limit < max_int && t.cum_ack >= t.seg_limit
+
+let seg t seq =
+  match Hashtbl.find_opt t.segs seq with
+  | Some s -> s
+  | None ->
+    (* Unknown segment: already acked and collected. *)
+    { acked = true; lost = false; retx_count = 0; last_sent_time = 0.0 }
+
+let rto_interval t =
+  if Float.is_nan t.srtt then 1.0
+  else Float.max 0.2 (t.srtt +. (4.0 *. t.rttvar))
+
+let rec arm_rto t =
+  (match t.rto_handle with Some h -> Sim.cancel h | None -> ());
+  let handle =
+    Sim.schedule t.sim ~delay:(rto_interval t) (fun () -> on_rto t)
+  in
+  t.rto_handle <- Some handle
+
+and on_rto t =
+  t.rto_handle <- None;
+  if t.inflight_bytes > 0 then begin
+    (* Declare everything in flight lost and restart. *)
+    let newly_lost = ref 0 in
+    Hashtbl.iter
+      (fun seq s ->
+        if (not s.acked) && not s.lost then begin
+          s.lost <- true;
+          incr newly_lost;
+          Queue.push seq t.retx_queue
+        end)
+      t.segs;
+    t.lost_segments <- t.lost_segments + !newly_lost;
+    t.inflight_bytes <- 0;
+    t.in_recovery <- true;
+    t.recovery_high <- t.next_seq;
+    t.cc.Cc.on_loss
+      {
+        Cc.now = Sim.now t.sim;
+        lost_bytes = !newly_lost * t.mss;
+        inflight_bytes = 0;
+        via_timeout = true;
+      };
+    arm_rto t;
+    try_send t
+  end
+
+and transmit t ~seq ~retransmit =
+  let now = Sim.now t.sim in
+  let s =
+    match Hashtbl.find_opt t.segs seq with
+    | Some s -> s
+    | None ->
+      let s = { acked = false; lost = false; retx_count = 0;
+                last_sent_time = now } in
+      Hashtbl.replace t.segs seq s;
+      s
+  in
+  s.last_sent_time <- now;
+  s.lost <- false;
+  if retransmit then begin
+    s.retx_count <- s.retx_count + 1;
+    t.retransmitted_segments <- t.retransmitted_segments + 1
+  end;
+  Queue.push { o_seq = seq; o_sent_time = now } t.order;
+  t.inflight_bytes <- t.inflight_bytes + t.mss;
+  let packet =
+    Packet.make ~flow:t.flow ~seq ~size:t.mss ~retransmit ~sent_time:now
+      ~delivered:t.delivered ~delivered_time:t.delivered_time
+      ~app_limited:false
+  in
+  t.cc.Cc.on_send ~now ~inflight_bytes:t.inflight_bytes;
+  (* Drops surface later through RACK/RTO, exactly as on a real path. *)
+  ignore (Dumbbell.send t.net packet);
+  if t.rto_handle = None then arm_rto t
+
+and try_send t =
+  let now = Sim.now t.sim in
+  let cwnd = t.cc.Cc.cwnd_bytes () in
+  let can_send () = float_of_int (t.inflight_bytes + t.mss) <= cwnd in
+  match t.cc.Cc.pacing_rate () with
+  | None ->
+    (* ACK-clocked: fill the window. *)
+    let continue = ref true in
+    while !continue && can_send () do
+      continue := send_one t
+    done
+  | Some rate when rate <= 0.0 -> ()
+  | Some rate ->
+    if can_send () then begin
+      if now >= t.next_send_time then begin
+        if send_one t then begin
+          t.next_send_time <-
+            Float.max t.next_send_time now +. (float_of_int t.mss /. rate);
+          schedule_pacer t
+        end
+      end
+      else schedule_pacer t
+    end
+
+(* Returns false when there is nothing (left) to send. *)
+and send_one t =
+  match Queue.take_opt t.retx_queue with
+  | Some seq ->
+    let s = seg t seq in
+    (* Skip stale retransmit requests (acked meanwhile). *)
+    if s.acked then send_one t
+    else begin
+      transmit t ~seq ~retransmit:true;
+      true
+    end
+  | None ->
+    if t.next_seq >= t.seg_limit then false
+    else begin
+      let seq = t.next_seq in
+      t.next_seq <- t.next_seq + 1;
+      transmit t ~seq ~retransmit:false;
+      true
+    end
+
+and schedule_pacer t =
+  match t.pacing_handle with
+  | Some _ -> ()
+  | None ->
+    let now = Sim.now t.sim in
+    let delay = Float.max 0.0 (t.next_send_time -. now) in
+    let handle =
+      Sim.schedule t.sim ~delay (fun () ->
+          t.pacing_handle <- None;
+          try_send t)
+    in
+    t.pacing_handle <- Some handle
+
+(* Process the arrival of the ACK generated by the (unique) reception of
+   [trig]. *)
+let on_ack_packet t (trig : Packet.t) =
+  let now = Sim.now t.sim in
+  let s = seg t trig.seq in
+  (* Any ACK for an unacked segment means the receiver holds the data,
+     whichever transmission got through. *)
+  let first_delivery = not s.acked in
+  let rtt_valid = s.retx_count = 0 in
+  if first_delivery then begin
+    s.acked <- true;
+    t.delivered <- t.delivered +. float_of_int t.mss;
+    t.delivered_time <- now;
+    if t.inflight_bytes >= t.mss then
+      t.inflight_bytes <- t.inflight_bytes - t.mss
+  end;
+  (* Advance the cumulative ACK point, collecting old state. *)
+  let rec advance () =
+    match Hashtbl.find_opt t.segs t.cum_ack with
+    | Some s when s.acked ->
+      Hashtbl.remove t.segs t.cum_ack;
+      t.cum_ack <- t.cum_ack + 1;
+      advance ()
+    | _ -> ()
+  in
+  advance ();
+  (* RACK: every segment sent before [trig] and still unacked is lost. *)
+  let newly_lost = ref 0 in
+  let rec reap () =
+    match Queue.peek_opt t.order with
+    | None -> ()
+    | Some e ->
+      let es = seg t e.o_seq in
+      if es.acked || es.last_sent_time <> e.o_sent_time then begin
+        (* Stale entry: segment acked, or retransmitted more recently. *)
+        ignore (Queue.pop t.order);
+        if es.acked && e.o_seq < t.cum_ack then Hashtbl.remove t.segs e.o_seq;
+        reap ()
+      end
+      else if e.o_sent_time < trig.sent_time then begin
+        ignore (Queue.pop t.order);
+        if not es.lost then begin
+          es.lost <- true;
+          t.lost_segments <- t.lost_segments + 1;
+          incr newly_lost;
+          Queue.push e.o_seq t.retx_queue;
+          if t.inflight_bytes >= t.mss then
+            t.inflight_bytes <- t.inflight_bytes - t.mss
+        end;
+        reap ()
+      end
+  in
+  reap ();
+  (* RTT estimators (Karn's rule: skip retransmitted segments). *)
+  let rtt_sample = now -. trig.sent_time in
+  if rtt_valid then begin
+    if Float.is_nan t.srtt then begin
+      t.srtt <- rtt_sample;
+      t.rttvar <- rtt_sample /. 2.0
+    end
+    else begin
+      t.rttvar <-
+        (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt_sample));
+      t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt_sample)
+    end;
+    if rtt_sample < t.min_rtt then t.min_rtt <- rtt_sample
+  end;
+  (* Loss-round bookkeeping: one CC notification per recovery episode. *)
+  if !newly_lost > 0 then begin
+    if not t.in_recovery then begin
+      t.in_recovery <- true;
+      t.recovery_high <- t.next_seq;
+      t.cc.Cc.on_loss
+        {
+          Cc.now = now;
+          lost_bytes = !newly_lost * t.mss;
+          inflight_bytes = t.inflight_bytes;
+          via_timeout = false;
+        }
+    end
+  end;
+  if t.in_recovery && t.cum_ack >= t.recovery_high then t.in_recovery <- false;
+  (* Round accounting and CC ACK notification for first-time deliveries. *)
+  if first_delivery then begin
+    let round_start = trig.delivered >= t.next_round_delivered in
+    if round_start then begin
+      t.round <- t.round + 1;
+      t.next_round_delivered <- t.delivered
+    end;
+    let interval = now -. trig.delivered_time in
+    let delivery_rate =
+      if interval > 0.0 then (t.delivered -. trig.delivered) /. interval
+      else 0.0
+    in
+    let rtt_for_cc =
+      if rtt_valid then rtt_sample
+      else if Float.is_nan t.srtt then rtt_sample
+      else t.srtt
+    in
+    t.cc.Cc.on_ack
+      {
+        Cc.now;
+        rtt_sample = rtt_for_cc;
+        acked_bytes = t.mss;
+        delivered = t.delivered;
+        delivery_rate;
+        rate_app_limited = trig.app_limited;
+        inflight_bytes = t.inflight_bytes;
+        round = t.round;
+        round_start;
+      }
+  end;
+  if completed t then begin
+    (match t.rto_handle with Some h -> Sim.cancel h | None -> ());
+    t.rto_handle <- None
+  end
+  else begin
+    arm_rto t;
+    try_send t
+  end
+
+let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss) ?(start_time = 0.0)
+    ?data_limit_bytes () =
+  let sim = Dumbbell.sim net in
+  let seg_limit =
+    match data_limit_bytes with
+    | None -> max_int
+    | Some bytes ->
+      if bytes <= 0 then invalid_arg "Sender.create: data_limit_bytes";
+      (bytes + mss - 1) / mss
+  in
+  let t =
+    {
+      sim;
+      net;
+      flow;
+      mss;
+      cc;
+      seg_limit;
+      next_seq = 0;
+      cum_ack = 0;
+      segs = Hashtbl.create 1024;
+      order = Queue.create ();
+      retx_queue = Queue.create ();
+      inflight_bytes = 0;
+      delivered = 0.0;
+      delivered_time = 0.0;
+      round = 0;
+      next_round_delivered = 0.0;
+      srtt = nan;
+      rttvar = 0.0;
+      min_rtt = infinity;
+      in_recovery = false;
+      recovery_high = 0;
+      rto_handle = None;
+      pacing_handle = None;
+      next_send_time = 0.0;
+      lost_segments = 0;
+      retransmitted_segments = 0;
+    }
+  in
+  (* Receiver: each arriving data packet generates one ACK that reaches the
+     sender after the flow's reverse-path delay. *)
+  let reverse = Dumbbell.reverse_delay net ~flow in
+  Dumbbell.set_receiver net ~flow (fun packet ->
+      ignore
+        (Sim.schedule sim ~delay:reverse (fun () -> on_ack_packet t packet)));
+  ignore
+    (Sim.schedule sim ~delay:start_time (fun () ->
+         t.delivered_time <- Sim.now sim;
+         try_send t));
+  t

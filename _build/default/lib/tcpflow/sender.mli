@@ -1,0 +1,56 @@
+(** A bulk-data TCP sender.
+
+    The sender owns the transport machinery the CCAs plug into:
+
+    - sequence/ACK bookkeeping with SACK-like per-segment state,
+    - RACK-style loss detection (a segment still unacknowledged when a
+      later-sent segment has been cumulatively or selectively acknowledged
+      is declared lost — exact on our reorder-free FIFO path),
+    - NewReno-style single CC notification per loss round, with an RTO
+      backstop,
+    - BBR-style delivery-rate sampling (per-packet [delivered] snapshots),
+    - pacing for rate-based CCAs and pure ACK clocking otherwise.
+
+    Flows are backlogged by default (the paper studies long flows); pass
+    [data_limit_bytes] to model the short flows of the §5 "more diverse
+    workloads" discussion — the sender stops after delivering that much and
+    {!completed} turns true. *)
+
+type t
+
+val create :
+  net:Netsim.Dumbbell.t ->
+  flow:int ->
+  cc:Cca.Cc_types.t ->
+  ?mss:int ->
+  ?start_time:float ->
+  ?data_limit_bytes:int ->
+  unit ->
+  t
+(** Wires a sender and its receiver into [net] for flow id [flow]. The
+    sender begins transmitting at [start_time] (default 0) and, when
+    [data_limit_bytes] is given, stops once that much data is delivered. *)
+
+val completed : t -> bool
+(** True once a data-limited flow has delivered everything (always false
+    for bulk flows). *)
+
+val flow : t -> int
+val cc : t -> Cca.Cc_types.t
+
+val delivered_bytes : t -> float
+(** Cumulative bytes delivered (first-time ACKed), the basis for goodput
+    measurements. *)
+
+val inflight_bytes : t -> int
+val lost_segments : t -> int
+val retransmitted_segments : t -> int
+val rounds : t -> int
+val srtt : t -> float
+(** Smoothed RTT; [nan] before the first sample. *)
+
+val min_rtt_observed : t -> float
+(** Smallest RTT sample seen; [infinity] before the first sample. *)
+
+val snapshot_delivered : t -> float * float
+(** [(now, delivered_bytes)] — convenience for windowed goodput. *)

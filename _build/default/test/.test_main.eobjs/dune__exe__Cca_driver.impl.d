@@ -1,0 +1,1 @@
+test/cca_driver.ml: Cca

@@ -1,0 +1,1 @@
+test/test_bbr2.ml: Alcotest Cca Cca_driver Float Printf Sim_engine

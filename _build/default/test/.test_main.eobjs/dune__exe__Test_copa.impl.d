@@ -1,0 +1,1 @@
+test/test_copa.ml: Alcotest Cca Cca_driver

@@ -1,0 +1,1 @@
+test/test_cubic.ml: Alcotest Cca Cca_driver Float Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_details.ml: Alcotest Array Cca Cca_driver Ccgame Ccmodel Float Fluidsim Hashtbl List Printf Sim_engine Tcpflow

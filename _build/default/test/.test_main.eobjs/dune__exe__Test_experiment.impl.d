@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Float List Printf Sim_engine Tcpflow

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Catalog Ccmodel Common Experiments Fig06 Fig09 Fig10 Fig12 Filename Float Fluidsim Format List Ne_search Printf Runs Sim_engine String Sys Table1 Tcpflow

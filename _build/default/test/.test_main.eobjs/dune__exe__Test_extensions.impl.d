@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cca Experiments List Netsim Sim_engine Tcpflow

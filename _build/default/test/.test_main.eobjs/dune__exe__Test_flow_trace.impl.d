@@ -1,0 +1,1 @@
+test/test_flow_trace.ml: Alcotest Cca List Netsim Printf Sim_engine String Tcpflow

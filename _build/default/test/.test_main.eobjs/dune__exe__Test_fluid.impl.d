@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Float Fluidsim List Printf Sim_engine

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Array Ccgame Grouped_game List Normal_form QCheck QCheck_alcotest Symmetric_game

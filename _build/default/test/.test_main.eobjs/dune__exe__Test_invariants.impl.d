@@ -1,0 +1,1 @@
+test/test_invariants.ml: Float List Printf QCheck QCheck_alcotest Sim_engine String Tcpflow

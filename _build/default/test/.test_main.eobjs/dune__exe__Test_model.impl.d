@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ccmodel Float Format List Multi_flow Ne Notation Params Printf QCheck QCheck_alcotest Sim_engine Solver String Two_flow Ware

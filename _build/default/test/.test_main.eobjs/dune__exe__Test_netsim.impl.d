@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Droptail_queue Dumbbell Gen Link List Netsim Packet Pipe QCheck QCheck_alcotest Sim_engine

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Cca List Sim_engine String

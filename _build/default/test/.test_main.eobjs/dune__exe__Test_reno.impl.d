@@ -1,0 +1,1 @@
+test/test_reno.ml: Alcotest Cca Cca_driver Printf

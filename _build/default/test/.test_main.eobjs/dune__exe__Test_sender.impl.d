@@ -1,0 +1,1 @@
+test/test_sender.ml: Alcotest Cca List Netsim Printf Sim_engine Tcpflow

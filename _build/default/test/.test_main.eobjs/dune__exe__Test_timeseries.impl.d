@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Float List QCheck QCheck_alcotest Sim_engine Timeseries

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Float QCheck QCheck_alcotest Sim_engine Units

@@ -1,0 +1,1 @@
+test/test_vegas.ml: Alcotest Cca Cca_driver Printf Sim_engine Tcpflow

@@ -1,0 +1,1 @@
+test/test_vivace.ml: Alcotest Cca Cca_driver Float Printf Sim_engine

@@ -1,0 +1,1 @@
+test/test_windowed_filter.ml: Alcotest Cca Float Gen List Max_rounds Min_time QCheck QCheck_alcotest

@@ -1,0 +1,38 @@
+(* Synthetic ACK/loss drivers for unit-testing congestion-control modules
+   without the full transport. *)
+
+open Cca.Cc_types
+
+let ack ?(now = 0.0) ?(rtt = 0.04) ?(acked = 1500) ?(delivered = 0.0)
+    ?(rate = 0.0) ?(app_limited = false) ?(inflight = 15000) ?(round = 0)
+    ?(round_start = false) () =
+  {
+    now;
+    rtt_sample = rtt;
+    acked_bytes = acked;
+    delivered;
+    delivery_rate = rate;
+    rate_app_limited = app_limited;
+    inflight_bytes = inflight;
+    round;
+    round_start;
+  }
+
+let loss ?(now = 0.0) ?(lost = 1500) ?(inflight = 15000) ?(timeout = false) () =
+  { now; lost_bytes = lost; inflight_bytes = inflight; via_timeout = timeout }
+
+(* Feed [n] ACKs of one MSS each, one round per [per_round] ACKs, advancing
+   time by [rtt] per round. Returns the final (now, round). *)
+let feed_rounds (cc : t) ~rounds ~per_round ~rtt ~rate ~start_now ~start_round
+    =
+  let now = ref start_now and round = ref start_round in
+  for _ = 1 to rounds do
+    incr round;
+    now := !now +. rtt;
+    for i = 0 to per_round - 1 do
+      cc.on_ack
+        (ack ~now:!now ~rtt ~rate ~round:!round ~round_start:(i = 0)
+           ~inflight:(per_round * 1500) ())
+    done
+  done;
+  (!now, !round)

@@ -1,0 +1,106 @@
+let mss = 1500
+
+let make ?params () = Cca.Copa.make ?params ~mss ()
+
+let test_slow_start_growth () =
+  let cc = make () in
+  (* Zero queuing delay: slow start doubles per RTT. *)
+  for _ = 1 to 10 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~rtt:0.04 ())
+  done;
+  Alcotest.(check (float 0.0)) "doubled" 30000.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_queue_exits_slow_start () =
+  let cc = make () in
+  cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:0.0 ~rtt:0.04 ());
+  (* Sustained bloated RTT samples (queuing delay) must end slow start once
+     the old low sample leaves the srtt/2 standing window. *)
+  let now = ref 0.0 in
+  for _ = 1 to 10 do
+    now := !now +. 0.1;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.10 ())
+  done;
+  Alcotest.(check string) "steady" "Steady" (cc.Cca.Cc_types.state ())
+
+let test_decreases_under_large_queue () =
+  let cc = make () in
+  cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:0.0 ~rtt:0.04 ());
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  (* Sustained 200 ms of queuing delay: target rate tiny -> shrink. *)
+  let now = ref 0.0 and round = ref 0 in
+  for _ = 1 to 30 do
+    now := !now +. 0.24;
+    incr round;
+    for _ = 1 to 5 do
+      cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.24 ~round:!round ())
+    done
+  done;
+  Alcotest.(check bool) "shrank" true (cc.Cca.Cc_types.cwnd_bytes () < w0)
+
+let test_floor () =
+  let cc = make () in
+  cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:0.0 ~rtt:0.04 ());
+  let now = ref 0.0 and round = ref 0 in
+  for _ = 1 to 200 do
+    now := !now +. 0.3;
+    incr round;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.3 ~round:!round ())
+  done;
+  Alcotest.(check bool) "floor 2 mss" true
+    (cc.Cca.Cc_types.cwnd_bytes () >= 2.0 *. float_of_int mss)
+
+let test_step_capped_at_acked () =
+  (* Even with an absurd velocity the per-ACK change is bounded by the acked
+     bytes, so cwnd can at most double per RTT. Rounds and ACK counts are
+     bounded to keep the doubling from exploding the test itself. *)
+  let cc = make () in
+  let now = ref 0.0 and round = ref 0 in
+  for _ = 1 to 12 do
+    now := !now +. 0.04;
+    incr round;
+    let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+    let acks = min 1000 (max 1 (int_of_float (w0 /. 1500.0))) in
+    for _ = 1 to acks do
+      cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~round:!round ())
+    done;
+    let w1 = cc.Cca.Cc_types.cwnd_bytes () in
+    if w1 > 2.0 *. w0 +. 1.0 then
+      Alcotest.failf "grew faster than 2x per RTT (%.0f -> %.0f)" w0 w1
+  done
+
+let test_loss_exits_slow_start_only () =
+  let cc = make () in
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ());
+  Alcotest.(check (float 0.0)) "window unchanged on fast-retx loss" w0
+    (cc.Cca.Cc_types.cwnd_bytes ());
+  Alcotest.(check string) "slow start exited" "Steady"
+    (cc.Cca.Cc_types.state ())
+
+let test_timeout_collapses () =
+  let cc = make () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~timeout:true ());
+  Alcotest.(check (float 0.0)) "collapsed" 3000.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_paced_once_rtt_known () =
+  let cc = make () in
+  Alcotest.(check bool) "no pacing before rtt" true
+    (cc.Cca.Cc_types.pacing_rate () = None);
+  cc.Cca.Cc_types.on_ack (Cca_driver.ack ~rtt:0.04 ());
+  match cc.Cca.Cc_types.pacing_rate () with
+  | Some rate -> Alcotest.(check bool) "positive" true (rate > 0.0)
+  | None -> Alcotest.fail "expected pacing"
+
+let tests =
+  [
+    Alcotest.test_case "slow start growth" `Quick test_slow_start_growth;
+    Alcotest.test_case "queue exits slow start" `Quick
+      test_queue_exits_slow_start;
+    Alcotest.test_case "shrinks under queue" `Quick
+      test_decreases_under_large_queue;
+    Alcotest.test_case "window floor" `Quick test_floor;
+    Alcotest.test_case "step capped" `Quick test_step_capped_at_acked;
+    Alcotest.test_case "loss semantics" `Quick test_loss_exits_slow_start_only;
+    Alcotest.test_case "timeout collapse" `Quick test_timeout_collapses;
+    Alcotest.test_case "pacing" `Quick test_paced_once_rtt_known;
+  ]

@@ -1,0 +1,166 @@
+let mss = 1500
+
+let make ?params () = Cca.Cubic.make ?params ~mss ()
+
+let test_multiplicative_decrease_factor () =
+  Alcotest.(check (float 1e-12)) "0.7"
+    0.7
+    (Cca.Cubic.multiplicative_decrease Cca.Cubic.default_params)
+
+let test_backoff_to_07 () =
+  let cc = make () in
+  (* slow start up to ~100 pkts *)
+  for _ = 1 to 90 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  let before = cc.Cca.Cc_types.cwnd_bytes () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:10.0 ());
+  let after = cc.Cca.Cc_types.cwnd_bytes () in
+  Alcotest.(check (float 1.0)) "w *= 0.7" (0.7 *. before) after
+
+let test_cubic_recovery_toward_wmax () =
+  let cc = make () in
+  for _ = 1 to 90 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  let w_max = cc.Cca.Cc_types.cwnd_bytes () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:10.0 ());
+  (* K = cbrt(W_max(in mss) * 0.3 / 0.4); after K seconds cwnd ~ W_max *)
+  let k = Float.cbrt (w_max /. 1500.0 *. 0.3 /. 0.4) in
+  let now = ref 10.0 and round = ref 1 in
+  while !now < 10.0 +. k +. 0.5 do
+    now := !now +. 0.04;
+    incr round;
+    for _ = 1 to 20 do
+      cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~round:!round ())
+    done
+  done;
+  let recovered = cc.Cca.Cc_types.cwnd_bytes () in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered to ~W_max (%.0f vs %.0f)" recovered w_max)
+    true
+    (recovered >= 0.9 *. w_max)
+
+let test_concave_growth_slows_near_wmax () =
+  (* Drive a full recovery with window-proportional ACK rates and verify
+     the cubic shape: fast growth right after back-off, a plateau around
+     t = K (growth near zero), acceleration beyond K. *)
+  let cc = make () in
+  for _ = 1 to 200 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  let w_max = cc.Cca.Cc_types.cwnd_bytes () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:10.0 ());
+  let k = Float.cbrt (w_max /. 1500.0 *. 0.3 /. 0.4) in
+  let now = ref 10.0 and round = ref 0 in
+  let growth_until stop =
+    let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+    let dt = ref 0.0 in
+    while !now < stop do
+      now := !now +. 0.04;
+      dt := !dt +. 0.04;
+      incr round;
+      let acks =
+        max 1 (int_of_float (cc.Cca.Cc_types.cwnd_bytes () /. 1500.0))
+      in
+      for _ = 1 to acks do
+        cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~round:!round ())
+      done
+    done;
+    (cc.Cca.Cc_types.cwnd_bytes () -. w0) /. !dt
+  in
+  let early = growth_until (10.0 +. (0.3 *. k)) in
+  let plateau = growth_until (10.0 +. (1.1 *. k)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "plateau slower than early (%.0f vs %.0f B/s)" plateau
+       early)
+    true
+    (plateau < early)
+
+let test_timeout_collapse () =
+  let cc = make () in
+  for _ = 1 to 100 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~timeout:true ());
+  Alcotest.(check bool) "collapsed" true
+    (cc.Cca.Cc_types.cwnd_bytes () <= 2.0 *. float_of_int mss)
+
+let test_tcp_friendly_floor () =
+  (* With the Reno-tracking region on, sustained CA growth should be at
+     least Reno-fast for small windows. *)
+  let params = { Cca.Cubic.default_params with tcp_friendly = true } in
+  let cc = make ~params () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:0.0 ());
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  let now = ref 0.0 and round = ref 0 in
+  for _ = 1 to 25 do
+    now := !now +. 0.04;
+    incr round;
+    let acks = int_of_float (cc.Cca.Cc_types.cwnd_bytes () /. 1500.0) in
+    for _ = 1 to acks do
+      cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~round:!round ())
+    done
+  done;
+  let w1 = cc.Cca.Cc_types.cwnd_bytes () in
+  (* Reno would add ~0.45 mss/rtt (alpha = 3*0.3/1.7 ~ 0.53); cubic's own
+     growth near W_max is tiny, so the friendly region should dominate. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "grew (%.0f -> %.0f)" w0 w1)
+    true
+    (w1 -. w0 >= 5.0 *. float_of_int mss)
+
+let test_no_pacing () =
+  let cc = make () in
+  Alcotest.(check bool) "ack clocked" true
+    (cc.Cca.Cc_types.pacing_rate () = None)
+
+let test_k_formula () =
+  (* After a loss at W, K should equal cbrt(0.3 W_mss / 0.4): check through
+     the recovery time: cwnd(t=K) = W_max. Use W = 100 pkts -> K = cbrt(75)
+     ~ 4.217 s. *)
+  let cc = make () in
+  for _ = 1 to 90 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  let w_max = cc.Cca.Cc_types.cwnd_bytes () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:0.0 ());
+  let k = Float.cbrt (w_max /. 1500.0 *. 0.3 /. 0.4) in
+  (* Drive acks sparsely until just before K: window must stay below W_max *)
+  let now = ref 0.0 and round = ref 0 in
+  while !now < k -. 0.5 do
+    now := !now +. 0.04;
+    incr round;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~round:!round ())
+  done;
+  Alcotest.(check bool) "below W_max before K" true
+    (cc.Cca.Cc_types.cwnd_bytes () < w_max)
+
+let prop_backoff_factor_in_range =
+  QCheck.Test.make ~name:"cubic backoff always to 0.7 (above floor)" ~count:50
+    (QCheck.int_range 10 400)
+    (fun pkts ->
+      let cc = make () in
+      for _ = 1 to pkts do
+        cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+      done;
+      let before = cc.Cca.Cc_types.cwnd_bytes () in
+      cc.Cca.Cc_types.on_loss (Cca_driver.loss ());
+      let after = cc.Cca.Cc_types.cwnd_bytes () in
+      Float.abs (after -. Float.max (0.7 *. before) 3000.0) < 1.0)
+
+let tests =
+  [
+    Alcotest.test_case "decrease factor" `Quick
+      test_multiplicative_decrease_factor;
+    Alcotest.test_case "backoff to 0.7" `Quick test_backoff_to_07;
+    Alcotest.test_case "recovery toward W_max" `Quick
+      test_cubic_recovery_toward_wmax;
+    Alcotest.test_case "concave growth" `Quick
+      test_concave_growth_slows_near_wmax;
+    Alcotest.test_case "timeout collapse" `Quick test_timeout_collapse;
+    Alcotest.test_case "tcp-friendly floor" `Quick test_tcp_friendly_floor;
+    Alcotest.test_case "no pacing" `Quick test_no_pacing;
+    Alcotest.test_case "K formula" `Quick test_k_formula;
+    QCheck_alcotest.to_alcotest prop_backoff_factor_in_range;
+  ]

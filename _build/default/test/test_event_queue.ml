@@ -1,0 +1,144 @@
+open Sim_engine
+
+let test_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check (option (float 0.0))) "no peek" None (Event_queue.peek_time q);
+  Alcotest.(check bool) "no pop" true (Event_queue.pop q = None)
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  let add time tag =
+    ignore (Event_queue.add q ~time (fun () -> order := tag :: !order))
+  in
+  add 3.0 "c";
+  add 1.0 "a";
+  add 2.0 "b";
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+      f ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Event_queue.add q ~time:1.0 (fun () -> order := i :: !order))
+  done;
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, f) ->
+      f ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ties fire in insertion order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let h = Event_queue.add q ~time:1.0 (fun () -> fired := true) in
+  ignore (Event_queue.add q ~time:2.0 ignore);
+  Event_queue.cancel h;
+  Alcotest.(check bool) "cancelled flag" true (Event_queue.is_cancelled h);
+  (match Event_queue.pop q with
+  | Some (t, _) -> Alcotest.(check (float 1e-9)) "skips cancelled" 2.0 t
+  | None -> Alcotest.fail "expected an event");
+  Alcotest.(check bool) "cancelled never fires" false !fired
+
+let test_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1.0 ignore in
+  Event_queue.cancel h;
+  Event_queue.cancel h;
+  Alcotest.(check int) "size 0" 0 (Event_queue.size q)
+
+let test_size () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~time:1.0 ignore in
+  ignore (Event_queue.add q ~time:2.0 ignore);
+  Alcotest.(check int) "two live" 2 (Event_queue.size q);
+  Event_queue.cancel h1;
+  Alcotest.(check int) "one live after cancel" 1 (Event_queue.size q)
+
+let test_peek_does_not_remove () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:5.0 ignore);
+  Alcotest.(check (option (float 1e-9))) "peek" (Some 5.0)
+    (Event_queue.peek_time q);
+  Alcotest.(check (option (float 1e-9))) "peek again" (Some 5.0)
+    (Event_queue.peek_time q);
+  Alcotest.(check int) "still there" 1 (Event_queue.size q)
+
+let test_growth () =
+  (* Exceed the initial capacity of 64. *)
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    ignore (Event_queue.add q ~time:(float_of_int (999 - i)) ignore)
+  done;
+  Alcotest.(check int) "all queued" 1000 (Event_queue.size q);
+  let prev = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, _) ->
+      if t < !prev then Alcotest.fail "out of order";
+      prev := t;
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" 1000 !count
+
+let prop_pops_sorted =
+  QCheck.Test.make ~name:"pops are sorted" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 200) (float_range 0.0 100.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> ignore (Event_queue.add q ~time:t ignore)) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (t, _) -> drain (t :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let prop_cancel_subset =
+  QCheck.Test.make ~name:"cancelling a subset removes exactly it" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 100) (pair (float_range 0.0 10.0) bool))
+    (fun entries ->
+      let q = Event_queue.create () in
+      let kept = ref 0 in
+      List.iter
+        (fun (t, keep) ->
+          let h = Event_queue.add q ~time:t ignore in
+          if keep then incr kept else Event_queue.cancel h)
+        entries;
+      let rec drain n =
+        match Event_queue.pop q with Some _ -> drain (n + 1) | None -> n
+      in
+      drain 0 = !kept)
+
+let tests =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "time ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel idempotent" `Quick test_cancel_idempotent;
+    Alcotest.test_case "size with cancellations" `Quick test_size;
+    Alcotest.test_case "peek non-destructive" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "heap growth" `Quick test_growth;
+    QCheck_alcotest.to_alcotest prop_pops_sorted;
+    QCheck_alcotest.to_alcotest prop_cancel_subset;
+  ]

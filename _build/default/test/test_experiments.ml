@@ -1,0 +1,229 @@
+open Experiments
+
+(* --- Common --- *)
+
+let test_catalog_complete () =
+  let ids = Catalog.ids () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
+    [ "table1"; "fig01"; "fig03"; "fig04"; "fig05"; "fig06"; "fig07";
+      "fig08"; "fig09"; "fig10"; "fig11"; "fig12"; "ext-red"; "ext-utility";
+      "ext-short"; "ext-internals"; "ext-2flow" ];
+  Alcotest.(check int) "17 artifacts" 17 (List.length ids);
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_catalog_find () =
+  Alcotest.(check bool) "find fig03" true (Catalog.find "fig03" <> None);
+  Alcotest.(check bool) "find missing" true (Catalog.find "fig99" = None)
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Common.cell 3.14159);
+  Alcotest.(check string) "nan" "-" (Common.cell nan);
+  Alcotest.(check string) "int" "42" (Common.cell_int 42)
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Common.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check bool) "empty nan" true (Float.is_nan (Common.mean []))
+
+let test_grids () =
+  let quick = Common.buffer_grid Common.Quick ~max:30.0 in
+  Alcotest.(check bool) "quick nonempty" true (List.length quick >= 5);
+  Alcotest.(check bool) "bounded" true (List.for_all (fun b -> b <= 30.0) quick);
+  let full = Common.buffer_grid Common.Full ~max:30.0 in
+  Alcotest.(check bool) "full finer" true
+    (List.length full > List.length quick);
+  let counts = Common.count_grid Common.Quick ~n:10 in
+  Alcotest.(check bool) "contains endpoints" true
+    (List.mem 0 counts && List.mem 10 counts);
+  Alcotest.(check int) "full counts" 11
+    (List.length (Common.count_grid Common.Full ~n:10))
+
+let test_csv () =
+  let table =
+    {
+      Common.id = "t";
+      title = "x";
+      header = [ "a"; "b" ];
+      rows = [ [ "1"; "va,l" ]; [ "2"; "w" ] ];
+      notes = [];
+    }
+  in
+  let csv = Common.csv_of_table table in
+  Alcotest.(check string) "escaped csv" "a,b\n1,\"va,l\"\n2,w\n" csv
+
+let test_write_csv () =
+  let dir = Filename.temp_file "repro" "" in
+  Sys.remove dir;
+  let table =
+    { Common.id = "unit"; title = "t"; header = [ "x" ]; rows = [ [ "1" ] ];
+      notes = [] }
+  in
+  let path = Common.write_csv ~dir table in
+  Alcotest.(check bool) "file exists" true (Sys.file_exists path);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_print_table_no_exn () =
+  let table =
+    { Common.id = "unit"; title = "t"; header = [ "col" ];
+      rows = [ [ "value" ] ]; notes = [ "note" ] }
+  in
+  let rendered = Format.asprintf "%a" Common.print_table table in
+  Alcotest.(check bool) "rendered" true (String.length rendered > 0)
+
+(* --- Ne_search --- *)
+
+let test_memoize () =
+  let calls = ref 0 in
+  let f =
+    Ne_search.memoize (fun k ->
+        incr calls;
+        (float_of_int k, float_of_int k))
+  in
+  ignore (f 3);
+  ignore (f 3);
+  ignore (f 4);
+  Alcotest.(check int) "two evaluations" 2 !calls
+
+let synthetic_payoff k =
+  (* u_cubic rises, u_bbr falls; fair share 10 crossed at k = 8. *)
+  (6.0 +. (0.5 *. float_of_int k), 18.0 -. float_of_int k)
+
+let test_observed_equilibria_finds_crossing () =
+  let ne =
+    Ne_search.observed_equilibria ~n:20 ~fair_bps:10.0
+      ~payoff:synthetic_payoff ~window:3 ()
+  in
+  Alcotest.(check bool) "found" true (ne <> []);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "near crossing (%d)" k)
+        true
+        (k >= 5 && k <= 11))
+    ne
+
+let test_observed_equilibria_all_bbr () =
+  (* BBR always above fair share: NE at k = n. *)
+  let payoff k = (1.0, 50.0 -. float_of_int k) in
+  let ne =
+    Ne_search.observed_equilibria ~n:10 ~fair_bps:10.0 ~payoff ~window:2 ()
+  in
+  Alcotest.(check (list int)) "all-bbr" [ 10 ] ne
+
+let test_observed_equilibria_all_cubic () =
+  (* BBR never reaches fair share and CUBIC always better: NE at k = 0. *)
+  let payoff _ = (9.0, 5.0) in
+  let ne =
+    Ne_search.observed_equilibria ~n:10 ~fair_bps:10.0 ~payoff ~window:2 ()
+  in
+  Alcotest.(check bool) "contains all-cubic" true (List.mem 0 ne)
+
+let test_fluid_payoff () =
+  let rtt = 0.04 in
+  let capacity_bps = Sim_engine.Units.mbps 50.0 in
+  let base =
+    {
+      Fluidsim.Fluid_sim.default_config with
+      capacity_bps;
+      buffer_bytes =
+        5.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
+      duration = 20.0;
+      warmup = 5.0;
+    }
+  in
+  let payoff =
+    Ne_search.fluid_payoff ~base ~kind:Fluidsim.Fluid_sim.Bbr ~rtt ~n:4
+  in
+  let u_cubic, u_bbr = payoff 2 in
+  Alcotest.(check bool) "both positive" true (u_cubic > 0.0 && u_bbr > 0.0);
+  Alcotest.(check bool) "bounded by capacity" true
+    (u_cubic < capacity_bps && u_bbr < capacity_bps)
+
+(* --- Model-only figure drivers (fast) --- *)
+
+let test_table1_driver () =
+  let t = Table1.run Common.Quick in
+  Alcotest.(check int) "14 rows" 14 (List.length t.Common.rows);
+  Alcotest.(check string) "id" "table1" t.Common.id
+
+let test_fig06_driver () =
+  let t = Fig06.run Common.Quick in
+  Alcotest.(check int) "10 rows" 10 (List.length t.Common.rows);
+  Alcotest.(check bool) "has NE note" true (t.Common.notes <> [])
+
+let test_fig06_points_monotone () =
+  let points = Fig06.points () in
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "per-flow decreasing" true
+        (b.Fig06.bbr_per_flow_sync_bps
+        <= a.Fig06.bbr_per_flow_sync_bps +. 1.0);
+      pairwise rest
+    | _ -> ()
+  in
+  (* Ignore the all-BBR endpoint, which snaps to fair share by definition. *)
+  pairwise (List.filter (fun p -> p.Fig06.n_bbr < 10) points)
+
+let test_runs_config () =
+  let config =
+    Runs.config ~mode:Common.Quick ~mbps:100.0 ~rtt_ms:40.0 ~buffer_bdp:5.0
+      ~flows:[ Tcpflow.Experiment.flow_config "cubic" ]
+      ~seed:7 ()
+  in
+  Alcotest.(check (float 1.0)) "rate" 100e6 config.Tcpflow.Experiment.rate_bps;
+  Alcotest.(check int) "buffer 5 bdp" 2_500_000
+    config.Tcpflow.Experiment.buffer_bytes;
+  Alcotest.(check int) "seed" 7 config.Tcpflow.Experiment.seed
+
+let test_fig09_helpers () =
+  Alcotest.(check string) "observed fmt" "3/5"
+    (Fig09.string_of_observed [ 3; 5 ]);
+  Alcotest.(check string) "empty" "-" (Fig09.string_of_observed []);
+  Alcotest.(check int) "quick flows" 20 (Fig09.flows_of_mode Common.Quick);
+  Alcotest.(check int) "full flows" 50 (Fig09.flows_of_mode Common.Full)
+
+let test_fig10_threshold_profile () =
+  Alcotest.(check (array int)) "0 cubic" [| 10; 10; 10 |]
+    (Fig10.threshold_profile 0);
+  Alcotest.(check (array int)) "15 cubic: shortest groups first"
+    [| 0; 5; 10 |] (Fig10.threshold_profile 15);
+  Alcotest.(check (array int)) "all cubic" [| 0; 0; 0 |]
+    (Fig10.threshold_profile 30)
+
+let test_fig12_regimes () =
+  Alcotest.(check string) "shallow" "shallow"
+    (Fig12.regime_name Ccmodel.Two_flow.Shallow);
+  Alcotest.(check string) "valid" "cwnd-limited"
+    (Fig12.regime_name Ccmodel.Two_flow.Valid);
+  Alcotest.(check string) "deep" "not-cwnd-limited"
+    (Fig12.regime_name Ccmodel.Two_flow.Ultra_deep)
+
+let tests =
+  [
+    Alcotest.test_case "catalog complete" `Quick test_catalog_complete;
+    Alcotest.test_case "catalog find" `Quick test_catalog_find;
+    Alcotest.test_case "cells" `Quick test_cells;
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "grids" `Quick test_grids;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+    Alcotest.test_case "write csv" `Quick test_write_csv;
+    Alcotest.test_case "print table" `Quick test_print_table_no_exn;
+    Alcotest.test_case "memoize" `Quick test_memoize;
+    Alcotest.test_case "NE search crossing" `Quick
+      test_observed_equilibria_finds_crossing;
+    Alcotest.test_case "NE search all-bbr" `Quick
+      test_observed_equilibria_all_bbr;
+    Alcotest.test_case "NE search all-cubic" `Quick
+      test_observed_equilibria_all_cubic;
+    Alcotest.test_case "fluid payoff" `Quick test_fluid_payoff;
+    Alcotest.test_case "table1 driver" `Quick test_table1_driver;
+    Alcotest.test_case "fig06 driver" `Quick test_fig06_driver;
+    Alcotest.test_case "fig06 monotone" `Quick test_fig06_points_monotone;
+    Alcotest.test_case "runs config" `Quick test_runs_config;
+    Alcotest.test_case "fig09 helpers" `Quick test_fig09_helpers;
+    Alcotest.test_case "fig10 threshold" `Quick test_fig10_threshold_profile;
+    Alcotest.test_case "fig12 regimes" `Quick test_fig12_regimes;
+  ]

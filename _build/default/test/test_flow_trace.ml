@@ -1,0 +1,91 @@
+module Sim = Sim_engine.Sim
+module Units = Sim_engine.Units
+
+let setup () =
+  let sim = Sim.create ~seed:4 () in
+  let rate_bps = Units.mbps 10.0 in
+  let net =
+    Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:100_000
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = 0.02 } ]
+      ()
+  in
+  let cc =
+    Cca.Registry.create "cubic" ~mss:Units.mss ~rng:(Sim_engine.Rng.create 1)
+  in
+  let sender = Tcpflow.Sender.create ~net ~flow:0 ~cc () in
+  (sim, sender)
+
+let test_samples_collected () =
+  let sim, sender = setup () in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  Sim.run ~until:2.0 sim;
+  let samples = Tcpflow.Flow_trace.samples trace in
+  Alcotest.(check bool) "about 20 samples" true
+    (List.length samples >= 19 && List.length samples <= 22);
+  (* chronological order *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Tcpflow.Flow_trace.time <= b.Tcpflow.Flow_trace.time && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (sorted samples)
+
+let test_stop () =
+  let sim, sender = setup () in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  Sim.run ~until:1.0 sim;
+  Tcpflow.Flow_trace.stop trace;
+  let n = List.length (Tcpflow.Flow_trace.samples trace) in
+  Sim.run ~until:2.0 sim;
+  Alcotest.(check int) "no more samples after stop" n
+    (List.length (Tcpflow.Flow_trace.samples trace))
+
+let test_throughput_between () =
+  let sim, sender = setup () in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.05 in
+  Sim.run ~until:5.0 sim;
+  let goodput = Tcpflow.Flow_trace.throughput_between trace ~from_:1.0 ~until:5.0 in
+  (* Single cubic flow on a 10 Mbps link: near line rate. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput ~10 Mbps (%.2f)" (goodput /. 1e6))
+    true
+    (goodput > 8.5e6 && goodput < 10.5e6)
+
+let test_csv_shape () =
+  let sim, sender = setup () in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  Sim.run ~until:1.0 sim;
+  let csv = Tcpflow.Flow_trace.to_csv trace in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check bool) "header + samples" true
+    (List.length lines = 1 + List.length (Tcpflow.Flow_trace.samples trace));
+  Alcotest.(check string) "header"
+    "time,cwnd_bytes,inflight_bytes,pacing_Bps,delivered_bytes,state"
+    (List.hd lines)
+
+let test_state_occupancy () =
+  let sim, sender = setup () in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  Sim.run ~until:2.0 sim;
+  let occupancy = Tcpflow.Flow_trace.state_occupancy trace in
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 occupancy in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0 total;
+  Alcotest.(check bool) "descending" true
+    (match occupancy with
+    | (_, a) :: (_, b) :: _ -> a >= b
+    | _ -> true)
+
+let test_period_validation () =
+  let sim, sender = setup () in
+  match Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "period 0 should raise"
+
+let tests =
+  [
+    Alcotest.test_case "samples collected" `Quick test_samples_collected;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "throughput between" `Quick test_throughput_between;
+    Alcotest.test_case "csv shape" `Quick test_csv_shape;
+    Alcotest.test_case "state occupancy" `Quick test_state_occupancy;
+    Alcotest.test_case "period validation" `Quick test_period_validation;
+  ]

@@ -1,0 +1,195 @@
+open Ccgame
+
+(* --- Normal_form --- *)
+
+(* Prisoner's dilemma: strategies 0=cooperate, 1=defect. Unique NE: both
+   defect. *)
+let prisoners_dilemma =
+  let payoff profile player =
+    match (profile.(player), profile.(1 - player)) with
+    | 0, 0 -> 3.0
+    | 0, _ -> 0.0
+    | 1, 0 -> 5.0
+    | _, _ -> 1.0
+  in
+  Normal_form.create ~n_players:2 ~n_strategies:2 ~payoff
+
+let test_pd_equilibrium () =
+  let ne = Normal_form.pure_equilibria prisoners_dilemma in
+  Alcotest.(check int) "unique NE" 1 (List.length ne);
+  Alcotest.(check (array int)) "both defect" [| 1; 1 |] (List.hd ne)
+
+let test_pd_is_nash () =
+  Alcotest.(check bool) "defect-defect" true
+    (Normal_form.is_nash prisoners_dilemma [| 1; 1 |]);
+  Alcotest.(check bool) "cooperate-cooperate is not" false
+    (Normal_form.is_nash prisoners_dilemma [| 0; 0 |])
+
+let test_pd_best_response () =
+  Alcotest.(check int) "defect vs cooperator" 1
+    (Normal_form.best_response prisoners_dilemma [| 0; 0 |] ~player:0)
+
+(* Matching pennies has no pure NE. *)
+let matching_pennies =
+  let payoff profile player =
+    let same = profile.(0) = profile.(1) in
+    if (player = 0 && same) || (player = 1 && not same) then 1.0 else -1.0
+  in
+  Normal_form.create ~n_players:2 ~n_strategies:2 ~payoff
+
+let test_matching_pennies_no_pure_ne () =
+  Alcotest.(check int) "no pure NE" 0
+    (List.length (Normal_form.pure_equilibria matching_pennies))
+
+let test_coordination_two_ne () =
+  (* Pure coordination: payoff 1 when matching, 0 otherwise -> 2 pure NE. *)
+  let game =
+    Normal_form.create ~n_players:2 ~n_strategies:2 ~payoff:(fun profile _ ->
+        if profile.(0) = profile.(1) then 1.0 else 0.0)
+  in
+  Alcotest.(check int) "two NE" 2 (List.length (Normal_form.pure_equilibria game))
+
+let test_three_player_game () =
+  (* Everyone prefers strategy 1 regardless (dominant): unique NE all-1. *)
+  let game =
+    Normal_form.create ~n_players:3 ~n_strategies:2 ~payoff:(fun profile p ->
+        float_of_int profile.(p))
+  in
+  let ne = Normal_form.pure_equilibria game in
+  Alcotest.(check int) "unique" 1 (List.length ne);
+  Alcotest.(check (array int)) "all defect" [| 1; 1; 1 |] (List.hd ne)
+
+let test_memoization_consistent () =
+  let calls = ref 0 in
+  let game =
+    Normal_form.create ~n_players:2 ~n_strategies:2 ~payoff:(fun _ _ ->
+        incr calls;
+        1.0)
+  in
+  ignore (Normal_form.payoff game [| 0; 0 |] 0);
+  ignore (Normal_form.payoff game [| 0; 0 |] 1);
+  ignore (Normal_form.payoff game [| 0; 0 |] 0);
+  Alcotest.(check int) "profile evaluated once (both players)" 2 !calls
+
+(* --- Symmetric_game --- *)
+
+(* The paper's shape: u_bbr decreasing in k crossing the fair share, u_cubic
+   increasing. Fair share 10; crossing at k*=4. *)
+let paper_like =
+  {
+    Symmetric_game.u_cubic = (fun k -> 6.0 +. float_of_int k);
+    u_bbr = (fun k -> 18.0 -. (2.0 *. float_of_int k));
+  }
+
+let test_symmetric_ne () =
+  let ne = Symmetric_game.equilibria ~n:10 paper_like in
+  (* k=4: u_bbr 4 = 10 >= u_cubic 3 = 9; u_cubic 4 = 10 >= u_bbr 5 = 8 ✓ *)
+  Alcotest.(check bool) "4 is NE" true (List.mem 4 ne);
+  Alcotest.(check bool) "0 is not NE (switching pays)" false (List.mem 0 ne);
+  Alcotest.(check bool) "10 is not NE" false (List.mem 10 ne)
+
+let test_symmetric_cubic_counts () =
+  let cubic = Symmetric_game.equilibria_cubic_counts ~n:10 paper_like in
+  Alcotest.(check bool) "6 cubic at NE" true (List.mem 6 cubic)
+
+let test_symmetric_all_bbr_ne () =
+  (* BBR dominates at every mix: the unique NE is all-BBR (paper case 1). *)
+  let game =
+    {
+      Symmetric_game.u_cubic = (fun _ -> 1.0);
+      u_bbr = (fun _ -> 5.0);
+    }
+  in
+  Alcotest.(check (list int)) "all-BBR" [ 10 ]
+    (Symmetric_game.equilibria ~n:10 game)
+
+let test_symmetric_epsilon_widens () =
+  let strict = Symmetric_game.equilibria ~n:10 paper_like in
+  let loose = Symmetric_game.equilibria ~epsilon:0.2 ~n:10 paper_like in
+  Alcotest.(check bool) "epsilon adds neighbours" true
+    (List.length loose >= List.length strict)
+
+let test_symmetric_validation () =
+  match Symmetric_game.is_equilibrium ~n:10 paper_like 11 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range should raise"
+
+let test_of_samples () =
+  let u_cubic = [| 1.0; 2.0; 3.0 |] and u_bbr = [| nan; 5.0; 1.0 |] in
+  let game = Symmetric_game.of_samples ~u_cubic ~u_bbr in
+  Alcotest.(check (float 0.0)) "lookup" 5.0 (game.Symmetric_game.u_bbr 1);
+  match Symmetric_game.of_samples ~u_cubic ~u_bbr:[| 1.0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch should raise"
+
+(* --- Grouped_game --- *)
+
+(* Two groups of 2; BBR always better in group 1, CUBIC always better in
+   group 0: unique NE = (0 BBR in g0, all BBR in g1). *)
+let grouped =
+  {
+    Grouped_game.u_cubic =
+      (fun ~group ~counts:_ -> if group = 0 then 10.0 else 1.0);
+    u_bbr = (fun ~group ~counts:_ -> if group = 0 then 1.0 else 10.0);
+  }
+
+let test_grouped_ne () =
+  let ne = Grouped_game.equilibria ~sizes:[| 2; 2 |] grouped in
+  Alcotest.(check int) "unique" 1 (List.length ne);
+  Alcotest.(check (array int)) "threshold NE" [| 0; 2 |] (List.hd ne)
+
+let test_grouped_is_equilibrium () =
+  Alcotest.(check bool) "0,2 NE" true
+    (Grouped_game.is_equilibrium ~sizes:[| 2; 2 |] grouped [| 0; 2 |]);
+  Alcotest.(check bool) "2,0 not NE" false
+    (Grouped_game.is_equilibrium ~sizes:[| 2; 2 |] grouped [| 2; 0 |])
+
+let test_grouped_total_cubic () =
+  Alcotest.(check int) "total cubic" 2
+    (Grouped_game.total_cubic ~sizes:[| 2; 2 |] [| 0; 2 |])
+
+let test_grouped_validation () =
+  (match Grouped_game.is_equilibrium ~sizes:[| 2 |] grouped [| 1; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch should raise");
+  match Grouped_game.is_equilibrium ~sizes:[| 2; 2 |] grouped [| 3; 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "count out of range should raise"
+
+let prop_symmetric_ne_exists_for_monotone =
+  (* The paper's Fig. 6 argument: decreasing u_bbr, increasing u_cubic with
+     a crossing implies at least one NE among 0..n. *)
+  QCheck.Test.make ~name:"monotone crossing games have an NE" ~count:200
+    QCheck.(pair (float_range 1.0 50.0) (float_range 0.1 5.0))
+    (fun (start, slope) ->
+      let game =
+        {
+          Symmetric_game.u_cubic = (fun k -> 1.0 +. (0.3 *. float_of_int k));
+          u_bbr = (fun k -> start -. (slope *. float_of_int k));
+        }
+      in
+      Symmetric_game.equilibria ~n:20 game <> [])
+
+let tests =
+  [
+    Alcotest.test_case "PD equilibrium" `Quick test_pd_equilibrium;
+    Alcotest.test_case "PD is_nash" `Quick test_pd_is_nash;
+    Alcotest.test_case "PD best response" `Quick test_pd_best_response;
+    Alcotest.test_case "matching pennies" `Quick
+      test_matching_pennies_no_pure_ne;
+    Alcotest.test_case "coordination" `Quick test_coordination_two_ne;
+    Alcotest.test_case "three players" `Quick test_three_player_game;
+    Alcotest.test_case "memoization" `Quick test_memoization_consistent;
+    Alcotest.test_case "symmetric NE" `Quick test_symmetric_ne;
+    Alcotest.test_case "cubic counts" `Quick test_symmetric_cubic_counts;
+    Alcotest.test_case "all-BBR NE" `Quick test_symmetric_all_bbr_ne;
+    Alcotest.test_case "epsilon widens" `Quick test_symmetric_epsilon_widens;
+    Alcotest.test_case "symmetric validation" `Quick test_symmetric_validation;
+    Alcotest.test_case "of_samples" `Quick test_of_samples;
+    Alcotest.test_case "grouped NE" `Quick test_grouped_ne;
+    Alcotest.test_case "grouped is_equilibrium" `Quick
+      test_grouped_is_equilibrium;
+    Alcotest.test_case "grouped total cubic" `Quick test_grouped_total_cubic;
+    Alcotest.test_case "grouped validation" `Quick test_grouped_validation;
+    QCheck_alcotest.to_alcotest prop_symmetric_ne_exists_for_monotone;
+  ]

@@ -1,0 +1,91 @@
+(* Randomized end-to-end invariants: whatever the CCA mix, buffer depth and
+   duration, the transport and network must satisfy conservation and
+   sanity properties. These are the deepest property tests in the suite —
+   each case is a complete packet-level simulation. *)
+
+module E = Tcpflow.Experiment
+module Units = Sim_engine.Units
+
+let cca_gen =
+  QCheck.Gen.oneofl [ "cubic"; "bbr"; "bbr2"; "reno"; "copa"; "vegas"; "vivace" ]
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* n_flows = int_range 1 4 in
+    let* ccas = list_repeat n_flows cca_gen in
+    let* buffer_bdp = float_range 0.5 8.0 in
+    let* mbps = float_range 5.0 30.0 in
+    let* rtt_ms = float_range 10.0 60.0 in
+    let* seed = int_range 1 1000 in
+    return (ccas, buffer_bdp, mbps, rtt_ms, seed))
+
+let scenario_arb =
+  QCheck.make scenario_gen ~print:(fun (ccas, bdp, mbps, rtt, seed) ->
+      Printf.sprintf "[%s] bdp=%.2f mbps=%.1f rtt=%.1f seed=%d"
+        (String.concat ";" ccas) bdp mbps rtt seed)
+
+let run_scenario (ccas, buffer_bdp, mbps, rtt_ms, seed) =
+  let rate_bps = Units.mbps mbps in
+  let rtt = rtt_ms /. 1e3 in
+  E.run
+    {
+      E.default_config with
+      rate_bps;
+      buffer_bytes = E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp;
+      flows = List.map (fun cca -> E.flow_config ~base_rtt:rtt cca) ccas;
+      duration = 6.0;
+      warmup = 2.0;
+      seed;
+    }
+
+let prop_throughput_conservation =
+  QCheck.Test.make ~name:"sum of goodputs <= capacity" ~count:25 scenario_arb
+    (fun ((_, _, mbps, _, _) as scenario) ->
+      let r = run_scenario scenario in
+      let total =
+        List.fold_left (fun acc f -> acc +. f.E.throughput_bps) 0.0 r.E.per_flow
+      in
+      total <= Units.mbps mbps *. 1.02)
+
+let prop_min_rtt_at_least_base =
+  QCheck.Test.make ~name:"measured min RTT >= base RTT" ~count:25 scenario_arb
+    (fun scenario ->
+      let r = run_scenario scenario in
+      List.for_all
+        (fun f ->
+          Float.is_nan f.E.flow_min_rtt
+          || f.E.flow_min_rtt = infinity
+          || f.E.flow_min_rtt >= f.E.flow_rtt -. 1e-9)
+        r.E.per_flow)
+
+let prop_queuing_delay_bounded =
+  QCheck.Test.make ~name:"queuing delay <= buffer drain time" ~count:25
+    scenario_arb
+    (fun ((_, buffer_bdp, _, rtt_ms, _) as scenario) ->
+      let r = run_scenario scenario in
+      (* drain time = B/C = buffer_bdp x rtt *)
+      r.E.queuing_delay <= (buffer_bdp *. rtt_ms /. 1e3) +. 1e-6)
+
+let prop_utilization_in_unit =
+  QCheck.Test.make ~name:"utilization in [0, 1]" ~count:25 scenario_arb
+    (fun scenario ->
+      let r = run_scenario scenario in
+      r.E.utilization >= 0.0 && r.E.utilization <= 1.000001)
+
+let prop_deterministic_replay =
+  QCheck.Test.make ~name:"same seed, same result" ~count:10 scenario_arb
+    (fun scenario ->
+      let a = run_scenario scenario and b = run_scenario scenario in
+      List.for_all2
+        (fun x y -> x.E.throughput_bps = y.E.throughput_bps)
+        a.E.per_flow b.E.per_flow)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_throughput_conservation;
+      prop_min_rtt_at_least_base;
+      prop_queuing_delay_bounded;
+      prop_utilization_in_unit;
+      prop_deterministic_replay;
+    ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "bbr_equilibrium"
+    [
+      ("engine.units", Test_units.tests);
+      ("engine.rng", Test_rng.tests);
+      ("engine.event_queue", Test_event_queue.tests);
+      ("engine.sim", Test_sim.tests);
+      ("engine.timeseries", Test_timeseries.tests);
+      ("engine.stats", Test_stats.tests);
+      ("netsim", Test_netsim.tests);
+      ("cca.windowed_filter", Test_windowed_filter.tests);
+      ("cca.reno", Test_reno.tests);
+      ("cca.cubic", Test_cubic.tests);
+      ("cca.bbr", Test_bbr.tests);
+      ("cca.bbr2", Test_bbr2.tests);
+      ("cca.copa", Test_copa.tests);
+      ("cca.vivace", Test_vivace.tests);
+      ("cca.registry", Test_registry.tests);
+      ("tcpflow.sender", Test_sender.tests);
+      ("tcpflow.experiment", Test_experiment.tests);
+      ("model", Test_model.tests);
+      ("game", Test_game.tests);
+      ("fluid", Test_fluid.tests);
+      ("experiments", Test_experiments.tests);
+      ("extensions", Test_extensions.tests);
+      ("tcpflow.flow_trace", Test_flow_trace.tests);
+      ("cca.vegas", Test_vegas.tests);
+      ("invariants", Test_invariants.tests);
+      ("details", Test_details.tests);
+    ]

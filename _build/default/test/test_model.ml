@@ -1,0 +1,323 @@
+open Ccmodel
+
+let params ?(mbps = 50.0) ?(bdp = 10.0) ?(rtt_ms = 40.0) () =
+  Params.of_paper_units ~mbps ~buffer_bdp:bdp ~rtt_ms
+
+(* --- Params --- *)
+
+let test_params_units () =
+  let p = params () in
+  Alcotest.(check (float 1e-6)) "capacity bytes/s" 6.25e6 p.Params.capacity;
+  Alcotest.(check (float 1e-6)) "rtt" 0.04 p.Params.rtt;
+  Alcotest.(check (float 1e-3)) "buffer bdp" 10.0 (Params.buffer_in_bdp p);
+  Alcotest.(check (float 1e-6)) "bdp bytes" 250_000.0 (Params.bdp_bytes p);
+  Alcotest.(check (float 1e-6)) "capacity mbps" 50.0 (Params.capacity_mbps p)
+
+let test_params_validation () =
+  match Params.make ~capacity_bps:0.0 ~buffer_bytes:1.0 ~rtt:0.1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero capacity should raise"
+
+(* --- Solver --- *)
+
+let test_bisect_linear () =
+  let root = Solver.bisect ~f:(fun x -> x -. 3.0) ~lo:0.0 ~hi:10.0 () in
+  Alcotest.(check (float 1e-6)) "root" 3.0 root
+
+let test_bisect_decreasing () =
+  let root = Solver.bisect ~f:(fun x -> 5.0 -. x) ~lo:0.0 ~hi:10.0 () in
+  Alcotest.(check (float 1e-6)) "root" 5.0 root
+
+let test_bisect_endpoint_root () =
+  Alcotest.(check (float 0.0)) "lo root" 0.0
+    (Solver.bisect ~f:(fun x -> x) ~lo:0.0 ~hi:1.0 ())
+
+let test_bisect_same_sign () =
+  match Solver.bisect ~f:(fun _ -> 1.0) ~lo:0.0 ~hi:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "same sign should raise"
+
+let test_find_crossing () =
+  let f k = 10.0 -. float_of_int k in
+  (match Solver.find_crossing ~f ~lo:1 ~hi:20 with
+  | Some (9, 10) | Some (10, 11) -> ()
+  | Some (a, b) -> Alcotest.failf "wrong crossing (%d,%d)" a b
+  | None -> Alcotest.fail "expected crossing");
+  Alcotest.(check bool) "no crossing" true
+    (Solver.find_crossing ~f:(fun _ -> 1.0) ~lo:0 ~hi:5 = None)
+
+let prop_bisect_finds_root =
+  QCheck.Test.make ~name:"bisect residual small at root" ~count:200
+    QCheck.(float_range 0.1 99.9)
+    (fun r ->
+      let f x = (x -. r) *. (x +. 200.0) in
+      let root = Solver.bisect ~f ~lo:0.0 ~hi:100.0 () in
+      Float.abs (root -. r) < 1e-5)
+
+(* --- Ware baseline --- *)
+
+let test_ware_shallow_high () =
+  (* At 1 BDP, Ware predicts BBR takes nearly everything. *)
+  let frac =
+    Ware.bbr_fraction ~params:(params ~bdp:1.0 ()) ~n_bbr:1 ~duration:120.0
+  in
+  Alcotest.(check bool) (Printf.sprintf "high (%f)" frac) true (frac > 0.8)
+
+let test_ware_decreasing_in_buffer () =
+  let frac bdp =
+    Ware.bbr_fraction ~params:(params ~bdp ()) ~n_bbr:1 ~duration:120.0
+  in
+  Alcotest.(check bool) "decreasing" true
+    (frac 2.0 > frac 10.0 && frac 10.0 > frac 40.0)
+
+let test_ware_floor_half () =
+  (* Key property the paper criticizes: Ware's prediction never approaches
+     the low shares actually measured in deep buffers (~0.5 minus the
+     ProbeRTT duty cycle). *)
+  let frac =
+    Ware.bbr_fraction ~params:(params ~bdp:50.0 ()) ~n_bbr:1 ~duration:120.0
+  in
+  Alcotest.(check bool) (Printf.sprintf "about half (%f)" frac) true
+    (frac > 0.35)
+
+let test_ware_validation () =
+  (match Ware.bbr_fraction ~params:(params ()) ~n_bbr:0 ~duration:120.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n_bbr 0 should raise");
+  match Ware.bbr_fraction ~params:(params ()) ~n_bbr:1 ~duration:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duration 0 should raise"
+
+(* --- Two-flow model --- *)
+
+let test_two_flow_conservation () =
+  let s = Two_flow.solve (params ()) in
+  Alcotest.(check (float 1.0)) "lambda_c + lambda_b = C" 50e6
+    (s.cubic_bandwidth_bps +. s.bbr_bandwidth_bps)
+
+let test_two_flow_bcmin () =
+  (* b_cmin = (B - BDP)/2 = (2.5 MB - 0.25 MB)/2 = 1.125 MB. *)
+  let s = Two_flow.solve (params ()) in
+  Alcotest.(check (float 1.0)) "b_cmin" 1_125_000.0 s.cubic_min_buffer_bytes
+
+let test_two_flow_bb_in_buffer () =
+  let p = params () in
+  let s = Two_flow.solve p in
+  Alcotest.(check bool) "0 < b_b < B" true
+    (s.bbr_buffer_bytes > 0.0 && s.bbr_buffer_bytes < p.Params.buffer)
+
+let test_two_flow_decreasing_in_buffer () =
+  let share bdp = Two_flow.bbr_share (params ~bdp ()) in
+  Alcotest.(check bool) "monotone decline" true
+    (share 2.0 > share 5.0 && share 5.0 > share 20.0)
+
+let test_two_flow_shallow_regime () =
+  let s = Two_flow.solve (params ~bdp:0.5 ()) in
+  Alcotest.(check bool) "shallow flag" true (s.regime = Two_flow.Shallow);
+  (* Sub-BDP buffers are outside the model's assumptions; the clamp follows
+     the paper's empirical observation that BBR starves CUBIC there. *)
+  Alcotest.(check (float 1.0)) "bbr takes the link" 50e6 s.bbr_bandwidth_bps
+
+let test_two_flow_ultra_deep_regime () =
+  let s = Two_flow.solve (params ~bdp:150.0 ()) in
+  Alcotest.(check bool) "deep flag" true (s.regime = Two_flow.Ultra_deep)
+
+let test_two_flow_scale_free () =
+  (* The share depends only on the buffer in BDP units, not C or RTT. *)
+  let a = Two_flow.bbr_share (params ~mbps:50.0 ~rtt_ms:40.0 ()) in
+  let b = Two_flow.bbr_share (params ~mbps:100.0 ~rtt_ms:80.0 ()) in
+  Alcotest.(check (float 1e-9)) "scale-free" a b
+
+let test_two_flow_gamma_direction () =
+  (* Larger gamma (de-synchronized CUBIC) -> more BBR bandwidth. *)
+  let p = params () in
+  let sync = (Two_flow.solve ~gamma:0.7 p).bbr_bandwidth_bps in
+  let desync = (Two_flow.solve ~gamma:0.97 p).bbr_bandwidth_bps in
+  Alcotest.(check bool) "desync favours BBR" true (desync > sync)
+
+let test_two_flow_gamma_validation () =
+  match Two_flow.solve ~gamma:1.5 (params ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gamma > 1 should raise"
+
+let test_two_flow_known_value () =
+  (* Fixed regression anchor: 50 Mbps, 40 ms, 10 BDP -> ~17.1 Mbps for BBR
+     (validated against the packet-level simulator within ~16%). *)
+  let s = Two_flow.solve (params ()) in
+  Alcotest.(check (float 0.5)) "anchor" 17.09
+    (Sim_engine.Units.bps_to_mbps s.bbr_bandwidth_bps)
+
+let prop_two_flow_share_in_unit =
+  QCheck.Test.make ~name:"bbr share in [0,1]" ~count:200
+    QCheck.(triple (float_range 1.0 500.0) (float_range 0.6 120.0)
+              (float_range 5.0 200.0))
+    (fun (mbps, bdp, rtt_ms) ->
+      let share = Two_flow.bbr_share (params ~mbps ~bdp ~rtt_ms ()) in
+      share >= 0.0 && share <= 1.0)
+
+let test_predicted_queuing_delay () =
+  (* With the full-buffer approximation, Qd = B/C for buffers > 1 BDP. *)
+  let qd = Two_flow.predicted_queuing_delay (params ~bdp:10.0 ()) in
+  Alcotest.(check (float 1e-9)) "10 BDP -> 400 ms" 0.4 qd;
+  let shallow = Two_flow.predicted_queuing_delay (params ~bdp:0.5 ()) in
+  Alcotest.(check (float 1e-9)) "shallow -> B/C" 0.02 shallow
+
+(* --- Multi-flow model --- *)
+
+let test_gamma_values () =
+  Alcotest.(check (float 0.0)) "sync" 0.7
+    (Multi_flow.gamma Multi_flow.Synchronized ~n_cubic:10);
+  Alcotest.(check (float 1e-9)) "desync" 0.97
+    (Multi_flow.gamma Multi_flow.Desynchronized ~n_cubic:10);
+  Alcotest.(check (float 1e-9)) "desync nc=1" 0.7
+    (Multi_flow.gamma Multi_flow.Desynchronized ~n_cubic:1)
+
+let test_multi_flow_conservation () =
+  let p = params ~mbps:100.0 () in
+  let pr = Multi_flow.predict p ~n_cubic:5 ~n_bbr:5 ~sync:Multi_flow.Synchronized in
+  Alcotest.(check (float 1.0)) "aggregate sum" 100e6
+    (pr.aggregate_cubic_bps +. pr.aggregate_bbr_bps);
+  Alcotest.(check (float 1.0)) "per-flow x count" pr.aggregate_bbr_bps
+    (pr.per_flow_bbr_bps *. 5.0)
+
+let test_multi_flow_degenerate () =
+  let p = params ~mbps:100.0 () in
+  let all_cubic = Multi_flow.predict p ~n_cubic:10 ~n_bbr:0 ~sync:Multi_flow.Synchronized in
+  Alcotest.(check (float 1.0)) "all-cubic fair" 10e6 all_cubic.per_flow_cubic_bps;
+  Alcotest.(check bool) "bbr nan" true (Float.is_nan all_cubic.per_flow_bbr_bps);
+  let all_bbr = Multi_flow.predict p ~n_cubic:0 ~n_bbr:10 ~sync:Multi_flow.Synchronized in
+  Alcotest.(check (float 1.0)) "all-bbr fair" 10e6 all_bbr.per_flow_bbr_bps
+
+let test_multi_flow_interval_order () =
+  let p = params ~mbps:100.0 () in
+  let iv = Multi_flow.per_flow_bbr_interval p ~n_cubic:7 ~n_bbr:3 in
+  Alcotest.(check bool) "lower <= upper" true
+    (iv.lower_bbr_per_flow_bps <= iv.upper_bbr_per_flow_bps)
+
+let test_multi_flow_diminishing () =
+  (* Per-flow BBR throughput decreases as the BBR count grows. *)
+  let p = params ~mbps:100.0 ~bdp:3.0 () in
+  let per_flow k =
+    (Multi_flow.predict p ~n_cubic:(10 - k) ~n_bbr:k
+       ~sync:Multi_flow.Synchronized)
+      .per_flow_bbr_bps
+  in
+  Alcotest.(check bool) "diminishing returns" true
+    (per_flow 1 > per_flow 3 && per_flow 3 > per_flow 8)
+
+let test_multi_flow_validation () =
+  match Multi_flow.predict (params ()) ~n_cubic:0 ~n_bbr:0 ~sync:Multi_flow.Synchronized with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no flows should raise"
+
+(* --- NE predictor --- *)
+
+let test_ne_advantage_sign () =
+  let p = params ~mbps:100.0 ~bdp:5.0 () in
+  (* One BBR among 9 CUBIC: big advantage. *)
+  Alcotest.(check bool) "positive at k=1" true
+    (Ne.bbr_per_flow_advantage p ~n:10 ~n_bbr:1 ~sync:Multi_flow.Synchronized
+     > 0.0);
+  Alcotest.(check bool) "negative at k=9" true
+    (Ne.bbr_per_flow_advantage p ~n:10 ~n_bbr:9 ~sync:Multi_flow.Synchronized
+     < 0.0)
+
+let test_ne_equilibrium_in_range () =
+  let p = params ~mbps:100.0 ~bdp:5.0 () in
+  let nb = Ne.equilibrium_bbr_flows p ~n:10 ~sync:Multi_flow.Synchronized in
+  Alcotest.(check bool) (Printf.sprintf "in (0, 10) (%f)" nb) true
+    (nb > 0.0 && nb <= 10.0)
+
+let test_ne_region_monotone_in_buffer () =
+  (* Deeper buffers -> more CUBIC flows at the NE (paper Fig. 9 trend). *)
+  let cubic_at bdp =
+    (Ne.nash_region (params ~mbps:100.0 ~bdp ()) ~n:50).cubic_at_ne_sync
+  in
+  Alcotest.(check bool) "more cubic in deeper buffers" true
+    (cubic_at 2.0 < cubic_at 10.0 && cubic_at 10.0 <= cubic_at 40.0)
+
+let test_ne_region_scale_free () =
+  let region mbps rtt_ms =
+    (Ne.nash_region (params ~mbps ~bdp:10.0 ~rtt_ms ()) ~n:50).cubic_at_ne_sync
+  in
+  Alcotest.(check (float 1e-6)) "same across C and RTT" (region 50.0 20.0)
+    (region 100.0 80.0)
+
+let test_ne_region_sync_vs_desync () =
+  (* Sync bound: BBR weaker -> NE has more CUBIC flows. *)
+  let r = Ne.nash_region (params ~mbps:100.0 ~bdp:10.0 ()) ~n:50 in
+  Alcotest.(check bool) "sync has more cubic" true
+    (r.cubic_at_ne_sync >= r.cubic_at_ne_desync)
+
+let prop_ne_in_bounds =
+  QCheck.Test.make ~name:"NE cubic count in [0,n]" ~count:100
+    QCheck.(pair (float_range 1.1 60.0) (int_range 2 100))
+    (fun (bdp, n) ->
+      let r = Ne.nash_region (params ~mbps:100.0 ~bdp ()) ~n in
+      r.cubic_at_ne_sync >= 0.0
+      && r.cubic_at_ne_sync <= float_of_int n
+      && r.cubic_at_ne_desync >= 0.0
+      && r.cubic_at_ne_desync <= float_of_int n)
+
+(* --- Notation --- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_notation_table () =
+  Alcotest.(check int) "14 entries" 14 (List.length Notation.table);
+  let rendered = Format.asprintf "%a" Notation.pp_table () in
+  Alcotest.(check bool) "mentions b_cmin" true (contains rendered "b_cmin")
+
+let tests =
+  [
+    Alcotest.test_case "params units" `Quick test_params_units;
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "bisect linear" `Quick test_bisect_linear;
+    Alcotest.test_case "bisect decreasing" `Quick test_bisect_decreasing;
+    Alcotest.test_case "bisect endpoint" `Quick test_bisect_endpoint_root;
+    Alcotest.test_case "bisect same sign" `Quick test_bisect_same_sign;
+    Alcotest.test_case "find crossing" `Quick test_find_crossing;
+    QCheck_alcotest.to_alcotest prop_bisect_finds_root;
+    Alcotest.test_case "ware shallow" `Quick test_ware_shallow_high;
+    Alcotest.test_case "ware decreasing" `Quick test_ware_decreasing_in_buffer;
+    Alcotest.test_case "ware half floor" `Quick test_ware_floor_half;
+    Alcotest.test_case "ware validation" `Quick test_ware_validation;
+    Alcotest.test_case "two-flow conservation" `Quick
+      test_two_flow_conservation;
+    Alcotest.test_case "two-flow b_cmin" `Quick test_two_flow_bcmin;
+    Alcotest.test_case "two-flow b_b range" `Quick test_two_flow_bb_in_buffer;
+    Alcotest.test_case "two-flow decreasing" `Quick
+      test_two_flow_decreasing_in_buffer;
+    Alcotest.test_case "shallow regime" `Quick test_two_flow_shallow_regime;
+    Alcotest.test_case "ultra-deep regime" `Quick
+      test_two_flow_ultra_deep_regime;
+    Alcotest.test_case "scale-free" `Quick test_two_flow_scale_free;
+    Alcotest.test_case "gamma direction" `Quick test_two_flow_gamma_direction;
+    Alcotest.test_case "gamma validation" `Quick test_two_flow_gamma_validation;
+    Alcotest.test_case "known value anchor" `Quick test_two_flow_known_value;
+    Alcotest.test_case "predicted queuing delay" `Quick
+      test_predicted_queuing_delay;
+    QCheck_alcotest.to_alcotest prop_two_flow_share_in_unit;
+    Alcotest.test_case "gamma values" `Quick test_gamma_values;
+    Alcotest.test_case "multi-flow conservation" `Quick
+      test_multi_flow_conservation;
+    Alcotest.test_case "multi-flow degenerate" `Quick
+      test_multi_flow_degenerate;
+    Alcotest.test_case "interval order" `Quick test_multi_flow_interval_order;
+    Alcotest.test_case "diminishing returns" `Quick
+      test_multi_flow_diminishing;
+    Alcotest.test_case "multi-flow validation" `Quick
+      test_multi_flow_validation;
+    Alcotest.test_case "NE advantage sign" `Quick test_ne_advantage_sign;
+    Alcotest.test_case "NE in range" `Quick test_ne_equilibrium_in_range;
+    Alcotest.test_case "NE monotone in buffer" `Quick
+      test_ne_region_monotone_in_buffer;
+    Alcotest.test_case "NE scale-free" `Quick test_ne_region_scale_free;
+    Alcotest.test_case "NE sync vs desync" `Quick
+      test_ne_region_sync_vs_desync;
+    QCheck_alcotest.to_alcotest prop_ne_in_bounds;
+    Alcotest.test_case "notation table" `Quick test_notation_table;
+  ]

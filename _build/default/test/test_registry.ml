@@ -1,0 +1,62 @@
+let rng () = Sim_engine.Rng.create 1
+
+let test_builtins_present () =
+  let names = Cca.Registry.names () in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true (List.mem name names))
+    [ "reno"; "cubic"; "bbr"; "bbr2"; "copa"; "vegas"; "vivace" ]
+
+let test_create_builtin () =
+  let cc = Cca.Registry.create "cubic" ~mss:1500 ~rng:(rng ()) in
+  Alcotest.(check string) "name" "cubic" cc.Cca.Cc_types.name
+
+let test_unknown_raises () =
+  match Cca.Registry.create "quic-magic" ~mss:1500 ~rng:(rng ()) with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "mentions name" true
+      (String.length msg > 0
+      && String.length msg > String.length "Registry.create")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_register_custom () =
+  Cca.Registry.register "test-fixed" (fun ~mss ~rng:_ ->
+      {
+        Cca.Cc_types.name = "test-fixed";
+        on_ack = ignore;
+        on_loss = ignore;
+        on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
+        cwnd_bytes = (fun () -> float_of_int (10 * mss));
+        pacing_rate = (fun () -> None);
+        state = (fun () -> "Fixed");
+      });
+  let cc = Cca.Registry.create "test-fixed" ~mss:1500 ~rng:(rng ()) in
+  Alcotest.(check (float 0.0)) "fixed window" 15000.0
+    (cc.Cca.Cc_types.cwnd_bytes ());
+  Alcotest.(check bool) "listed" true
+    (List.mem "test-fixed" (Cca.Registry.names ()))
+
+let test_find () =
+  Alcotest.(check bool) "find bbr" true (Cca.Registry.find "bbr" <> None);
+  Alcotest.(check bool) "find missing" true
+    (Cca.Registry.find "missing-cca" = None)
+
+let test_instances_independent () =
+  let a = Cca.Registry.create "reno" ~mss:1500 ~rng:(rng ()) in
+  let b = Cca.Registry.create "reno" ~mss:1500 ~rng:(rng ()) in
+  a.Cca.Cc_types.on_loss
+    { Cca.Cc_types.now = 0.0; lost_bytes = 1500; inflight_bytes = 0;
+      via_timeout = false };
+  Alcotest.(check bool) "b unaffected by a's loss" true
+    (b.Cca.Cc_types.cwnd_bytes () > a.Cca.Cc_types.cwnd_bytes ())
+
+let tests =
+  [
+    Alcotest.test_case "builtins present" `Quick test_builtins_present;
+    Alcotest.test_case "create builtin" `Quick test_create_builtin;
+    Alcotest.test_case "unknown raises" `Quick test_unknown_raises;
+    Alcotest.test_case "register custom" `Quick test_register_custom;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "instances independent" `Quick
+      test_instances_independent;
+  ]

@@ -1,0 +1,75 @@
+let mss = 1500
+
+let test_initial_window () =
+  let cc = Cca.Reno.make ~mss () in
+  Alcotest.(check (float 0.0)) "10 mss" 15000.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_slow_start_doubles () =
+  let cc = Cca.Reno.make ~mss () in
+  (* 10 ACKs of one MSS each: slow start adds acked bytes. *)
+  for _ = 1 to 10 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  Alcotest.(check (float 0.0)) "doubled" 30000.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_fast_retransmit_halves () =
+  let cc = Cca.Reno.make ~mss () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ());
+  Alcotest.(check (float 0.0)) "halved" 7500.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_congestion_avoidance_linear () =
+  let cc = Cca.Reno.make ~mss () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ());
+  (* now in CA at 7500 B; one window of ACKs adds ~1 MSS *)
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  let acks = int_of_float (w0 /. float_of_int mss) in
+  for _ = 1 to acks do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  let w1 = cc.Cca.Cc_types.cwnd_bytes () in
+  Alcotest.(check bool)
+    (Printf.sprintf "grew ~1 mss (%.0f -> %.0f)" w0 w1)
+    true
+    (w1 -. w0 > 0.8 *. float_of_int mss && w1 -. w0 < 1.2 *. float_of_int mss)
+
+let test_timeout_collapses () =
+  let cc = Cca.Reno.make ~mss () in
+  for _ = 1 to 50 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ())
+  done;
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~timeout:true ());
+  Alcotest.(check bool) "collapsed to ~1-2 mss" true
+    (cc.Cca.Cc_types.cwnd_bytes () <= 2.0 *. float_of_int mss)
+
+let test_floor () =
+  let cc = Cca.Reno.make ~mss () in
+  for _ = 1 to 20 do
+    cc.Cca.Cc_types.on_loss (Cca_driver.loss ())
+  done;
+  Alcotest.(check bool) "never below 2 mss" true
+    (cc.Cca.Cc_types.cwnd_bytes () >= 2.0 *. float_of_int mss)
+
+let test_state_names () =
+  let cc = Cca.Reno.make ~mss () in
+  Alcotest.(check string) "slow start" "SlowStart" (cc.Cca.Cc_types.state ());
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ());
+  Alcotest.(check string) "cong avoid" "CongAvoid" (cc.Cca.Cc_types.state ())
+
+let test_no_pacing () =
+  let cc = Cca.Reno.make ~mss () in
+  Alcotest.(check bool) "ack clocked" true
+    (cc.Cca.Cc_types.pacing_rate () = None)
+
+let tests =
+  [
+    Alcotest.test_case "initial window" `Quick test_initial_window;
+    Alcotest.test_case "slow start doubles" `Quick test_slow_start_doubles;
+    Alcotest.test_case "fast retransmit halves" `Quick
+      test_fast_retransmit_halves;
+    Alcotest.test_case "CA linear growth" `Quick
+      test_congestion_avoidance_linear;
+    Alcotest.test_case "timeout collapse" `Quick test_timeout_collapses;
+    Alcotest.test_case "window floor" `Quick test_floor;
+    Alcotest.test_case "state names" `Quick test_state_names;
+    Alcotest.test_case "no pacing" `Quick test_no_pacing;
+  ]

@@ -1,0 +1,107 @@
+open Sim_engine
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_split_independent () =
+  (* Drawing from the child must not affect the parent's future stream. *)
+  let parent1 = Rng.create 7 in
+  let child = Rng.split parent1 in
+  for _ = 1 to 50 do
+    ignore (Rng.int64 child)
+  done;
+  let next1 = Rng.int64 parent1 in
+  let parent2 = Rng.create 7 in
+  ignore (Rng.split parent2);
+  let next2 = Rng.int64 parent2 in
+  Alcotest.(check int64) "parent unaffected by child draws" next2 next1
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 5.0 in
+    if x < 0.0 || x >= 5.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_int_range () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_covers () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  Alcotest.(check bool) "all values seen" true (Array.for_all Fun.id seen)
+
+let test_bool_balanced () =
+  let rng = Rng.create 6 in
+  let trues = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bool rng then incr trues
+  done;
+  let frac = float_of_int !trues /. 10000.0 in
+  Alcotest.(check bool) "roughly balanced" true (frac > 0.45 && frac < 0.55)
+
+let test_exponential_mean () =
+  let rng = Rng.create 8 in
+  let sum = ref 0.0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let x = Rng.exponential rng ~mean:3.0 in
+    if x < 0.0 then Alcotest.fail "negative exponential draw";
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~3 (got %f)" mean)
+    true
+    (mean > 2.8 && mean < 3.2)
+
+let test_uniform_in () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform_in rng ~lo:(-2.0) ~hi:3.0 in
+    if x < -2.0 || x >= 3.0 then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let prop_float_mean_half =
+  QCheck.Test.make ~name:"uniform float mean ~ bound/2" ~count:20
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let sum = ref 0.0 in
+      for _ = 1 to 2000 do
+        sum := !sum +. Rng.float rng 1.0
+      done;
+      let mean = !sum /. 2000.0 in
+      mean > 0.45 && mean < 0.55)
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int covers all" `Quick test_int_covers;
+    Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "uniform_in range" `Quick test_uniform_in;
+    QCheck_alcotest.to_alcotest prop_float_mean_half;
+  ]

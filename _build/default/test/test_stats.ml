@@ -1,0 +1,101 @@
+open Sim_engine
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s))
+
+let test_known_values () =
+  let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  (* sample variance of this classic set is 32/7 *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s);
+  Alcotest.(check (float 0.0)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 0.0)) "max" 9.0 (Stats.max s)
+
+let test_single_sample () =
+  let s = Stats.of_list [ 3.0 ] in
+  Alcotest.(check (float 0.0)) "mean" 3.0 (Stats.mean s);
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Stats.variance s))
+
+let test_percentile_median () =
+  Alcotest.(check (float 1e-9)) "median odd" 2.0
+    (Stats.percentile [ 1.0; 2.0; 3.0 ] ~p:50.0);
+  Alcotest.(check (float 1e-9)) "median even interp" 2.5
+    (Stats.percentile [ 1.0; 2.0; 3.0; 4.0 ] ~p:50.0)
+
+let test_percentile_bounds () =
+  let xs = [ 5.0; 1.0; 3.0 ] in
+  Alcotest.(check (float 0.0)) "p0" 1.0 (Stats.percentile xs ~p:0.0);
+  Alcotest.(check (float 0.0)) "p100" 5.0 (Stats.percentile xs ~p:100.0)
+
+let test_percentile_errors () =
+  (match Stats.percentile [] ~p:50.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty should raise");
+  match Stats.percentile [ 1.0 ] ~p:101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range p should raise"
+
+let test_confidence_interval () =
+  let lo, hi = Stats.confidence_interval95 [ 10.0; 10.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "degenerate lo" 10.0 lo;
+  Alcotest.(check (float 1e-9)) "degenerate hi" 10.0 hi;
+  let lo, hi = Stats.confidence_interval95 [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check bool) "contains mean" true (lo < 3.0 && 3.0 < hi);
+  Alcotest.(check bool) "symmetric" true
+    (Float.abs (3.0 -. lo -. (hi -. 3.0)) < 1e-9)
+
+let test_relative_error () =
+  Alcotest.(check (float 1e-9)) "10% error" 0.1
+    (Stats.relative_error ~predicted:11.0 ~actual:10.0);
+  Alcotest.(check (float 0.0)) "both zero" 0.0
+    (Stats.relative_error ~predicted:0.0 ~actual:0.0);
+  Alcotest.(check bool) "inf when actual zero" true
+    (Stats.relative_error ~predicted:1.0 ~actual:0.0 = infinity)
+
+let naive_variance xs =
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. n in
+  List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"Welford variance matches two-pass" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 100) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      let naive = naive_variance xs in
+      Float.abs (Stats.variance s -. naive)
+      <= 1e-6 *. Float.max 1.0 (Float.abs naive))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 50) (float_range (-10.0) 10.0))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi +. 1e-12)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.of_list xs in
+      Stats.mean s >= Stats.min s -. 1e-6 && Stats.mean s <= Stats.max s +. 1e-6)
+
+let tests =
+  [
+    Alcotest.test_case "empty accumulator" `Quick test_empty;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "single sample" `Quick test_single_sample;
+    Alcotest.test_case "median" `Quick test_percentile_median;
+    Alcotest.test_case "percentile bounds" `Quick test_percentile_bounds;
+    Alcotest.test_case "percentile errors" `Quick test_percentile_errors;
+    Alcotest.test_case "confidence interval" `Quick test_confidence_interval;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_bounded;
+  ]

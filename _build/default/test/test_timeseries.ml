@@ -1,0 +1,106 @@
+open Sim_engine
+
+let series points =
+  let ts = Timeseries.create () in
+  List.iter (fun (t, v) -> Timeseries.record ts ~time:t v) points;
+  ts
+
+let test_empty () =
+  let ts = Timeseries.create () in
+  Alcotest.(check bool) "empty" true (Timeseries.is_empty ts);
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Timeseries.mean ts));
+  Alcotest.(check bool) "nan twm" true
+    (Float.is_nan (Timeseries.time_weighted_mean ts ~from_:0.0 ~until:1.0))
+
+let test_record_and_last () =
+  let ts = series [ (1.0, 10.0); (2.0, 20.0) ] in
+  Alcotest.(check int) "length" 2 (Timeseries.length ts);
+  match Timeseries.last ts with
+  | Some (t, v) ->
+    Alcotest.(check (float 0.0)) "last t" 2.0 t;
+    Alcotest.(check (float 0.0)) "last v" 20.0 v
+  | None -> Alcotest.fail "expected last"
+
+let test_decreasing_time_rejected () =
+  let ts = series [ (2.0, 1.0) ] in
+  Alcotest.check_raises "decreasing"
+    (Invalid_argument "Timeseries.record: decreasing timestamp") (fun () ->
+      Timeseries.record ts ~time:1.0 0.0)
+
+let test_time_weighted_mean_step () =
+  (* value 10 on [0,1), 20 on [1,2): mean over [0,2] = 15. *)
+  let ts = series [ (0.0, 10.0); (1.0, 20.0) ] in
+  Alcotest.(check (float 1e-9)) "step mean" 15.0
+    (Timeseries.time_weighted_mean ts ~from_:0.0 ~until:2.0)
+
+let test_time_weighted_mean_partial_window () =
+  let ts = series [ (0.0, 10.0); (1.0, 20.0) ] in
+  (* window [0.5, 1.5]: 0.5s of 10 and 0.5s of 20 *)
+  Alcotest.(check (float 1e-9)) "partial window" 15.0
+    (Timeseries.time_weighted_mean ts ~from_:0.5 ~until:1.5)
+
+let test_time_weighted_mean_before_first () =
+  (* Value before the first sample is the first sample's value. *)
+  let ts = series [ (1.0, 4.0) ] in
+  Alcotest.(check (float 1e-9)) "extends left" 4.0
+    (Timeseries.time_weighted_mean ts ~from_:0.0 ~until:2.0)
+
+let test_unweighted_mean () =
+  let ts = series [ (0.0, 1.0); (1.0, 2.0); (2.0, 6.0) ] in
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Timeseries.mean ts)
+
+let test_min_max () =
+  let ts = series [ (0.0, 5.0); (1.0, 1.0); (2.0, 9.0) ] in
+  Alcotest.(check (float 0.0)) "min" 1.0 (Timeseries.min_value ts ());
+  Alcotest.(check (float 0.0)) "max" 9.0 (Timeseries.max_value ts ());
+  Alcotest.(check (float 0.0)) "min from 1.5" 9.0
+    (Timeseries.min_value ts ~from_:1.5 ());
+  Alcotest.(check bool) "empty window nan" true
+    (Float.is_nan (Timeseries.min_value ts ~from_:3.0 ()))
+
+let test_fold_and_to_list () =
+  let points = [ (0.0, 1.0); (1.0, 2.0) ] in
+  let ts = series points in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0)))) "to_list" points
+    (Timeseries.to_list ts);
+  let sum =
+    Timeseries.fold ts ~init:0.0 ~f:(fun acc ~time:_ ~value -> acc +. value)
+  in
+  Alcotest.(check (float 0.0)) "fold" 3.0 sum
+
+let test_growth () =
+  let ts = Timeseries.create () in
+  for i = 0 to 9999 do
+    Timeseries.record ts ~time:(float_of_int i) 1.0
+  done;
+  Alcotest.(check int) "10k samples" 10000 (Timeseries.length ts)
+
+let prop_constant_series_mean =
+  QCheck.Test.make ~name:"constant series has constant twm" ~count:100
+    QCheck.(pair (float_range (-5.0) 5.0) (int_range 1 50))
+    (fun (v, n) ->
+      let ts = Timeseries.create () in
+      for i = 0 to n - 1 do
+        Timeseries.record ts ~time:(float_of_int i) v
+      done;
+      let m =
+        Timeseries.time_weighted_mean ts ~from_:0.0 ~until:(float_of_int n)
+      in
+      Float.abs (m -. v) < 1e-9)
+
+let tests =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "record and last" `Quick test_record_and_last;
+    Alcotest.test_case "decreasing time" `Quick test_decreasing_time_rejected;
+    Alcotest.test_case "time-weighted mean" `Quick test_time_weighted_mean_step;
+    Alcotest.test_case "partial window" `Quick
+      test_time_weighted_mean_partial_window;
+    Alcotest.test_case "before first sample" `Quick
+      test_time_weighted_mean_before_first;
+    Alcotest.test_case "unweighted mean" `Quick test_unweighted_mean;
+    Alcotest.test_case "min/max with from" `Quick test_min_max;
+    Alcotest.test_case "fold and to_list" `Quick test_fold_and_to_list;
+    Alcotest.test_case "array growth" `Quick test_growth;
+    QCheck_alcotest.to_alcotest prop_constant_series_mean;
+  ]

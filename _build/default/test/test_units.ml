@@ -1,0 +1,70 @@
+open Sim_engine
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs b)
+
+let check_close ?eps msg expected actual =
+  if not (close ?eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_mbps () =
+  check_close "50 Mbps" 50e6 (Units.mbps 50.0);
+  check_close "roundtrip" 42.5 (Units.bps_to_mbps (Units.mbps 42.5))
+
+let test_bytes_per_sec () =
+  check_close "100 Mbps in bytes/s" 12.5e6
+    (Units.bytes_per_sec ~bits_per_sec:(Units.mbps 100.0));
+  check_close "roundtrip" 1e8
+    (Units.bits_per_sec_of_bytes
+       ~bytes_per_sec:(Units.bytes_per_sec ~bits_per_sec:1e8))
+
+let test_ms () =
+  check_close "40 ms" 0.040 (Units.ms 40.0);
+  check_close "roundtrip" 123.0 (Units.sec_to_ms (Units.ms 123.0))
+
+let test_bdp_bytes () =
+  (* 100 Mbps x 40 ms = 4e6 bits = 500 KB *)
+  check_close "bdp" 500_000.0
+    (Units.bdp_bytes ~rate_bps:(Units.mbps 100.0) ~rtt:0.040)
+
+let test_bdp_packets () =
+  check_close "bdp pkts" (500_000.0 /. 1500.0)
+    (Units.bdp_packets ~rate_bps:(Units.mbps 100.0) ~rtt:0.040)
+
+let test_transmission_time () =
+  (* 1500 B at 12 Mbps = 1 ms *)
+  check_close "tx time" 0.001
+    (Units.transmission_time ~rate_bps:(Units.mbps 12.0) ~bytes:1500)
+
+let test_mss_positive () = Alcotest.(check bool) "mss" true (Units.mss > 0)
+
+let prop_bdp_linear_in_rtt =
+  QCheck.Test.make ~name:"bdp linear in rtt" ~count:200
+    QCheck.(pair (float_range 1.0 1000.0) (float_range 0.001 1.0))
+    (fun (mbps, rtt) ->
+      let rate_bps = Units.mbps mbps in
+      close
+        (2.0 *. Units.bdp_bytes ~rate_bps ~rtt)
+        (Units.bdp_bytes ~rate_bps ~rtt:(2.0 *. rtt)))
+
+let prop_tx_time_additive =
+  QCheck.Test.make ~name:"tx time additive in bytes" ~count:200
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let rate_bps = 1e7 in
+      close
+        (Units.transmission_time ~rate_bps ~bytes:(a + b))
+        (Units.transmission_time ~rate_bps ~bytes:a
+        +. Units.transmission_time ~rate_bps ~bytes:b))
+
+let tests =
+  [
+    Alcotest.test_case "mbps conversions" `Quick test_mbps;
+    Alcotest.test_case "bytes/s conversions" `Quick test_bytes_per_sec;
+    Alcotest.test_case "ms conversions" `Quick test_ms;
+    Alcotest.test_case "bdp in bytes" `Quick test_bdp_bytes;
+    Alcotest.test_case "bdp in packets" `Quick test_bdp_packets;
+    Alcotest.test_case "transmission time" `Quick test_transmission_time;
+    Alcotest.test_case "mss positive" `Quick test_mss_positive;
+    QCheck_alcotest.to_alcotest prop_bdp_linear_in_rtt;
+    QCheck_alcotest.to_alcotest prop_tx_time_additive;
+  ]

@@ -1,0 +1,98 @@
+let mss = 1500
+
+let make ?params () = Cca.Vegas.make ?params ~mss ()
+
+let test_slow_start_half_rate () =
+  let cc = make () in
+  (* 10 ACKs of one MSS: Vegas slow start adds acked/2. *)
+  for _ = 1 to 10 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~rtt:0.04 ())
+  done;
+  Alcotest.(check (float 1.0)) "x1.5" 22500.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let steady cc =
+  (* Leave slow start via a loss. *)
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ())
+
+let test_increases_when_queue_empty () =
+  let cc = make () in
+  steady cc;
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  (* rtt == base rtt: diff = 0 < alpha -> +1 MSS per round. *)
+  for round = 1 to 5 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:(0.04 *. float_of_int round) ~rtt:0.04 ~round ())
+  done;
+  Alcotest.(check (float 1.0)) "+5 mss" (w0 +. 7500.0)
+    (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_decreases_when_queue_deep () =
+  let cc = make () in
+  steady cc;
+  (* Establish base rtt low, then present a much larger srtt: for cwnd
+     around 5 pkts and rtt 4x base, diff ~ cwnd x 0.75 > beta. *)
+  cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:0.0 ~rtt:0.04 ~round:1 ());
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  let now = ref 0.0 in
+  for round = 2 to 40 do
+    now := !now +. 0.16;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.16 ~round ())
+  done;
+  Alcotest.(check bool) "shrank" true (cc.Cca.Cc_types.cwnd_bytes () < w0)
+
+let test_fast_retransmit_quarter () =
+  let cc = make () in
+  for _ = 1 to 30 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~rtt:0.04 ())
+  done;
+  let w0 = cc.Cca.Cc_types.cwnd_bytes () in
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ());
+  Alcotest.(check (float 1.0)) "0.75x" (0.75 *. w0)
+    (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_timeout_collapse () =
+  let cc = make () in
+  for _ = 1 to 30 do
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~rtt:0.04 ())
+  done;
+  cc.Cca.Cc_types.on_loss (Cca_driver.loss ~timeout:true ());
+  Alcotest.(check (float 0.0)) "floor" 3000.0 (cc.Cca.Cc_types.cwnd_bytes ())
+
+let test_loses_to_cubic () =
+  (* The classic result (and why the paper's lineage replaced Vegas):
+     a buffer-filler starves Vegas. *)
+  let rate_bps = Sim_engine.Units.mbps 20.0 in
+  let config =
+    {
+      Tcpflow.Experiment.default_config with
+      rate_bps;
+      buffer_bytes =
+        Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0;
+      flows =
+        [
+          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "vegas";
+        ];
+      duration = 15.0;
+      warmup = 5.0;
+    }
+  in
+  let r = Tcpflow.Experiment.run config in
+  let cubic = Tcpflow.Experiment.mean_throughput_of_cca r "cubic" in
+  let vegas = Tcpflow.Experiment.mean_throughput_of_cca r "vegas" in
+  Alcotest.(check bool)
+    (Printf.sprintf "cubic starves vegas (%.1f vs %.1f Mbps)" (cubic /. 1e6)
+       (vegas /. 1e6))
+    true
+    (cubic > 3.0 *. vegas)
+
+let tests =
+  [
+    Alcotest.test_case "slow start" `Quick test_slow_start_half_rate;
+    Alcotest.test_case "additive increase" `Quick
+      test_increases_when_queue_empty;
+    Alcotest.test_case "decrease on queue" `Quick
+      test_decreases_when_queue_deep;
+    Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit_quarter;
+    Alcotest.test_case "timeout collapse" `Quick test_timeout_collapse;
+    Alcotest.test_case "loses to cubic" `Quick test_loses_to_cubic;
+  ]

@@ -1,0 +1,106 @@
+let mss = 1500
+
+let make ?params () =
+  Cca.Vivace.make ?params ~mss ~rng:(Sim_engine.Rng.create 1) ()
+
+let test_initial_state () =
+  let cc = make () in
+  Alcotest.(check string) "starting" "Starting" (cc.Cca.Cc_types.state ());
+  match cc.Cca.Cc_types.pacing_rate () with
+  | Some rate -> Alcotest.(check bool) "positive initial rate" true (rate > 0.0)
+  | None -> Alcotest.fail "vivace is rate-based"
+
+let rate cc =
+  match cc.Cca.Cc_types.pacing_rate () with
+  | Some r -> r
+  | None -> Alcotest.fail "expected rate"
+
+let test_starting_doubles_on_good_utility () =
+  let cc = make () in
+  let r0 = rate cc in
+  (* Two healthy MIs: throughput up, no loss, flat RTT. *)
+  let now = ref 0.0 in
+  for _ = 1 to 40 do
+    now := !now +. 0.01;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~acked:15000 ())
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "rate grew (%.0f -> %.0f)" r0 (rate cc))
+    true
+    (rate cc > 1.5 *. r0)
+
+let test_loss_reduces_utility_and_rate () =
+  let cc = make () in
+  (* Grow for a while, then hammer with losses; the controller must back
+     off from its peak. *)
+  let now = ref 0.0 in
+  for _ = 1 to 40 do
+    now := !now +. 0.01;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~acked:15000 ())
+  done;
+  let peak = rate cc in
+  for _ = 1 to 200 do
+    now := !now +. 0.01;
+    cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:!now ~lost:30000 ());
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~acked:1500 ())
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "backed off (%.0f -> %.0f)" peak (rate cc))
+    true
+    (rate cc < peak)
+
+let test_cwnd_tracks_rate () =
+  let cc = make () in
+  cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:0.01 ~rtt:0.04 ~acked:1500 ());
+  let cwnd = cc.Cca.Cc_types.cwnd_bytes () in
+  let expected = 2.0 *. rate cc *. 0.04 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cwnd ~ 2 x rate x rtt (%.0f vs %.0f)" cwnd expected)
+    true
+    (Float.abs (cwnd -. expected) <= Float.max (4.0 *. float_of_int mss) (0.3 *. expected))
+
+let test_probe_phases_alternate () =
+  let cc = make () in
+  (* Force utility to drop once so we leave Starting. *)
+  let now = ref 0.0 in
+  for _ = 1 to 40 do
+    now := !now +. 0.01;
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~acked:15000 ())
+  done;
+  for _ = 1 to 100 do
+    now := !now +. 0.01;
+    cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:!now ~lost:150000 ());
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~acked:150 ())
+  done;
+  let state = cc.Cca.Cc_types.state () in
+  Alcotest.(check bool)
+    (Printf.sprintf "probing (%s)" state)
+    true
+    (state = "ProbeUp" || state = "ProbeDown")
+
+let test_min_rate_floor () =
+  let cc = make () in
+  let now = ref 0.0 in
+  for _ = 1 to 500 do
+    now := !now +. 0.01;
+    cc.Cca.Cc_types.on_loss (Cca_driver.loss ~now:!now ~lost:150000 ());
+    cc.Cca.Cc_types.on_ack (Cca_driver.ack ~now:!now ~rtt:0.04 ~acked:150 ())
+  done;
+  Alcotest.(check bool) "rate stays positive" true (rate cc > 0.0)
+
+let test_name () =
+  let cc = make () in
+  Alcotest.(check string) "name" "vivace" cc.Cca.Cc_types.name
+
+let tests =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "starting doubles" `Quick
+      test_starting_doubles_on_good_utility;
+    Alcotest.test_case "loss backs off" `Quick
+      test_loss_reduces_utility_and_rate;
+    Alcotest.test_case "cwnd tracks rate" `Quick test_cwnd_tracks_rate;
+    Alcotest.test_case "probe phases" `Quick test_probe_phases_alternate;
+    Alcotest.test_case "min rate floor" `Quick test_min_rate_floor;
+    Alcotest.test_case "name" `Quick test_name;
+  ]

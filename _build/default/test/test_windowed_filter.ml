@@ -1,0 +1,97 @@
+open Cca.Windowed_filter
+
+let test_max_basic () =
+  let f = Max_rounds.create ~window:3 in
+  Alcotest.(check (float 0.0)) "initial" 0.0 (Max_rounds.get f);
+  Max_rounds.update f ~round:0 5.0;
+  Alcotest.(check (float 0.0)) "first" 5.0 (Max_rounds.get f);
+  Max_rounds.update f ~round:1 3.0;
+  Alcotest.(check (float 0.0)) "max kept" 5.0 (Max_rounds.get f);
+  Max_rounds.update f ~round:2 7.0;
+  Alcotest.(check (float 0.0)) "new max" 7.0 (Max_rounds.get f)
+
+let test_max_expiry () =
+  let f = Max_rounds.create ~window:3 in
+  Max_rounds.update f ~round:0 10.0;
+  Max_rounds.update f ~round:1 2.0;
+  Max_rounds.update f ~round:5 3.0;
+  (* round 0's sample is 5 rounds old: outside a 3-round window *)
+  Alcotest.(check (float 0.0)) "expired max" 3.0 (Max_rounds.get f)
+
+let test_max_decreasing_round_rejected () =
+  let f = Max_rounds.create ~window:3 in
+  Max_rounds.update f ~round:5 1.0;
+  match Max_rounds.update f ~round:4 1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_min_basic () =
+  let f = Min_time.create ~window:10.0 in
+  Alcotest.(check bool) "initial" true (Min_time.get f = infinity);
+  Min_time.update f ~time:0.0 0.050;
+  Min_time.update f ~time:1.0 0.080;
+  Alcotest.(check (float 0.0)) "min kept" 0.050 (Min_time.get f);
+  Min_time.update f ~time:2.0 0.040;
+  Alcotest.(check (float 0.0)) "new min" 0.040 (Min_time.get f)
+
+let test_min_expiry_flag () =
+  let f = Min_time.create ~window:10.0 in
+  Min_time.update f ~time:0.0 0.040;
+  Alcotest.(check bool) "fresh" false (Min_time.expired f ~now:5.0);
+  Alcotest.(check bool) "expired" true (Min_time.expired f ~now:10.5);
+  Alcotest.(check (float 1e-9)) "age" 10.5 (Min_time.age f ~now:10.5)
+
+let test_min_window_slide () =
+  let f = Min_time.create ~window:2.0 in
+  Min_time.update f ~time:0.0 0.010;
+  Min_time.update f ~time:1.0 0.050;
+  Min_time.update f ~time:3.0 0.030;
+  (* the 0.010 sample at t=0 is outside the 2 s window at t=3 *)
+  Alcotest.(check (float 0.0)) "slid window" 0.030 (Min_time.get f)
+
+let brute_max samples window round =
+  List.fold_left
+    (fun acc (r, v) ->
+      if round - r <= window then Float.max acc v else acc)
+    0.0 samples
+
+let prop_max_matches_brute_force =
+  QCheck.Test.make ~name:"max filter matches brute force" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (float_range 0.0 100.0))
+    (fun values ->
+      let window = 5 in
+      let f = Max_rounds.create ~window in
+      let samples = List.mapi (fun round v -> (round, v)) values in
+      List.for_all
+        (fun (round, v) ->
+          Max_rounds.update f ~round v;
+          let seen = List.filter (fun (r, _) -> r <= round) samples in
+          Float.abs (Max_rounds.get f -. brute_max seen window round) < 1e-12)
+        samples)
+
+let prop_min_le_all_recent =
+  QCheck.Test.make ~name:"min filter <= every in-window sample" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 40) (float_range 0.001 1.0))
+    (fun values ->
+      let f = Min_time.create ~window:5.0 in
+      let result = ref true in
+      List.iteri
+        (fun i v ->
+          let time = float_of_int i in
+          Min_time.update f ~time v;
+          if Min_time.get f > v then result := false)
+        values;
+      !result)
+
+let tests =
+  [
+    Alcotest.test_case "max basic" `Quick test_max_basic;
+    Alcotest.test_case "max expiry" `Quick test_max_expiry;
+    Alcotest.test_case "max decreasing round" `Quick
+      test_max_decreasing_round_rejected;
+    Alcotest.test_case "min basic" `Quick test_min_basic;
+    Alcotest.test_case "min expiry flag" `Quick test_min_expiry_flag;
+    Alcotest.test_case "min window slide" `Quick test_min_window_slide;
+    QCheck_alcotest.to_alcotest prop_max_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_min_le_all_recent;
+  ]
