@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench repro repro-full examples clean doc
+.PHONY: all build test check bench repro repro-full examples clean doc
 
 all: build
 
@@ -9,6 +9,18 @@ build:
 
 test:
 	dune runtest
+
+# CI entrypoint: build, run the full test suite, then smoke-test the
+# parallel executor and result cache end to end — a second cached run of
+# fig03 must re-simulate nothing.
+CHECK_CACHE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-cache
+check: build test
+	rm -rf "$(CHECK_CACHE)"
+	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)"
+	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)" \
+	  | tee /dev/stderr | grep -q "; 0 simulated"
+	rm -rf "$(CHECK_CACHE)"
+	@echo "check: OK"
 
 bench:
 	dune exec bench/main.exe

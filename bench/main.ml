@@ -24,26 +24,21 @@ let buffer_grid = [ 1.0; 2.0; 5.0; 10.0; 20.0; 50.0 ]
 
 (* A small packet-level simulation used as the unit kernel for the
    simulation-driven figures: 4 flows, 4 simulated seconds. *)
+let short_sim_config ?(seed = 1) ~other () =
+  let rate_bps = Sim_engine.Units.mbps 20.0 in
+  Tcpflow.Experiment.config ~warmup:1.0 ~seed ~rate_bps
+    ~buffer_bytes:
+      (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:3.0)
+    ~duration:4.0
+    [
+      Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+      Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+      Tcpflow.Experiment.flow_config ~base_rtt:0.02 other;
+      Tcpflow.Experiment.flow_config ~base_rtt:0.02 other;
+    ]
+
 let short_sim ~other () =
-  let config =
-    {
-      Tcpflow.Experiment.default_config with
-      rate_bps = Sim_engine.Units.mbps 20.0;
-      buffer_bytes =
-        Tcpflow.Experiment.buffer_bytes_of_bdp
-          ~rate_bps:(Sim_engine.Units.mbps 20.0) ~rtt:0.02 ~bdp:3.0;
-      flows =
-        [
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 other;
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 other;
-        ];
-      duration = 4.0;
-      warmup = 1.0;
-    }
-  in
-  ignore (Tcpflow.Experiment.run config)
+  ignore (Tcpflow.Experiment.run (short_sim_config ~other ()))
 
 let short_fluid ~kind () =
   let rtt = 0.04 in
@@ -238,7 +233,7 @@ let ablation_bbr_cap () =
             ~params:{ Cca.Bbr.default_params with probe_bw_cwnd_gain = gain }
             ~mss ~rng ());
       let summary =
-        Experiments.Runs.mix ~mode:Experiments.Common.Quick ~mbps:50.0
+        Experiments.Runs.mix ~ctx:Experiments.Common.quick ~mbps:50.0
           ~rtt_ms:40.0 ~buffer_bdp:8.0 ~n_cubic:1 ~other:"bbr-cap" ~n_other:1
           ()
       in
@@ -260,18 +255,15 @@ let ablation_tcp_friendly () =
       let rate_bps = Sim_engine.Units.mbps 50.0 in
       let result =
         Tcpflow.Experiment.run
-          {
-            Tcpflow.Experiment.default_config with
-            rate_bps;
-            buffer_bytes =
-              Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.04
-                ~bdp:3.0;
-            flows =
-              [
-                Tcpflow.Experiment.flow_config ~base_rtt:0.04 "cubic-tf";
-                Tcpflow.Experiment.flow_config ~base_rtt:0.04 "bbr";
-              ];
-          }
+          (Tcpflow.Experiment.config ~warmup:10.0 ~rate_bps
+             ~buffer_bytes:
+               (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.04
+                  ~bdp:3.0)
+             ~duration:40.0
+             [
+               Tcpflow.Experiment.flow_config ~base_rtt:0.04 "cubic-tf";
+               Tcpflow.Experiment.flow_config ~base_rtt:0.04 "bbr";
+             ])
       in
       Printf.printf "%6b %14.2f %14.2f\n%!" tcp_friendly
         (mbps_of (Tcpflow.Experiment.mean_throughput_of_cca result "cubic-tf"))
@@ -319,9 +311,39 @@ let ablation_fluid_sync () =
       ("stochastic-0.5", Fluidsim.Fluid_sim.Stochastic 0.5);
     ]
 
+(* --- Jobs scaling --------------------------------------------------- *)
+
+(* Wall-clock of one fixed batch of independent simulations under growing
+   worker counts: the speedup the figure drivers get from `--jobs`. *)
+let scaling_jobs () =
+  let n_sims = 16 in
+  let configs =
+    List.init n_sims (fun i ->
+        short_sim_config ~seed:(i + 1)
+          ~other:(if i mod 2 = 0 then "bbr" else "cubic")
+          ())
+  in
+  Printf.printf "\n-- jobs scaling: %d independent 4 s simulations --\n" n_sims;
+  Printf.printf "%6s %12s %10s\n" "jobs" "wall(s)" "speedup";
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sim_engine.Exec.map_list ~jobs Tcpflow.Experiment.run configs);
+    Unix.gettimeofday () -. t0
+  in
+  let job_counts =
+    List.sort_uniq compare [ 1; 2; 4; Sim_engine.Exec.domain_count () ]
+  in
+  let base = ref nan in
+  List.iter
+    (fun jobs ->
+      let dt = time jobs in
+      if Float.is_nan !base then base := dt;
+      Printf.printf "%6d %12.2f %9.2fx\n%!" jobs dt (!base /. dt))
+    job_counts
+
 let sections () =
   match Sys.getenv_opt "REPRO_BENCH_SECTIONS" with
-  | None | Some "" -> [ "figures"; "micro"; "ablations" ]
+  | None | Some "" -> [ "figures"; "micro"; "scaling"; "ablations" ]
   | Some s -> String.split_on_char ',' s
 
 let () =
@@ -331,13 +353,17 @@ let () =
     Printf.printf "==== Paper tables & figures (quick mode) ====\n\n%!";
     List.iter
       (fun entry ->
-        let table = entry.Experiments.Catalog.run Experiments.Common.Quick in
+        let table = entry.Experiments.Catalog.run Experiments.Common.quick in
         Experiments.Common.print_table Format.std_formatter table)
       Experiments.Catalog.all
   end;
   if List.mem "micro" sections then begin
     Printf.printf "==== Bechamel micro-benchmarks ====\n%!";
     run_bechamel (figure_tests @ substrate_tests)
+  end;
+  if List.mem "scaling" sections then begin
+    Printf.printf "\n==== Parallel executor scaling ====\n%!";
+    scaling_jobs ()
   end;
   if List.mem "ablations" sections then begin
     Printf.printf "\n==== Ablations ====\n%!";

@@ -2,22 +2,32 @@
 
    Usage:
      repro list
-     repro run fig03 [--full] [--out results/]
-     repro all [--full] [--out results/]
+     repro run fig03 [--full] [--jobs 4] [--cache DIR] [--out results/]
+     repro all [--full] [--jobs 4] [--cache DIR] [--out results/]
 *)
 
-let mode_of_full full = if full then Experiments.Common.Full else Experiments.Common.Quick
+let ctx_of ~full ~jobs ~cache_dir =
+  Experiments.Common.ctx ~jobs ?cache_dir
+    (if full then Experiments.Common.Full else Experiments.Common.Quick)
 
-let run_entry ~out entry mode =
+(* Per-entry work accounting comes from the process-wide Exec counters:
+   snapshot around the run and report the delta, so a cached re-run
+   visibly says "0 simulated". *)
+let run_entry ~out entry ctx =
   let t0 = Unix.gettimeofday () in
-  let table = entry.Experiments.Catalog.run mode in
+  let before = Sim_engine.Exec.counters () in
+  let table = entry.Experiments.Catalog.run ctx in
+  let after = Sim_engine.Exec.counters () in
   Experiments.Common.print_table Format.std_formatter table;
   (match out with
   | Some dir ->
     let path = Experiments.Common.write_csv ~dir table in
     Format.printf "wrote %s@." path
   | None -> ());
-  Format.printf "(%s took %.1f s)@.@." entry.id (Unix.gettimeofday () -. t0)
+  Format.printf "(%s took %.1f s; %d simulated, %d cache hits)@.@." entry.id
+    (Unix.gettimeofday () -. t0)
+    (after.jobs_executed - before.jobs_executed)
+    (after.cache_hits - before.cache_hits)
 
 open Cmdliner
 
@@ -28,6 +38,32 @@ let full_arg =
 let out_arg =
   let doc = "Also write each table as CSV into $(docv)." in
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for simulation batches (default: the machine's \
+     recommended domain count)."
+  in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok _ -> Error (`Msg "must be >= 1")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Sim_engine.Exec.domain_count ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Cache simulation results in $(docv) (content-addressed by config \
+     digest); re-runs with unchanged parameters replay from disk."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -44,16 +80,16 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run id full out =
+  let run id full out jobs cache_dir =
     match Experiments.Catalog.find id with
     | None ->
       Format.eprintf "unknown experiment %S; try: %s@." id
         (String.concat ", " (Experiments.Catalog.ids ()));
       exit 1
-    | Some entry -> run_entry ~out entry (mode_of_full full)
+    | Some entry -> run_entry ~out entry (ctx_of ~full ~jobs ~cache_dir)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id_arg $ full_arg $ out_arg)
+    Term.(const run $ id_arg $ full_arg $ out_arg $ jobs_arg $ cache_arg)
 
 let model_cmd =
   let doc =
@@ -94,12 +130,12 @@ let model_cmd =
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run full out =
-    List.iter
-      (fun entry -> run_entry ~out entry (mode_of_full full))
-      Experiments.Catalog.all
+  let run full out jobs cache_dir =
+    let ctx = ctx_of ~full ~jobs ~cache_dir in
+    List.iter (fun entry -> run_entry ~out entry ctx) Experiments.Catalog.all
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ full_arg $ out_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ full_arg $ out_arg $ jobs_arg $ cache_arg)
 
 let main_cmd =
   let doc =

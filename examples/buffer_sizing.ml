@@ -21,18 +21,13 @@ let () =
   List.iter
     (fun bdp ->
       let config =
-        {
-          Tcpflow.Experiment.default_config with
-          rate_bps;
-          buffer_bytes =
-            Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp;
-          flows =
-            List.init (n_cubic + n_bbr) (fun i ->
-                Tcpflow.Experiment.flow_config ~base_rtt:rtt
-                  (if i < n_cubic then "cubic" else "bbr"));
-          duration = 70.0;
-          warmup = 25.0;
-        }
+        Tcpflow.Experiment.config ~warmup:25.0 ~rate_bps
+          ~buffer_bytes:
+            (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp)
+          ~duration:70.0
+          (List.init (n_cubic + n_bbr) (fun i ->
+               Tcpflow.Experiment.flow_config ~base_rtt:rtt
+                 (if i < n_cubic then "cubic" else "bbr")))
       in
       let r = Tcpflow.Experiment.run config in
       let get name =

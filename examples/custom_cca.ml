@@ -39,19 +39,14 @@ let () =
   List.iter
     (fun bdp ->
       let config =
-        {
-          Tcpflow.Experiment.default_config with
-          rate_bps;
-          buffer_bytes =
-            Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp;
-          flows =
-            [
-              Tcpflow.Experiment.flow_config ~base_rtt:rtt "aimd-2x";
-              Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
-            ];
-          duration = 45.0;
-          warmup = 10.0;
-        }
+        Tcpflow.Experiment.config ~warmup:10.0 ~rate_bps
+          ~buffer_bytes:
+            (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp)
+          ~duration:45.0
+          [
+            Tcpflow.Experiment.flow_config ~base_rtt:rtt "aimd-2x";
+            Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
+          ]
       in
       let result = Tcpflow.Experiment.run config in
       let get name =

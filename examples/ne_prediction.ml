@@ -27,7 +27,7 @@ let () =
       let capacity_bps = Sim_engine.Units.mbps mbps in
       let payoff =
         Experiments.Ne_search.packet_payoff ~duration:60.0 ~warmup:25.0
-          ~mode:Experiments.Common.Quick ~mbps ~rtt_ms ~buffer_bdp
+          ~ctx:Experiments.Common.quick ~mbps ~rtt_ms ~buffer_bdp
           ~other:"bbr" ~n ()
       in
       let observed =

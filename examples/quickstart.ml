@@ -13,19 +13,14 @@ let () =
   let rate_bps = Sim_engine.Units.mbps mbps in
   let rtt = Sim_engine.Units.ms rtt_ms in
   let config =
-    {
-      Tcpflow.Experiment.default_config with
-      rate_bps;
-      buffer_bytes =
-        Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp;
-      flows =
-        [
-          Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
-          Tcpflow.Experiment.flow_config ~base_rtt:rtt "bbr";
-        ];
-      duration = 60.0;
-      warmup = 15.0;
-    }
+    Tcpflow.Experiment.config ~warmup:15.0 ~rate_bps
+      ~buffer_bytes:
+        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
+      ~duration:60.0
+      [
+        Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
+        Tcpflow.Experiment.flow_config ~base_rtt:rtt "bbr";
+      ]
   in
   let result = Tcpflow.Experiment.run config in
   let measured name =

@@ -1,7 +1,7 @@
 type entry = {
   id : string;
   summary : string;
-  run : Common.mode -> Common.table;
+  run : Common.ctx -> Common.table;
 }
 
 let all =

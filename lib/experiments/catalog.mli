@@ -4,7 +4,10 @@
 type entry = {
   id : string;
   summary : string;
-  run : Common.mode -> Common.table;
+  run : Common.ctx -> Common.table;
+      (** Drivers receive the full execution context: grid scale
+          ([ctx.mode]) plus the worker count and result-cache directory
+          threaded down to {!Runs.eval}. *)
 }
 
 val all : entry list

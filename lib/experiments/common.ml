@@ -1,5 +1,15 @@
 type mode = Quick | Full
 
+type ctx = { mode : mode; jobs : int; cache_dir : string option }
+
+let ctx ?(jobs = 1) ?cache_dir mode =
+  if jobs < 1 then invalid_arg "Common.ctx: jobs must be >= 1";
+  { mode; jobs; cache_dir }
+
+let quick = ctx Quick
+
+let sequential ctx = { ctx with jobs = 1 }
+
 type table = {
   id : string;
   title : string;

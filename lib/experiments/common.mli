@@ -7,6 +7,30 @@
 
 type mode = Quick | Full
 
+type ctx = {
+  mode : mode;
+  jobs : int;  (** Worker domains for batched simulation runs. *)
+  cache_dir : string option;
+      (** When set, completed runs are stored here (content-addressed by
+          config digest) and replayed on re-runs instead of re-simulating. *)
+}
+(** Everything a driver needs to execute its plan: the grid scale ([mode])
+    plus the execution policy ([jobs], [cache_dir]) threaded through to
+    {!Runs.eval}. *)
+
+val ctx : ?jobs:int -> ?cache_dir:string -> mode -> ctx
+(** [jobs] defaults to 1 (sequential); pass
+    [Sim_engine.Exec.domain_count ()] to use every core. Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val quick : ctx
+(** [ctx Quick]: sequential, uncached — the tests' and benches' default. *)
+
+val sequential : ctx -> ctx
+(** The same ctx with [jobs = 1]; used by drivers that parallelise at a
+    coarser granularity (one domain per grid point) to keep the inner
+    per-trial batches from spawning nested worker pools. *)
+
 type table = {
   id : string;  (** e.g. ["fig03"]. *)
   title : string;

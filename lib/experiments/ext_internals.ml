@@ -22,30 +22,32 @@ type point = {
   model_bb : float;
 }
 
-let points mode =
+let points (ctx : Common.ctx) =
   let rate_bps = Sim_engine.Units.mbps mbps in
   let rtt = Sim_engine.Units.ms rtt_ms in
-  List.map
-    (fun buffer_bdp ->
+  let buffers =
+    match ctx.mode with
+    | Common.Quick -> [ 3.0; 5.0; 10.0; 20.0 ]
+    | Common.Full -> [ 2.0; 3.0; 5.0; 8.0; 12.0; 16.0; 20.0; 30.0 ]
+  in
+  let configs =
+    List.map
+      (fun buffer_bdp ->
+        Tcpflow.Experiment.config ~warmup:(Common.warmup ctx.mode) ~rate_bps
+          ~buffer_bytes:
+            (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt
+               ~bdp:buffer_bdp)
+          ~duration:(Common.duration ctx.mode)
+          [
+            Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
+            Tcpflow.Experiment.flow_config ~base_rtt:rtt "bbr";
+          ])
+      buffers
+  in
+  List.map2
+    (fun buffer_bdp result ->
       let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
       let solution = Ccmodel.Two_flow.solve params in
-      let config =
-        {
-          Tcpflow.Experiment.default_config with
-          rate_bps;
-          buffer_bytes =
-            Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt
-              ~bdp:buffer_bdp;
-          flows =
-            [
-              Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
-              Tcpflow.Experiment.flow_config ~base_rtt:rtt "bbr";
-            ];
-          duration = Common.duration mode;
-          warmup = Common.warmup mode;
-        }
-      in
-      let result = Tcpflow.Experiment.run config in
       {
         buffer_bdp;
         measured_bcmin =
@@ -55,12 +57,10 @@ let points mode =
           List.assoc "bbr" result.Tcpflow.Experiment.class_mean_bytes;
         model_bb = solution.bbr_buffer_bytes;
       })
-    (match mode with
-    | Common.Quick -> [ 3.0; 5.0; 10.0; 20.0 ]
-    | Common.Full -> [ 2.0; 3.0; 5.0; 8.0; 12.0; 16.0; 20.0; 30.0 ])
+    buffers (Runs.eval ctx configs)
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   let kb v = v /. 1e3 in
   (* b_b is the model's real workhorse; compare it where defined. The
      measured b_cmin dips to zero in shallow buffers (transient full

@@ -23,32 +23,53 @@ type point = {
   red_qdelay : float;
 }
 
-let points mode =
-  List.concat_map
-    (fun n_each ->
-      List.map
-        (fun buffer_bdp ->
-          let run aqm =
-            Runs.mix ~aqm ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:n_each
-              ~other:"bbr" ~n_other:n_each ()
-          in
-          let droptail = run Tcpflow.Experiment.Tail_drop in
-          let red = run Tcpflow.Experiment.Red_default in
-          {
-            buffer_bdp;
-            n_each;
-            droptail_bbr_bps = droptail.per_flow_other_bps;
-            red_bbr_bps = red.per_flow_other_bps;
-            droptail_qdelay = droptail.queuing_delay;
-            red_qdelay = red.queuing_delay;
-          })
-        (match mode with
-        | Common.Quick -> [ 2.0; 5.0; 10.0; 20.0 ]
-        | Common.Full -> [ 1.0; 2.0; 3.0; 5.0; 8.0; 12.0; 20.0; 30.0 ]))
-    [ 1; 5 ]
+let points (ctx : Common.ctx) =
+  let grid =
+    List.concat_map
+      (fun n_each ->
+        List.map
+          (fun buffer_bdp -> (n_each, buffer_bdp))
+          (match ctx.mode with
+          | Common.Quick -> [ 2.0; 5.0; 10.0; 20.0 ]
+          | Common.Full -> [ 1.0; 2.0; 3.0; 5.0; 8.0; 12.0; 20.0; 30.0 ]))
+      [ 1; 5 ]
+  in
+  (* One batch holding both AQM variants of every grid point: drop-tail
+     specs first, then the RED twins, split back apart below. *)
+  let spec aqm (n_each, buffer_bdp) =
+    Runs.spec ~aqm ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:n_each ~other:"bbr"
+      ~n_other:n_each ()
+  in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map (spec Tcpflow.Experiment.Tail_drop) grid
+      @ List.map (spec Tcpflow.Experiment.Red_default) grid)
+  in
+  let rec split n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | x :: rest ->
+        let a, b = split (n - 1) rest in
+        (x :: a, b)
+      | [] -> assert false
+  in
+  let droptails, reds = split (List.length grid) summaries in
+  List.map2
+    (fun (n_each, buffer_bdp) ((droptail : Runs.summary), (red : Runs.summary)) ->
+      {
+        buffer_bdp;
+        n_each;
+        droptail_bbr_bps = droptail.per_flow_other_bps;
+        red_bbr_bps = red.per_flow_other_bps;
+        droptail_qdelay = droptail.queuing_delay;
+        red_qdelay = red.queuing_delay;
+      })
+    grid
+    (List.combine droptails reds)
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   let delay_reduced =
     List.for_all
       (fun p -> p.buffer_bdp < 3.0 || p.red_qdelay <= p.droptail_qdelay)

@@ -98,39 +98,43 @@ let run_point ~mode ~offered_load ~buffer_bdp ~seed =
       ~bytes_per_sec:(short_delivered /. duration),
     List.length (List.filter Tcpflow.Sender.completed shorts) )
 
-let points mode =
+(* Each point drives its own bespoke simulation (Poisson churn is not an
+   [Experiment.config]), so the result cache does not apply; the grid
+   still fans out over the ctx's workers. *)
+let points (ctx : Common.ctx) =
   let loads =
-    match mode with
+    match ctx.mode with
     | Common.Quick -> [ 0.0; 0.1; 0.3 ]
     | Common.Full -> [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5 ]
   in
-  List.concat_map
-    (fun buffer_bdp ->
-      List.map
-        (fun offered_load ->
-          let params =
-            Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms:(rtt *. 1e3)
-          in
-          let model_bbr_bps =
-            (Ccmodel.Two_flow.solve params).bbr_bandwidth_bps
-          in
-          let long_cubic_bps, long_bbr_bps, short_goodput_bps, completed =
-            run_point ~mode ~offered_load ~buffer_bdp ~seed:5
-          in
-          {
-            offered_load;
-            buffer_bdp;
-            long_cubic_bps;
-            long_bbr_bps;
-            short_goodput_bps;
-            model_bbr_bps;
-            completed_short_flows = completed;
-          })
-        loads)
-    [ 3.0; 10.0 ]
+  let grid =
+    List.concat_map
+      (fun buffer_bdp ->
+        List.map (fun offered_load -> (buffer_bdp, offered_load)) loads)
+      [ 3.0; 10.0 ]
+  in
+  Sim_engine.Exec.map_list ~jobs:ctx.jobs
+    (fun (buffer_bdp, offered_load) ->
+      let params =
+        Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms:(rtt *. 1e3)
+      in
+      let model_bbr_bps = (Ccmodel.Two_flow.solve params).bbr_bandwidth_bps in
+      let long_cubic_bps, long_bbr_bps, short_goodput_bps, completed =
+        run_point ~mode:ctx.mode ~offered_load ~buffer_bdp ~seed:5
+      in
+      {
+        offered_load;
+        buffer_bdp;
+        long_cubic_bps;
+        long_bbr_bps;
+        short_goodput_bps;
+        model_bbr_bps;
+        completed_short_flows = completed;
+      })
+    grid
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   {
     Common.id = "ext-short";
     title =

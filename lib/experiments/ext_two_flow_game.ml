@@ -17,7 +17,9 @@ type point = {
   equilibria : int array list;
 }
 
-let measure ~mode ~buffer_bdp profile =
+let profiles = [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+
+let config ~mode ~buffer_bdp profile =
   let rtt = Sim_engine.Units.ms rtt_ms in
   let flows =
     Array.to_list
@@ -25,27 +27,11 @@ let measure ~mode ~buffer_bdp profile =
          (fun s -> Tcpflow.Experiment.flow_config ~base_rtt:rtt strategies.(s))
          profile)
   in
-  let result =
-    Tcpflow.Experiment.run
-      (Runs.config ~mode ~mbps ~rtt_ms ~buffer_bdp ~flows ~seed:2 ())
-  in
-  match result.Tcpflow.Experiment.per_flow with
-  | [ a; b ] ->
-    (a.Tcpflow.Experiment.throughput_bps, b.Tcpflow.Experiment.throughput_bps)
-  | _ -> assert false
+  Runs.config ~mode ~mbps ~rtt_ms ~buffer_bdp ~flows ~seed:2 ()
 
-let point ~mode ~buffer_bdp =
-  let cache = Hashtbl.create 4 in
+let point ~buffer_bdp payoff_of_profile =
   let payoff profile player =
-    let key = Array.to_list profile in
-    let u0, u1 =
-      match Hashtbl.find_opt cache key with
-      | Some v -> v
-      | None ->
-        let v = measure ~mode ~buffer_bdp profile in
-        Hashtbl.replace cache key v;
-        v
-    in
+    let u0, u1 = payoff_of_profile profile in
     if player = 0 then u0 else u1
   in
   let game = Ccgame.Normal_form.create ~n_players:2 ~n_strategies:2 ~payoff in
@@ -56,22 +42,52 @@ let point ~mode ~buffer_bdp =
         ( profile,
           Common.mbps (Ccgame.Normal_form.payoff game profile 0),
           Common.mbps (Ccgame.Normal_form.payoff game profile 1) ))
-      [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+      profiles
   in
   { buffer_bdp; payoffs; equilibria }
 
-let points mode =
-  List.map
-    (fun buffer_bdp -> point ~mode ~buffer_bdp)
-    (match mode with
+(* All four profiles of every buffer depth go through [Runs.eval] as one
+   batch; the games are then assembled from the measured payoff table. *)
+let points (ctx : Common.ctx) =
+  let buffers =
+    match ctx.mode with
     | Common.Quick -> [ 2.0; 10.0; 30.0 ]
-    | Common.Full -> [ 1.0; 2.0; 5.0; 10.0; 20.0; 30.0; 50.0 ])
+    | Common.Full -> [ 1.0; 2.0; 5.0; 10.0; 20.0; 30.0; 50.0 ]
+  in
+  let grid =
+    List.concat_map
+      (fun buffer_bdp -> List.map (fun p -> (buffer_bdp, p)) profiles)
+      buffers
+  in
+  let results =
+    Runs.eval ctx
+      (List.map
+         (fun (buffer_bdp, profile) -> config ~mode:ctx.mode ~buffer_bdp profile)
+         grid)
+  in
+  let table = Hashtbl.create 32 in
+  List.iter2
+    (fun (buffer_bdp, profile) result ->
+      let u =
+        match result.Tcpflow.Experiment.per_flow with
+        | [ a; b ] ->
+          ( a.Tcpflow.Experiment.throughput_bps,
+            b.Tcpflow.Experiment.throughput_bps )
+        | _ -> assert false
+      in
+      Hashtbl.replace table (buffer_bdp, Array.to_list profile) u)
+    grid results;
+  List.map
+    (fun buffer_bdp ->
+      point ~buffer_bdp (fun profile ->
+          Hashtbl.find table (buffer_bdp, Array.to_list profile)))
+    buffers
 
 let name_of profile =
   Printf.sprintf "%s/%s" strategies.(profile.(0)) strategies.(profile.(1))
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   {
     Common.id = "ext-2flow";
     title = "Extension: the 2-flow CUBIC/BBR game (APNet'21, paper ref [21])";

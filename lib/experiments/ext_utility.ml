@@ -16,33 +16,37 @@ let n = 10
 
 type point = { weight : float; ne_cubic : int list }
 
-(* Measured (throughput_cubic, throughput_bbr, qdelay) per BBR count. *)
-let samples ~mode =
-  let cache = Hashtbl.create 16 in
-  fun k ->
-    match Hashtbl.find_opt cache k with
-    | Some v -> v
-    | None ->
-      let summary =
-        Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:(n - k)
-          ~other:"bbr" ~n_other:k ()
-      in
-      let v =
-        ( summary.Runs.per_flow_cubic_bps,
-          summary.Runs.per_flow_other_bps,
-          summary.Runs.queuing_delay )
-      in
-      Hashtbl.replace cache k v;
-      v
+(* Measured (throughput_cubic, throughput_bbr, qdelay) per BBR count. The
+   NE check probes every k anyway, so measure all of 0..n as one batch. *)
+let samples ctx =
+  let counts = List.init (n + 1) Fun.id in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun k ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:(n - k) ~other:"bbr"
+             ~n_other:k ())
+         counts)
+  in
+  let table =
+    Array.of_list
+      (List.map
+         (fun (summary : Runs.summary) ->
+           ( summary.Runs.per_flow_cubic_bps,
+             summary.Runs.per_flow_other_bps,
+             summary.Runs.queuing_delay ))
+         summaries)
+  in
+  fun k -> table.(k)
 
-let points mode =
-  let sample = samples ~mode in
+let points (ctx : Common.ctx) =
+  let sample = samples ctx in
   let capacity_bps = Sim_engine.Units.mbps mbps in
   let d_max =
     buffer_bdp *. Sim_engine.Units.ms rtt_ms (* B/C = bdp multiples of rtt *)
   in
   let weights =
-    match mode with
+    match ctx.mode with
     | Common.Quick -> [ 0.0; 0.5; 1.0 ]
     | Common.Full -> [ 0.0; 0.1; 0.25; 0.5; 1.0; 2.0 ]
   in
@@ -70,8 +74,8 @@ let points mode =
       { weight; ne_cubic })
     weights
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   let all_mixed =
     List.for_all
       (fun p -> List.exists (fun c -> c > 0 && c < n) p.ne_cubic)

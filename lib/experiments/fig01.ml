@@ -6,25 +6,28 @@ let rtt_ms = 40.0
 
 type point = { buffer_bdp : float; ware_bps : float; actual_bps : float }
 
-let points mode =
-  List.map
-    (fun buffer_bdp ->
-      let params =
-        Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms
-      in
+let points (ctx : Common.ctx) =
+  let buffers = Common.buffer_grid ctx.mode ~max:50.0 in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun buffer_bdp ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
+             ~n_other:1 ())
+         buffers)
+  in
+  List.map2
+    (fun buffer_bdp (summary : Runs.summary) ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
       let ware_bps =
         Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
-          ~duration:(Common.duration mode)
-      in
-      let summary =
-        Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
-          ~n_other:1 ()
+          ~duration:(Common.duration ctx.mode)
       in
       { buffer_bdp; ware_bps; actual_bps = summary.per_flow_other_bps })
-    (Common.buffer_grid mode ~max:50.0)
+    buffers summaries
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   {
     Common.id = "fig01";
     title =

@@ -13,38 +13,43 @@ type point = {
 
 let settings = [ (50.0, 40.0); (50.0, 80.0); (100.0, 40.0); (100.0, 80.0) ]
 
-let points mode =
-  List.concat_map
-    (fun (mbps, rtt_ms) ->
-      List.map
-        (fun buffer_bdp ->
-          let params =
-            Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms
-          in
-          let model_bps =
-            (Ccmodel.Two_flow.solve params).bbr_bandwidth_bps
-          in
-          let ware_bps =
-            Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
-              ~duration:(Common.duration mode)
-          in
-          let summary =
-            Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
-              ~n_other:1 ()
-          in
-          {
-            mbps;
-            rtt_ms;
-            buffer_bdp;
-            actual_bps = summary.per_flow_other_bps;
-            model_bps;
-            ware_bps;
-          })
-        (Common.buffer_grid mode ~max:30.0))
-    settings
+let points (ctx : Common.ctx) =
+  let grid =
+    List.concat_map
+      (fun (mbps, rtt_ms) ->
+        List.map
+          (fun buffer_bdp -> (mbps, rtt_ms, buffer_bdp))
+          (Common.buffer_grid ctx.mode ~max:30.0))
+      settings
+  in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun (mbps, rtt_ms, buffer_bdp) ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
+             ~n_other:1 ())
+         grid)
+  in
+  List.map2
+    (fun (mbps, rtt_ms, buffer_bdp) (summary : Runs.summary) ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let model_bps = (Ccmodel.Two_flow.solve params).bbr_bandwidth_bps in
+      let ware_bps =
+        Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
+          ~duration:(Common.duration ctx.mode)
+      in
+      {
+        mbps;
+        rtt_ms;
+        buffer_bdp;
+        actual_bps = summary.per_flow_other_bps;
+        model_bps;
+        ware_bps;
+      })
+    grid summaries
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   let errors =
     List.filter_map
       (fun p ->

@@ -14,37 +14,44 @@ type point = {
   ware_bps : float;
 }
 
-let points mode =
-  List.concat_map
-    (fun n_each ->
-      List.map
-        (fun buffer_bdp ->
-          let params =
-            Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms
-          in
-          let interval =
-            Ccmodel.Multi_flow.per_flow_bbr_interval params ~n_cubic:n_each
-              ~n_bbr:n_each
-          in
-          let ware_bps =
-            Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:n_each
-              ~duration:(Common.duration mode)
-            /. float_of_int n_each
-          in
-          let summary =
-            Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:n_each
-              ~other:"bbr" ~n_other:n_each ()
-          in
-          {
-            n_each;
-            buffer_bdp;
-            actual_bbr_bps = summary.per_flow_other_bps;
-            sync_bound_bps = interval.lower_bbr_per_flow_bps;
-            desync_bound_bps = interval.upper_bbr_per_flow_bps;
-            ware_bps;
-          })
-        (Common.buffer_grid mode ~max:30.0))
-    [ 5; 10 ]
+let points (ctx : Common.ctx) =
+  let grid =
+    List.concat_map
+      (fun n_each ->
+        List.map
+          (fun buffer_bdp -> (n_each, buffer_bdp))
+          (Common.buffer_grid ctx.mode ~max:30.0))
+      [ 5; 10 ]
+  in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun (n_each, buffer_bdp) ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:n_each ~other:"bbr"
+             ~n_other:n_each ())
+         grid)
+  in
+  List.map2
+    (fun (n_each, buffer_bdp) (summary : Runs.summary) ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let interval =
+        Ccmodel.Multi_flow.per_flow_bbr_interval params ~n_cubic:n_each
+          ~n_bbr:n_each
+      in
+      let ware_bps =
+        Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:n_each
+          ~duration:(Common.duration ctx.mode)
+        /. float_of_int n_each
+      in
+      {
+        n_each;
+        buffer_bdp;
+        actual_bbr_bps = summary.per_flow_other_bps;
+        sync_bound_bps = interval.lower_bbr_per_flow_bps;
+        desync_bound_bps = interval.upper_bbr_per_flow_bps;
+        ware_bps;
+      })
+    grid summaries
 
 let in_region ?(slack = 0.15) p =
   let lo = Float.min p.sync_bound_bps p.desync_bound_bps in
@@ -52,8 +59,8 @@ let in_region ?(slack = 0.15) p =
   p.actual_bbr_bps >= lo *. (1.0 -. slack)
   && p.actual_bbr_bps <= hi *. (1.0 +. slack)
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   let inside = List.length (List.filter in_region points) in
   {
     Common.id = "fig04";

@@ -19,42 +19,46 @@ type point = {
 
 let panels = [ (10, 3.0); (20, 3.0); (10, 10.0); (20, 10.0) ]
 
-let points mode =
-  List.concat_map
-    (fun (n_total, buffer_bdp) ->
+let points (ctx : Common.ctx) =
+  let grid =
+    List.concat_map
+      (fun (n_total, buffer_bdp) ->
+        List.filter_map
+          (fun n_bbr ->
+            if n_bbr = 0 then None else Some (n_total, buffer_bdp, n_bbr))
+          (Common.count_grid ctx.mode ~n:n_total))
+      panels
+  in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun (n_total, buffer_bdp, n_bbr) ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:(n_total - n_bbr)
+             ~other:"bbr" ~n_other:n_bbr ())
+         grid)
+  in
+  List.map2
+    (fun (n_total, buffer_bdp, n_bbr) (summary : Runs.summary) ->
       let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
-      let fair_share_bps =
-        Sim_engine.Units.mbps mbps /. float_of_int n_total
+      let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n_total in
+      let interval =
+        Ccmodel.Multi_flow.per_flow_bbr_interval params
+          ~n_cubic:(n_total - n_bbr) ~n_bbr
       in
-      List.filter_map
-        (fun n_bbr ->
-          if n_bbr = 0 then None
-          else begin
-            let n_cubic = n_total - n_bbr in
-            let interval =
-              Ccmodel.Multi_flow.per_flow_bbr_interval params ~n_cubic ~n_bbr
-            in
-            let summary =
-              Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic ~other:"bbr"
-                ~n_other:n_bbr ()
-            in
-            Some
-              {
-                n_total;
-                buffer_bdp;
-                n_bbr;
-                actual_bbr_bps = summary.per_flow_other_bps;
-                actual_cubic_bps = summary.per_flow_cubic_bps;
-                sync_bound_bps = interval.lower_bbr_per_flow_bps;
-                desync_bound_bps = interval.upper_bbr_per_flow_bps;
-                fair_share_bps;
-              }
-          end)
-        (Common.count_grid mode ~n:n_total))
-    panels
+      {
+        n_total;
+        buffer_bdp;
+        n_bbr;
+        actual_bbr_bps = summary.per_flow_other_bps;
+        actual_cubic_bps = summary.per_flow_cubic_bps;
+        sync_bound_bps = interval.lower_bbr_per_flow_bps;
+        desync_bound_bps = interval.upper_bbr_per_flow_bps;
+        fair_share_bps;
+      })
+    grid summaries
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   (* Diminishing returns: within each panel, BBR's per-flow throughput at
      the largest BBR count should not exceed that at the smallest. *)
   let diminishing =

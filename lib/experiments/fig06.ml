@@ -32,7 +32,7 @@ let points () =
       })
     (List.init n (fun i -> i + 1))
 
-let run (_mode : Common.mode) : Common.table =
+let run (_ctx : Common.ctx) : Common.table =
   let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
   let region = Ccmodel.Ne.nash_region params ~n in
   {

@@ -17,29 +17,34 @@ type point = {
   fair_share_bps : float;
 }
 
-let points mode =
+let points (ctx : Common.ctx) =
   let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
-  List.concat_map
-    (fun algo ->
-      List.filter_map
-        (fun n_other ->
-          if n_other = 0 then None
-          else begin
-            let summary =
-              Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp
-                ~n_cubic:(n - n_other) ~other:algo ~n_other ()
-            in
-            Some
-              {
-                algo;
-                n_other;
-                other_per_flow_bps = summary.per_flow_other_bps;
-                cubic_per_flow_bps = summary.per_flow_cubic_bps;
-                fair_share_bps;
-              }
-          end)
-        (Common.count_grid mode ~n))
-    algorithms
+  let grid =
+    List.concat_map
+      (fun algo ->
+        List.filter_map
+          (fun n_other -> if n_other = 0 then None else Some (algo, n_other))
+          (Common.count_grid ctx.mode ~n))
+      algorithms
+  in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun (algo, n_other) ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:(n - n_other)
+             ~other:algo ~n_other ())
+         grid)
+  in
+  List.map2
+    (fun (algo, n_other) (summary : Runs.summary) ->
+      {
+        algo;
+        n_other;
+        other_per_flow_bps = summary.per_flow_other_bps;
+        cubic_per_flow_bps = summary.per_flow_cubic_bps;
+        fair_share_bps;
+      })
+    grid summaries
 
 let disproportionate points algo =
   (* The paper's criterion for a NE to exist (property (i) of 4.2): some
@@ -51,8 +56,8 @@ let disproportionate points algo =
       && p.other_per_flow_bps > p.fair_share_bps *. 1.05)
     points
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   {
     Common.id = "fig07";
     title =

@@ -15,23 +15,28 @@ type point = {
   queuing_delay : float;
 }
 
-let points mode =
-  List.map
-    (fun n_bbr ->
-      let summary =
-        Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:(n - n_bbr)
-          ~other:"bbr" ~n_other:n_bbr ()
-      in
+let points (ctx : Common.ctx) =
+  let counts = Common.count_grid ctx.mode ~n in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun n_bbr ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:(n - n_bbr)
+             ~other:"bbr" ~n_other:n_bbr ())
+         counts)
+  in
+  List.map2
+    (fun n_bbr (summary : Runs.summary) ->
       {
         n_bbr;
         bbr_per_flow_bps = summary.per_flow_other_bps;
         cubic_per_flow_bps = summary.per_flow_cubic_bps;
         queuing_delay = summary.queuing_delay;
       })
-    (Common.count_grid mode ~n)
+    counts summaries
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   (* Delay asymmetry check: queuing delay varies little until all flows are
      BBR (paper Fig. 8b). *)
   let mixed_delays =

@@ -35,45 +35,54 @@ let buffers mode =
   | Common.Full -> [ 1.0; 2.0; 3.0; 5.0; 8.0; 12.0; 18.0; 25.0; 35.0; 50.0 ]
 
 (* NE of the packet-simulated game, as BBR counts. Quick mode trims the
-   per-payoff run to 60 s (25 s warm-up) to keep the sweep tractable. *)
-let observed_ne ~mode ~mbps ~rtt_ms ~buffer_bdp ~other ~n =
+   per-payoff run to 60 s (25 s warm-up) to keep the sweep tractable.
+   The bisection is adaptive, so the ctx should be sequential: callers
+   parallelise across grid points instead (see [points]). *)
+let observed_ne ~(ctx : Common.ctx) ~mbps ~rtt_ms ~buffer_bdp ~other ~n =
   let duration, warmup =
-    match mode with Common.Quick -> (60.0, 25.0) | Common.Full -> (120.0, 40.0)
+    match ctx.mode with
+    | Common.Quick -> (60.0, 25.0)
+    | Common.Full -> (120.0, 40.0)
   in
   let payoff =
-    Ne_search.packet_payoff ~duration ~warmup ~mode ~mbps ~rtt_ms ~buffer_bdp
+    Ne_search.packet_payoff ~duration ~warmup ~ctx ~mbps ~rtt_ms ~buffer_bdp
       ~other ~n ()
   in
   let fair_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
   Ne_search.observed_equilibria ~epsilon:0.02 ~n ~fair_bps ~payoff ~window:2
     ()
 
-let points ?(other = "bbr") mode =
-  let n = flows_of_mode mode in
-  List.concat_map
-    (fun (mbps, rtt_ms) ->
-      List.map
-        (fun buffer_bdp ->
-          let params =
-            Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms
-          in
-          let region = Ccmodel.Ne.nash_region params ~n in
-          let observed =
-            List.map
-              (fun k -> n - k)
-              (observed_ne ~mode ~mbps ~rtt_ms ~buffer_bdp ~other ~n)
-          in
-          {
-            mbps;
-            rtt_ms;
-            buffer_bdp;
-            n;
-            predicted_sync = region.cubic_at_ne_sync;
-            predicted_desync = region.cubic_at_ne_desync;
-            observed;
-          })
-        (buffers mode))
-    (settings mode)
+(* Each grid point's NE search is adaptive (bisection on the previous
+   probe), so the parallelism lives one level up: one worker per grid
+   point, each running its probes sequentially. *)
+let points ?(other = "bbr") (ctx : Common.ctx) =
+  let n = flows_of_mode ctx.mode in
+  let grid =
+    List.concat_map
+      (fun (mbps, rtt_ms) ->
+        List.map (fun buffer_bdp -> (mbps, rtt_ms, buffer_bdp)) (buffers ctx.mode))
+      (settings ctx.mode)
+  in
+  let point_ctx = Common.sequential ctx in
+  Sim_engine.Exec.map_list ~jobs:ctx.jobs
+    (fun (mbps, rtt_ms, buffer_bdp) ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let region = Ccmodel.Ne.nash_region params ~n in
+      let observed =
+        List.map
+          (fun k -> n - k)
+          (observed_ne ~ctx:point_ctx ~mbps ~rtt_ms ~buffer_bdp ~other ~n)
+      in
+      {
+        mbps;
+        rtt_ms;
+        buffer_bdp;
+        n;
+        predicted_sync = region.cubic_at_ne_sync;
+        predicted_desync = region.cubic_at_ne_desync;
+        observed;
+      })
+    grid
 
 let string_of_observed = function
   | [] -> "-"
@@ -92,9 +101,9 @@ let in_region ?(slack = 0.15) p =
     (fun k -> float_of_int k >= lo && float_of_int k <= hi)
     p.observed
 
-let run mode : Common.table =
-  let points = points mode in
-  let n = flows_of_mode mode in
+let run (ctx : Common.ctx) : Common.table =
+  let points = points ctx in
+  let n = flows_of_mode ctx.mode in
   {
     Common.id = "fig09";
     title =

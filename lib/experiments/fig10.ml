@@ -19,7 +19,7 @@ type point = {
 
 let sizes = Array.map (fun _ -> group_size) group_rtts_ms
 
-let payoff_tables ~mode ~buffer_bdp ~seed =
+let payoff_tables ~(ctx : Common.ctx) ~buffer_bdp ~seed =
   let shortest_rtt_ms = group_rtts_ms.(0) in
   let cache = Hashtbl.create 64 in
   let run_counts counts =
@@ -39,14 +39,20 @@ let payoff_tables ~mode ~buffer_bdp ~seed =
              (Array.to_list group_rtts_ms))
       in
       let duration, warmup =
-        match mode with
+        match ctx.mode with
         | Common.Quick -> (50.0, 20.0)
         | Common.Full -> (120.0, 40.0)
       in
       let result =
-        Tcpflow.Experiment.run
-          (Runs.config ~duration ~warmup ~mode ~mbps
-             ~rtt_ms:shortest_rtt_ms ~buffer_bdp ~flows ~seed ())
+        match
+          Runs.eval ctx
+            [
+              Runs.config ~duration ~warmup ~mode:ctx.mode ~mbps
+                ~rtt_ms:shortest_rtt_ms ~buffer_bdp ~flows ~seed ();
+            ]
+        with
+        | [ r ] -> r
+        | _ -> assert false
       in
       Hashtbl.replace cache key result;
       result
@@ -176,15 +182,18 @@ let find_ne ~buffer_bdp ~payoffs =
     fixpoints
   | ne -> ne
 
-let points mode =
+(* Best-response dynamics are adaptive, so each buffer point runs its
+   probes sequentially and the buffer sweep is what parallelises. *)
+let points (ctx : Common.ctx) =
   let buffers =
-    match mode with
+    match ctx.mode with
     | Common.Quick -> [ 5.0; 15.0; 30.0 ]
     | Common.Full -> [ 2.0; 5.0; 10.0; 15.0; 20.0; 30.0; 40.0; 50.0 ]
   in
-  List.map
+  let point_ctx = Common.sequential ctx in
+  Sim_engine.Exec.map_list ~jobs:ctx.jobs
     (fun buffer_bdp ->
-      let payoffs = payoff_tables ~mode ~buffer_bdp ~seed:1 in
+      let payoffs = payoff_tables ~ctx:point_ctx ~buffer_bdp ~seed:1 in
       let ne = find_ne ~buffer_bdp ~payoffs in
       let cubic_at_ne =
         List.map (Ccgame.Grouped_game.total_cubic ~sizes) ne
@@ -201,8 +210,8 @@ let points mode =
       { buffer_bdp; ne; cubic_at_ne; shortest_rtt_mostly_cubic })
     buffers
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   {
     Common.id = "fig10";
     title =

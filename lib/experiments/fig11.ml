@@ -26,37 +26,41 @@ let settings mode =
     [ (50.0, 20.0); (50.0, 40.0); (50.0, 80.0);
       (100.0, 20.0); (100.0, 40.0); (100.0, 80.0) ]
 
-let points mode =
-  let n = Fig09.flows_of_mode mode in
-  List.concat_map
-    (fun (mbps, rtt_ms) ->
-      List.map
-        (fun buffer_bdp ->
-          let params =
-            Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms
-          in
-          let region = Ccmodel.Ne.nash_region params ~n in
-          let observed =
-            List.map
-              (fun k -> n - k)
-              (Fig09.observed_ne ~mode ~mbps ~rtt_ms ~buffer_bdp
-                 ~other:"bbr2" ~n)
-          in
-          {
-            mbps;
-            rtt_ms;
-            buffer_bdp;
-            n;
-            region_sync = region.cubic_at_ne_sync;
-            region_desync = region.cubic_at_ne_desync;
-            observed_bbr2 = observed;
-          })
-        (buffers mode))
-    (settings mode)
+(* Same coarse-grained parallelism as fig09: the NE search per grid point
+   is adaptive, so one worker per grid point. *)
+let points (ctx : Common.ctx) =
+  let n = Fig09.flows_of_mode ctx.mode in
+  let grid =
+    List.concat_map
+      (fun (mbps, rtt_ms) ->
+        List.map (fun buffer_bdp -> (mbps, rtt_ms, buffer_bdp)) (buffers ctx.mode))
+      (settings ctx.mode)
+  in
+  let point_ctx = Common.sequential ctx in
+  Sim_engine.Exec.map_list ~jobs:ctx.jobs
+    (fun (mbps, rtt_ms, buffer_bdp) ->
+      let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let region = Ccmodel.Ne.nash_region params ~n in
+      let observed =
+        List.map
+          (fun k -> n - k)
+          (Fig09.observed_ne ~ctx:point_ctx ~mbps ~rtt_ms ~buffer_bdp
+             ~other:"bbr2" ~n)
+      in
+      {
+        mbps;
+        rtt_ms;
+        buffer_bdp;
+        n;
+        region_sync = region.cubic_at_ne_sync;
+        region_desync = region.cubic_at_ne_desync;
+        observed_bbr2 = observed;
+      })
+    grid
 
-let run mode : Common.table =
-  let points = points mode in
-  let n = Fig09.flows_of_mode mode in
+let run (ctx : Common.ctx) : Common.table =
+  let points = points ctx in
+  let n = Fig09.flows_of_mode ctx.mode in
   (* The paper's comparison: BBRv2's NE should not have fewer CUBIC flows
      than the BBR region's lower bound. *)
   let at_least_as_cubic =

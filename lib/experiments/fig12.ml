@@ -20,18 +20,23 @@ let buffers mode =
     [ 1.0; 5.0; 10.0; 20.0; 30.0; 40.0; 60.0; 80.0; 100.0; 125.0; 150.0;
       175.0; 200.0; 225.0; 250.0 ]
 
-let points mode =
-  List.map
-    (fun buffer_bdp ->
+let points (ctx : Common.ctx) =
+  let grid = buffers ctx.mode in
+  let summaries =
+    Runs.mix_many ctx
+      (List.map
+         (fun buffer_bdp ->
+           Runs.spec ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
+             ~n_other:1 ())
+         grid)
+  in
+  List.map2
+    (fun buffer_bdp (summary : Runs.summary) ->
       let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
       let solution = Ccmodel.Two_flow.solve params in
       let ware_bps =
         Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
-          ~duration:(Common.duration mode)
-      in
-      let summary =
-        Runs.mix ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic:1 ~other:"bbr"
-          ~n_other:1 ()
+          ~duration:(Common.duration ctx.mode)
       in
       {
         buffer_bdp;
@@ -40,15 +45,15 @@ let points mode =
         ware_bps;
         regime = solution.regime;
       })
-    (buffers mode)
+    grid summaries
 
 let regime_name = function
   | Ccmodel.Two_flow.Shallow -> "shallow"
   | Ccmodel.Two_flow.Valid -> "cwnd-limited"
   | Ccmodel.Two_flow.Ultra_deep -> "not-cwnd-limited"
 
-let run mode : Common.table =
-  let points = points mode in
+let run ctx : Common.table =
+  let points = points ctx in
   let overestimates =
     List.filter
       (fun p ->

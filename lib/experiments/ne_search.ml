@@ -57,12 +57,12 @@ let fluid_payoff ~base ~kind ~rtt ~n =
       let result = run { base with flows } in
       (mean_bps_of_kind result Cubic, mean_bps_of_kind result kind))
 
-let packet_payoff ?duration ?warmup ~mode ~mbps ~rtt_ms ~buffer_bdp ~other ~n
+let packet_payoff ?duration ?warmup ~ctx ~mbps ~rtt_ms ~buffer_bdp ~other ~n
     () =
   memoize (fun k ->
       if k < 0 || k > n then invalid_arg "packet_payoff: k out of range";
       let summary =
-        Runs.mix ?duration ?warmup ~mode ~mbps ~rtt_ms ~buffer_bdp
+        Runs.mix ?duration ?warmup ~ctx ~mbps ~rtt_ms ~buffer_bdp
           ~n_cubic:(n - k) ~other ~n_other:k ()
       in
       (summary.Runs.per_flow_cubic_bps, summary.Runs.per_flow_other_bps))

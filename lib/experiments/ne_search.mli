@@ -40,7 +40,7 @@ val fluid_payoff :
 val packet_payoff :
   ?duration:float ->
   ?warmup:float ->
-  mode:Common.mode ->
+  ctx:Common.ctx ->
   mbps:float ->
   rtt_ms:float ->
   buffer_bdp:float ->
@@ -49,4 +49,8 @@ val packet_payoff :
   unit ->
   payoff_fn
 (** Payoffs measured by the packet-level simulator (slower; used for spot
-    checks and full mode). Memoized. *)
+    checks and full mode). Memoized, and cached on disk when the ctx has a
+    cache dir. The search is adaptive (each probe depends on the last), so
+    callers that want parallelism should fan out at a coarser granularity —
+    one grid point per worker with a {!Common.sequential} ctx — as the
+    fig09/fig11 drivers do. *)

@@ -12,40 +12,139 @@ let config ?duration ?warmup ?(aqm = E.Tail_drop) ~mode ~mbps ~rtt_ms
     ~buffer_bdp ~flows ~seed () =
   let rate_bps = Sim_engine.Units.mbps mbps in
   let rtt = Sim_engine.Units.ms rtt_ms in
+  E.config ~aqm
+    ~warmup:(Option.value warmup ~default:(Common.warmup mode))
+    ~seed ~rate_bps
+    ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
+    ~duration:(Option.value duration ~default:(Common.duration mode))
+    flows
+
+(* The central choke point every simulation in the experiment suite goes
+   through: consult the cache, farm the misses out to the ctx's worker
+   pool, persist what was computed, and return results in config order. *)
+let eval (ctx : Common.ctx) configs =
+  match ctx.cache_dir with
+  | None -> Sim_engine.Exec.map_list ~jobs:ctx.jobs E.run configs
+  | Some dir ->
+    let cache = Sim_engine.Exec.Cache.create dir in
+    let keyed = List.map (fun c -> (E.digest c, c)) configs in
+    let known : (string, E.result) Hashtbl.t = Hashtbl.create 16 in
+    let pending = Hashtbl.create 16 in
+    let to_run =
+      (* One lookup (and at most one run) per distinct config, even when a
+         batch repeats a grid point. *)
+      List.filter
+        (fun (key, _) ->
+          if Hashtbl.mem known key || Hashtbl.mem pending key then false
+          else
+            match Sim_engine.Exec.Cache.find cache ~key with
+            | Some (result : E.result) ->
+              Hashtbl.add known key result;
+              false
+            | None ->
+              Hashtbl.add pending key ();
+              true)
+        keyed
+    in
+    let computed =
+      Sim_engine.Exec.map_list ~jobs:ctx.jobs (fun (_, c) -> E.run c) to_run
+    in
+    List.iter2
+      (fun (key, _) result ->
+        Sim_engine.Exec.Cache.store cache ~key result;
+        Hashtbl.replace known key result)
+      to_run computed;
+    List.map (fun (key, _) -> Hashtbl.find known key) keyed
+
+type mix_spec = {
+  spec_duration : float option;
+  spec_warmup : float option;
+  spec_aqm : E.aqm;
+  spec_mbps : float;
+  spec_rtt_ms : float;
+  spec_buffer_bdp : float;
+  spec_n_cubic : int;
+  spec_other : string;
+  spec_n_other : int;
+  spec_base_seed : int;
+}
+
+let spec ?duration ?warmup ?(aqm = E.Tail_drop) ?(base_seed = 1) ~mbps ~rtt_ms
+    ~buffer_bdp ~n_cubic ~other ~n_other () =
+  if n_cubic + n_other = 0 then invalid_arg "Runs.spec: no flows";
   {
-    E.rate_bps;
-    buffer_bytes = E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp;
-    flows;
-    duration = Option.value duration ~default:(Common.duration mode);
-    warmup = Option.value warmup ~default:(Common.warmup mode);
-    seed;
-    sample_period = 0.001;
-    aqm;
+    spec_duration = duration;
+    spec_warmup = warmup;
+    spec_aqm = aqm;
+    spec_mbps = mbps;
+    spec_rtt_ms = rtt_ms;
+    spec_buffer_bdp = buffer_bdp;
+    spec_n_cubic = n_cubic;
+    spec_other = other;
+    spec_n_other = n_other;
+    spec_base_seed = base_seed;
   }
 
-let mix ?duration ?warmup ?aqm ~mode ~mbps ~rtt_ms ~buffer_bdp ~n_cubic
-    ~other ~n_other ?(base_seed = 1) () =
-  if n_cubic + n_other = 0 then invalid_arg "Runs.mix: no flows";
-  let rtt = Sim_engine.Units.ms rtt_ms in
+(* One config per trial seed: mode's trial count, seeds spaced so distinct
+   trials never collide across base seeds in practice. *)
+let plan ~mode s =
+  let rtt = Sim_engine.Units.ms s.spec_rtt_ms in
   let flows =
-    List.init n_cubic (fun _ -> E.flow_config ~base_rtt:rtt "cubic")
-    @ List.init n_other (fun _ -> E.flow_config ~base_rtt:rtt other)
+    List.init s.spec_n_cubic (fun _ -> E.flow_config ~base_rtt:rtt "cubic")
+    @ List.init s.spec_n_other (fun _ ->
+          E.flow_config ~base_rtt:rtt s.spec_other)
   in
-  let results =
-    List.init (Common.trials mode) (fun trial ->
-        E.run
-          (config ?duration ?warmup ?aqm ~mode ~mbps ~rtt_ms ~buffer_bdp
-             ~flows ~seed:(base_seed + (1000 * trial)) ()))
-  in
+  List.init (Common.trials mode) (fun trial ->
+      config ?duration:s.spec_duration ?warmup:s.spec_warmup ~aqm:s.spec_aqm
+        ~mode ~mbps:s.spec_mbps ~rtt_ms:s.spec_rtt_ms
+        ~buffer_bdp:s.spec_buffer_bdp ~flows
+        ~seed:(s.spec_base_seed + (1000 * trial))
+        ())
+
+let summarize s results =
   let avg f = Common.mean (List.map f results) in
   {
     per_flow_cubic_bps =
-      (if n_cubic = 0 then nan
+      (if s.spec_n_cubic = 0 then nan
        else avg (fun r -> E.mean_throughput_of_cca r "cubic"));
     per_flow_other_bps =
-      (if n_other = 0 then nan
-       else avg (fun r -> E.mean_throughput_of_cca r other));
-    aggregate_other_bps = avg (fun r -> E.aggregate_throughput_of_cca r other);
+      (if s.spec_n_other = 0 then nan
+       else avg (fun r -> E.mean_throughput_of_cca r s.spec_other));
+    aggregate_other_bps =
+      avg (fun r -> E.aggregate_throughput_of_cca r s.spec_other);
     queuing_delay = avg (fun r -> r.E.queuing_delay);
     utilization = avg (fun r -> r.E.utilization);
   }
+
+let mix_many (ctx : Common.ctx) specs =
+  let plans = List.map (plan ~mode:ctx.mode) specs in
+  let results = eval ctx (List.concat plans) in
+  (* Hand each spec back its own slice, in order. *)
+  let remaining = ref results in
+  List.map2
+    (fun s configs ->
+      let rec take n xs =
+        if n = 0 then ([], xs)
+        else
+          match xs with
+          | [] -> invalid_arg "Runs.mix_many: result underflow"
+          | x :: rest ->
+            let taken, dropped = take (n - 1) rest in
+            (x :: taken, dropped)
+      in
+      let mine, rest = take (List.length configs) !remaining in
+      remaining := rest;
+      summarize s mine)
+    specs plans
+
+let mix ?duration ?warmup ?aqm ~ctx ~mbps ~rtt_ms ~buffer_bdp ~n_cubic ~other
+    ~n_other ?(base_seed = 1) () =
+  match
+    mix_many ctx
+      [
+        spec ?duration ?warmup ?aqm ~base_seed ~mbps ~rtt_ms ~buffer_bdp
+          ~n_cubic ~other ~n_other ();
+      ]
+  with
+  | [ summary ] -> summary
+  | _ -> assert false

@@ -1,6 +1,10 @@
-(** Convenience wrappers around {!Tcpflow.Experiment} used by several
-    figures: homogeneous-RTT mixes of CUBIC and one other CCA, averaged over
-    trials. *)
+(** Planning and execution of batched packet-level runs.
+
+    Drivers no longer call {!Tcpflow.Experiment.run} inline: they build
+    {!mix_spec}s (or raw configs) for every grid point up front, submit the
+    whole batch through {!eval} — which consults the ctx's on-disk cache
+    and fans the misses out over [ctx.jobs] domains — and reduce the
+    results afterwards. *)
 
 type summary = {
   per_flow_cubic_bps : float;  (** Mean per-flow CUBIC goodput; nan if none. *)
@@ -10,11 +14,46 @@ type summary = {
   utilization : float;
 }
 
+val eval :
+  Common.ctx ->
+  Tcpflow.Experiment.config list ->
+  Tcpflow.Experiment.result list
+(** Run every config, in order. With [ctx.cache_dir] set, cached results
+    are returned without simulating and fresh results are persisted;
+    duplicate configs within one batch are simulated once. Misses run on
+    [ctx.jobs] worker domains; results are independent of [jobs] because
+    each run derives all randomness from its config's seed. *)
+
+type mix_spec
+(** One homogeneous-RTT CUBIC-vs-other mix — one grid point of a figure,
+    before seed expansion. *)
+
+val spec :
+  ?duration:float ->
+  ?warmup:float ->
+  ?aqm:Tcpflow.Experiment.aqm ->
+  ?base_seed:int ->
+  mbps:float ->
+  rtt_ms:float ->
+  buffer_bdp:float ->
+  n_cubic:int ->
+  other:string ->
+  n_other:int ->
+  unit ->
+  mix_spec
+(** Raises [Invalid_argument] when the spec has no flows. *)
+
+val mix_many : Common.ctx -> mix_spec list -> summary list
+(** The batched workhorse: expands every spec into [Common.trials
+    ctx.mode] seeded configs, submits the whole batch to {!eval} at once
+    (so a figure's entire grid shares one worker pool), and averages each
+    spec's trials into its summary. *)
+
 val mix :
   ?duration:float ->
   ?warmup:float ->
   ?aqm:Tcpflow.Experiment.aqm ->
-  mode:Common.mode ->
+  ctx:Common.ctx ->
   mbps:float ->
   rtt_ms:float ->
   buffer_bdp:float ->
@@ -24,8 +63,8 @@ val mix :
   ?base_seed:int ->
   unit ->
   summary
-(** Runs [trials mode] packet-level simulations of [n_cubic] CUBIC flows vs
-    [n_other] flows of CCA [other] and averages the results. *)
+(** [mix_many] of a single spec — for adaptive callers (NE searches) whose
+    next grid point depends on the previous result. *)
 
 val config :
   ?duration:float ->

@@ -1,6 +1,6 @@
 (** Table 1: the model's notation glossary. *)
 
-let run (_mode : Common.mode) : Common.table =
+let run (_ctx : Common.ctx) : Common.table =
   {
     Common.id = "table1";
     title = "Model notation (paper Table 1)";

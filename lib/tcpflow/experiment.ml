@@ -23,6 +23,16 @@ let buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp =
   let bytes = int_of_float (Units.bdp_bytes ~rate_bps ~rtt *. bdp) in
   max bytes Units.mss
 
+let config ?(aqm = Tail_drop) ?(warmup = 0.0) ?(sample_period = 0.001)
+    ?(seed = 1) ~rate_bps ~buffer_bytes ~duration flows =
+  if flows = [] then invalid_arg "Experiment.config: no flows";
+  { rate_bps; buffer_bytes; flows; duration; warmup; seed; sample_period; aqm }
+
+(* The key under which Exec.Cache stores a run's result. Marshalling the
+   whole record means every field — including seed, aqm and the flow list —
+   participates in the digest. *)
+let digest config = Digest.to_hex (Digest.string (Marshal.to_string config []))
+
 let default_config =
   let rate_bps = Units.mbps 100.0 and rtt = 0.040 in
   {

@@ -35,6 +35,25 @@ val default_config : config
 (** 100 Mbps, 40 ms, 10 BDP buffer, 1 CUBIC vs 1 BBR, 40 s run with 10 s
     warm-up, seed 1, 1 ms sampling. *)
 
+val config :
+  ?aqm:aqm ->
+  ?warmup:float ->
+  ?sample_period:float ->
+  ?seed:int ->
+  rate_bps:float ->
+  buffer_bytes:int ->
+  duration:float ->
+  flow_config list ->
+  config
+(** Labelled builder, the preferred way to assemble a config. Defaults:
+    drop-tail, no warm-up, 1 ms sampling, seed 1. Raises
+    [Invalid_argument] on an empty flow list. *)
+
+val digest : config -> string
+(** Hex digest of the full config (every field participates): the
+    content-address under which {!Sim_engine.Exec.Cache} keys a run's
+    {!result}. *)
+
 val buffer_bytes_of_bdp : rate_bps:float -> rtt:float -> bdp:float -> int
 (** Buffer size for a multiple [bdp] of the bandwidth-delay product,
     at least one MSS. *)

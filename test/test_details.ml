@@ -128,17 +128,13 @@ let test_delay_based_ccas_under_red () =
       let rate_bps = Sim_engine.Units.mbps 10.0 in
       let r =
         Tcpflow.Experiment.run
-          {
-            Tcpflow.Experiment.default_config with
-            rate_bps;
-            buffer_bytes =
-              Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02
-                ~bdp:4.0;
-            flows = [ Tcpflow.Experiment.flow_config ~base_rtt:0.02 cca ];
-            duration = 8.0;
-            warmup = 2.0;
-            aqm = Tcpflow.Experiment.Red_default;
-          }
+          (Tcpflow.Experiment.config ~aqm:Tcpflow.Experiment.Red_default
+             ~warmup:2.0 ~rate_bps
+             ~buffer_bytes:
+               (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02
+                  ~bdp:4.0)
+             ~duration:8.0
+             [ Tcpflow.Experiment.flow_config ~base_rtt:0.02 cca ])
       in
       let goodput = Tcpflow.Experiment.mean_throughput_of_cca r cca in
       Alcotest.(check bool)

@@ -3,14 +3,9 @@ module Units = Sim_engine.Units
 
 let quick_config ?(flows = [ E.flow_config "cubic"; E.flow_config "bbr" ]) () =
   let rate_bps = Units.mbps 20.0 in
-  {
-    E.default_config with
-    rate_bps;
-    buffer_bytes = E.buffer_bytes_of_bdp ~rate_bps ~rtt:0.04 ~bdp:3.0;
-    flows;
-    duration = 8.0;
-    warmup = 2.0;
-  }
+  E.config ~warmup:2.0 ~rate_bps
+    ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt:0.04 ~bdp:3.0)
+    ~duration:8.0 flows
 
 let test_utilization_high () =
   let r = E.run (quick_config ()) in

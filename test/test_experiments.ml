@@ -145,12 +145,12 @@ let test_fluid_payoff () =
 (* --- Model-only figure drivers (fast) --- *)
 
 let test_table1_driver () =
-  let t = Table1.run Common.Quick in
+  let t = Table1.run Common.quick in
   Alcotest.(check int) "14 rows" 14 (List.length t.Common.rows);
   Alcotest.(check string) "id" "table1" t.Common.id
 
 let test_fig06_driver () =
-  let t = Fig06.run Common.Quick in
+  let t = Fig06.run Common.quick in
   Alcotest.(check int) "10 rows" 10 (List.length t.Common.rows);
   Alcotest.(check bool) "has NE note" true (t.Common.notes <> [])
 

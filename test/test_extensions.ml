@@ -82,20 +82,15 @@ let test_red_defaults_shape () =
 let test_red_experiment_runs () =
   let rate_bps = Units.mbps 20.0 in
   let config =
-    {
-      Tcpflow.Experiment.default_config with
-      rate_bps;
-      buffer_bytes =
-        Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0;
-      flows =
-        [
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "bbr";
-        ];
-      duration = 10.0;
-      warmup = 3.0;
-      aqm = Tcpflow.Experiment.Red_default;
-    }
+    Tcpflow.Experiment.config ~aqm:Tcpflow.Experiment.Red_default ~warmup:3.0
+      ~rate_bps
+      ~buffer_bytes:
+        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0)
+      ~duration:10.0
+      [
+        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "bbr";
+      ]
   in
   let red = Tcpflow.Experiment.run config in
   let droptail =

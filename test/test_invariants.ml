@@ -28,15 +28,10 @@ let run_scenario (ccas, buffer_bdp, mbps, rtt_ms, seed) =
   let rate_bps = Units.mbps mbps in
   let rtt = rtt_ms /. 1e3 in
   E.run
-    {
-      E.default_config with
-      rate_bps;
-      buffer_bytes = E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp;
-      flows = List.map (fun cca -> E.flow_config ~base_rtt:rtt cca) ccas;
-      duration = 6.0;
-      warmup = 2.0;
-      seed;
-    }
+    (E.config ~warmup:2.0 ~seed ~rate_bps
+       ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
+       ~duration:6.0
+       (List.map (fun cca -> E.flow_config ~base_rtt:rtt cca) ccas))
 
 let prop_throughput_conservation =
   QCheck.Test.make ~name:"sum of goodputs <= capacity" ~count:25 scenario_arb

@@ -7,6 +7,7 @@ let () =
       ("engine.sim", Test_sim.tests);
       ("engine.timeseries", Test_timeseries.tests);
       ("engine.stats", Test_stats.tests);
+      ("engine.exec", Test_exec.tests);
       ("netsim", Test_netsim.tests);
       ("cca.windowed_filter", Test_windowed_filter.tests);
       ("cca.reno", Test_reno.tests);

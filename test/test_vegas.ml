@@ -62,19 +62,14 @@ let test_loses_to_cubic () =
      a buffer-filler starves Vegas. *)
   let rate_bps = Sim_engine.Units.mbps 20.0 in
   let config =
-    {
-      Tcpflow.Experiment.default_config with
-      rate_bps;
-      buffer_bytes =
-        Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0;
-      flows =
-        [
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
-          Tcpflow.Experiment.flow_config ~base_rtt:0.02 "vegas";
-        ];
-      duration = 15.0;
-      warmup = 5.0;
-    }
+    Tcpflow.Experiment.config ~warmup:5.0 ~rate_bps
+      ~buffer_bytes:
+        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0)
+      ~duration:15.0
+      [
+        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
+        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "vegas";
+      ]
   in
   let r = Tcpflow.Experiment.run config in
   let cubic = Tcpflow.Experiment.mean_throughput_of_cca r "cubic" in
