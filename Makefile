@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench repro repro-full examples clean doc
+.PHONY: all build test lint check bench repro repro-full examples clean doc
 
 all: build
 
@@ -10,11 +10,16 @@ build:
 test:
 	dune runtest
 
-# CI entrypoint: build, run the full test suite, then smoke-test the
-# parallel executor and result cache end to end — a second cached run of
-# fig03 must re-simulate nothing.
+# Repo-specific static checks (determinism, serialization, unit hygiene);
+# see DESIGN.md "Unit discipline & lint rules".
+lint:
+	dune exec tool/simlint/simlint.exe -- lib bin bench test
+
+# CI entrypoint: build, run the full test suite and the lint pass, then
+# smoke-test the parallel executor and result cache end to end — a second
+# cached run of fig03 must re-simulate nothing.
 CHECK_CACHE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-cache
-check: build test
+check: build test lint
 	rm -rf "$(CHECK_CACHE)"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)" \

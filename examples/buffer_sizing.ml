@@ -10,21 +10,22 @@
    Run with:  dune exec examples/buffer_sizing.exe *)
 
 let () =
-  let mbps = 60.0 and rtt = 0.030 in
+  let mbps = 60.0 and rtt = Sim_engine.Units.ms 30.0 in
   let rate_bps = Sim_engine.Units.mbps mbps in
   let n_cubic = 6 and n_bbr = 6 in
   Printf.printf
     "%d CUBIC + %d BBR flows on %.0f Mbps / %.0f ms; sweeping buffer size\n\n"
-    n_cubic n_bbr mbps (rtt *. 1e3);
+    n_cubic n_bbr mbps (Sim_engine.Units.sec_to_ms rtt);
   Printf.printf "%12s %14s %14s %12s %10s\n" "buffer(BDP)" "cubic(Mbps)"
     "bbr(Mbps)" "qdelay(ms)" "drops";
   List.iter
     (fun bdp ->
       let config =
-        Tcpflow.Experiment.config ~warmup:25.0 ~rate_bps
+        Tcpflow.Experiment.config ~warmup:(Sim_engine.Units.seconds 25.0)
+          ~rate_bps
           ~buffer_bytes:
             (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp)
-          ~duration:70.0
+          ~duration:(Sim_engine.Units.seconds 70.0)
           (List.init (n_cubic + n_bbr) (fun i ->
                Tcpflow.Experiment.flow_config ~base_rtt:rtt
                  (if i < n_cubic then "cubic" else "bbr")))
@@ -32,7 +33,7 @@ let () =
       let r = Tcpflow.Experiment.run config in
       let get name =
         Sim_engine.Units.bps_to_mbps
-          (Tcpflow.Experiment.mean_throughput_of_cca r name)
+          (Sim_engine.Units.bps (Tcpflow.Experiment.mean_throughput_of_cca r name))
       in
       Printf.printf "%12.2f %14.2f %14.2f %12.1f %10d\n%!" bdp (get "cubic")
         (get "bbr")

@@ -33,16 +33,17 @@ let () =
   Cca.Registry.register "aimd-2x" (fun ~mss ~rng:_ -> make_aimd ~mss ());
 
   let rate_bps = Sim_engine.Units.mbps 40.0 in
-  let rtt = 0.030 in
+  let rtt = Sim_engine.Units.ms 30.0 in
   Printf.printf "aimd-2x vs CUBIC on 40 Mbps / 30 ms, varying buffer:\n\n";
   Printf.printf "%12s %14s %14s\n" "buffer(BDP)" "aimd-2x(Mbps)" "cubic(Mbps)";
   List.iter
     (fun bdp ->
       let config =
-        Tcpflow.Experiment.config ~warmup:10.0 ~rate_bps
+        Tcpflow.Experiment.config ~warmup:(Sim_engine.Units.seconds 10.0)
+          ~rate_bps
           ~buffer_bytes:
             (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp)
-          ~duration:45.0
+          ~duration:(Sim_engine.Units.seconds 45.0)
           [
             Tcpflow.Experiment.flow_config ~base_rtt:rtt "aimd-2x";
             Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
@@ -51,7 +52,8 @@ let () =
       let result = Tcpflow.Experiment.run config in
       let get name =
         Sim_engine.Units.bps_to_mbps
-          (Tcpflow.Experiment.mean_throughput_of_cca result name)
+          (Sim_engine.Units.bps
+             (Tcpflow.Experiment.mean_throughput_of_cca result name))
       in
       Printf.printf "%12.1f %14.2f %14.2f\n%!" bdp (get "aimd-2x")
         (get "cubic"))

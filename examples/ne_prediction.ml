@@ -26,13 +26,15 @@ let () =
          and find the equilibria of the resulting symmetric game. *)
       let capacity_bps = Sim_engine.Units.mbps mbps in
       let payoff =
-        Experiments.Ne_search.packet_payoff ~duration:60.0 ~warmup:25.0
+        Experiments.Ne_search.packet_payoff
+          ~duration:(Sim_engine.Units.seconds 60.0)
+          ~warmup:(Sim_engine.Units.seconds 25.0)
           ~ctx:Experiments.Common.quick ~mbps ~rtt_ms ~buffer_bdp
           ~other:"bbr" ~n ()
       in
       let observed =
         Experiments.Ne_search.observed_equilibria ~epsilon:0.02 ~n
-          ~fair_bps:(capacity_bps /. float_of_int n)
+          ~fair_bps:((capacity_bps :> float) /. float_of_int n)
           ~payoff ~window:2 ()
       in
       Printf.printf "%12.1f %22.1f %22.1f %14s\n%!" buffer_bdp

@@ -13,10 +13,11 @@ let () =
   let rate_bps = Sim_engine.Units.mbps mbps in
   let rtt = Sim_engine.Units.ms rtt_ms in
   let config =
-    Tcpflow.Experiment.config ~warmup:15.0 ~rate_bps
+    Tcpflow.Experiment.config ~warmup:(Sim_engine.Units.seconds 15.0)
+      ~rate_bps
       ~buffer_bytes:
         (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
-      ~duration:60.0
+      ~duration:(Sim_engine.Units.seconds 60.0)
       [
         Tcpflow.Experiment.flow_config ~base_rtt:rtt "cubic";
         Tcpflow.Experiment.flow_config ~base_rtt:rtt "bbr";
@@ -25,7 +26,8 @@ let () =
   let result = Tcpflow.Experiment.run config in
   let measured name =
     Sim_engine.Units.bps_to_mbps
-      (Tcpflow.Experiment.mean_throughput_of_cca result name)
+      (Sim_engine.Units.bps
+         (Tcpflow.Experiment.mean_throughput_of_cca result name))
   in
   Printf.printf "simulated:  CUBIC %.2f Mbps   BBR %.2f Mbps\n"
     (measured "cubic") (measured "bbr");
@@ -37,15 +39,16 @@ let () =
   let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
   let solution = Ccmodel.Two_flow.solve params in
   Printf.printf "\nmodel:      CUBIC %.2f Mbps   BBR %.2f Mbps\n"
-    (Sim_engine.Units.bps_to_mbps solution.cubic_bandwidth_bps)
-    (Sim_engine.Units.bps_to_mbps solution.bbr_bandwidth_bps);
+    (Sim_engine.Units.bps_to_mbps (Sim_engine.Units.bps solution.cubic_bandwidth_bps))
+    (Sim_engine.Units.bps_to_mbps (Sim_engine.Units.bps solution.bbr_bandwidth_bps));
 
   (* 3. The Ware et al. baseline the paper refutes. *)
   let ware =
-    Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1 ~duration:60.0
+    Ccmodel.Ware.bbr_bandwidth_bps ~params ~n_bbr:1
+      ~duration:(Sim_engine.Units.seconds 60.0)
   in
   Printf.printf "ware et al: BBR %.2f Mbps (over-estimate)\n"
-    (Sim_engine.Units.bps_to_mbps ware);
+    (Sim_engine.Units.bps_to_mbps (Sim_engine.Units.bps ware));
 
   let err =
     Sim_engine.Stats.relative_error

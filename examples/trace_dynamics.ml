@@ -12,7 +12,7 @@ module Units = Sim_engine.Units
 
 let () =
   let rate_bps = Units.mbps 50.0 in
-  let rtt = 0.040 in
+  let rtt = Units.ms 40.0 in
   let sim = Sim.create ~seed:7 () in
   let net =
     Netsim.Dumbbell.create ~sim ~rate_bps
@@ -56,7 +56,9 @@ let () =
       (Sim_engine.Timeseries.time_weighted_mean series ~from_:10.0 ~until:60.0)
       (Sim_engine.Timeseries.max_value series ~from_:10.0 ())
       (Units.bps_to_mbps
-         (Tcpflow.Flow_trace.throughput_between trace ~from_:10.0 ~until:60.0))
+         (Units.bps
+            (Tcpflow.Flow_trace.throughput_between trace ~from_:10.0
+               ~until:60.0)))
   in
   summarize "cubic" trace_cubic;
   summarize "bbr" trace_bbr;

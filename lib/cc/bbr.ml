@@ -39,7 +39,8 @@ type t = {
 
 let bdp t =
   let bw = Windowed_filter.Max_rounds.get t.btlbw in
-  if bw = 0.0 || t.rtprop = infinity then 0.0 else bw *. t.rtprop
+  if Sim_engine.Stats.is_zero bw || t.rtprop = infinity then 0.0
+  else bw *. t.rtprop
 
 let min_cwnd t = 4.0 *. t.mss
 
@@ -48,12 +49,12 @@ let cwnd_bytes t =
   | ProbeRTT -> min_cwnd t
   | Startup | Drain | ProbeBW ->
     let bdp = bdp t in
-    if bdp = 0.0 then 10.0 *. t.mss
+    if Sim_engine.Stats.is_zero bdp then 10.0 *. t.mss
     else Float.max (t.cwnd_gain *. bdp) (min_cwnd t)
 
 let pacing_rate t =
   let bw = Windowed_filter.Max_rounds.get t.btlbw in
-  if bw = 0.0 then None else Some (t.pacing_gain *. bw)
+  if Sim_engine.Stats.is_zero bw then None else Some (t.pacing_gain *. bw)
 
 let enter_probe_bw t ~now =
   t.mode <- ProbeBW;
@@ -81,7 +82,7 @@ let advance_cycle t (ack : Cc_types.ack_info) =
   let elapsed = ack.now -. t.cycle_stamp in
   let inflight = float_of_int ack.inflight_bytes in
   let should_advance =
-    if t.pacing_gain = 1.0 then elapsed > t.rtprop
+    if Sim_engine.Stats.approx_eq t.pacing_gain 1.0 then elapsed > t.rtprop
     else if t.pacing_gain > 1.0 then
       (* Stay in the up-probe until we have actually filled the pipe to the
          probing target (or a full RTprop elapsed). *)

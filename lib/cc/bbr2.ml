@@ -44,7 +44,8 @@ type t = {
 
 let bdp t =
   let bw = Windowed_filter.Max_rounds.get t.btlbw in
-  if bw = 0.0 || t.rtprop = infinity then 0.0 else bw *. t.rtprop
+  if Sim_engine.Stats.is_zero bw || t.rtprop = infinity then 0.0
+  else bw *. t.rtprop
 
 let min_cwnd t = 4.0 *. t.mss
 
@@ -54,7 +55,7 @@ let cwnd_bytes t =
     Float.max (t.params.probe_rtt_cwnd_gain *. bdp t) (min_cwnd t)
   | Startup | Drain | ProbeBW ->
     let bdp = bdp t in
-    if bdp = 0.0 then 10.0 *. t.mss
+    if Sim_engine.Stats.is_zero bdp then 10.0 *. t.mss
     else begin
       (* In cruise the draft leaves headroom below the bound for other
          flows; during probes the bound itself is ramped upward (the
@@ -69,7 +70,7 @@ let cwnd_bytes t =
 
 let pacing_rate t =
   let bw = Windowed_filter.Max_rounds.get t.btlbw in
-  if bw = 0.0 then None else Some (t.pacing_gain *. bw)
+  if Sim_engine.Stats.is_zero bw then None else Some (t.pacing_gain *. bw)
 
 let enter_probe_bw t ~now =
   t.mode <- ProbeBW;
@@ -96,7 +97,7 @@ let advance_cycle t (ack : Cc_types.ack_info) =
   let elapsed = ack.now -. t.cycle_stamp in
   let inflight = float_of_int ack.inflight_bytes in
   let should_advance =
-    if t.pacing_gain = 1.0 then elapsed > t.rtprop
+    if Sim_engine.Stats.approx_eq t.pacing_gain 1.0 then elapsed > t.rtprop
     else if t.pacing_gain > 1.0 then
       elapsed > t.rtprop && inflight >= t.pacing_gain *. bdp t
     else elapsed > t.rtprop || inflight <= bdp t

@@ -8,7 +8,7 @@ type t = {
   params : params;
   mss : float;
   mutable cwnd : float;  (* bytes *)
-  mutable rtt_min : Windowed_filter.Min_time.t;  (* path min over 100 s *)
+  rtt_min : Windowed_filter.Min_time.t;  (* path min over 100 s *)
   mutable recent_rtts : (float * float) list;  (* (time, sample), newest first *)
   mutable srtt : float;
   mutable velocity : float;

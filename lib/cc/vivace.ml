@@ -23,8 +23,8 @@ type phase =
   | Probe_down  (** Running the r(1−ε) experiment. *)
 
 type mi = {
-  mutable start_time : float;
-  mutable attempted_rate : float;  (* bytes/s the MI paced at *)
+  start_time : float;
+  attempted_rate : float;  (* bytes/s the MI paced at *)
   mutable acked_bytes : int;
   mutable lost_bytes : int;
   mutable first_rtt : float;

@@ -52,6 +52,9 @@ let confidence_interval95 xs =
     let half = 1.96 *. stddev t /. sqrt (float_of_int (count t)) in
     (mean t -. half, mean t +. half)
 
+let approx_eq ?(eps = 0.0) a b = Float.abs (a -. b) <= eps
+let is_zero ?eps x = approx_eq ?eps x 0.0
+
 let relative_error ~predicted ~actual =
-  if actual = 0.0 then if predicted = 0.0 then 0.0 else infinity
+  if is_zero actual then if is_zero predicted then 0.0 else infinity
   else Float.abs (predicted -. actual) /. Float.abs actual

@@ -28,3 +28,16 @@ val confidence_interval95 : float list -> float * float
 val relative_error : predicted:float -> actual:float -> float
 (** |predicted - actual| / |actual|; [infinity] when [actual = 0] and
     [predicted <> 0], [0] when both are zero. *)
+
+(** {1 Epsilon comparisons}
+
+    Exact [=] on floats is almost always a bug (and flagged by simlint rule
+    R4); these spell out the intended tolerance. The default [eps] of [0.0]
+    means "bitwise-equal is fine here, and I mean it". *)
+
+val approx_eq : ?eps:float -> float -> float -> bool
+(** [approx_eq ?eps a b] is [|a - b| <= eps]. *)
+
+val is_zero : ?eps:float -> float -> bool
+(** [is_zero ?eps x] is [approx_eq ?eps x 0.0]. *)
+

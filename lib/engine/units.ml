@@ -1,13 +1,40 @@
+type time
+type volume
+type rate
+type 'dim qty = float
+
+type seconds = time qty
+type byte_count = volume qty
+type rate_bps = rate qty
+
 let mss = 1500
 let bits_per_byte = 8.0
-let mbps x = x *. 1e6
-let bps_to_mbps x = x /. 1e6
-let bytes_per_sec ~bits_per_sec = bits_per_sec /. bits_per_byte
-let bits_per_sec_of_bytes ~bytes_per_sec = bytes_per_sec *. bits_per_byte
+
+let seconds x = x
 let ms x = x /. 1e3
+let bytes x = x
+let bytes_of_int = float_of_int
+let bps x = x
+let mbps x = x *. 1e6
+
 let sec_to_ms x = x *. 1e3
+let bps_to_mbps x = x /. 1e6
+let bytes_to_int = int_of_float
+
+let scale k x = k *. x
+let add a b = a +. b
+let sub a b = a -. b
+let ratio a b = a /. b
+
+let bytes_per_sec rate = rate /. bits_per_byte
+let bits_per_sec_of_bytes ~bytes_per_sec = bytes_per_sec *. bits_per_byte
 let bdp_bytes ~rate_bps ~rtt = rate_bps *. rtt /. bits_per_byte
 let bdp_packets ~rate_bps ~rtt = bdp_bytes ~rate_bps ~rtt /. float_of_int mss
 
 let transmission_time ~rate_bps ~bytes =
   float_of_int bytes *. bits_per_byte /. rate_bps
+
+module Raw = struct
+  let to_float x = x
+  let of_float x = x
+end

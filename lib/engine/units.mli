@@ -1,10 +1,32 @@
-(** Unit conversions used throughout the simulator and models.
+(** Unit-safe quantities used throughout the simulator and models.
 
-    Conventions:
-    - time is in seconds (float),
-    - data volumes are in bytes (float where fractional amounts arise in the
-      fluid models, int for packet counts),
-    - rates are in bits per second unless a function name says otherwise. *)
+    Each physical dimension gets its own phantom-typed quantity, so passing
+    a time where a rate is expected (or bytes where bits/s are expected) is
+    a compile error rather than a silently wrong figure:
+
+    - {!seconds} — time,
+    - {!byte_count} — data volume in bytes (float: the fluid models produce
+      fractional byte counts),
+    - {!rate_bps} — rates in bits per second.
+
+    Values are constructed through the named constructors below ([seconds],
+    [ms], [mbps], ...), combined with the dimension-aware helpers ([scale],
+    [bdp_bytes], ...), and read out for presentation via the [to_*]
+    accessors. A quantity is [private float], so reading the underlying
+    float with [(x :> float)] is always possible; {e making} one from a
+    bare float without saying its unit is only possible through {!Raw},
+    the single escape hatch (used by the fluid integrator's inner loop). *)
+
+type time
+type volume
+type rate
+
+type 'dim qty = private float
+(** A float carrying the phantom dimension ['dim]. *)
+
+type seconds = time qty
+type byte_count = volume qty
+type rate_bps = rate qty
 
 val mss : int
 (** Default maximum segment size in bytes (payload granularity of the
@@ -12,29 +34,58 @@ val mss : int
 
 val bits_per_byte : float
 
-val mbps : float -> float
-(** [mbps x] is [x] megabits per second expressed in bits per second. *)
+(** {1 Constructors} *)
 
-val bps_to_mbps : float -> float
-(** Inverse of {!mbps}. *)
+val seconds : float -> seconds
+val ms : float -> seconds
+(** [ms x] is [x] milliseconds. *)
 
-val bytes_per_sec : bits_per_sec:float -> float
-(** Convert a rate in bits/s to bytes/s. *)
+val bytes : float -> byte_count
+val bytes_of_int : int -> byte_count
 
-val bits_per_sec_of_bytes : bytes_per_sec:float -> float
-(** Convert a rate in bytes/s to bits/s. *)
+val bps : float -> rate_bps
+val mbps : float -> rate_bps
+(** [mbps x] is [x] megabits per second. *)
 
-val ms : float -> float
-(** [ms x] is [x] milliseconds in seconds. *)
+(** {1 Presentation accessors} *)
 
-val sec_to_ms : float -> float
+val sec_to_ms : seconds -> float
+val bps_to_mbps : rate_bps -> float
+val bytes_to_int : byte_count -> int
+(** Rounds toward zero. *)
 
-val bdp_bytes : rate_bps:float -> rtt:float -> float
-(** Bandwidth-delay product in bytes for a link of [rate_bps] bits/s and a
-    round-trip time of [rtt] seconds. *)
+(** {1 Dimension-preserving arithmetic} *)
 
-val bdp_packets : rate_bps:float -> rtt:float -> float
+val scale : float -> 'dim qty -> 'dim qty
+val add : 'dim qty -> 'dim qty -> 'dim qty
+val sub : 'dim qty -> 'dim qty -> 'dim qty
+
+val ratio : 'dim qty -> 'dim qty -> float
+(** Same-dimension quotient: a dimensionless float. *)
+
+(** {1 Derived quantities} *)
+
+val bytes_per_sec : rate_bps -> float
+(** A rate in bytes/s, for code that accounts volume in bytes. *)
+
+val bits_per_sec_of_bytes : bytes_per_sec:float -> rate_bps
+
+val bdp_bytes : rate_bps:rate_bps -> rtt:seconds -> byte_count
+(** Bandwidth-delay product of a link of [rate_bps] and round-trip [rtt]. *)
+
+val bdp_packets : rate_bps:rate_bps -> rtt:seconds -> float
 (** {!bdp_bytes} expressed in MSS-sized packets (fractional). *)
 
-val transmission_time : rate_bps:float -> bytes:int -> float
-(** Serialization delay of [bytes] on a link of [rate_bps] bits/s. *)
+val transmission_time : rate_bps:rate_bps -> bytes:int -> seconds
+(** Serialization delay of [bytes] on a link of [rate_bps]. *)
+
+(** {1 The escape hatch}
+
+    Bulk numeric kernels (the fluid integrator) unwrap their typed inputs
+    once at the boundary, crunch bare floats, and re-wrap results here.
+    Every use of [Raw.of_float] is an unchecked unit assertion — keep them
+    at module boundaries where the intended unit is written down. *)
+module Raw : sig
+  val to_float : 'dim qty -> float
+  val of_float : float -> 'dim qty
+end

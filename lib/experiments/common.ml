@@ -64,14 +64,20 @@ let write_csv ~dir table =
 
 let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v
 let cell_int = string_of_int
-let mbps = Sim_engine.Units.bps_to_mbps
+let mbps bits_per_sec =
+  Sim_engine.Units.bps_to_mbps (Sim_engine.Units.bps bits_per_sec)
 
 let mean = function
   | [] -> nan
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let duration = function Quick -> 90.0 | Full -> 120.0
-let warmup = function Quick -> 30.0 | Full -> 40.0
+let duration = function
+  | Quick -> Sim_engine.Units.seconds 90.0
+  | Full -> Sim_engine.Units.seconds 120.0
+
+let warmup = function
+  | Quick -> Sim_engine.Units.seconds 30.0
+  | Full -> Sim_engine.Units.seconds 40.0
 let trials = function Quick -> 1 | Full -> 3
 
 let buffer_grid mode ~max:max_bdp =

@@ -56,12 +56,12 @@ val mbps : float -> float
 
 val mean : float list -> float
 
-val duration : mode -> float
-(** Simulated seconds per run: 90 (quick) / 120 (full, as in the paper).
+val duration : mode -> Sim_engine.Units.seconds
+(** Simulated time per run: 90 s (quick) / 120 s (full, as in the paper).
     Shorter runs systematically under-measure BBR, whose bandwidth filter
     needs tens of seconds to recover from CUBIC's slow-start overshoot. *)
 
-val warmup : mode -> float
+val warmup : mode -> Sim_engine.Units.seconds
 
 val trials : mode -> int
 (** Seeds per configuration: 1 (quick) / 3 (full). *)

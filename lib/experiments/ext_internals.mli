@@ -1,0 +1,5 @@
+(** Extension: BBR state-machine internals (state occupancy, rtprop/btlbw
+    estimates) across buffer depths. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -89,8 +89,8 @@ let run ctx : Common.table =
             Common.cell p.buffer_bdp;
             Common.cell (Common.mbps p.droptail_bbr_bps);
             Common.cell (Common.mbps p.red_bbr_bps);
-            Common.cell (Sim_engine.Units.sec_to_ms p.droptail_qdelay);
-            Common.cell (Sim_engine.Units.sec_to_ms p.red_qdelay);
+            Common.cell (Sim_engine.Units.sec_to_ms (Sim_engine.Units.seconds p.droptail_qdelay));
+            Common.cell (Sim_engine.Units.sec_to_ms (Sim_engine.Units.seconds p.red_qdelay));
           ])
         points;
     notes =

@@ -1,0 +1,5 @@
+(** Extension: does RED at the bottleneck change the CUBIC/BBR split and
+    its Nash Equilibrium? *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

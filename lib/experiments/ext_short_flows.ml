@@ -10,7 +10,7 @@
     split around without destroying its shape. *)
 
 let mbps = 50.0
-let rtt = 0.040
+let rtt = Sim_engine.Units.ms 40.0
 let mean_size_bytes = 300_000.0
 
 type point = {
@@ -26,13 +26,15 @@ type point = {
 let run_point ~mode ~offered_load ~buffer_bdp ~seed =
   let module Sim = Sim_engine.Sim in
   let rate_bps = Sim_engine.Units.mbps mbps in
-  let duration = Common.duration mode and warmup = Common.warmup mode in
+  let duration = (Common.duration mode :> float)
+  and warmup = (Common.warmup mode :> float) in
   let sim = Sim.create ~seed () in
   let arrival_rng = Sim_engine.Rng.split (Sim.rng sim) in
   (* Pre-draw the short-flow schedule so the dumbbell knows every flow id's
      RTT up front. *)
   let arrival_rate =
-    offered_load *. rate_bps /. 8.0 /. mean_size_bytes (* flows per second *)
+    offered_load *. (rate_bps :> float) /. 8.0
+    /. mean_size_bytes (* flows per second *)
   in
   let arrivals = ref [] in
   (if arrival_rate > 0.0 then begin
@@ -71,7 +73,8 @@ let run_point ~mode ~offered_load ~buffer_bdp ~seed =
   let shorts =
     List.mapi
       (fun i (start_time, size) ->
-        mk_sender ~flow:(2 + i) ~cca:"cubic" ~start_time
+        mk_sender ~flow:(2 + i) ~cca:"cubic"
+          ~start_time:(Sim_engine.Units.seconds start_time)
           ~data_limit_bytes:size ())
       arrivals
   in
@@ -83,9 +86,9 @@ let run_point ~mode ~offered_load ~buffer_bdp ~seed =
   Sim.run ~until:duration sim;
   let window = duration -. warmup in
   let goodput sender offset =
-    Sim_engine.Units.bits_per_sec_of_bytes
-      ~bytes_per_sec:
-        ((Tcpflow.Sender.delivered_bytes sender -. offset) /. window)
+    (Sim_engine.Units.bits_per_sec_of_bytes
+       ~bytes_per_sec:((Tcpflow.Sender.delivered_bytes sender -. offset) /. window)
+      :> float)
   in
   let short_delivered =
     List.fold_left
@@ -94,8 +97,9 @@ let run_point ~mode ~offered_load ~buffer_bdp ~seed =
   in
   ( goodput long_cubic at_warmup.(0),
     goodput long_bbr at_warmup.(1),
-    Sim_engine.Units.bits_per_sec_of_bytes
-      ~bytes_per_sec:(short_delivered /. duration),
+    (Sim_engine.Units.bits_per_sec_of_bytes
+       ~bytes_per_sec:(short_delivered /. duration)
+      :> float),
     List.length (List.filter Tcpflow.Sender.completed shorts) )
 
 (* Each point drives its own bespoke simulation (Poisson churn is not an
@@ -116,7 +120,7 @@ let points (ctx : Common.ctx) =
   Sim_engine.Exec.map_list ~jobs:ctx.jobs
     (fun (buffer_bdp, offered_load) ->
       let params =
-        Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms:(rtt *. 1e3)
+        Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms:(Sim_engine.Units.sec_to_ms rtt)
       in
       let model_bbr_bps = (Ccmodel.Two_flow.solve params).bbr_bandwidth_bps in
       let long_cubic_bps, long_bbr_bps, short_goodput_bps, completed =

@@ -1,0 +1,5 @@
+(** Extension: long CUBIC vs BBR under Poisson short-flow cross traffic
+    (the paper's §5 "more diverse workloads" gap). *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -1,0 +1,5 @@
+(** Extension: the full 2x2 strategy game between two flows (CUBIC/BBR
+    each), solved from simulator-measured payoffs. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

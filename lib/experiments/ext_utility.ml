@@ -43,7 +43,8 @@ let points (ctx : Common.ctx) =
   let sample = samples ctx in
   let capacity_bps = Sim_engine.Units.mbps mbps in
   let d_max =
-    buffer_bdp *. Sim_engine.Units.ms rtt_ms (* B/C = bdp multiples of rtt *)
+    buffer_bdp
+    *. (Sim_engine.Units.ms rtt_ms :> float) (* B/C = bdp multiples of rtt *)
   in
   let weights =
     match ctx.mode with
@@ -54,7 +55,7 @@ let points (ctx : Common.ctx) =
     (fun weight ->
       let penalty k =
         let _, _, qdelay = sample k in
-        weight *. capacity_bps *. (qdelay /. d_max)
+        weight *. (capacity_bps :> float) *. (qdelay /. d_max)
       in
       let game =
         {

@@ -1,0 +1,5 @@
+(** Extension: Nash Equilibria under throughput-minus-delay utilities (the
+    paper's §4.3 "complex utility functions" conjecture). *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

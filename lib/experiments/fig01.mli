@@ -1,0 +1,5 @@
+(** Figure 1: Ware et al.'s prediction vs BBR's actual bandwidth share.
+    1 CUBIC vs 1 BBR, 50 Mbps, 40 ms, buffers up to 50 BDP. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -1,0 +1,6 @@
+(** Figure 3(a-d): 2-flow model validation. 1 CUBIC vs 1 BBR over
+    {50,100} Mbps x {40,80} ms, buffers 1-30 BDP; compares the simulated BBR
+    share against our model (Eq. 18-20) and Ware et al. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

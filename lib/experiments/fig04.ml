@@ -61,7 +61,7 @@ let in_region ?(slack = 0.15) p =
 
 let run ctx : Common.table =
   let points = points ctx in
-  let inside = List.length (List.filter in_region points) in
+  let inside = List.length (List.filter (fun p -> in_region p) points) in
   {
     Common.id = "fig04";
     title = "Multi-flow validation: per-flow BBR throughput vs predicted region";

@@ -1,0 +1,6 @@
+(** Figure 4(a,b): multi-flow model validation. 5v5 and 10v10 on a 100 Mbps
+    link at 40 ms, buffers 1-30 BDP; the measured per-flow BBR throughput
+    should fall inside the model's [sync, desync] predicted region. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

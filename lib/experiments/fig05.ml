@@ -40,7 +40,7 @@ let points (ctx : Common.ctx) =
   List.map2
     (fun (n_total, buffer_bdp, n_bbr) (summary : Runs.summary) ->
       let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
-      let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n_total in
+      let fair_share_bps = (Sim_engine.Units.mbps mbps :> float) /. float_of_int n_total in
       let interval =
         Ccmodel.Multi_flow.per_flow_bbr_interval params
           ~n_cubic:(n_total - n_bbr) ~n_bbr

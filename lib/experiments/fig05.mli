@@ -1,0 +1,5 @@
+(** Figure 5: diminishing returns for BBR as its share of the flow mix
+    grows (10- and 20-flow panels at 3 and 10 BDP). *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -17,7 +17,7 @@ type point = {
 
 let points () =
   let params = Ccmodel.Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
-  let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
+  let fair_share_bps = (Sim_engine.Units.mbps mbps :> float) /. float_of_int n in
   List.map
     (fun n_bbr ->
       let p sync =

@@ -1,0 +1,15 @@
+(** Figure 6: the Nash-Equilibrium geometry (the paper's schematic,
+    realized with the model) for a 10-flow network. *)
+
+type point = {
+  n_bbr : int;
+  bbr_per_flow_sync_bps : float;
+  bbr_per_flow_desync_bps : float;
+  fair_share_bps : float;
+}
+
+val points : unit -> point list
+(** The model's BBR per-flow bandwidth at every mix, against fair share. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -18,7 +18,7 @@ type point = {
 }
 
 let points (ctx : Common.ctx) =
-  let fair_share_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
+  let fair_share_bps = (Sim_engine.Units.mbps mbps :> float) /. float_of_int n in
   let grid =
     List.concat_map
       (fun algo ->

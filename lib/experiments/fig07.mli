@@ -1,0 +1,5 @@
+(** Figure 7: per-flow throughput of CUBIC vs {{!val:run} each modern CCA}
+    (BBR, BBRv2, Copa, Vivace) across mixes, in shallow buffers. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

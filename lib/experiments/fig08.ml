@@ -42,7 +42,7 @@ let run ctx : Common.table =
   let mixed_delays =
     List.filter_map
       (fun p ->
-        if p.n_bbr < n then Some (Sim_engine.Units.sec_to_ms p.queuing_delay)
+        if p.n_bbr < n then Some (Sim_engine.Units.sec_to_ms (Sim_engine.Units.seconds p.queuing_delay))
         else None)
       points
   in
@@ -65,7 +65,7 @@ let run ctx : Common.table =
             Common.cell_int p.n_bbr;
             Common.cell (Common.mbps p.bbr_per_flow_bps);
             Common.cell (Common.mbps p.cubic_per_flow_bps);
-            Common.cell (Sim_engine.Units.sec_to_ms p.queuing_delay);
+            Common.cell (Sim_engine.Units.sec_to_ms (Sim_engine.Units.seconds p.queuing_delay));
           ])
         points;
     notes =

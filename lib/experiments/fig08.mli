@@ -1,0 +1,5 @@
+(** Figure 8: throughput and queuing delay across the CUBIC/BBR
+    distribution (10 flows, shallow buffer). *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -41,14 +41,14 @@ let buffers mode =
 let observed_ne ~(ctx : Common.ctx) ~mbps ~rtt_ms ~buffer_bdp ~other ~n =
   let duration, warmup =
     match ctx.mode with
-    | Common.Quick -> (60.0, 25.0)
-    | Common.Full -> (120.0, 40.0)
+    | Common.Quick -> (Sim_engine.Units.seconds 60.0, Sim_engine.Units.seconds 25.0)
+    | Common.Full -> (Sim_engine.Units.seconds 120.0, Sim_engine.Units.seconds 40.0)
   in
   let payoff =
     Ne_search.packet_payoff ~duration ~warmup ~ctx ~mbps ~rtt_ms ~buffer_bdp
       ~other ~n ()
   in
-  let fair_bps = Sim_engine.Units.mbps mbps /. float_of_int n in
+  let fair_bps = (Sim_engine.Units.mbps mbps :> float) /. float_of_int n in
   Ne_search.observed_equilibria ~epsilon:0.02 ~n ~fair_bps ~payoff ~window:2
     ()
 
@@ -129,7 +129,7 @@ let run (ctx : Common.ctx) : Common.table =
           "NE found at every grid point: %b; observed NE inside the \
            predicted region (+/-15%% of n): %d/%d"
           (List.for_all (fun p -> p.observed <> []) points)
-          (List.length (List.filter in_region points))
+          (List.length (List.filter (fun p -> in_region p) points))
           (List.length points);
         "regions are identical across link speeds and RTTs when the buffer \
          is in BDP units (paper's normalization claim); deeper buffers -> \

@@ -1,0 +1,23 @@
+(** Figure 9(a,b): empirical Nash Equilibria vs the model's Nash region,
+    sweeping buffer depth (20 flows quick / 50 flows full). *)
+
+val flows_of_mode : Common.mode -> int
+(** Total flow count used at each fidelity mode. *)
+
+val string_of_observed : int list -> string
+(** Render the observed equilibrium CUBIC-counts ("3/5", or "-" if none). *)
+
+val observed_ne :
+  ctx:Common.ctx ->
+  mbps:float ->
+  rtt_ms:float ->
+  buffer_bdp:float ->
+  other:string ->
+  n:int ->
+  int list
+(** Empirical equilibria (as BBR-flow counts) of the symmetric game whose
+    payoffs are measured with the packet-level simulator. Shared with
+    {!Fig11}, which swaps in the ["bbr2"] CCA. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -40,8 +40,8 @@ let payoff_tables ~(ctx : Common.ctx) ~buffer_bdp ~seed =
       in
       let duration, warmup =
         match ctx.mode with
-        | Common.Quick -> (50.0, 20.0)
-        | Common.Full -> (120.0, 40.0)
+        | Common.Quick -> (Sim_engine.Units.seconds 50.0, Sim_engine.Units.seconds 20.0)
+        | Common.Full -> (Sim_engine.Units.seconds 120.0, Sim_engine.Units.seconds 40.0)
       in
       let result =
         match

@@ -1,0 +1,11 @@
+(** Figure 10: Nash Equilibria when flows have different RTTs. 30 flows in
+    three RTT groups share a 100 Mbps bottleneck; the NE search runs over
+    per-group BBR counts with simulator-measured payoffs. *)
+
+val threshold_profile : int -> int array
+(** [threshold_profile m] assigns [m] CUBIC flows to RTT groups
+    shortest-RTT-first and returns the per-group {e BBR} counts — the
+    model-informed starting profile for the NE search. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -1,0 +1,5 @@
+(** Figure 11(a,b): Nash Equilibria between CUBIC and BBRv2; the model's
+    BBR(v1) Nash region is shown alongside. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -1,0 +1,8 @@
+(** Figure 12: model performance in ultra-deep buffers (1-250 BDP); beyond
+    ~100 BDP BBR stops being cwnd-limited and the model over-estimates. *)
+
+val regime_name : Ccmodel.Two_flow.regime -> string
+(** Human-readable label for the model's buffer regime. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -30,7 +30,7 @@ val observed_equilibria :
 val fluid_payoff :
   base:Fluidsim.Fluid_sim.config ->
   kind:Fluidsim.Fluid_sim.kind ->
-  rtt:float ->
+  rtt:Sim_engine.Units.seconds ->
   n:int ->
   payoff_fn
 (** Payoffs measured by the fluid simulator: k flows of [kind] vs n−k CUBIC
@@ -38,8 +38,8 @@ val fluid_payoff :
     replaced). Memoized. *)
 
 val packet_payoff :
-  ?duration:float ->
-  ?warmup:float ->
+  ?duration:Sim_engine.Units.seconds ->
+  ?warmup:Sim_engine.Units.seconds ->
   ctx:Common.ctx ->
   mbps:float ->
   rtt_ms:float ->

@@ -57,8 +57,8 @@ let eval (ctx : Common.ctx) configs =
     List.map (fun (key, _) -> Hashtbl.find known key) keyed
 
 type mix_spec = {
-  spec_duration : float option;
-  spec_warmup : float option;
+  spec_duration : Sim_engine.Units.seconds option;
+  spec_warmup : Sim_engine.Units.seconds option;
   spec_aqm : E.aqm;
   spec_mbps : float;
   spec_rtt_ms : float;

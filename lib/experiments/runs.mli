@@ -29,8 +29,8 @@ type mix_spec
     before seed expansion. *)
 
 val spec :
-  ?duration:float ->
-  ?warmup:float ->
+  ?duration:Sim_engine.Units.seconds ->
+  ?warmup:Sim_engine.Units.seconds ->
   ?aqm:Tcpflow.Experiment.aqm ->
   ?base_seed:int ->
   mbps:float ->
@@ -50,8 +50,8 @@ val mix_many : Common.ctx -> mix_spec list -> summary list
     spec's trials into its summary. *)
 
 val mix :
-  ?duration:float ->
-  ?warmup:float ->
+  ?duration:Sim_engine.Units.seconds ->
+  ?warmup:Sim_engine.Units.seconds ->
   ?aqm:Tcpflow.Experiment.aqm ->
   ctx:Common.ctx ->
   mbps:float ->
@@ -67,8 +67,8 @@ val mix :
     next grid point depends on the previous result. *)
 
 val config :
-  ?duration:float ->
-  ?warmup:float ->
+  ?duration:Sim_engine.Units.seconds ->
+  ?warmup:Sim_engine.Units.seconds ->
   ?aqm:Tcpflow.Experiment.aqm ->
   mode:Common.mode ->
   mbps:float ->

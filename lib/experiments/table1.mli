@@ -1,0 +1,4 @@
+(** Table 1: the model's notation glossary, rendered as a table. *)
+
+val run : Common.ctx -> Common.table
+(** Drive the experiment and render its result table. *)

@@ -1,36 +1,38 @@
 type kind = Cubic | Bbr | Bbr2
 
-type flow_spec = { kind : kind; rtt : float }
+type flow_spec = { kind : kind; rtt : Sim_engine.Units.seconds }
 
 type sync_mode = Synchronized | Desynchronized | Stochastic of float
 
 type config = {
-  capacity_bps : float;
-  buffer_bytes : float;
+  capacity_bps : Sim_engine.Units.rate_bps;
+  buffer_bytes : Sim_engine.Units.byte_count;
   flows : flow_spec list;
   sync : sync_mode;
-  duration : float;
-  warmup : float;
-  dt : float;
+  duration : Sim_engine.Units.seconds;
+  warmup : Sim_engine.Units.seconds;
+  dt : Sim_engine.Units.seconds;
   seed : int;
-  trace_period : float;  (* 0. = no trace *)
+  trace_period : Sim_engine.Units.seconds;  (* 0. = no trace *)
 }
 
 let mss = float_of_int Sim_engine.Units.mss
 
 let default_config =
   let capacity_bps = Sim_engine.Units.mbps 100.0 in
-  let rtt = 0.040 in
+  let rtt = Sim_engine.Units.ms 40.0 in
   {
     capacity_bps;
-    buffer_bytes = 10.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
+    buffer_bytes =
+      Sim_engine.Units.scale 10.0
+        (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt);
     flows = [ { kind = Cubic; rtt }; { kind = Bbr; rtt } ];
     sync = Synchronized;
-    duration = 60.0;
-    warmup = 20.0;
-    dt = 0.002;
+    duration = Sim_engine.Units.seconds 60.0;
+    warmup = Sim_engine.Units.seconds 20.0;
+    dt = Sim_engine.Units.ms 2.0;
     seed = 1;
-    trace_period = 0.0;
+    trace_period = Sim_engine.Units.seconds 0.0;
   }
 
 type trace_sample = {
@@ -50,10 +52,14 @@ type result = {
   trace : trace_sample list;
 }
 
+(* The integrator's inner loop crunches bare floats: the typed config is
+   unwrapped once, here, through the [Units.Raw] escape hatch. *)
+type ispec = { s_kind : kind; s_rtt : float (* seconds *) }
+
 (* Per-flow mutable state. CUBIC fields are unused for BBR flows and vice
    versa; a single record keeps the hot loop allocation-free. *)
 type flow_state = {
-  spec : flow_spec;
+  spec : ispec;
   mutable w : float;  (* current window / in-flight target, bytes *)
   (* CUBIC *)
   mutable in_slow_start : bool;
@@ -65,8 +71,6 @@ type flow_state = {
   mutable btlbw_entries : (float * float) list;  (* (time, rate) deque *)
   mutable last_bw_update : float;
   mutable w_cur : float;  (* BBR's actual in-flight (ramps at pacing rate) *)
-  mutable filled_pipe : bool;
-  mutable stall_rounds : int;  (* rounds without >=25% btlbw growth *)
   mutable rtprop : float;
   mutable rtprop_stamp : float;
   mutable probing_until : float;  (* > now while in ProbeRTT *)
@@ -116,7 +120,7 @@ let update_btlbw state ~now ~rate ~window =
 let solve_queue ~capacity flows =
   let offered q =
     Array.fold_left
-      (fun acc f -> acc +. (f.w /. (f.spec.rtt +. (q /. capacity))))
+      (fun acc f -> acc +. (f.w /. (f.spec.s_rtt +. (q /. capacity))))
       0.0 flows
   in
   if offered 0.0 <= capacity then 0.0
@@ -132,22 +136,29 @@ let solve_queue ~capacity flows =
     0.5 *. (!lo +. !hi)
   end
 
-let is_cubic f = f.spec.kind = Cubic
-let is_bbr_like f = f.spec.kind = Bbr || f.spec.kind = Bbr2
+let is_cubic f = f.spec.s_kind = Cubic
+let is_bbr_like f = f.spec.s_kind = Bbr || f.spec.s_kind = Bbr2
 
 let run config =
-  if config.dt <= 0.0 then invalid_arg "Fluid_sim.run: dt";
-  if config.warmup >= config.duration then
+  let module Raw = Sim_engine.Units.Raw in
+  let dt = Raw.to_float config.dt in
+  let duration = Raw.to_float config.duration in
+  let warmup = Raw.to_float config.warmup in
+  let trace_period = Raw.to_float config.trace_period in
+  let buffer_bytes = Raw.to_float config.buffer_bytes in
+  if dt <= 0.0 then invalid_arg "Fluid_sim.run: dt";
+  if warmup >= duration then
     invalid_arg "Fluid_sim.run: warmup must precede duration";
   let rng = Sim_engine.Rng.create config.seed in
-  let capacity = config.capacity_bps /. 8.0 in
+  let capacity = Sim_engine.Units.bytes_per_sec config.capacity_bps in
   let n = List.length config.flows in
   if n = 0 then invalid_arg "Fluid_sim.run: no flows";
   let fair = capacity /. float_of_int n in
   let flows =
     Array.of_list
       (List.map
-         (fun spec ->
+         (fun { kind; rtt } ->
+           let spec = { s_kind = kind; s_rtt = Raw.to_float rtt } in
            (* All flows start together, as in the paper's experiments; the
               jitter only desynchronizes slow-start exits slightly. *)
            let jitter = Sim_engine.Rng.uniform_in rng ~lo:0.8 ~hi:1.2 in
@@ -159,13 +170,11 @@ let run config =
              w_max = w0;
              epoch = -.Sim_engine.Rng.float rng 1.0;
              k = 0.0;
-             btlbw = w0 /. spec.rtt;
+             btlbw = w0 /. spec.s_rtt;
              btlbw_entries = [];
              last_bw_update = neg_infinity;
              w_cur = w0;
-             filled_pipe = false;
-             stall_rounds = 0;
-             rtprop = spec.rtt;
+             rtprop = spec.s_rtt;
              rtprop_stamp = Sim_engine.Rng.float rng 2.0;
              probing_until = 0.0;
              probe_min_rtt = infinity;
@@ -182,26 +191,26 @@ let run config =
   let prev_qdelay = ref 0.0 in
   let trace = ref [] in
   let next_trace = ref 0.0 in
-  let steps = int_of_float (Float.round (config.duration /. config.dt)) in
+  let steps = int_of_float (Float.round (duration /. dt)) in
   for step = 0 to steps - 1 do
-    let now = float_of_int step *. config.dt in
+    let now = float_of_int step *. dt in
     (* 1. Desired in-flight per flow. *)
     Array.iter
       (fun f ->
-        match f.spec.kind with
+        match f.spec.s_kind with
         | Cubic ->
           if f.in_slow_start then
             (* Doubling per (inflated) RTT until the first loss. *)
             f.w <-
               f.w
-              *. Float.exp2 (config.dt /. (f.spec.rtt +. !prev_qdelay))
+              *. Float.exp2 (dt /. (f.spec.s_rtt +. !prev_qdelay))
           else f.w <- cubic_window f ~now
         | Bbr | Bbr2 ->
           if now < f.probing_until then f.w <- 4.0 *. mss
           else begin
             let cap = 2.0 *. f.btlbw *. f.rtprop in
             let cap =
-              if f.spec.kind = Bbr2 then Float.min cap f.inflight_hi else cap
+              if f.spec.s_kind = Bbr2 then Float.min cap f.inflight_hi else cap
             in
             (* The in-flight cap applies immediately (it is a cwnd bound);
                growth toward a raised cap is limited by the pacing surplus
@@ -209,7 +218,7 @@ let run config =
             if f.w_cur > cap then f.w_cur <- cap
             else
               f.w_cur <-
-                Float.min cap (f.w_cur +. (0.25 *. f.btlbw *. config.dt));
+                Float.min cap (f.w_cur +. (0.25 *. f.btlbw *. dt));
             f.w <- Float.max (4.0 *. mss) f.w_cur
           end)
       flows;
@@ -218,22 +227,22 @@ let run config =
        the drop-tail shares at q = B, and eligible flows register one loss
        event per (inflated) RTT. *)
     let q_star = solve_queue ~capacity flows in
-    let overflowing = q_star > config.buffer_bytes in
-    let q = if overflowing then config.buffer_bytes else q_star in
+    let overflowing = q_star > buffer_bytes in
+    let q = if overflowing then buffer_bytes else q_star in
     let qdelay = q /. capacity in
     prev_qdelay := qdelay;
     let rate_of =
       if overflowing then begin
-        let demand f = f.w /. (f.spec.rtt +. qdelay) in
+        let demand f = f.w /. (f.spec.s_rtt +. qdelay) in
         let total = Array.fold_left (fun acc f -> acc +. demand f) 0.0 flows in
         fun f -> capacity *. demand f /. total
       end
-      else fun f -> f.w /. (f.spec.rtt +. qdelay)
+      else fun f -> f.w /. (f.spec.s_rtt +. qdelay)
     in
     if overflowing then begin
       incr loss_events;
       let eligible f =
-        now -. f.last_backoff > f.spec.rtt +. qdelay
+        now -. f.last_backoff > f.spec.s_rtt +. qdelay
       in
       let cubics =
         Array.of_list
@@ -279,7 +288,7 @@ let run config =
       (* BBRv2 reacts to the shared loss round. *)
       Array.iter
         (fun f ->
-          if f.spec.kind = Bbr2 && eligible f then begin
+          if f.spec.s_kind = Bbr2 && eligible f then begin
             f.inflight_hi <-
               Float.max (4.0 *. mss) (0.7 *. Float.min f.w f.inflight_hi);
             f.last_loss_time <- now;
@@ -287,10 +296,10 @@ let run config =
           end)
         flows
     end;
-    queue_integral := !queue_integral +. (q *. config.dt);
-    queue_time := !queue_time +. config.dt;
-    if config.trace_period > 0.0 && now >= !next_trace then begin
-      next_trace := now +. config.trace_period;
+    queue_integral := !queue_integral +. (q *. dt);
+    queue_time := !queue_time +. dt;
+    if trace_period > 0.0 && now >= !next_trace then begin
+      next_trace := now +. trace_period;
       trace :=
         {
           t_time = now;
@@ -305,9 +314,9 @@ let run config =
     Array.iter
       (fun f ->
         let rate = rate_of f in
-        if now >= config.warmup then f.delivered <- f.delivered +. (rate *. config.dt);
+        if now >= warmup then f.delivered <- f.delivered +. (rate *. dt);
         if is_bbr_like f then begin
-          let inflated_rtt = f.spec.rtt +. qdelay in
+          let inflated_rtt = f.spec.s_rtt +. qdelay in
           (* Bandwidth samples arrive once per (inflated) round trip, as in
              the real delivery-rate estimator; the in-flight ramp above is
              what bounds the feedback loop to physical timescales. *)
@@ -318,7 +327,7 @@ let run config =
           (* ProbeRTT state machine. *)
           if now < f.probing_until then begin
             f.probe_min_rtt <- Float.min f.probe_min_rtt inflated_rtt;
-            if now +. config.dt >= f.probing_until then begin
+            if now +. dt >= f.probing_until then begin
               f.rtprop <- f.probe_min_rtt;
               f.rtprop_stamp <- now
             end
@@ -335,7 +344,7 @@ let run config =
           (* BBRv2 inflight_hi recovery: multiplicative growth every 2 s of
              loss-free cruising. *)
           if
-            f.spec.kind = Bbr2
+            f.spec.s_kind = Bbr2
             && f.inflight_hi < infinity
             && now -. f.last_loss_time > 2.0
             && now -. f.last_hi_growth > 2.0
@@ -349,14 +358,14 @@ let run config =
         end)
       flows
   done;
-  let window = config.duration -. config.warmup in
+  let window = duration -. warmup in
   {
     per_flow_bps =
       Array.map (fun f -> f.delivered /. window *. 8.0) flows;
     mean_queue_bytes = !queue_integral /. !queue_time;
     mean_queuing_delay = !queue_integral /. !queue_time /. capacity;
     loss_events = !loss_events;
-    flow_kinds = Array.map (fun f -> f.spec.kind) flows;
+    flow_kinds = Array.map (fun f -> f.spec.s_kind) flows;
     trace = List.rev !trace;
   }
 

@@ -24,7 +24,7 @@
 
 type kind = Cubic | Bbr | Bbr2
 
-type flow_spec = { kind : kind; rtt : float }
+type flow_spec = { kind : kind; rtt : Sim_engine.Units.seconds }
 
 type sync_mode =
   | Synchronized
@@ -32,15 +32,16 @@ type sync_mode =
   | Stochastic of float  (** Per-flow back-off probability on overflow. *)
 
 type config = {
-  capacity_bps : float;
-  buffer_bytes : float;
+  capacity_bps : Sim_engine.Units.rate_bps;
+  buffer_bytes : Sim_engine.Units.byte_count;
   flows : flow_spec list;
   sync : sync_mode;
-  duration : float;
-  warmup : float;
-  dt : float;  (** Integration step, seconds (default 2 ms). *)
+  duration : Sim_engine.Units.seconds;
+  warmup : Sim_engine.Units.seconds;
+  dt : Sim_engine.Units.seconds;  (** Integration step (default 2 ms). *)
   seed : int;
-  trace_period : float;  (** Record a {!trace_sample} this often; 0 = off. *)
+  trace_period : Sim_engine.Units.seconds;
+      (** Record a {!trace_sample} this often; 0 = off. *)
 }
 
 val default_config : config

@@ -16,7 +16,8 @@ type prediction = {
 }
 
 let capacity_bps (params : Params.t) =
-  Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.capacity
+  (Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.capacity
+    :> float)
 
 let predict params ~n_cubic ~n_bbr ~sync =
   if n_cubic < 0 || n_bbr < 0 || n_cubic + n_bbr = 0 then

@@ -1,7 +1,8 @@
 type region = { cubic_at_ne_sync : float; cubic_at_ne_desync : float }
 
 let capacity_bps (params : Params.t) =
-  Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.capacity
+  (Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.capacity
+    :> float)
 
 let bbr_per_flow_advantage params ~n ~n_bbr ~sync =
   if n <= 0 then invalid_arg "Ne.bbr_per_flow_advantage: n";

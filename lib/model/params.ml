@@ -1,12 +1,17 @@
 type t = { capacity : float; buffer : float; rtt : float }
 
-let make ~capacity_bps ~buffer_bytes ~rtt =
-  if capacity_bps <= 0.0 || buffer_bytes <= 0.0 || rtt <= 0.0 then
-    invalid_arg "Params.make: all parameters must be positive";
+let make ~(capacity_bps : Sim_engine.Units.rate_bps)
+    ~(buffer_bytes : Sim_engine.Units.byte_count)
+    ~(rtt : Sim_engine.Units.seconds) =
+  if
+    (capacity_bps :> float) <= 0.0
+    || (buffer_bytes :> float) <= 0.0
+    || (rtt :> float) <= 0.0
+  then invalid_arg "Params.make: all parameters must be positive";
   {
-    capacity = Sim_engine.Units.bytes_per_sec ~bits_per_sec:capacity_bps;
-    buffer = buffer_bytes;
-    rtt;
+    capacity = Sim_engine.Units.bytes_per_sec capacity_bps;
+    buffer = (buffer_bytes :> float);
+    rtt = (rtt :> float);
   }
 
 let bdp_bytes t = t.capacity *. t.rtt
@@ -14,10 +19,8 @@ let bdp_bytes t = t.capacity *. t.rtt
 let of_paper_units ~mbps ~buffer_bdp ~rtt_ms =
   let capacity_bps = Sim_engine.Units.mbps mbps in
   let rtt = Sim_engine.Units.ms rtt_ms in
-  let bdp =
-    Sim_engine.Units.bytes_per_sec ~bits_per_sec:capacity_bps *. rtt
-  in
-  make ~capacity_bps ~buffer_bytes:(buffer_bdp *. bdp) ~rtt
+  let bdp = Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt in
+  make ~capacity_bps ~buffer_bytes:(Sim_engine.Units.scale buffer_bdp bdp) ~rtt
 
 let buffer_in_bdp t = t.buffer /. bdp_bytes t
 

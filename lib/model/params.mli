@@ -10,9 +10,12 @@ type t = private {
   rtt : float;  (** Base (propagation) RTT, seconds. *)
 }
 
-val make : capacity_bps:float -> buffer_bytes:float -> rtt:float -> t
-(** [capacity_bps] is in bits/s (converted to bytes/s internally). All values
-    must be positive. *)
+val make :
+  capacity_bps:Sim_engine.Units.rate_bps ->
+  buffer_bytes:Sim_engine.Units.byte_count ->
+  rtt:Sim_engine.Units.seconds ->
+  t
+(** All values must be positive (converted to the internal units above). *)
 
 val of_paper_units : mbps:float -> buffer_bdp:float -> rtt_ms:float -> t
 (** The units used throughout the paper's figures. *)

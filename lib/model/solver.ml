@@ -4,8 +4,8 @@ let bisect ?tolerance ?(max_iterations = 200) ~f ~lo ~hi () =
     match tolerance with Some t -> t | None -> 1e-9 *. (hi -. lo)
   in
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if Sim_engine.Stats.is_zero flo then lo
+  else if Sim_engine.Stats.is_zero fhi then hi
   else if flo *. fhi > 0.0 then
     invalid_arg "Solver.bisect: f(lo) and f(hi) have the same sign"
   else begin
@@ -15,7 +15,7 @@ let bisect ?tolerance ?(max_iterations = 200) ~f ~lo ~hi () =
       incr iterations;
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
-      if fmid = 0.0 then begin
+      if Sim_engine.Stats.is_zero fmid then begin
         lo := mid;
         hi := mid
       end
@@ -35,7 +35,8 @@ let find_crossing ~f ~lo ~hi =
       if k > hi then None
       else begin
         let v = f k in
-        if prev = 0.0 || prev *. v <= 0.0 then Some (k - 1, k)
+        if Sim_engine.Stats.is_zero prev || prev *. v <= 0.0 then
+          Some (k - 1, k)
         else scan (k + 1) v
       end
     in

@@ -27,7 +27,7 @@ let solve ?(gamma = 0.7) (params : Params.t) =
   let regime = regime_of params in
   let b_cmin = Float.max 0.0 ((b -. bdp) /. 2.0) in
   let b_b =
-    if b_cmin = 0.0 then
+    if Sim_engine.Stats.is_zero b_cmin then
       (* Sub-BDP buffers violate assumption 1; the model degenerates. We
          clamp to the paper's (and Hock et al.'s) empirical observation for
          shallow buffers: BBR's 2xBDP in-flight overwhelms the buffer and
@@ -56,9 +56,11 @@ let solve ?(gamma = 0.7) (params : Params.t) =
     bbr_buffer_bytes = b_b;
     cubic_min_buffer_bytes = b_cmin;
     cubic_bandwidth_bps =
-      Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:lambda_c;
+      (Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:lambda_c
+        :> float);
     bbr_bandwidth_bps =
-      Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:lambda_b;
+      (Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:lambda_b
+        :> float);
     regime;
   }
 
@@ -80,5 +82,6 @@ let predicted_queuing_delay ?gamma params =
 let bbr_share ?gamma params =
   let solution = solve ?gamma params in
   solution.bbr_bandwidth_bps
-  /. Sim_engine.Units.bits_per_sec_of_bytes
-       ~bytes_per_sec:params.Params.capacity
+  /. (Sim_engine.Units.bits_per_sec_of_bytes
+        ~bytes_per_sec:params.Params.capacity
+      :> float)

@@ -1,6 +1,8 @@
 let mss = float_of_int Sim_engine.Units.mss
 
-let bbr_fraction ~(params : Params.t) ~n_bbr ~duration =
+let bbr_fraction ~(params : Params.t) ~n_bbr
+    ~(duration : Sim_engine.Units.seconds) =
+  let duration = (duration :> float) in
   if n_bbr <= 0 then invalid_arg "Ware.bbr_fraction: n_bbr";
   if duration <= 0.0 then invalid_arg "Ware.bbr_fraction: duration";
   let x = Params.buffer_in_bdp params in
@@ -19,4 +21,6 @@ let bbr_fraction ~(params : Params.t) ~n_bbr ~duration =
 
 let bbr_bandwidth_bps ~params ~n_bbr ~duration =
   bbr_fraction ~params ~n_bbr ~duration
-  *. Sim_engine.Units.bits_per_sec_of_bytes ~bytes_per_sec:params.Params.capacity
+  *. (Sim_engine.Units.bits_per_sec_of_bytes
+        ~bytes_per_sec:params.Params.capacity
+      :> float)

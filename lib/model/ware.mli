@@ -18,10 +18,10 @@
     buffer. *)
 
 val bbr_fraction :
-  params:Params.t -> n_bbr:int -> duration:float -> float
+  params:Params.t -> n_bbr:int -> duration:Sim_engine.Units.seconds -> float
 (** Predicted aggregate fraction of capacity taken by [n_bbr] BBR flows,
     clamped to [\[0, 1\]]. *)
 
 val bbr_bandwidth_bps :
-  params:Params.t -> n_bbr:int -> duration:float -> float
+  params:Params.t -> n_bbr:int -> duration:Sim_engine.Units.seconds -> float
 (** {!bbr_fraction} × capacity, in bits/s. *)

@@ -120,7 +120,8 @@ let occupancy_of_flow t flow =
   Option.value ~default:0 (Hashtbl.find_opt t.per_flow flow)
 
 let occupancy_of_flows t pred =
-  Hashtbl.fold
+  (* Hash order is harmless: integer addition is commutative. *)
+  Hashtbl.fold (* simlint: allow R1 *)
     (fun flow bytes acc -> if pred flow then acc + bytes else acc)
     t.per_flow 0
 

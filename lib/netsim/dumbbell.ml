@@ -1,11 +1,10 @@
-type flow_spec = { flow : int; base_rtt : float }
+type flow_spec = { flow : int; base_rtt : Sim_engine.Units.seconds }
 
 type t = {
   sim : Sim_engine.Sim.t;
-  rate_bps : float;
+  rate_bps : Sim_engine.Units.rate_bps;
   queue : Droptail_queue.t;
   link : Link.t;
-  pipe : Pipe.t;
   rtts : (int, float) Hashtbl.t;
   receivers : (int, Packet.t -> unit) Hashtbl.t;
   mutable orphaned : int;
@@ -14,7 +13,9 @@ type t = {
 let create ?policy ~sim ~rate_bps ~buffer_bytes ~flows () =
   let queue = Droptail_queue.create ?policy ~capacity_bytes:buffer_bytes () in
   let rtts = Hashtbl.create 16 in
-  List.iter (fun { flow; base_rtt } -> Hashtbl.replace rtts flow base_rtt) flows;
+  List.iter
+    (fun { flow; base_rtt } -> Hashtbl.replace rtts flow (base_rtt :> float))
+    flows;
   let receivers = Hashtbl.create 16 in
   let t_ref = ref None in
   let deliver_to_receiver p =
@@ -33,7 +34,7 @@ let create ?policy ~sim ~rate_bps ~buffer_bytes ~flows () =
   let pipe = Pipe.create ~sim ~delay_of ~deliver:deliver_to_receiver in
   let link = Link.create ~sim ~rate_bps ~queue ~deliver:(Pipe.send pipe) in
   let t =
-    { sim; rate_bps; queue; link; pipe; rtts; receivers; orphaned = 0 }
+    { sim; rate_bps; queue; link; rtts; receivers; orphaned = 0 }
   in
   t_ref := Some t;
   t
@@ -45,7 +46,7 @@ let rate_bps t = t.rate_bps
 
 let base_rtt_of t flow =
   match Hashtbl.find_opt t.rtts flow with
-  | Some rtt -> rtt
+  | Some rtt -> Sim_engine.Units.seconds rtt
   | None -> raise Not_found
 
 let set_receiver t ~flow receive = Hashtbl.replace t.receivers flow receive
@@ -57,5 +58,5 @@ let send t p =
   | Droptail_queue.Dropped -> ());
   verdict
 
-let reverse_delay t ~flow = base_rtt_of t flow /. 2.0
+let reverse_delay t ~flow = Sim_engine.Units.scale 0.5 (base_rtt_of t flow)
 let orphaned t = t.orphaned

@@ -9,12 +9,12 @@
 
 type t
 
-type flow_spec = { flow : int; base_rtt : float }
+type flow_spec = { flow : int; base_rtt : Sim_engine.Units.seconds }
 
 val create :
   ?policy:Droptail_queue.policy ->
   sim:Sim_engine.Sim.t ->
-  rate_bps:float ->
+  rate_bps:Sim_engine.Units.rate_bps ->
   buffer_bytes:int ->
   flows:flow_spec list ->
   unit ->
@@ -24,9 +24,9 @@ val create :
 val sim : t -> Sim_engine.Sim.t
 val queue : t -> Droptail_queue.t
 val link : t -> Link.t
-val rate_bps : t -> float
+val rate_bps : t -> Sim_engine.Units.rate_bps
 
-val base_rtt_of : t -> int -> float
+val base_rtt_of : t -> int -> Sim_engine.Units.seconds
 (** Base RTT of the given flow id. Raises [Not_found] for unknown flows. *)
 
 val set_receiver : t -> flow:int -> (Packet.t -> unit) -> unit
@@ -39,7 +39,7 @@ val send : t -> Packet.t -> Droptail_queue.verdict
     ACK feedback, as in a real network (but the verdict is returned for
     instrumentation). *)
 
-val reverse_delay : t -> flow:int -> float
+val reverse_delay : t -> flow:int -> Sim_engine.Units.seconds
 (** One-way delay of the flow's ACK path. *)
 
 val orphaned : t -> int

@@ -1,6 +1,6 @@
 type t = {
   sim : Sim_engine.Sim.t;
-  rate_bps : float;
+  rate_bps : Sim_engine.Units.rate_bps;
   queue : Droptail_queue.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
@@ -9,8 +9,8 @@ type t = {
   mutable busy_time : float;
 }
 
-let create ~sim ~rate_bps ~queue ~deliver =
-  if rate_bps <= 0.0 then invalid_arg "Link.create: rate";
+let create ~sim ~(rate_bps : Sim_engine.Units.rate_bps) ~queue ~deliver =
+  if (rate_bps :> float) <= 0.0 then invalid_arg "Link.create: rate";
   {
     sim;
     rate_bps;
@@ -30,7 +30,8 @@ let rec start_next t =
   | Some p ->
     t.busy <- true;
     let tx =
-      Sim_engine.Units.transmission_time ~rate_bps:t.rate_bps ~bytes:p.size
+      (Sim_engine.Units.transmission_time ~rate_bps:t.rate_bps ~bytes:p.size
+        :> float)
     in
     t.busy_time <- t.busy_time +. tx;
     ignore
@@ -46,4 +47,4 @@ let busy t = t.busy
 let delivered_packets t = t.delivered_packets
 let delivered_bytes t = t.delivered_bytes
 
-let busy_seconds t = t.busy_time
+let busy_seconds t = Sim_engine.Units.seconds t.busy_time

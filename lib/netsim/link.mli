@@ -9,12 +9,12 @@ type t
 
 val create :
   sim:Sim_engine.Sim.t ->
-  rate_bps:float ->
+  rate_bps:Sim_engine.Units.rate_bps ->
   queue:Droptail_queue.t ->
   deliver:(Packet.t -> unit) ->
   t
 
-val rate_bps : t -> float
+val rate_bps : t -> Sim_engine.Units.rate_bps
 
 val kick : t -> unit
 (** Start transmitting if idle and the queue is non-empty. Safe to call at
@@ -25,6 +25,6 @@ val busy : t -> bool
 val delivered_packets : t -> int
 val delivered_bytes : t -> int
 
-val busy_seconds : t -> float
+val busy_seconds : t -> Sim_engine.Units.seconds
 (** Cumulative transmission time since creation. Callers compute utilization
     over a window by differencing two snapshots. *)

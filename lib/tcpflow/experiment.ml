@@ -1,48 +1,56 @@
 module Sim = Sim_engine.Sim
 module Units = Sim_engine.Units
 
-type flow_config = { cca : string; base_rtt : float; start_time : float }
+type flow_config = {
+  cca : string;
+  base_rtt : Units.seconds;
+  start_time : Units.seconds;
+}
 
-let flow_config ?(start_time = 0.0) ?(base_rtt = 0.040) cca =
+let flow_config ?(start_time = Units.seconds 0.0) ?(base_rtt = Units.ms 40.0)
+    cca =
   { cca; base_rtt; start_time }
 
 type aqm = Tail_drop | Red_default
 
 type config = {
-  rate_bps : float;
+  rate_bps : Units.rate_bps;
   buffer_bytes : int;
   flows : flow_config list;
-  duration : float;
-  warmup : float;
+  duration : Units.seconds;
+  warmup : Units.seconds;
   seed : int;
-  sample_period : float;
+  sample_period : Units.seconds;
   aqm : aqm;
 }
 
 let buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp =
-  let bytes = int_of_float (Units.bdp_bytes ~rate_bps ~rtt *. bdp) in
+  let bytes = Units.bytes_to_int (Units.scale bdp (Units.bdp_bytes ~rate_bps ~rtt)) in
   max bytes Units.mss
 
-let config ?(aqm = Tail_drop) ?(warmup = 0.0) ?(sample_period = 0.001)
-    ?(seed = 1) ~rate_bps ~buffer_bytes ~duration flows =
+let config ?(aqm = Tail_drop) ?(warmup = Units.seconds 0.0)
+    ?(sample_period = Units.ms 1.0) ?(seed = 1) ~rate_bps ~buffer_bytes
+    ~duration flows =
   if flows = [] then invalid_arg "Experiment.config: no flows";
   { rate_bps; buffer_bytes; flows; duration; warmup; seed; sample_period; aqm }
 
 (* The key under which Exec.Cache stores a run's result. Marshalling the
    whole record means every field — including seed, aqm and the flow list —
    participates in the digest. *)
-let digest config = Digest.to_hex (Digest.string (Marshal.to_string config []))
+let digest config =
+  (* simlint: allow R2 *)
+  Digest.to_hex (Digest.string (Marshal.to_string config []))
 
 let default_config =
-  let rate_bps = Units.mbps 100.0 and rtt = 0.040 in
+  let rate_bps = Units.mbps 100.0 and rtt = Units.ms 40.0 in
   {
     rate_bps;
     buffer_bytes = buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:10.0;
     flows = [ flow_config "cubic"; flow_config "bbr" ];
-    duration = 40.0;
-    warmup = 10.0;
+    duration = Units.seconds 40.0;
+    warmup = Units.seconds 10.0;
     seed = 1;
-    sample_period = 0.001;
+    sample_period = Units.ms 1.0;
     aqm = Tail_drop;
   }
 
@@ -72,7 +80,7 @@ let distinct_ccas flows =
   List.sort_uniq compare (List.map (fun f -> f.cca) flows)
 
 let run config =
-  if config.warmup >= config.duration then
+  if (config.warmup :> float) >= (config.duration :> float) then
     invalid_arg "Experiment.run: warmup must precede duration";
   let sim = Sim.create ~seed:config.seed () in
   let flows = Array.of_list config.flows in
@@ -102,7 +110,7 @@ let run config =
   in
   let sampler =
     Netsim.Sampler.create ~sim ~queue:(Netsim.Dumbbell.queue net)
-      ~period:config.sample_period ~flow_classes ()
+      ~period:(config.sample_period :> float) ~flow_classes ()
   in
   let senders =
     Array.mapi
@@ -115,13 +123,13 @@ let run config =
   (* Snapshot delivered bytes at the start of the measurement window. *)
   let delivered_at_warmup = Array.make (Array.length senders) 0.0 in
   ignore
-    (Sim.schedule sim ~delay:config.warmup (fun () ->
+    (Sim.schedule sim ~delay:(config.warmup :> float) (fun () ->
          Array.iteri
            (fun i sender ->
              delivered_at_warmup.(i) <- Sender.delivered_bytes sender)
            senders));
-  Sim.run ~until:config.duration sim;
-  let window = config.duration -. config.warmup in
+  Sim.run ~until:(config.duration :> float) sim;
+  let window = (config.duration :> float) -. (config.warmup :> float) in
   let per_flow =
     Array.to_list
       (Array.mapi
@@ -132,16 +140,19 @@ let run config =
            {
              flow_id = i;
              flow_cca = flows.(i).cca;
-             flow_rtt = flows.(i).base_rtt;
+             flow_rtt = (flows.(i).base_rtt :> float);
              throughput_bps =
-               Units.bits_per_sec_of_bytes ~bytes_per_sec:(delivered /. window);
+               (Units.bits_per_sec_of_bytes
+                  ~bytes_per_sec:(delivered /. window)
+                 :> float);
              flow_lost_segments = Sender.lost_segments sender;
              flow_retransmitted = Sender.retransmitted_segments sender;
              flow_min_rtt = Sender.min_rtt_observed sender;
            })
          senders)
   in
-  let from_ = config.warmup and until = config.duration in
+  let from_ = (config.warmup :> float)
+  and until = (config.duration :> float) in
   let class_stat f =
     List.map
       (fun (name, _) -> (name, f (Netsim.Sampler.class_series sampler name)))
@@ -152,8 +163,9 @@ let run config =
       config;
       per_flow;
       queuing_delay =
-        Netsim.Sampler.queuing_delay sampler ~rate_bps:config.rate_bps ~from_
-          ~until;
+        Netsim.Sampler.queuing_delay sampler
+          ~rate_bps:(config.rate_bps :> float)
+          ~from_ ~until;
       queue_mean_bytes =
         Sim_engine.Timeseries.time_weighted_mean
           (Netsim.Sampler.total sampler) ~from_ ~until;
@@ -172,8 +184,8 @@ let run config =
            flight at the end of the run can push the ratio marginally
            past 1. *)
         Float.min 1.0
-          (Netsim.Link.busy_seconds (Netsim.Dumbbell.link net)
-          /. config.duration);
+          ((Netsim.Link.busy_seconds (Netsim.Dumbbell.link net) :> float)
+          /. (config.duration :> float));
     }
   in
   Netsim.Sampler.stop sampler;

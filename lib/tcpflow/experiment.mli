@@ -9,11 +9,15 @@
 
 type flow_config = {
   cca : string;  (** Registry name, e.g. ["cubic"] or ["bbr"]. *)
-  base_rtt : float;  (** Two-way propagation delay, seconds. *)
-  start_time : float;  (** When the flow starts sending. *)
+  base_rtt : Sim_engine.Units.seconds;  (** Two-way propagation delay. *)
+  start_time : Sim_engine.Units.seconds;  (** When the flow starts sending. *)
 }
 
-val flow_config : ?start_time:float -> ?base_rtt:float -> string -> flow_config
+val flow_config :
+  ?start_time:Sim_engine.Units.seconds ->
+  ?base_rtt:Sim_engine.Units.seconds ->
+  string ->
+  flow_config
 (** Convenience constructor; default RTT 40 ms, start 0. *)
 
 type aqm =
@@ -21,13 +25,14 @@ type aqm =
   | Red_default  (** RED with {!Netsim.Droptail_queue.red_defaults}. *)
 
 type config = {
-  rate_bps : float;  (** Bottleneck capacity. *)
+  rate_bps : Sim_engine.Units.rate_bps;  (** Bottleneck capacity. *)
   buffer_bytes : int;  (** Bottleneck buffer size. *)
   flows : flow_config list;
-  duration : float;  (** Total simulated seconds. *)
-  warmup : float;  (** Measurement starts here (excludes slow start). *)
+  duration : Sim_engine.Units.seconds;  (** Total simulated time. *)
+  warmup : Sim_engine.Units.seconds;
+      (** Measurement starts here (excludes slow start). *)
   seed : int;
-  sample_period : float;  (** Queue sampling period, seconds. *)
+  sample_period : Sim_engine.Units.seconds;  (** Queue sampling period. *)
   aqm : aqm;  (** Bottleneck drop policy. *)
 }
 
@@ -37,12 +42,12 @@ val default_config : config
 
 val config :
   ?aqm:aqm ->
-  ?warmup:float ->
-  ?sample_period:float ->
+  ?warmup:Sim_engine.Units.seconds ->
+  ?sample_period:Sim_engine.Units.seconds ->
   ?seed:int ->
-  rate_bps:float ->
+  rate_bps:Sim_engine.Units.rate_bps ->
   buffer_bytes:int ->
-  duration:float ->
+  duration:Sim_engine.Units.seconds ->
   flow_config list ->
   config
 (** Labelled builder, the preferred way to assemble a config. Defaults:
@@ -54,7 +59,11 @@ val digest : config -> string
     content-address under which {!Sim_engine.Exec.Cache} keys a run's
     {!result}. *)
 
-val buffer_bytes_of_bdp : rate_bps:float -> rtt:float -> bdp:float -> int
+val buffer_bytes_of_bdp :
+  rate_bps:Sim_engine.Units.rate_bps ->
+  rtt:Sim_engine.Units.seconds ->
+  bdp:float ->
+  int
 (** Buffer size for a multiple [bdp] of the bandwidth-delay product,
     at least one MSS. *)
 

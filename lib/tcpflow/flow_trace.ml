@@ -88,18 +88,15 @@ let to_csv t =
   ^ "\n"
 
 let state_occupancy t =
-  let counts = Hashtbl.create 8 in
-  let total = ref 0 in
-  List.iter
-    (fun s ->
-      incr total;
-      Hashtbl.replace counts s.cc_state
-        (1 + Option.value ~default:0 (Hashtbl.find_opt counts s.cc_state)))
-    t.samples;
-  if !total = 0 then []
+  let total = List.length t.samples in
+  if total = 0 then []
   else
-    Hashtbl.fold
-      (fun state n acc ->
-        (state, float_of_int n /. float_of_int !total) :: acc)
-      counts []
-    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    List.fold_left
+      (fun counts s ->
+        let n = Option.value ~default:0 (List.assoc_opt s.cc_state counts) in
+        (s.cc_state, n + 1) :: List.remove_assoc s.cc_state counts)
+      [] t.samples
+    |> List.map (fun (state, n) ->
+           (state, float_of_int n /. float_of_int total))
+    |> List.sort (fun (sa, a) (sb, b) ->
+           match compare b a with 0 -> compare sa sb | c -> c)

@@ -86,14 +86,17 @@ and on_rto t =
   if t.inflight_bytes > 0 then begin
     (* Declare everything in flight lost and restart. *)
     let newly_lost = ref 0 in
-    Hashtbl.iter
-      (fun seq s ->
-        if (not s.acked) && not s.lost then begin
-          s.lost <- true;
-          incr newly_lost;
-          Queue.push seq t.retx_queue
-        end)
-      t.segs;
+    (* Walk the live sequence range in order rather than iterating the
+       hashtable: retransmissions must be queued lowest-sequence first,
+       independent of hash layout. *)
+    for seq = t.cum_ack to t.next_seq - 1 do
+      match Hashtbl.find_opt t.segs seq with
+      | Some s when (not s.acked) && not s.lost ->
+        s.lost <- true;
+        incr newly_lost;
+        Queue.push seq t.retx_queue
+      | _ -> ()
+    done;
     t.lost_segments <- t.lost_segments + !newly_lost;
     t.inflight_bytes <- 0;
     t.in_recovery <- true;
@@ -316,7 +319,8 @@ let on_ack_packet t (trig : Packet.t) =
     try_send t
   end
 
-let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss) ?(start_time = 0.0)
+let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
+    ?(start_time = Sim_engine.Units.seconds 0.0)
     ?data_limit_bytes () =
   let sim = Dumbbell.sim net in
   let seg_limit =
@@ -358,12 +362,12 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss) ?(start_time = 0.0)
   in
   (* Receiver: each arriving data packet generates one ACK that reaches the
      sender after the flow's reverse-path delay. *)
-  let reverse = Dumbbell.reverse_delay net ~flow in
+  let reverse = (Dumbbell.reverse_delay net ~flow :> float) in
   Dumbbell.set_receiver net ~flow (fun packet ->
       ignore
         (Sim.schedule sim ~delay:reverse (fun () -> on_ack_packet t packet)));
   ignore
-    (Sim.schedule sim ~delay:start_time (fun () ->
+    (Sim.schedule sim ~delay:(start_time :> float) (fun () ->
          t.delivered_time <- Sim.now sim;
          try_send t));
   t

@@ -23,7 +23,7 @@ val create :
   flow:int ->
   cc:Cca.Cc_types.t ->
   ?mss:int ->
-  ?start_time:float ->
+  ?start_time:Sim_engine.Units.seconds ->
   ?data_limit_bytes:int ->
   unit ->
   t

@@ -1,0 +1,17 @@
+(* Fixture: a well-behaved module; the linter must report nothing. Keyed
+   lookups and updates on Hashtbl are fine (only iteration order-dependent
+   operations trip R1), as are float comparisons against variables. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let lookup tbl k = Hashtbl.find_opt tbl k
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let same_rate a b = a = b

@@ -1,0 +1,7 @@
+(* Fixture: every definition below trips rule R1 (determinism). *)
+
+let jitter () = Random.float 1.0
+
+let dump tbl = Hashtbl.iter (fun _ _ -> ()) tbl
+
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,3 @@
+(* Fixture: rule R2 (Marshal outside the Exec result cache). *)
+
+let digest v = Digest.string (Marshal.to_string v [])

@@ -1,0 +1,3 @@
+(* Fixture: rule R3 (Obj.magic). *)
+
+let coerce x = Obj.magic x

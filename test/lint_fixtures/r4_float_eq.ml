@@ -1,0 +1,7 @@
+(* Fixture: rule R4 (exact float =/<> against a literal). *)
+
+let is_idle rate = rate = 0.0
+
+let not_unity gain = gain <> 1.0
+
+let negated x = -0.5 = x

@@ -1,0 +1,8 @@
+(* Fixture: rule R5 (raw Experiment config record literal bypassing the
+   validating builder). Both the module-qualified and the bare-field
+   spellings must be caught. *)
+
+let qualified =
+  { Tcpflow.Experiment.rate_bps = 1e7; duration = 10.0 }
+
+let unqualified = { rate_bps = 1e7; flows = [ "bbr"; "cubic" ] }

@@ -1,0 +1,9 @@
+(* Fixture: every violation below carries an allow comment — same line or
+   the line directly above — so the linter must report nothing. *)
+
+let jitter () = Random.float 1.0 (* simlint: allow R1 *)
+
+(* simlint: allow R2 *)
+let digest v = Marshal.to_string v []
+
+let is_idle rate = rate = 0.0 (* simlint: allow R4 *)

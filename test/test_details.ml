@@ -78,7 +78,10 @@ let test_ware_more_bbr_flows_higher_share () =
   let params =
     Ccmodel.Params.of_paper_units ~mbps:100.0 ~buffer_bdp:10.0 ~rtt_ms:40.0
   in
-  let f n = Ccmodel.Ware.bbr_fraction ~params ~n_bbr:n ~duration:120.0 in
+  let f n =
+    Ccmodel.Ware.bbr_fraction ~params ~n_bbr:n
+      ~duration:(Sim_engine.Units.seconds 120.0)
+  in
   Alcotest.(check bool) "increasing in N" true (f 10 > f 1)
 
 (* --- NE predictor: all-BBR case --- *)
@@ -129,12 +132,15 @@ let test_delay_based_ccas_under_red () =
       let r =
         Tcpflow.Experiment.run
           (Tcpflow.Experiment.config ~aqm:Tcpflow.Experiment.Red_default
-             ~warmup:2.0 ~rate_bps
+             ~warmup:(Sim_engine.Units.seconds 2.0) ~rate_bps
              ~buffer_bytes:
-               (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02
-                  ~bdp:4.0)
-             ~duration:8.0
-             [ Tcpflow.Experiment.flow_config ~base_rtt:0.02 cca ])
+               (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps
+                  ~rtt:(Sim_engine.Units.ms 20.0) ~bdp:4.0)
+             ~duration:(Sim_engine.Units.seconds 8.0)
+             [
+               Tcpflow.Experiment.flow_config
+                 ~base_rtt:(Sim_engine.Units.ms 20.0) cca;
+             ])
       in
       let goodput = Tcpflow.Experiment.mean_throughput_of_cca r cca in
       Alcotest.(check bool)
@@ -154,11 +160,17 @@ let test_fluid_trace_bbr_fields () =
         F.default_config with
         capacity_bps;
         buffer_bytes =
-          5.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt:0.04;
-        flows = [ { F.kind = F.Cubic; rtt = 0.04 }; { F.kind = F.Bbr; rtt = 0.04 } ];
-        duration = 20.0;
-        warmup = 5.0;
-        trace_period = 1.0;
+          Sim_engine.Units.scale 5.0
+            (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps
+               ~rtt:(Sim_engine.Units.ms 40.0));
+        flows =
+          [
+            { F.kind = F.Cubic; rtt = Sim_engine.Units.ms 40.0 };
+            { F.kind = F.Bbr; rtt = Sim_engine.Units.ms 40.0 };
+          ];
+        duration = Sim_engine.Units.seconds 20.0;
+        warmup = Sim_engine.Units.seconds 5.0;
+        trace_period = Sim_engine.Units.seconds 1.0;
       }
   in
   List.iter
@@ -167,7 +179,7 @@ let test_fluid_trace_bbr_fields () =
       Alcotest.(check bool) "rtprop >= base rtt" true
         (s.F.t_rtprop.(1) >= 0.04 -. 1e-12);
       Alcotest.(check bool) "btlbw bounded by capacity x2" true
-        (s.F.t_btlbw.(1) <= 2.0 *. capacity_bps /. 8.0))
+        (s.F.t_btlbw.(1) <= 2.0 *. Sim_engine.Units.bytes_per_sec capacity_bps))
     r.F.trace
 
 (* --- Stats edge: percentile of singleton --- *)

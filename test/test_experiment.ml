@@ -3,9 +3,9 @@ module Units = Sim_engine.Units
 
 let quick_config ?(flows = [ E.flow_config "cubic"; E.flow_config "bbr" ]) () =
   let rate_bps = Units.mbps 20.0 in
-  E.config ~warmup:2.0 ~rate_bps
-    ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt:0.04 ~bdp:3.0)
-    ~duration:8.0 flows
+  E.config ~warmup:(Units.seconds 2.0) ~rate_bps
+    ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt:(Units.ms 40.0) ~bdp:3.0)
+    ~duration:(Units.seconds 8.0) flows
 
 let test_utilization_high () =
   let r = E.run (quick_config ()) in
@@ -49,16 +49,18 @@ let test_queuing_delay_bounded () =
     (r.E.queuing_delay >= 0.0 && r.E.queuing_delay <= 0.125)
 
 let test_warmup_validation () =
-  let config = { (quick_config ()) with warmup = 9.0 } in
+  let config = { (quick_config ()) with warmup = Units.seconds 9.0 } in
   match E.run config with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "warmup >= duration should raise"
 
 let test_buffer_bytes_of_bdp () =
   Alcotest.(check int) "3 bdp at 20 Mbps x 40 ms" 300_000
-    (E.buffer_bytes_of_bdp ~rate_bps:20e6 ~rtt:0.04 ~bdp:3.0);
+    (E.buffer_bytes_of_bdp ~rate_bps:(Units.mbps 20.0) ~rtt:(Units.ms 40.0)
+       ~bdp:3.0);
   Alcotest.(check int) "floor one mss" Units.mss
-    (E.buffer_bytes_of_bdp ~rate_bps:1e6 ~rtt:0.001 ~bdp:0.001)
+    (E.buffer_bytes_of_bdp ~rate_bps:(Units.mbps 1.0) ~rtt:(Units.ms 1.0)
+       ~bdp:0.001)
 
 let test_flow_result_metadata () =
   let r = E.run (quick_config ()) in
@@ -69,7 +71,10 @@ let test_flow_result_metadata () =
 
 let test_multi_rtt_flows () =
   let flows =
-    [ E.flow_config ~base_rtt:0.01 "cubic"; E.flow_config ~base_rtt:0.05 "cubic" ]
+    [
+      E.flow_config ~base_rtt:(Units.ms 10.0) "cubic";
+      E.flow_config ~base_rtt:(Units.ms 50.0) "cubic";
+    ]
   in
   let r = E.run (quick_config ~flows ()) in
   let short = List.nth r.E.per_flow 0 and long = List.nth r.E.per_flow 1 in

@@ -122,16 +122,17 @@ let test_observed_equilibria_all_cubic () =
   Alcotest.(check bool) "contains all-cubic" true (List.mem 0 ne)
 
 let test_fluid_payoff () =
-  let rtt = 0.04 in
+  let rtt = Sim_engine.Units.ms 40.0 in
   let capacity_bps = Sim_engine.Units.mbps 50.0 in
   let base =
     {
       Fluidsim.Fluid_sim.default_config with
       capacity_bps;
       buffer_bytes =
-        5.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
-      duration = 20.0;
-      warmup = 5.0;
+        Sim_engine.Units.scale 5.0
+          (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt);
+      duration = Sim_engine.Units.seconds 20.0;
+      warmup = Sim_engine.Units.seconds 5.0;
     }
   in
   let payoff =
@@ -140,7 +141,7 @@ let test_fluid_payoff () =
   let u_cubic, u_bbr = payoff 2 in
   Alcotest.(check bool) "both positive" true (u_cubic > 0.0 && u_bbr > 0.0);
   Alcotest.(check bool) "bounded by capacity" true
-    (u_cubic < capacity_bps && u_bbr < capacity_bps)
+    (u_cubic < (capacity_bps :> float) && u_bbr < (capacity_bps :> float))
 
 (* --- Model-only figure drivers (fast) --- *)
 
@@ -173,7 +174,8 @@ let test_runs_config () =
       ~flows:[ Tcpflow.Experiment.flow_config "cubic" ]
       ~seed:7 ()
   in
-  Alcotest.(check (float 1.0)) "rate" 100e6 config.Tcpflow.Experiment.rate_bps;
+  Alcotest.(check (float 1.0)) "rate" 100e6
+    (config.Tcpflow.Experiment.rate_bps :> float);
   Alcotest.(check int) "buffer 5 bdp" 2_500_000
     config.Tcpflow.Experiment.buffer_bytes;
   Alcotest.(check int) "seed" 7 config.Tcpflow.Experiment.seed

@@ -82,14 +82,15 @@ let test_red_defaults_shape () =
 let test_red_experiment_runs () =
   let rate_bps = Units.mbps 20.0 in
   let config =
-    Tcpflow.Experiment.config ~aqm:Tcpflow.Experiment.Red_default ~warmup:3.0
-      ~rate_bps
+    Tcpflow.Experiment.config ~aqm:Tcpflow.Experiment.Red_default
+      ~warmup:(Units.seconds 3.0) ~rate_bps
       ~buffer_bytes:
-        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0)
-      ~duration:10.0
+        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:(Units.ms 20.0)
+           ~bdp:5.0)
+      ~duration:(Units.seconds 10.0)
       [
-        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
-        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "bbr";
+        Tcpflow.Experiment.flow_config ~base_rtt:(Units.ms 20.0) "cubic";
+        Tcpflow.Experiment.flow_config ~base_rtt:(Units.ms 20.0) "bbr";
       ]
   in
   let red = Tcpflow.Experiment.run config in
@@ -107,7 +108,7 @@ let short_flow_setup ~data_limit_bytes =
   let rate_bps = Units.mbps 10.0 in
   let net =
     Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:100_000
-      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = 0.02 } ]
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = Units.ms 20.0 } ]
       ()
   in
   let cc =
@@ -140,7 +141,7 @@ let test_bulk_flow_never_completes () =
   let net =
     Netsim.Dumbbell.create ~sim ~rate_bps:(Units.mbps 10.0)
       ~buffer_bytes:100_000
-      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = 0.02 } ]
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = Units.ms 20.0 } ]
       ()
   in
   let cc =
@@ -163,7 +164,7 @@ let test_short_flow_with_losses () =
   let rate_bps = Units.mbps 10.0 in
   let net =
     Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:(3 * Units.mss)
-      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = 0.02 } ]
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = Units.ms 20.0 } ]
       ()
   in
   let cc =

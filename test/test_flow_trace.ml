@@ -6,7 +6,7 @@ let setup () =
   let rate_bps = Units.mbps 10.0 in
   let net =
     Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:100_000
-      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = 0.02 } ]
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = Units.ms 20.0 } ]
       ()
   in
   let cc =

@@ -4,16 +4,20 @@ let config ?(n_cubic = 1) ?(n_bbr = 1) ?(kind = F.Bbr) ?(bdp = 5.0)
     ?(mbps = 50.0) ?(rtt = 0.04) ?(duration = 30.0) ?(sync = F.Synchronized)
     () =
   let capacity_bps = Sim_engine.Units.mbps mbps in
+  let rtt = Sim_engine.Units.seconds rtt in
+  let duration = Sim_engine.Units.seconds duration in
   {
     F.default_config with
     capacity_bps;
-    buffer_bytes = bdp *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt;
+    buffer_bytes =
+      Sim_engine.Units.scale bdp
+        (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt);
     flows =
       List.init n_cubic (fun _ -> { F.kind = F.Cubic; rtt })
       @ List.init n_bbr (fun _ -> { F.kind; rtt });
     sync;
     duration;
-    warmup = duration /. 3.0;
+    warmup = Sim_engine.Units.scale (1.0 /. 3.0) duration;
   }
 
 let test_all_cubic_fills_link () =
@@ -41,11 +45,11 @@ let test_queue_bounded_by_buffer () =
   let cfg = config ~n_cubic:2 ~n_bbr:2 ~bdp:3.0 () in
   let r = F.run cfg in
   Alcotest.(check bool) "mean queue <= buffer" true
-    (r.F.mean_queue_bytes <= cfg.F.buffer_bytes +. 1.0);
+    (r.F.mean_queue_bytes <= (cfg.F.buffer_bytes :> float) +. 1.0);
   Alcotest.(check bool) "delay consistent" true
     (Float.abs
        (r.F.mean_queuing_delay
-       -. (r.F.mean_queue_bytes /. (cfg.F.capacity_bps /. 8.0)))
+       -. (r.F.mean_queue_bytes /. Sim_engine.Units.bytes_per_sec cfg.F.capacity_bps))
     < 1e-9)
 
 let test_kind_helpers () =
@@ -81,7 +85,12 @@ let test_bbr_share_declines_with_buffer () =
 let test_trace_collection () =
   let r =
     F.run
-      { (config ()) with F.trace_period = 0.5; duration = 10.0; warmup = 3.0 }
+      {
+        (config ()) with
+        F.trace_period = Sim_engine.Units.seconds 0.5;
+        duration = Sim_engine.Units.seconds 10.0;
+        warmup = Sim_engine.Units.seconds 3.0;
+      }
   in
   Alcotest.(check bool) "trace samples" true (List.length r.F.trace >= 15);
   List.iter
@@ -114,13 +123,13 @@ let test_bbr2_gentler_than_bbr () =
     (mean F.Bbr2 <= 1.2 *. mean F.Bbr)
 
 let test_validation () =
-  (match F.run { (config ()) with F.dt = 0.0 } with
+  (match F.run { (config ()) with F.dt = Sim_engine.Units.seconds 0.0 } with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "dt 0 should raise");
   (match F.run { (config ()) with F.flows = [] } with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "no flows should raise");
-  match F.run { (config ()) with F.warmup = 100.0 } with
+  match F.run { (config ()) with F.warmup = Sim_engine.Units.seconds 100.0 } with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "warmup >= duration should raise"
 
@@ -132,10 +141,16 @@ let test_multi_rtt_short_flow_advantage_cubic () =
       F.default_config with
       capacity_bps;
       buffer_bytes =
-        5.0 *. Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt:0.01;
-      flows = [ { F.kind = F.Cubic; rtt = 0.01 }; { F.kind = F.Cubic; rtt = 0.05 } ];
-      duration = 40.0;
-      warmup = 10.0;
+        Sim_engine.Units.scale 5.0
+          (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps
+             ~rtt:(Sim_engine.Units.ms 10.0));
+      flows =
+        [
+          { F.kind = F.Cubic; rtt = Sim_engine.Units.ms 10.0 };
+          { F.kind = F.Cubic; rtt = Sim_engine.Units.ms 50.0 };
+        ];
+      duration = Sim_engine.Units.seconds 40.0;
+      warmup = Sim_engine.Units.seconds 10.0;
     }
   in
   let r = F.run cfg in

@@ -26,11 +26,11 @@ let scenario_arb =
 
 let run_scenario (ccas, buffer_bdp, mbps, rtt_ms, seed) =
   let rate_bps = Units.mbps mbps in
-  let rtt = rtt_ms /. 1e3 in
+  let rtt = Units.ms rtt_ms in
   E.run
-    (E.config ~warmup:2.0 ~seed ~rate_bps
+    (E.config ~warmup:(Units.seconds 2.0) ~seed ~rate_bps
        ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
-       ~duration:6.0
+       ~duration:(Units.seconds 6.0)
        (List.map (fun cca -> E.flow_config ~base_rtt:rtt cca) ccas))
 
 let prop_throughput_conservation =
@@ -40,7 +40,7 @@ let prop_throughput_conservation =
       let total =
         List.fold_left (fun acc f -> acc +. f.E.throughput_bps) 0.0 r.E.per_flow
       in
-      total <= Units.mbps mbps *. 1.02)
+      total <= (Units.mbps mbps :> float) *. 1.02)
 
 let prop_min_rtt_at_least_base =
   QCheck.Test.make ~name:"measured min RTT >= base RTT" ~count:25 scenario_arb

@@ -1,0 +1,69 @@
+(* The linter's own tests: each fixture under [lint_fixtures/] must trigger
+   exactly its rule at the expected lines, the clean and fully-suppressed
+   fixtures must stay silent, and unparsable input must surface as a PARSE
+   finding rather than a pass. *)
+
+module Lint = Simlint_core.Lint
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rule_lines violations =
+  List.map (fun v -> (v.Lint.rule, v.Lint.line)) violations
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let findings name =
+  let path = fixture name in
+  rule_lines (Lint.lint_source ~path (read path))
+
+let check_fixture name expected () =
+  Alcotest.(check (list (pair string int))) name expected (findings name)
+
+let test_parse_failure () =
+  match Lint.lint_source ~path:"broken.ml" "let = (" with
+  | [ { Lint.rule = "PARSE"; file = "broken.ml"; _ } ] -> ()
+  | vs ->
+    Alcotest.failf "expected a single PARSE finding, got %d: %s"
+      (List.length vs)
+      (String.concat "; " (List.map (fun v -> v.Lint.rule) vs))
+
+let test_lint_file_agrees () =
+  (* The on-disk entry point must report exactly what lint_source does. *)
+  let path = fixture "r2_marshal.ml" in
+  Alcotest.(check (list (pair string int)))
+    "lint_file = lint_source"
+    (rule_lines (Lint.lint_source ~path (read path)))
+    (rule_lines (Lint.lint_file path))
+
+let test_violations_sorted () =
+  let vs = Lint.lint_source ~path:(fixture "r4_float_eq.ml") (read (fixture "r4_float_eq.ml")) in
+  let lines = List.map (fun v -> v.Lint.line) vs in
+  Alcotest.(check (list int)) "ascending lines" (List.sort compare lines) lines
+
+let tests =
+  [
+    Alcotest.test_case "clean fixture is silent" `Quick
+      (check_fixture "ok_clean.ml" []);
+    Alcotest.test_case "R1 determinism" `Quick
+      (check_fixture "r1_determinism.ml"
+         [ ("R1", 3); ("R1", 5); ("R1", 7) ]);
+    Alcotest.test_case "R2 marshal" `Quick
+      (check_fixture "r2_marshal.ml" [ ("R2", 3) ]);
+    Alcotest.test_case "R3 obj.magic" `Quick
+      (check_fixture "r3_obj_magic.ml" [ ("R3", 3) ]);
+    Alcotest.test_case "R4 float equality" `Quick
+      (check_fixture "r4_float_eq.ml" [ ("R4", 3); ("R4", 5); ("R4", 7) ]);
+    Alcotest.test_case "R5 raw experiment record" `Quick
+      (check_fixture "r5_record.ml" [ ("R5", 6); ("R5", 8) ]);
+    Alcotest.test_case "suppression comments" `Quick
+      (check_fixture "suppressed.ml" []);
+    Alcotest.test_case "parse failure reported" `Quick test_parse_failure;
+    Alcotest.test_case "lint_file agrees with lint_source" `Quick
+      test_lint_file_agrees;
+    Alcotest.test_case "violations sorted by location" `Quick
+      test_violations_sorted;
+  ]

@@ -28,4 +28,5 @@ let () =
       ("cca.vegas", Test_vegas.tests);
       ("invariants", Test_invariants.tests);
       ("details", Test_details.tests);
+      ("lint", Test_lint.tests);
     ]

@@ -14,7 +14,10 @@ let test_params_units () =
   Alcotest.(check (float 1e-6)) "capacity mbps" 50.0 (Params.capacity_mbps p)
 
 let test_params_validation () =
-  match Params.make ~capacity_bps:0.0 ~buffer_bytes:1.0 ~rtt:0.1 with
+  match Params.make
+          ~capacity_bps:(Sim_engine.Units.bps 0.0)
+          ~buffer_bytes:(Sim_engine.Units.bytes 1.0)
+          ~rtt:(Sim_engine.Units.seconds 0.1) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero capacity should raise"
 
@@ -59,13 +62,13 @@ let prop_bisect_finds_root =
 let test_ware_shallow_high () =
   (* At 1 BDP, Ware predicts BBR takes nearly everything. *)
   let frac =
-    Ware.bbr_fraction ~params:(params ~bdp:1.0 ()) ~n_bbr:1 ~duration:120.0
+    Ware.bbr_fraction ~params:(params ~bdp:1.0 ()) ~n_bbr:1 ~duration:(Sim_engine.Units.seconds 120.0)
   in
   Alcotest.(check bool) (Printf.sprintf "high (%f)" frac) true (frac > 0.8)
 
 let test_ware_decreasing_in_buffer () =
   let frac bdp =
-    Ware.bbr_fraction ~params:(params ~bdp ()) ~n_bbr:1 ~duration:120.0
+    Ware.bbr_fraction ~params:(params ~bdp ()) ~n_bbr:1 ~duration:(Sim_engine.Units.seconds 120.0)
   in
   Alcotest.(check bool) "decreasing" true
     (frac 2.0 > frac 10.0 && frac 10.0 > frac 40.0)
@@ -75,16 +78,16 @@ let test_ware_floor_half () =
      the low shares actually measured in deep buffers (~0.5 minus the
      ProbeRTT duty cycle). *)
   let frac =
-    Ware.bbr_fraction ~params:(params ~bdp:50.0 ()) ~n_bbr:1 ~duration:120.0
+    Ware.bbr_fraction ~params:(params ~bdp:50.0 ()) ~n_bbr:1 ~duration:(Sim_engine.Units.seconds 120.0)
   in
   Alcotest.(check bool) (Printf.sprintf "about half (%f)" frac) true
     (frac > 0.35)
 
 let test_ware_validation () =
-  (match Ware.bbr_fraction ~params:(params ()) ~n_bbr:0 ~duration:120.0 with
+  (match Ware.bbr_fraction ~params:(params ()) ~n_bbr:0 ~duration:(Sim_engine.Units.seconds 120.0) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "n_bbr 0 should raise");
-  match Ware.bbr_fraction ~params:(params ()) ~n_bbr:1 ~duration:0.0 with
+  match Ware.bbr_fraction ~params:(params ()) ~n_bbr:1 ~duration:(Sim_engine.Units.seconds 0.0) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "duration 0 should raise"
 
@@ -145,7 +148,7 @@ let test_two_flow_known_value () =
      (validated against the packet-level simulator within ~16%). *)
   let s = Two_flow.solve (params ()) in
   Alcotest.(check (float 0.5)) "anchor" 17.09
-    (Sim_engine.Units.bps_to_mbps s.bbr_bandwidth_bps)
+    (Sim_engine.Units.bps_to_mbps (Sim_engine.Units.bps s.bbr_bandwidth_bps))
 
 let prop_two_flow_share_in_unit =
   QCheck.Test.make ~name:"bbr share in [0,1]" ~count:200

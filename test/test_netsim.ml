@@ -86,7 +86,7 @@ let test_link_serialization () =
   let q = Droptail_queue.create ~capacity_bytes:1_000_000 () in
   let delivered = ref [] in
   let link =
-    Link.create ~sim ~rate_bps:12e6 ~queue:q ~deliver:(fun p ->
+    Link.create ~sim ~rate_bps:(Sim_engine.Units.bps 12e6) ~queue:q ~deliver:(fun p ->
         delivered := (Sim.now sim, p.Packet.seq) :: !delivered)
   in
   for seq = 0 to 2 do
@@ -105,7 +105,7 @@ let test_link_serialization () =
 let test_link_counters () =
   let sim = Sim.create () in
   let q = Droptail_queue.create ~capacity_bytes:1_000_000 () in
-  let link = Link.create ~sim ~rate_bps:12e6 ~queue:q ~deliver:ignore in
+  let link = Link.create ~sim ~rate_bps:(Sim_engine.Units.bps 12e6) ~queue:q ~deliver:ignore in
   for seq = 0 to 4 do
     ignore (Droptail_queue.enqueue q (mk_packet ~seq ()))
   done;
@@ -113,14 +113,14 @@ let test_link_counters () =
   Sim.run sim;
   Alcotest.(check int) "packets" 5 (Link.delivered_packets link);
   Alcotest.(check int) "bytes" 7500 (Link.delivered_bytes link);
-  Alcotest.(check (float 1e-9)) "busy seconds" 0.005 (Link.busy_seconds link);
+  Alcotest.(check (float 1e-9)) "busy seconds" 0.005 ((Link.busy_seconds link :> float));
   Alcotest.(check bool) "idle at end" false (Link.busy link)
 
 let test_link_kick_idempotent () =
   let sim = Sim.create () in
   let q = Droptail_queue.create ~capacity_bytes:1_000_000 () in
   let count = ref 0 in
-  let link = Link.create ~sim ~rate_bps:12e6 ~queue:q ~deliver:(fun _ -> incr count) in
+  let link = Link.create ~sim ~rate_bps:(Sim_engine.Units.bps 12e6) ~queue:q ~deliver:(fun _ -> incr count) in
   ignore (Droptail_queue.enqueue q (mk_packet ()));
   Link.kick link;
   Link.kick link;
@@ -165,8 +165,8 @@ let test_pipe_per_flow_delay () =
 let test_dumbbell_end_to_end () =
   let sim = Sim.create () in
   let net =
-    Dumbbell.create ~sim ~rate_bps:12e6 ~buffer_bytes:1_000_000
-      ~flows:[ { Dumbbell.flow = 0; base_rtt = 0.04 } ] ()
+    Dumbbell.create ~sim ~rate_bps:(Sim_engine.Units.bps 12e6) ~buffer_bytes:1_000_000
+      ~flows:[ { Dumbbell.flow = 0; base_rtt = Sim_engine.Units.ms 40.0 } ] ()
   in
   let arrival = ref nan in
   Dumbbell.set_receiver net ~flow:0 (fun _ -> arrival := Sim.now sim);
@@ -175,13 +175,13 @@ let test_dumbbell_end_to_end () =
   (* serialization 1 ms + one-way 20 ms *)
   Alcotest.(check (float 1e-9)) "arrival time" 0.021 !arrival;
   Alcotest.(check (float 1e-9)) "reverse delay" 0.02
-    (Dumbbell.reverse_delay net ~flow:0)
+    ((Dumbbell.reverse_delay net ~flow:0 :> float))
 
 let test_dumbbell_orphan () =
   let sim = Sim.create () in
   let net =
-    Dumbbell.create ~sim ~rate_bps:12e6 ~buffer_bytes:1_000_000
-      ~flows:[ { Dumbbell.flow = 0; base_rtt = 0.04 } ] ()
+    Dumbbell.create ~sim ~rate_bps:(Sim_engine.Units.bps 12e6) ~buffer_bytes:1_000_000
+      ~flows:[ { Dumbbell.flow = 0; base_rtt = Sim_engine.Units.ms 40.0 } ] ()
   in
   ignore (Dumbbell.send net (mk_packet ~flow:7 ()));
   Sim.run sim;
@@ -190,16 +190,16 @@ let test_dumbbell_orphan () =
 let test_dumbbell_rtt_lookup () =
   let sim = Sim.create () in
   let net =
-    Dumbbell.create ~sim ~rate_bps:12e6 ~buffer_bytes:1_000_000
+    Dumbbell.create ~sim ~rate_bps:(Sim_engine.Units.bps 12e6) ~buffer_bytes:1_000_000
       ~flows:
         [
-          { Dumbbell.flow = 0; base_rtt = 0.04 };
-          { Dumbbell.flow = 1; base_rtt = 0.08 };
+          { Dumbbell.flow = 0; base_rtt = Sim_engine.Units.ms 40.0 };
+          { Dumbbell.flow = 1; base_rtt = Sim_engine.Units.ms 80.0 };
         ]
       ()
   in
-  Alcotest.(check (float 0.0)) "flow 0" 0.04 (Dumbbell.base_rtt_of net 0);
-  Alcotest.(check (float 0.0)) "flow 1" 0.08 (Dumbbell.base_rtt_of net 1);
+  Alcotest.(check (float 0.0)) "flow 0" 0.04 ((Dumbbell.base_rtt_of net 0 :> float));
+  Alcotest.(check (float 0.0)) "flow 1" 0.08 ((Dumbbell.base_rtt_of net 1 :> float));
   match Dumbbell.base_rtt_of net 9 with
   | exception Not_found -> ()
   | _ -> Alcotest.fail "expected Not_found"

@@ -6,8 +6,11 @@ module Units = Sim_engine.Units
 let setup ~rate_mbps ~rtt ~buffer_bdp ~ccas =
   let sim = Sim.create ~seed:11 () in
   let rate_bps = Units.mbps rate_mbps in
+  let rtt = Units.seconds rtt in
   let buffer_bytes =
-    max Units.mss (int_of_float (buffer_bdp *. Units.bdp_bytes ~rate_bps ~rtt))
+    max Units.mss
+      (Units.bytes_to_int
+         (Units.scale buffer_bdp (Units.bdp_bytes ~rate_bps ~rtt)))
   in
   let specs =
     List.mapi (fun i _ -> { Netsim.Dumbbell.flow = i; base_rtt = rtt }) ccas
@@ -55,7 +58,11 @@ let test_min_rtt_matches_base () =
   Sim.run ~until:5.0 sim;
   let sender = List.hd senders in
   (* min RTT = base rtt + one serialization time (1.2 ms at 10 Mbps). *)
-  let expected = 0.02 +. Units.transmission_time ~rate_bps:10e6 ~bytes:Units.mss in
+  let expected =
+    0.02
+    +. (Units.transmission_time ~rate_bps:(Units.mbps 10.0) ~bytes:Units.mss
+         :> float)
+  in
   Alcotest.(check (float 2e-3)) "min rtt" expected
     (Tcpflow.Sender.min_rtt_observed sender)
 
@@ -143,10 +150,10 @@ let test_start_time_honored () =
   let rate_bps = Units.mbps 10.0 in
   let net =
     Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:100_000
-      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = 0.02 } ] ()
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = Units.ms 20.0 } ] ()
   in
   let cc = Cca.Registry.create "cubic" ~mss:Units.mss ~rng:(Sim_engine.Rng.create 1) in
-  let sender = Tcpflow.Sender.create ~net ~flow:0 ~cc ~start_time:2.0 () in
+  let sender = Tcpflow.Sender.create ~net ~flow:0 ~cc ~start_time:(Units.seconds 2.0) () in
   Sim.run ~until:1.9 sim;
   Alcotest.(check (float 0.0)) "nothing before start" 0.0
     (Tcpflow.Sender.delivered_bytes sender);

@@ -7,35 +7,52 @@ let check_close ?eps msg expected actual =
     Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
 
 let test_mbps () =
-  check_close "50 Mbps" 50e6 (Units.mbps 50.0);
+  check_close "50 Mbps" 50e6 (Units.mbps 50.0 :> float);
   check_close "roundtrip" 42.5 (Units.bps_to_mbps (Units.mbps 42.5))
 
 let test_bytes_per_sec () =
   check_close "100 Mbps in bytes/s" 12.5e6
-    (Units.bytes_per_sec ~bits_per_sec:(Units.mbps 100.0));
+    (Units.bytes_per_sec (Units.mbps 100.0));
   check_close "roundtrip" 1e8
     (Units.bits_per_sec_of_bytes
-       ~bytes_per_sec:(Units.bytes_per_sec ~bits_per_sec:1e8))
+       ~bytes_per_sec:(Units.bytes_per_sec (Units.bps 1e8))
+      :> float)
 
 let test_ms () =
-  check_close "40 ms" 0.040 (Units.ms 40.0);
+  check_close "40 ms" 0.040 (Units.ms 40.0 :> float);
   check_close "roundtrip" 123.0 (Units.sec_to_ms (Units.ms 123.0))
 
 let test_bdp_bytes () =
   (* 100 Mbps x 40 ms = 4e6 bits = 500 KB *)
   check_close "bdp" 500_000.0
-    (Units.bdp_bytes ~rate_bps:(Units.mbps 100.0) ~rtt:0.040)
+    (Units.bdp_bytes ~rate_bps:(Units.mbps 100.0) ~rtt:(Units.ms 40.0)
+      :> float)
 
 let test_bdp_packets () =
   check_close "bdp pkts" (500_000.0 /. 1500.0)
-    (Units.bdp_packets ~rate_bps:(Units.mbps 100.0) ~rtt:0.040)
+    (Units.bdp_packets ~rate_bps:(Units.mbps 100.0) ~rtt:(Units.ms 40.0))
 
 let test_transmission_time () =
   (* 1500 B at 12 Mbps = 1 ms *)
   check_close "tx time" 0.001
-    (Units.transmission_time ~rate_bps:(Units.mbps 12.0) ~bytes:1500)
+    (Units.transmission_time ~rate_bps:(Units.mbps 12.0) ~bytes:1500 :> float)
 
 let test_mss_positive () = Alcotest.(check bool) "mss" true (Units.mss > 0)
+
+let test_arithmetic () =
+  check_close "scale" 0.08 (Units.scale 2.0 (Units.ms 40.0) :> float);
+  check_close "add" 0.06 (Units.add (Units.ms 40.0) (Units.ms 20.0) :> float);
+  check_close "sub" 0.02 (Units.sub (Units.ms 40.0) (Units.ms 20.0) :> float);
+  check_close "ratio" 2.0 (Units.ratio (Units.ms 40.0) (Units.ms 20.0));
+  Alcotest.(check int) "bytes_to_int" 1500
+    (Units.bytes_to_int (Units.bytes 1500.9))
+
+let test_raw_roundtrip () =
+  (* Raw is the one sanctioned way to conjure a quantity from a bare float;
+     it must be the identity on the underlying representation. *)
+  let q : Units.seconds = Units.Raw.of_float 0.25 in
+  check_close "of_float/to_float" 0.25 (Units.Raw.to_float q);
+  check_close "coercion agrees" (q :> float) (Units.Raw.to_float q)
 
 let prop_bdp_linear_in_rtt =
   QCheck.Test.make ~name:"bdp linear in rtt" ~count:200
@@ -43,18 +60,19 @@ let prop_bdp_linear_in_rtt =
     (fun (mbps, rtt) ->
       let rate_bps = Units.mbps mbps in
       close
-        (2.0 *. Units.bdp_bytes ~rate_bps ~rtt)
-        (Units.bdp_bytes ~rate_bps ~rtt:(2.0 *. rtt)))
+        (2.0
+        *. (Units.bdp_bytes ~rate_bps ~rtt:(Units.seconds rtt) :> float))
+        (Units.bdp_bytes ~rate_bps ~rtt:(Units.seconds (2.0 *. rtt)) :> float))
 
 let prop_tx_time_additive =
   QCheck.Test.make ~name:"tx time additive in bytes" ~count:200
     QCheck.(pair (int_range 1 100000) (int_range 1 100000))
     (fun (a, b) ->
-      let rate_bps = 1e7 in
+      let rate_bps = Units.bps 1e7 in
       close
-        (Units.transmission_time ~rate_bps ~bytes:(a + b))
-        (Units.transmission_time ~rate_bps ~bytes:a
-        +. Units.transmission_time ~rate_bps ~bytes:b))
+        (Units.transmission_time ~rate_bps ~bytes:(a + b) :> float)
+        ((Units.transmission_time ~rate_bps ~bytes:a :> float)
+        +. (Units.transmission_time ~rate_bps ~bytes:b :> float)))
 
 let tests =
   [
@@ -65,6 +83,8 @@ let tests =
     Alcotest.test_case "bdp in packets" `Quick test_bdp_packets;
     Alcotest.test_case "transmission time" `Quick test_transmission_time;
     Alcotest.test_case "mss positive" `Quick test_mss_positive;
+    Alcotest.test_case "dimension arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "raw escape hatch" `Quick test_raw_roundtrip;
     QCheck_alcotest.to_alcotest prop_bdp_linear_in_rtt;
     QCheck_alcotest.to_alcotest prop_tx_time_additive;
   ]

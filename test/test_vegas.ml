@@ -62,13 +62,18 @@ let test_loses_to_cubic () =
      a buffer-filler starves Vegas. *)
   let rate_bps = Sim_engine.Units.mbps 20.0 in
   let config =
-    Tcpflow.Experiment.config ~warmup:5.0 ~rate_bps
+    Tcpflow.Experiment.config
+      ~warmup:(Sim_engine.Units.seconds 5.0)
+      ~rate_bps
       ~buffer_bytes:
-        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps ~rtt:0.02 ~bdp:5.0)
-      ~duration:15.0
+        (Tcpflow.Experiment.buffer_bytes_of_bdp ~rate_bps
+           ~rtt:(Sim_engine.Units.ms 20.0) ~bdp:5.0)
+      ~duration:(Sim_engine.Units.seconds 15.0)
       [
-        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "cubic";
-        Tcpflow.Experiment.flow_config ~base_rtt:0.02 "vegas";
+        Tcpflow.Experiment.flow_config ~base_rtt:(Sim_engine.Units.ms 20.0)
+          "cubic";
+        Tcpflow.Experiment.flow_config ~base_rtt:(Sim_engine.Units.ms 20.0)
+          "vegas";
       ]
   in
   let r = Tcpflow.Experiment.run config in

@@ -1,0 +1,31 @@
+(* CLI driver: [simlint DIR...] lints every .ml under the given roots
+   (default: lib bin bench test) and exits non-zero on any violation. *)
+
+module Lint = Simlint_core.Lint
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> default_roots
+    | roots -> roots
+  in
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "simlint: no such file or directory: %s\n" root;
+        exit 2
+      end)
+    roots;
+  let n_files, violations = Lint.lint_paths roots in
+  List.iter (fun v -> Format.printf "%a@." Lint.pp v) violations;
+  match violations with
+  | [] ->
+    Format.printf "simlint: OK (%d files, 0 violations)@." n_files;
+    exit 0
+  | vs ->
+    Format.printf "simlint: %d violation%s in %d files@." (List.length vs)
+      (if List.length vs = 1 then "" else "s")
+      n_files;
+    exit 1
