@@ -16,15 +16,21 @@ lint:
 	dune exec tool/simlint/simlint.exe -- lib bin bench test
 
 # CI entrypoint: build, run the full test suite and the lint pass, then
-# smoke-test the parallel executor and result cache end to end — a second
-# cached run of fig03 must re-simulate nothing.
+# smoke-test the parallel executor, result cache and event tracing end to
+# end — a second cached run of fig03 must re-simulate nothing, and a traced
+# run must leave one .jsonl per simulated config.
 CHECK_CACHE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-cache
+CHECK_TRACE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-trace
 check: build test lint
-	rm -rf "$(CHECK_CACHE)"
+	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)" \
 	  | tee /dev/stderr | grep -q "; 0 simulated"
-	rm -rf "$(CHECK_CACHE)"
+	dune exec bin/repro.exe -- run fig03 --jobs 2 --trace "$(CHECK_TRACE)" \
+	  | tee /dev/stderr | grep -q "fig03 trace: traces="
+	ls "$(CHECK_TRACE)"/*.jsonl > /dev/null
+	ls "$(CHECK_TRACE)"/*.metrics > /dev/null
+	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)"
 	@echo "check: OK"
 
 bench:

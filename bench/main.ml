@@ -157,7 +157,7 @@ let substrate_tests =
                   ~time:(float_of_int ((i * 7919) mod 1000))
                   ignore)
            done;
-           while Sim_engine.Event_queue.pop q <> None do
+           while Option.is_some (Sim_engine.Event_queue.pop q) do
              ()
            done));
     Test.make ~name:"engine/rng-splitmix"
@@ -184,7 +184,7 @@ let substrate_tests =
                      ~retransmit:false ~sent_time:0.0 ~delivered:0.0
                      ~delivered_time:0.0 ~app_limited:false))
            done;
-           while Netsim.Droptail_queue.dequeue q <> None do
+           while Option.is_some (Netsim.Droptail_queue.dequeue q) do
              ()
            done));
     Test.make ~name:"tcpflow/short-sim-cubic-v-bbr"

@@ -3,19 +3,81 @@
    Usage:
      repro list
      repro run fig03 [--full] [--jobs 4] [--cache DIR] [--out results/]
+                     [--trace DIR]
      repro all [--full] [--jobs 4] [--cache DIR] [--out results/]
 *)
 
-let ctx_of ~full ~jobs ~cache_dir =
-  Experiments.Common.ctx ~jobs ?cache_dir
+let ctx_of ~full ~jobs ~cache_dir ~trace_dir =
+  Experiments.Common.ctx ~jobs ?cache_dir ?trace_dir
     (if full then Experiments.Common.Full else Experiments.Common.Quick)
+
+(* Aggregate the .metrics sidecars a traced entry produced into one
+   summary line: sum the integer counters, recompute the rates from the
+   sums, and average the queue-delay quantiles across configs. *)
+let trace_summary ~dir new_metrics =
+  let parse path =
+    let ic = open_in (Filename.concat dir path) in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    List.filter_map
+      (fun kv ->
+        match String.index_opt kv '=' with
+        | Some i ->
+          Some
+            ( String.sub kv 0 i,
+              String.sub kv (i + 1) (String.length kv - i - 1) )
+        | None -> None)
+      (String.split_on_char ' ' line)
+  in
+  let parsed = List.map parse new_metrics in
+  let sum key =
+    List.fold_left
+      (fun acc kvs ->
+        match List.assoc_opt key kvs with
+        | Some v -> acc + int_of_string v
+        | None -> acc)
+      0 parsed
+  in
+  let avg key =
+    let vs =
+      List.filter_map
+        (fun kvs ->
+          match List.assoc_opt key kvs with
+          | Some v ->
+            let f = float_of_string v in
+            if Float.is_nan f then None else Some f
+          | None -> None)
+        parsed
+    in
+    Experiments.Common.mean vs
+  in
+  let sends = sum "sends" and retransmits = sum "retransmits" in
+  let drops = sum "drops" in
+  let rate n = if sends = 0 then nan else float_of_int n /. float_of_int sends in
+  Printf.sprintf
+    "traces=%d sends=%d retransmits=%d acks=%d seg_losts=%d drops=%d \
+     rto_fires=%d recovery_entries=%d retransmit_rate=%.6f drop_rate=%.6f \
+     p50_queue_delay=%.6f p90_queue_delay=%.6f p99_queue_delay=%.6f"
+    (List.length parsed) sends retransmits (sum "acks") (sum "seg_losts")
+    drops (sum "rto_fires") (sum "recovery_entries") (rate retransmits)
+    (rate drops)
+    (avg "p50_queue_delay")
+    (avg "p90_queue_delay")
+    (avg "p99_queue_delay")
 
 (* Per-entry work accounting comes from the process-wide Exec counters:
    snapshot around the run and report the delta, so a cached re-run
    visibly says "0 simulated". *)
-let run_entry ~out entry ctx =
+let run_entry ~out entry (ctx : Experiments.Common.ctx) =
   (* Wall-clock on purpose: reports how long the driver took, not model time. *)
   let t0 = Unix.gettimeofday () in (* simlint: allow R1 *)
+  let metrics_before =
+    match ctx.trace_dir with
+    | Some dir when Sys.file_exists dir ->
+      Array.to_list (Sys.readdir dir)
+      |> List.filter (fun f -> Filename.check_suffix f ".metrics")
+    | _ -> []
+  in
   let before = Sim_engine.Exec.counters () in
   let table = entry.Experiments.Catalog.run ctx in
   let after = Sim_engine.Exec.counters () in
@@ -25,6 +87,18 @@ let run_entry ~out entry ctx =
     let path = Experiments.Common.write_csv ~dir table in
     Format.printf "wrote %s@." path
   | None -> ());
+  (match ctx.trace_dir with
+  | Some dir when Sys.file_exists dir ->
+    let new_metrics =
+      Array.to_list (Sys.readdir dir)
+      |> List.filter (fun f ->
+             Filename.check_suffix f ".metrics"
+             && not (List.mem f metrics_before))
+      |> List.sort compare
+    in
+    if new_metrics <> [] then
+      Format.printf "%s trace: %s@." entry.id (trace_summary ~dir new_metrics)
+  | _ -> ());
   Format.printf "(%s took %.1f s; %d simulated, %d cache hits)@.@." entry.id
     (Unix.gettimeofday () -. t0 (* simlint: allow R1 *))
     (after.jobs_executed - before.jobs_executed)
@@ -66,6 +140,14 @@ let cache_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a structured event trace per simulated config into $(docv): \
+     $(b,<digest>.jsonl) (the event stream) and $(b,<digest>.metrics) (a \
+     one-line rollup). Traced runs bypass the result cache."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"DIR" ~doc)
+
 let list_cmd =
   let doc = "List the available experiments." in
   let run () =
@@ -81,16 +163,19 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run id full out jobs cache_dir =
+  let run id full out jobs cache_dir trace_dir =
     match Experiments.Catalog.find id with
     | None ->
       Format.eprintf "unknown experiment %S; try: %s@." id
         (String.concat ", " (Experiments.Catalog.ids ()));
       exit 1
-    | Some entry -> run_entry ~out entry (ctx_of ~full ~jobs ~cache_dir)
+    | Some entry ->
+      run_entry ~out entry (ctx_of ~full ~jobs ~cache_dir ~trace_dir)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id_arg $ full_arg $ out_arg $ jobs_arg $ cache_arg)
+    Term.(
+      const run $ id_arg $ full_arg $ out_arg $ jobs_arg $ cache_arg
+      $ trace_arg)
 
 let model_cmd =
   let doc =
@@ -133,12 +218,13 @@ let model_cmd =
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run full out jobs cache_dir =
-    let ctx = ctx_of ~full ~jobs ~cache_dir in
+  let run full out jobs cache_dir trace_dir =
+    let ctx = ctx_of ~full ~jobs ~cache_dir ~trace_dir in
     List.iter (fun entry -> run_entry ~out entry ctx) Experiments.Catalog.all
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ full_arg $ out_arg $ jobs_arg $ cache_arg)
+    Term.(
+      const run $ full_arg $ out_arg $ jobs_arg $ cache_arg $ trace_arg)
 
 let main_cmd =
   let doc =

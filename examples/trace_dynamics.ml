@@ -31,8 +31,8 @@ let () =
     Tcpflow.Sender.create ~net ~flow ~cc ()
   in
   let cubic = mk 0 "cubic" and bbr = mk 1 "bbr" in
-  let trace_cubic = Tcpflow.Flow_trace.attach ~sim ~sender:cubic ~period:0.05 in
-  let trace_bbr = Tcpflow.Flow_trace.attach ~sim ~sender:bbr ~period:0.05 in
+  let trace_cubic = Tcpflow.Flow_trace.attach ~sim ~sender:cubic ~period:0.05 () in
+  let trace_bbr = Tcpflow.Flow_trace.attach ~sim ~sender:bbr ~period:0.05 () in
   Sim.run ~until:60.0 sim;
 
   let write name trace =

@@ -98,4 +98,4 @@ let size t =
   done;
   t.length - !cancelled_in_heap
 
-let is_empty t = peek_time t = None
+let is_empty t = Option.is_none (peek_time t)

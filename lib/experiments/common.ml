@@ -1,10 +1,15 @@
 type mode = Quick | Full
 
-type ctx = { mode : mode; jobs : int; cache_dir : string option }
+type ctx = {
+  mode : mode;
+  jobs : int;
+  cache_dir : string option;
+  trace_dir : string option;
+}
 
-let ctx ?(jobs = 1) ?cache_dir mode =
+let ctx ?(jobs = 1) ?cache_dir ?trace_dir mode =
   if jobs < 1 then invalid_arg "Common.ctx: jobs must be >= 1";
-  { mode; jobs; cache_dir }
+  { mode; jobs; cache_dir; trace_dir }
 
 let quick = ctx Quick
 

@@ -13,12 +13,17 @@ type ctx = {
   cache_dir : string option;
       (** When set, completed runs are stored here (content-addressed by
           config digest) and replayed on re-runs instead of re-simulating. *)
+  trace_dir : string option;
+      (** When set, every simulated config writes a structured event trace
+          to [<trace_dir>/<digest>.jsonl] plus a [.metrics] rollup sidecar.
+          Traced runs bypass the result cache: a cache hit would skip the
+          simulation and produce no trace. *)
 }
 (** Everything a driver needs to execute its plan: the grid scale ([mode])
-    plus the execution policy ([jobs], [cache_dir]) threaded through to
-    {!Runs.eval}. *)
+    plus the execution policy ([jobs], [cache_dir], [trace_dir]) threaded
+    through to {!Runs.eval}. *)
 
-val ctx : ?jobs:int -> ?cache_dir:string -> mode -> ctx
+val ctx : ?jobs:int -> ?cache_dir:string -> ?trace_dir:string -> mode -> ctx
 (** [jobs] defaults to 1 (sequential); pass
     [Sim_engine.Exec.domain_count ()] to use every core. Raises
     [Invalid_argument] when [jobs < 1]. *)

@@ -19,13 +19,71 @@ let config ?duration ?warmup ?(aqm = E.Tail_drop) ~mode ~mbps ~rtt_ms
     ~duration:(Option.value duration ~default:(Common.duration mode))
     flows
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* Run one config with a trace hub feeding a JSONL file and a metrics
+   rollup, both named by the config digest. Each file is written wholly
+   inside the worker domain that simulates its config, and the writers are
+   byte-deterministic, so the trace directory's contents do not depend on
+   [jobs] or scheduling. *)
+let run_traced ~dir (key, config) =
+  let hub = Sim_engine.Trace.create () in
+  let metrics =
+    Sim_engine.Trace.Metrics.create ~rate_bps:(config.E.rate_bps :> float) ()
+  in
+  Sim_engine.Trace.subscribe hub (Sim_engine.Trace.Metrics.observe metrics);
+  let oc = open_out (Filename.concat dir (key ^ ".jsonl")) in
+  Sim_engine.Trace.subscribe hub (Sim_engine.Trace.jsonl_sink oc);
+  let result =
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        E.run ~trace:hub config)
+  in
+  let mc = open_out (Filename.concat dir (key ^ ".metrics")) in
+  output_string mc
+    (Sim_engine.Trace.Metrics.summary_line
+       (Sim_engine.Trace.Metrics.summary metrics));
+  output_char mc '\n';
+  close_out mc;
+  result
+
 (* The central choke point every simulation in the experiment suite goes
    through: consult the cache, farm the misses out to the ctx's worker
-   pool, persist what was computed, and return results in config order. *)
+   pool, persist what was computed, and return results in config order.
+   Tracing bypasses the cache — a cache hit skips the simulation and would
+   produce no trace — but still dedupes repeated configs, so one file pair
+   per distinct digest. *)
 let eval (ctx : Common.ctx) configs =
-  match ctx.cache_dir with
-  | None -> Sim_engine.Exec.map_list ~jobs:ctx.jobs E.run configs
+  match ctx.trace_dir with
   | Some dir ->
+    mkdir_p dir;
+    let keyed = List.map (fun c -> (E.digest c, c)) configs in
+    let seen = Hashtbl.create 16 in
+    let distinct =
+      List.filter
+        (fun (key, _) ->
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        keyed
+    in
+    let computed =
+      Sim_engine.Exec.map_list ~jobs:ctx.jobs (run_traced ~dir) distinct
+    in
+    let results : (string, E.result) Hashtbl.t = Hashtbl.create 16 in
+    List.iter2
+      (fun (key, _) result -> Hashtbl.replace results key result)
+      distinct computed;
+    List.map (fun (key, _) -> Hashtbl.find results key) keyed
+  | None -> (
+    match ctx.cache_dir with
+    | None -> Sim_engine.Exec.map_list ~jobs:ctx.jobs (fun c -> E.run c) configs
+    | Some dir ->
     let cache = Sim_engine.Exec.Cache.create dir in
     let keyed = List.map (fun c -> (E.digest c, c)) configs in
     let known : (string, E.result) Hashtbl.t = Hashtbl.create 16 in
@@ -54,7 +112,7 @@ let eval (ctx : Common.ctx) configs =
         Sim_engine.Exec.Cache.store cache ~key result;
         Hashtbl.replace known key result)
       to_run computed;
-    List.map (fun (key, _) -> Hashtbl.find known key) keyed
+    List.map (fun (key, _) -> Hashtbl.find known key) keyed)
 
 type mix_spec = {
   spec_duration : Sim_engine.Units.seconds option;

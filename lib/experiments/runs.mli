@@ -22,7 +22,15 @@ val eval :
     are returned without simulating and fresh results are persisted;
     duplicate configs within one batch are simulated once. Misses run on
     [ctx.jobs] worker domains; results are independent of [jobs] because
-    each run derives all randomness from its config's seed. *)
+    each run derives all randomness from its config's seed.
+
+    With [ctx.trace_dir] set, every distinct config is simulated with a
+    trace hub attached and writes [<trace_dir>/<digest>.jsonl] (the full
+    event stream) plus [<digest>.metrics] (a one-line
+    {!Sim_engine.Trace.Metrics.summary_line} rollup). Traced batches bypass
+    the result cache entirely — a hit would skip the simulation and leave
+    no trace — and the files are byte-identical across invocations and
+    [jobs] settings for a given config. *)
 
 type mix_spec
 (** One homogeneous-RTT CUBIC-vs-other mix — one grid point of a figure,

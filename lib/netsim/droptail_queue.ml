@@ -20,7 +20,7 @@ type t = {
   mutable drops : int;
   mutable early_drops : int;
   mutable dropped_bytes : int;
-  mutable drop_hook : Packet.t -> unit;
+  mutable drop_hook : early:bool -> Packet.t -> unit;
 }
 
 let red_defaults ~rng ~capacity_bytes =
@@ -55,7 +55,7 @@ let create ?(policy = Tail_drop) ~capacity_bytes () =
     drops = 0;
     early_drops = 0;
     dropped_bytes = 0;
-    drop_hook = ignore;
+    drop_hook = (fun ~early:_ _ -> ());
   }
 
 let capacity_bytes t = t.capacity_bytes
@@ -93,7 +93,7 @@ let record_drop t (p : Packet.t) ~early =
   t.drops <- t.drops + 1;
   if early then t.early_drops <- t.early_drops + 1;
   t.dropped_bytes <- t.dropped_bytes + p.size;
-  t.drop_hook p;
+  t.drop_hook ~early p;
   Dropped
 
 let enqueue t (p : Packet.t) =
@@ -137,3 +137,4 @@ let average_queue_bytes t =
 
 let dropped_bytes t = t.dropped_bytes
 let set_drop_hook t f = t.drop_hook <- f
+let drop_hook t = t.drop_hook

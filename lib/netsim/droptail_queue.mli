@@ -62,5 +62,10 @@ val average_queue_bytes : t -> float
 
 val dropped_bytes : t -> int
 
-val set_drop_hook : t -> (Packet.t -> unit) -> unit
-(** Invoked synchronously on every drop (after counters update). *)
+val set_drop_hook : t -> (early:bool -> Packet.t -> unit) -> unit
+(** Invoked synchronously on every drop (after counters update); [early] is
+    true for RED's probabilistic drops, false for tail drops. *)
+
+val drop_hook : t -> early:bool -> Packet.t -> unit
+(** The currently installed hook — lets instrumentation chain onto an
+    existing hook instead of silently replacing it. *)

@@ -7,11 +7,29 @@ type t = {
   link : Link.t;
   rtts : (int, float) Hashtbl.t;
   receivers : (int, Packet.t -> unit) Hashtbl.t;
+  trace : Sim_engine.Trace.t option;
   mutable orphaned : int;
 }
 
-let create ?policy ~sim ~rate_bps ~buffer_bytes ~flows () =
+let create ?policy ?trace ~sim ~rate_bps ~buffer_bytes ~flows () =
   let queue = Droptail_queue.create ?policy ~capacity_bytes:buffer_bytes () in
+  (* Drops surface on the telemetry stream through the queue's drop hook
+     (chained onto whatever hook a later [set_drop_hook] caller installs
+     would replace — instrumentation is installed first, at creation). *)
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    let inner = Droptail_queue.drop_hook queue in
+    Droptail_queue.set_drop_hook queue (fun ~early (p : Packet.t) ->
+        Sim_engine.Trace.emit tr ~time:(Sim_engine.Sim.now sim) ~flow:p.flow
+          (Sim_engine.Trace.Drop
+             {
+               seq = p.seq;
+               size = p.size;
+               early;
+               queue_bytes = Droptail_queue.occupancy_bytes queue;
+             });
+        inner ~early p));
   let rtts = Hashtbl.create 16 in
   List.iter
     (fun { flow; base_rtt } -> Hashtbl.replace rtts flow (base_rtt :> float))
@@ -34,7 +52,7 @@ let create ?policy ~sim ~rate_bps ~buffer_bytes ~flows () =
   let pipe = Pipe.create ~sim ~delay_of ~deliver:deliver_to_receiver in
   let link = Link.create ~sim ~rate_bps ~queue ~deliver:(Pipe.send pipe) in
   let t =
-    { sim; rate_bps; queue; link; rtts; receivers; orphaned = 0 }
+    { sim; rate_bps; queue; link; rtts; receivers; trace; orphaned = 0 }
   in
   t_ref := Some t;
   t
@@ -50,11 +68,24 @@ let base_rtt_of t flow =
   | None -> raise Not_found
 
 let set_receiver t ~flow receive = Hashtbl.replace t.receivers flow receive
+let receiver t ~flow = Hashtbl.find_opt t.receivers flow
 
 let send t p =
   let verdict = Droptail_queue.enqueue t.queue p in
   (match verdict with
-  | Droptail_queue.Enqueued -> Link.kick t.link
+  | Droptail_queue.Enqueued ->
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Sim_engine.Trace.emit tr
+        ~time:(Sim_engine.Sim.now t.sim)
+        ~flow:Sim_engine.Trace.link_scope
+        (Sim_engine.Trace.Queue_sample
+           {
+             queue_bytes = Droptail_queue.occupancy_bytes t.queue;
+             queue_packets = Droptail_queue.length t.queue;
+           }));
+    Link.kick t.link
   | Droptail_queue.Dropped -> ());
   verdict
 

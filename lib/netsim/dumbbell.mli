@@ -13,13 +13,17 @@ type flow_spec = { flow : int; base_rtt : Sim_engine.Units.seconds }
 
 val create :
   ?policy:Droptail_queue.policy ->
+  ?trace:Sim_engine.Trace.t ->
   sim:Sim_engine.Sim.t ->
   rate_bps:Sim_engine.Units.rate_bps ->
   buffer_bytes:int ->
   flows:flow_spec list ->
   unit ->
   t
-(** [policy] defaults to drop-tail (the paper's setting). *)
+(** [policy] defaults to drop-tail (the paper's setting). When [trace] is
+    given, every bottleneck drop emits a [Trace.Drop] event (through the
+    queue's drop hook, installed at creation) and every successful arrival
+    a link-scoped [Trace.Queue_sample] of the resulting occupancy. *)
 
 val sim : t -> Sim_engine.Sim.t
 val queue : t -> Droptail_queue.t
@@ -32,6 +36,10 @@ val base_rtt_of : t -> int -> Sim_engine.Units.seconds
 val set_receiver : t -> flow:int -> (Packet.t -> unit) -> unit
 (** Install the receive callback for a flow. Packets of flows without a
     receiver are counted in {!orphaned} and discarded. *)
+
+val receiver : t -> flow:int -> (Packet.t -> unit) option
+(** The currently installed receive callback (tests use this to detach a
+    flow's receiver — black-holing its ACKs — and restore it later). *)
 
 val send : t -> Packet.t -> Droptail_queue.verdict
 (** Inject a packet at the bottleneck; on [Enqueued], it will eventually be

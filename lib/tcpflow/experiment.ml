@@ -79,7 +79,7 @@ type result = {
 let distinct_ccas flows =
   List.sort_uniq compare (List.map (fun f -> f.cca) flows)
 
-let run config =
+let run ?trace config =
   if (config.warmup :> float) >= (config.duration :> float) then
     invalid_arg "Experiment.run: warmup must precede duration";
   let sim = Sim.create ~seed:config.seed () in
@@ -99,7 +99,7 @@ let run config =
         ~capacity_bytes:config.buffer_bytes
   in
   let net =
-    Netsim.Dumbbell.create ~policy ~sim ~rate_bps:config.rate_bps
+    Netsim.Dumbbell.create ~policy ?trace ~sim ~rate_bps:config.rate_bps
       ~buffer_bytes:config.buffer_bytes ~flows:specs ()
   in
   let cca_of_flow = Array.map (fun f -> f.cca) flows in
@@ -117,8 +117,21 @@ let run config =
       (fun i f ->
         let rng = Sim_engine.Rng.split (Sim.rng sim) in
         let cc = Cca.Registry.create f.cca ~mss:Units.mss ~rng in
-        Sender.create ~net ~flow:i ~cc ~start_time:f.start_time ())
+        Sender.create ~net ~flow:i ~cc ~start_time:f.start_time ?trace ())
       flows
+  in
+  (* When traced, every sender also gets a Flow_trace on the shared hub so
+     the event stream carries the same Cc_sample records the ad-hoc tracer
+     would have collected. Untraced runs skip this entirely. *)
+  let flow_tracers =
+    match trace with
+    | None -> [||]
+    | Some hub ->
+      Array.map
+        (fun sender ->
+          Flow_trace.attach ~trace:hub ~sim ~sender
+            ~period:(config.sample_period :> float) ())
+        senders
   in
   (* Snapshot delivered bytes at the start of the measurement window. *)
   let delivered_at_warmup = Array.make (Array.length senders) 0.0 in
@@ -189,6 +202,7 @@ let run config =
     }
   in
   Netsim.Sampler.stop sampler;
+  Array.iter Flow_trace.stop flow_tracers;
   result
 
 let throughput_of_cca result name =

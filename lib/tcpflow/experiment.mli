@@ -89,7 +89,11 @@ type result = {
   utilization : float;  (** Whole-run link utilization (approximate). *)
 }
 
-val run : config -> result
+val run : ?trace:Sim_engine.Trace.t -> config -> result
+(** When [trace] is given, the dumbbell, every sender, and a per-flow
+    {!Flow_trace} all emit into it, so a sink subscribed before [run] sees
+    the full event stream. [trace] deliberately does not participate in
+    {!digest}: tracing must not perturb cache keys or results. *)
 
 val throughput_of_cca : result -> string -> float list
 (** Per-flow goodputs (bits/s) of all flows running the named CCA. *)

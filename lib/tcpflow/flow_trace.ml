@@ -1,3 +1,5 @@
+module Tr = Sim_engine.Trace
+
 type sample = {
   time : float;
   cwnd_bytes : float;
@@ -11,26 +13,28 @@ type t = {
   sim : Sim_engine.Sim.t;
   sender : Sender.t;
   period : float;
+  trace : Tr.t;
   mutable samples : sample list;  (* newest first *)
   cwnd : Sim_engine.Timeseries.t;
   mutable running : bool;
 }
 
+(* The tick only *emits* a [Cc_sample] event; the tracer's own sample list
+   and cwnd series fill in through its hub subscription, so the event
+   stream is the single data path and any other sink on the hub (JSONL
+   writer, metrics rollup) sees exactly what the tracer records. *)
 let sample t =
   let now = Sim_engine.Sim.now t.sim in
   let cc = Sender.cc t.sender in
-  let s =
-    {
-      time = now;
-      cwnd_bytes = cc.Cca.Cc_types.cwnd_bytes ();
-      inflight_bytes = Sender.inflight_bytes t.sender;
-      pacing_rate = cc.Cca.Cc_types.pacing_rate ();
-      delivered_bytes = Sender.delivered_bytes t.sender;
-      cc_state = cc.Cca.Cc_types.state ();
-    }
-  in
-  t.samples <- s :: t.samples;
-  Sim_engine.Timeseries.record t.cwnd ~time:now s.cwnd_bytes
+  Tr.emit t.trace ~time:now ~flow:(Sender.flow t.sender)
+    (Tr.Cc_sample
+       {
+         cwnd_bytes = cc.Cca.Cc_types.cwnd_bytes ();
+         inflight_bytes = Sender.inflight_bytes t.sender;
+         pacing_rate = cc.Cca.Cc_types.pacing_rate ();
+         delivered_bytes = Sender.delivered_bytes t.sender;
+         cc_state = cc.Cca.Cc_types.state ();
+       })
 
 let rec tick t () =
   if t.running then begin
@@ -38,39 +42,62 @@ let rec tick t () =
     ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period (tick t))
   end
 
-let attach ~sim ~sender ~period =
+let attach ?trace ~sim ~sender ~period () =
   if period <= 0.0 then invalid_arg "Flow_trace.attach: period";
+  let hub = match trace with Some hub -> hub | None -> Tr.create () in
   let t =
     {
       sim;
       sender;
       period;
+      trace = hub;
       samples = [];
       cwnd = Sim_engine.Timeseries.create ();
       running = true;
     }
   in
+  let flow = Sender.flow sender in
+  Tr.subscribe hub (fun (r : Tr.record) ->
+      if r.flow = flow then
+        match r.event with
+        | Tr.Cc_sample
+            { cwnd_bytes; inflight_bytes; pacing_rate; delivered_bytes;
+              cc_state } ->
+          let s =
+            { time = r.time; cwnd_bytes; inflight_bytes; pacing_rate;
+              delivered_bytes; cc_state }
+          in
+          t.samples <- s :: t.samples;
+          Sim_engine.Timeseries.record t.cwnd ~time:r.time s.cwnd_bytes
+        | _ -> ());
   tick t ();
   t
 
 let stop t = t.running <- false
 let samples t = List.rev t.samples
 let cwnd_series t = t.cwnd
+let trace t = t.trace
 
 let throughput_between t ~from_ ~until =
   if until <= from_ then nan
   else begin
-    (* Last sample at/before each edge. *)
-    let at edge =
-      List.fold_left
-        (fun acc s -> if s.time <= edge then Some s else acc)
-        None (samples t)
+    (* Samples are newest first: the first sample at/before an edge is the
+       last one taken in that window. One walk finds the [until] edge and
+       then continues — over the same suffix — to the [from_] edge, so
+       repeated queries stay linear in the sample count. *)
+    let rec last_at_or_before edge = function
+      | [] -> None
+      | s :: older ->
+        if s.time <= edge then Some (s, older) else last_at_or_before edge older
     in
-    match (at from_, at until) with
-    | Some a, Some b when b.time > a.time ->
-      (b.delivered_bytes -. a.delivered_bytes)
-      /. (b.time -. a.time) *. Sim_engine.Units.bits_per_byte
-    | _ -> nan
+    match last_at_or_before until t.samples with
+    | None -> nan
+    | Some (b, older) -> (
+      match last_at_or_before from_ (b :: older) with
+      | Some (a, _) when b.time > a.time ->
+        (b.delivered_bytes -. a.delivered_bytes)
+        /. (b.time -. a.time) *. Sim_engine.Units.bits_per_byte
+      | _ -> nan)
   end
 
 let to_csv t =

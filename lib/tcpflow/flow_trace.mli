@@ -3,7 +3,13 @@
     papers plot cwnd dynamics from.
 
     A trace samples cwnd, bytes in flight, pacing rate, delivered bytes and
-    the CCA's state string every [period] seconds until stopped. *)
+    the CCA's state string every [period] seconds until stopped.
+
+    The tracer is seated on the telemetry event stream: each tick emits a
+    [Sim_engine.Trace.Cc_sample] event into its hub (a caller-supplied one,
+    or a private hub), and the tracer's own sample list fills in through a
+    hub subscription — so a JSONL writer or metrics rollup subscribed to
+    the same hub sees exactly the samples recorded here. *)
 
 type t
 
@@ -16,10 +22,22 @@ type sample = {
   cc_state : string;
 }
 
-val attach : sim:Sim_engine.Sim.t -> sender:Sender.t -> period:float -> t
-(** Starts sampling immediately, then every [period] seconds. *)
+val attach :
+  ?trace:Sim_engine.Trace.t ->
+  sim:Sim_engine.Sim.t ->
+  sender:Sender.t ->
+  period:float ->
+  unit ->
+  t
+(** Starts sampling immediately, then every [period] seconds. [trace] is
+    the hub the samples flow through (sharing one hub across flows is fine:
+    each tracer filters on its sender's flow id); omitted, a private hub is
+    created — reachable via {!trace}. *)
 
 val stop : t -> unit
+
+val trace : t -> Sim_engine.Trace.t
+(** The hub this tracer emits into. *)
 
 val samples : t -> sample list
 (** In chronological order. *)

@@ -1,4 +1,5 @@
 module Sim = Sim_engine.Sim
+module Tr = Sim_engine.Trace
 module Packet = Netsim.Packet
 module Dumbbell = Netsim.Dumbbell
 module Cc = Cca.Cc_types
@@ -10,6 +11,11 @@ type seg_state = {
   mutable lost : bool;  (* declared lost, awaiting retransmission or ack *)
   mutable retx_count : int;
   mutable last_sent_time : float;
+  mutable counted_bytes : int;
+      (* Bytes of this segment currently counted in [t.inflight_bytes]
+         (0, mss, or a multiple when several copies are outstanding).
+         Decrements consult this instead of assuming one MSS, so in-flight
+         accounting stays exact across RTOs and late ACKs. *)
 }
 
 (* Send-order queue entry; stale when the segment was acked or has been
@@ -23,6 +29,7 @@ type t = {
   mss : int;
   cc : Cc.t;
   seg_limit : int;  (* max_int = unlimited (bulk flow) *)
+  trace : Tr.t option;
   mutable next_seq : int;
   mutable cum_ack : int;  (* all segments below this are acked *)
   segs : (int, seg_state) Hashtbl.t;
@@ -43,9 +50,12 @@ type t = {
   mutable recovery_high : int;
   (* RTO. *)
   mutable rto_handle : Sim.handle option;
+  mutable rto_backoff : int;  (* consecutive unanswered RTO firings *)
   (* Pacing. *)
   mutable pacing_handle : Sim.handle option;
   mutable next_send_time : float;
+  (* Telemetry. *)
+  mutable last_cc_state : string;
   (* Counters. *)
   mutable lost_segments : int;
   mutable retransmitted_segments : int;
@@ -60,6 +70,7 @@ let retransmitted_segments t = t.retransmitted_segments
 let rounds t = t.round
 let srtt t = t.srtt
 let min_rtt_observed t = t.min_rtt
+let rto_backoff t = t.rto_backoff
 let snapshot_delivered t = (Sim.now t.sim, t.delivered)
 let completed t = t.seg_limit < max_int && t.cum_ack >= t.seg_limit
 
@@ -68,11 +79,50 @@ let seg t seq =
   | Some s -> s
   | None ->
     (* Unknown segment: already acked and collected. *)
-    { acked = true; lost = false; retx_count = 0; last_sent_time = 0.0 }
+    { acked = true; lost = false; retx_count = 0; last_sent_time = 0.0;
+      counted_bytes = 0 }
 
-let rto_interval t =
+(* The tracked in-flight total must equal the per-segment contributions at
+   all times; [on_rto] asserts this after its sweep and tests probe it
+   mid-run. *)
+let check_inflight_invariant t =
+  let sum = ref 0 in
+  for seq = t.cum_ack to t.next_seq - 1 do
+    match Hashtbl.find_opt t.segs seq with
+    | Some s ->
+      if s.counted_bytes < 0 then
+        failwith
+          (Printf.sprintf "Sender: segment %d counts %d in-flight bytes" seq
+             s.counted_bytes);
+      sum := !sum + s.counted_bytes
+    | None -> ()
+  done;
+  if !sum <> t.inflight_bytes then
+    failwith
+      (Printf.sprintf
+         "Sender: in-flight drift: tracked %d bytes, per-segment sum %d"
+         t.inflight_bytes !sum)
+
+(* CC-state transitions surface as trace events; the comparison runs only
+   when a trace is attached. *)
+let note_cc_state t =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    let state = t.cc.Cc.state () in
+    if not (String.equal state t.last_cc_state) then begin
+      Tr.emit tr ~time:(Sim.now t.sim) ~flow:t.flow
+        (Tr.Cc_state_change { from_state = t.last_cc_state; to_state = state });
+      t.last_cc_state <- state
+    end
+
+let rto_base t =
   if Float.is_nan t.srtt then 1.0
   else Float.max 0.2 (t.srtt +. (4.0 *. t.rttvar))
+
+(* Exponential backoff: each unanswered RTO doubles the interval, capped at
+   60 s; a valid ACK resets the backoff. *)
+let rto_interval t = Float.min 60.0 (Float.ldexp (rto_base t) (min t.rto_backoff 16))
 
 let rec arm_rto t =
   (match t.rto_handle with Some h -> Sim.cancel h | None -> ());
@@ -85,20 +135,47 @@ and on_rto t =
   t.rto_handle <- None;
   if t.inflight_bytes > 0 then begin
     (* Declare everything in flight lost and restart. *)
+    let fired_interval = rto_interval t in
     let newly_lost = ref 0 in
     (* Walk the live sequence range in order rather than iterating the
        hashtable: retransmissions must be queued lowest-sequence first,
        independent of hash layout. *)
     for seq = t.cum_ack to t.next_seq - 1 do
       match Hashtbl.find_opt t.segs seq with
-      | Some s when (not s.acked) && not s.lost ->
-        s.lost <- true;
-        incr newly_lost;
-        Queue.push seq t.retx_queue
-      | _ -> ()
+      | Some s ->
+        if (not s.acked) && not s.lost then begin
+          s.lost <- true;
+          incr newly_lost;
+          Queue.push seq t.retx_queue;
+          match t.trace with
+          | None -> ()
+          | Some tr ->
+            Tr.emit tr ~time:(Sim.now t.sim) ~flow:t.flow
+              (Tr.Seg_lost { seq; via_timeout = true })
+        end;
+        (* Nothing survives the timeout: every outstanding copy stops
+           counting, whether or not the segment was already marked lost. *)
+        t.inflight_bytes <- t.inflight_bytes - s.counted_bytes;
+        s.counted_bytes <- 0
+      | None -> ()
     done;
+    assert (t.inflight_bytes = 0);
     t.lost_segments <- t.lost_segments + !newly_lost;
-    t.inflight_bytes <- 0;
+    (match t.trace with
+    | None -> ()
+    | Some tr ->
+      Tr.emit tr ~time:(Sim.now t.sim) ~flow:t.flow
+        (Tr.Rto_fire
+           {
+             interval = fired_interval;
+             backoff = t.rto_backoff;
+             lost_segments = !newly_lost;
+           });
+      if not t.in_recovery then
+        Tr.emit tr ~time:(Sim.now t.sim) ~flow:t.flow
+          (Tr.Recovery_enter
+             { via_timeout = true; lost_bytes = !newly_lost * t.mss }));
+    t.rto_backoff <- t.rto_backoff + 1;
     t.in_recovery <- true;
     t.recovery_high <- t.next_seq;
     t.cc.Cc.on_loss
@@ -108,6 +185,7 @@ and on_rto t =
         inflight_bytes = 0;
         via_timeout = true;
       };
+    note_cc_state t;
     arm_rto t;
     try_send t
   end
@@ -119,7 +197,7 @@ and transmit t ~seq ~retransmit =
     | Some s -> s
     | None ->
       let s = { acked = false; lost = false; retx_count = 0;
-                last_sent_time = now } in
+                last_sent_time = now; counted_bytes = 0 } in
       Hashtbl.replace t.segs seq s;
       s
   in
@@ -130,6 +208,7 @@ and transmit t ~seq ~retransmit =
     t.retransmitted_segments <- t.retransmitted_segments + 1
   end;
   Queue.push { o_seq = seq; o_sent_time = now } t.order;
+  s.counted_bytes <- s.counted_bytes + t.mss;
   t.inflight_bytes <- t.inflight_bytes + t.mss;
   let packet =
     Packet.make ~flow:t.flow ~seq ~size:t.mss ~retransmit ~sent_time:now
@@ -137,9 +216,14 @@ and transmit t ~seq ~retransmit =
       ~app_limited:false
   in
   t.cc.Cc.on_send ~now ~inflight_bytes:t.inflight_bytes;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Send { seq; size = t.mss; retransmit }));
   (* Drops surface later through RACK/RTO, exactly as on a real path. *)
   ignore (Dumbbell.send t.net packet);
-  if t.rto_handle = None then arm_rto t
+  match t.rto_handle with None -> arm_rto t | Some _ -> ()
 
 and try_send t =
   let now = Sim.now t.sim in
@@ -204,16 +288,31 @@ let on_ack_packet t (trig : Packet.t) =
   let now = Sim.now t.sim in
   let s = seg t trig.seq in
   (* Any ACK for an unacked segment means the receiver holds the data,
-     whichever transmission got through. *)
+     whichever transmission got through — and that the path delivers, so
+     the RTO backoff resets. *)
+  t.rto_backoff <- 0;
   let first_delivery = not s.acked in
   let rtt_valid = s.retx_count = 0 in
   if first_delivery then begin
     s.acked <- true;
     t.delivered <- t.delivered +. float_of_int t.mss;
     t.delivered_time <- now;
-    if t.inflight_bytes >= t.mss then
-      t.inflight_bytes <- t.inflight_bytes - t.mss
+    (* Acked data stops counting in flight, however many copies of it were
+       outstanding and whichever of them got through. *)
+    t.inflight_bytes <- t.inflight_bytes - s.counted_bytes;
+    s.counted_bytes <- 0
   end;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Ack
+         {
+           seq = trig.seq;
+           rtt_sample = now -. trig.sent_time;
+           delivered_bytes = t.delivered;
+           inflight_bytes = t.inflight_bytes;
+         }));
   (* Advance the cumulative ACK point, collecting old state. *)
   let rec advance () =
     match Hashtbl.find_opt t.segs t.cum_ack with
@@ -244,8 +343,17 @@ let on_ack_packet t (trig : Packet.t) =
           t.lost_segments <- t.lost_segments + 1;
           incr newly_lost;
           Queue.push e.o_seq t.retx_queue;
-          if t.inflight_bytes >= t.mss then
-            t.inflight_bytes <- t.inflight_bytes - t.mss
+          (* This entry is the segment's latest transmission; that one copy
+             stops counting (earlier copies already stopped when the entry
+             they belonged to went stale). *)
+          let dec = min es.counted_bytes t.mss in
+          es.counted_bytes <- es.counted_bytes - dec;
+          t.inflight_bytes <- t.inflight_bytes - dec;
+          match t.trace with
+          | None -> ()
+          | Some tr ->
+            Tr.emit tr ~time:now ~flow:t.flow
+              (Tr.Seg_lost { seq = e.o_seq; via_timeout = false })
         end;
         reap ()
       end
@@ -270,6 +378,12 @@ let on_ack_packet t (trig : Packet.t) =
     if not t.in_recovery then begin
       t.in_recovery <- true;
       t.recovery_high <- t.next_seq;
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        Tr.emit tr ~time:now ~flow:t.flow
+          (Tr.Recovery_enter
+             { via_timeout = false; lost_bytes = !newly_lost * t.mss }));
       t.cc.Cc.on_loss
         {
           Cc.now = now;
@@ -279,7 +393,12 @@ let on_ack_packet t (trig : Packet.t) =
         }
     end
   end;
-  if t.in_recovery && t.cum_ack >= t.recovery_high then t.in_recovery <- false;
+  if t.in_recovery && t.cum_ack >= t.recovery_high then begin
+    t.in_recovery <- false;
+    match t.trace with
+    | None -> ()
+    | Some tr -> Tr.emit tr ~time:now ~flow:t.flow Tr.Recovery_exit
+  end;
   (* Round accounting and CC ACK notification for first-time deliveries. *)
   if first_delivery then begin
     let round_start = trig.delivered >= t.next_round_delivered in
@@ -310,6 +429,7 @@ let on_ack_packet t (trig : Packet.t) =
         round_start;
       }
   end;
+  note_cc_state t;
   if completed t then begin
     (match t.rto_handle with Some h -> Sim.cancel h | None -> ());
     t.rto_handle <- None
@@ -321,7 +441,7 @@ let on_ack_packet t (trig : Packet.t) =
 
 let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
     ?(start_time = Sim_engine.Units.seconds 0.0)
-    ?data_limit_bytes () =
+    ?data_limit_bytes ?trace () =
   let sim = Dumbbell.sim net in
   let seg_limit =
     match data_limit_bytes with
@@ -338,6 +458,7 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
       mss;
       cc;
       seg_limit;
+      trace;
       next_seq = 0;
       cum_ack = 0;
       segs = Hashtbl.create 1024;
@@ -354,8 +475,10 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
       in_recovery = false;
       recovery_high = 0;
       rto_handle = None;
+      rto_backoff = 0;
       pacing_handle = None;
       next_send_time = 0.0;
+      last_cc_state = cc.Cc.state ();
       lost_segments = 0;
       retransmitted_segments = 0;
     }

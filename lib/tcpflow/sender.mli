@@ -25,11 +25,17 @@ val create :
   ?mss:int ->
   ?start_time:Sim_engine.Units.seconds ->
   ?data_limit_bytes:int ->
+  ?trace:Sim_engine.Trace.t ->
   unit ->
   t
 (** Wires a sender and its receiver into [net] for flow id [flow]. The
     sender begins transmitting at [start_time] (default 0) and, when
-    [data_limit_bytes] is given, stops once that much data is delivered. *)
+    [data_limit_bytes] is given, stops once that much data is delivered.
+
+    When [trace] is given, the sender emits [Send]/[Ack]/[Seg_lost]/
+    [Rto_fire]/[Recovery_enter]/[Recovery_exit]/[Cc_state_change] events
+    into it; without one, every instrumentation site is a single [match]
+    on [None] — no allocation, no behavioural change. *)
 
 val completed : t -> bool
 (** True once a data-limited flow has delivered everything (always false
@@ -54,3 +60,12 @@ val min_rtt_observed : t -> float
 
 val snapshot_delivered : t -> float * float
 (** [(now, delivered_bytes)] — convenience for windowed goodput. *)
+
+val rto_backoff : t -> int
+(** Consecutive unanswered RTO firings: 0 normally; each firing doubles
+    the next interval (capped at 60 s) until a valid ACK resets it. *)
+
+val check_inflight_invariant : t -> unit
+(** Fails (with a diagnostic) unless the tracked in-flight byte total
+    equals the sum of per-segment outstanding contributions. Cheap enough
+    for tests to call at every sample point. *)

@@ -1,0 +1,9 @@
+(* Fixture: rule R6 (structural =/<> against an option constructor). *)
+
+let waiting handle = handle = None
+
+let armed handle = handle <> None
+
+let fired outcome = outcome = Some ()
+
+let fine handle = match handle with None -> true | Some _ -> false

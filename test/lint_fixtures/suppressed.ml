@@ -7,3 +7,5 @@ let jitter () = Random.float 1.0 (* simlint: allow R1 *)
 let digest v = Marshal.to_string v []
 
 let is_idle rate = rate = 0.0 (* simlint: allow R4 *)
+
+let unarmed handle = handle = None (* simlint: allow R6 *)

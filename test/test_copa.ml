@@ -85,7 +85,7 @@ let test_timeout_collapses () =
 let test_paced_once_rtt_known () =
   let cc = make () in
   Alcotest.(check bool) "no pacing before rtt" true
-    (cc.Cca.Cc_types.pacing_rate () = None);
+    (Option.is_none (cc.Cca.Cc_types.pacing_rate ()));
   cc.Cca.Cc_types.on_ack (Cca_driver.ack ~rtt:0.04 ());
   match cc.Cca.Cc_types.pacing_rate () with
   | Some rate -> Alcotest.(check bool) "positive" true (rate > 0.0)

@@ -4,7 +4,7 @@ let test_empty () =
   let q = Event_queue.create () in
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
   Alcotest.(check (option (float 0.0))) "no peek" None (Event_queue.peek_time q);
-  Alcotest.(check bool) "no pop" true (Event_queue.pop q = None)
+  Alcotest.(check bool) "no pop" true (Option.is_none (Event_queue.pop q))
 
 let test_ordering () =
   let q = Event_queue.create () in

@@ -15,8 +15,8 @@ let test_catalog_complete () =
     (List.length (List.sort_uniq compare ids))
 
 let test_catalog_find () =
-  Alcotest.(check bool) "find fig03" true (Catalog.find "fig03" <> None);
-  Alcotest.(check bool) "find missing" true (Catalog.find "fig99" = None)
+  Alcotest.(check bool) "find fig03" true (Option.is_some (Catalog.find "fig03"));
+  Alcotest.(check bool) "find missing" true (Option.is_none (Catalog.find "fig99"))
 
 let test_cells () =
   Alcotest.(check string) "float" "3.14" (Common.cell 3.14159);

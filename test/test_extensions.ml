@@ -181,7 +181,7 @@ let test_catalog_has_extensions () =
   List.iter
     (fun id ->
       Alcotest.(check bool) (id ^ " registered") true
-        (Experiments.Catalog.find id <> None))
+        (Option.is_some (Experiments.Catalog.find id)))
     [ "ext-red"; "ext-utility"; "ext-short"; "ext-internals"; "ext-2flow" ]
 
 let test_catalog_count () =

@@ -17,7 +17,7 @@ let setup () =
 
 let test_samples_collected () =
   let sim, sender = setup () in
-  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 () in
   Sim.run ~until:2.0 sim;
   let samples = Tcpflow.Flow_trace.samples trace in
   Alcotest.(check bool) "about 20 samples" true
@@ -31,7 +31,7 @@ let test_samples_collected () =
 
 let test_stop () =
   let sim, sender = setup () in
-  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 () in
   Sim.run ~until:1.0 sim;
   Tcpflow.Flow_trace.stop trace;
   let n = List.length (Tcpflow.Flow_trace.samples trace) in
@@ -41,7 +41,7 @@ let test_stop () =
 
 let test_throughput_between () =
   let sim, sender = setup () in
-  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.05 in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.05 () in
   Sim.run ~until:5.0 sim;
   let goodput = Tcpflow.Flow_trace.throughput_between trace ~from_:1.0 ~until:5.0 in
   (* Single cubic flow on a 10 Mbps link: near line rate. *)
@@ -52,7 +52,7 @@ let test_throughput_between () =
 
 let test_csv_shape () =
   let sim, sender = setup () in
-  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 () in
   Sim.run ~until:1.0 sim;
   let csv = Tcpflow.Flow_trace.to_csv trace in
   let lines = String.split_on_char '\n' (String.trim csv) in
@@ -64,7 +64,7 @@ let test_csv_shape () =
 
 let test_state_occupancy () =
   let sim, sender = setup () in
-  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 in
+  let trace = Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.1 () in
   Sim.run ~until:2.0 sim;
   let occupancy = Tcpflow.Flow_trace.state_occupancy trace in
   let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 occupancy in
@@ -76,7 +76,7 @@ let test_state_occupancy () =
 
 let test_period_validation () =
   let sim, sender = setup () in
-  match Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.0 with
+  match Tcpflow.Flow_trace.attach ~sim ~sender ~period:0.0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "period 0 should raise"
 

@@ -59,6 +59,8 @@ let tests =
       (check_fixture "r4_float_eq.ml" [ ("R4", 3); ("R4", 5); ("R4", 7) ]);
     Alcotest.test_case "R5 raw experiment record" `Quick
       (check_fixture "r5_record.ml" [ ("R5", 6); ("R5", 8) ]);
+    Alcotest.test_case "R6 option equality" `Quick
+      (check_fixture "r6_option_eq.ml" [ ("R6", 3); ("R6", 5); ("R6", 7) ]);
     Alcotest.test_case "suppression comments" `Quick
       (check_fixture "suppressed.ml" []);
     Alcotest.test_case "parse failure reported" `Quick test_parse_failure;

@@ -8,6 +8,7 @@ let () =
       ("engine.timeseries", Test_timeseries.tests);
       ("engine.stats", Test_stats.tests);
       ("engine.exec", Test_exec.tests);
+      ("engine.trace", Test_trace.tests);
       ("netsim", Test_netsim.tests);
       ("cca.windowed_filter", Test_windowed_filter.tests);
       ("cca.reno", Test_reno.tests);

@@ -47,7 +47,7 @@ let test_find_crossing () =
   | Some (a, b) -> Alcotest.failf "wrong crossing (%d,%d)" a b
   | None -> Alcotest.fail "expected crossing");
   Alcotest.(check bool) "no crossing" true
-    (Solver.find_crossing ~f:(fun _ -> 1.0) ~lo:0 ~hi:5 = None)
+    (Option.is_none (Solver.find_crossing ~f:(fun _ -> 1.0) ~lo:0 ~hi:5))
 
 let prop_bisect_finds_root =
   QCheck.Test.make ~name:"bisect residual small at root" ~count:200

@@ -48,7 +48,8 @@ let test_occupancy_accounting () =
 let test_drop_hook () =
   let q = Droptail_queue.create ~capacity_bytes:1500 () in
   let dropped = ref [] in
-  Droptail_queue.set_drop_hook q (fun p -> dropped := p.Packet.seq :: !dropped);
+  Droptail_queue.set_drop_hook q (fun ~early:_ p ->
+      dropped := p.Packet.seq :: !dropped);
   ignore (Droptail_queue.enqueue q (mk_packet ~seq:1 ()));
   ignore (Droptail_queue.enqueue q (mk_packet ~seq:2 ()));
   Alcotest.(check (list int)) "hook saw seq 2" [ 2 ] !dropped
@@ -56,7 +57,7 @@ let test_drop_hook () =
 let test_empty_queue () =
   let q = Droptail_queue.create ~capacity_bytes:1500 () in
   Alcotest.(check bool) "is_empty" true (Droptail_queue.is_empty q);
-  Alcotest.(check bool) "dequeue none" true (Droptail_queue.dequeue q = None)
+  Alcotest.(check bool) "dequeue none" true (Option.is_none (Droptail_queue.dequeue q))
 
 let prop_byte_conservation =
   QCheck.Test.make ~name:"enqueued = dequeued + dropped + queued" ~count:200

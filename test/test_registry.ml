@@ -37,9 +37,9 @@ let test_register_custom () =
     (List.mem "test-fixed" (Cca.Registry.names ()))
 
 let test_find () =
-  Alcotest.(check bool) "find bbr" true (Cca.Registry.find "bbr" <> None);
+  Alcotest.(check bool) "find bbr" true (Option.is_some (Cca.Registry.find "bbr"));
   Alcotest.(check bool) "find missing" true
-    (Cca.Registry.find "missing-cca" = None)
+    (Option.is_none (Cca.Registry.find "missing-cca"))
 
 let test_instances_independent () =
   let a = Cca.Registry.create "reno" ~mss:1500 ~rng:(rng ()) in

@@ -161,6 +161,116 @@ let test_start_time_honored () =
   Alcotest.(check bool) "data after start" true
     (Tcpflow.Sender.delivered_bytes sender > 0.0)
 
+(* Regression: rto_interval used to return a constant, so a dead path
+   retransmitted at a fixed cadence forever. Black-holing the receiver must
+   produce exponentially backed-off RTO firings; restoring it must reset
+   the backoff on the first ACK. *)
+let test_rto_exponential_backoff () =
+  let sim = Sim.create ~seed:5 () in
+  let rate_bps = Units.mbps 10.0 in
+  let rtt = Units.seconds 0.02 in
+  let hub = Sim_engine.Trace.create () in
+  let rto_fires = ref [] in
+  Sim_engine.Trace.subscribe hub (fun r ->
+      match r.Sim_engine.Trace.event with
+      | Sim_engine.Trace.Rto_fire { interval; backoff; _ } ->
+        rto_fires := (interval, backoff) :: !rto_fires
+      | _ -> ());
+  let net =
+    Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:100_000
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = rtt } ] ()
+  in
+  let cc =
+    Cca.Registry.create "cubic" ~mss:Units.mss
+      ~rng:(Sim_engine.Rng.split (Sim.rng sim))
+  in
+  let sender = Tcpflow.Sender.create ~net ~flow:0 ~cc ~trace:hub () in
+  Sim.run ~until:1.0 sim;
+  Alcotest.(check int) "no backoff while healthy" 0
+    (Tcpflow.Sender.rto_backoff sender);
+  (* Black-hole the flow: its packets vanish at the receiver, so no ACKs. *)
+  let receiver =
+    match Netsim.Dumbbell.receiver net ~flow:0 with
+    | Some r -> r
+    | None -> Alcotest.fail "receiver installed at create time"
+  in
+  Netsim.Dumbbell.set_receiver net ~flow:0 (fun _ -> ());
+  Sim.run ~until:12.0 sim;
+  let fires = List.rev !rto_fires in
+  Alcotest.(check bool)
+    (Printf.sprintf "several RTO firings (%d)" (List.length fires))
+    true
+    (List.length fires >= 3);
+  Alcotest.(check bool) "backoff grew" true
+    (Tcpflow.Sender.rto_backoff sender >= 3);
+  List.iteri
+    (fun i (_, backoff) ->
+      Alcotest.(check int) "backoff stages count up" i backoff)
+    fires;
+  (* No ACK arrives between firings, so srtt is frozen (Karn) and each
+     interval is exactly double the previous one until the 60 s cap. *)
+  let rec doubled = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      (b >= 60.0 || abs_float (b -. (2.0 *. a)) < 1e-9) && doubled rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "intervals double" true (doubled fires);
+  Netsim.Dumbbell.set_receiver net ~flow:0 receiver;
+  let delivered_before = Tcpflow.Sender.delivered_bytes sender in
+  Sim.run ~until:80.0 sim;
+  Alcotest.(check int) "backoff reset by ACK" 0
+    (Tcpflow.Sender.rto_backoff sender);
+  Alcotest.(check bool) "flow recovered" true
+    (Tcpflow.Sender.delivered_bytes sender > delivered_before)
+
+(* Regression: inflight_bytes drifted after an RTO (the timeout zeroed it,
+   then late ACKs decremented it again). The per-segment accounting must
+   stay exact through loss, timeout, and the late ACKs that follow. *)
+let test_inflight_accounting_exact () =
+  let sim, net, senders =
+    setup ~rate_mbps:10.0 ~rtt:0.02 ~buffer_bdp:1.0 ~ccas:[ "cubic" ]
+  in
+  let sender = List.hd senders in
+  let rec audit () =
+    Tcpflow.Sender.check_inflight_invariant sender;
+    ignore (Sim.schedule sim ~delay:0.01 audit)
+  in
+  audit ();
+  Sim.run ~until:2.0 sim;
+  (* Force an RTO with ACKs still in flight, then let them land. *)
+  let receiver =
+    match Netsim.Dumbbell.receiver net ~flow:0 with
+    | Some r -> r
+    | None -> Alcotest.fail "receiver installed at create time"
+  in
+  Netsim.Dumbbell.set_receiver net ~flow:0 (fun _ -> ());
+  Sim.run ~until:6.0 sim;
+  Netsim.Dumbbell.set_receiver net ~flow:0 receiver;
+  Sim.run ~until:10.0 sim;
+  Alcotest.(check bool) "losses exercised" true
+    (Tcpflow.Sender.lost_segments sender > 0);
+  Tcpflow.Sender.check_inflight_invariant sender
+
+let test_inflight_zero_when_completed () =
+  let sim = Sim.create ~seed:9 () in
+  let rate_bps = Units.mbps 10.0 in
+  let net =
+    Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:20_000
+      ~flows:[ { Netsim.Dumbbell.flow = 0; base_rtt = Units.ms 20.0 } ] ()
+  in
+  let cc =
+    Cca.Registry.create "cubic" ~mss:Units.mss
+      ~rng:(Sim_engine.Rng.split (Sim.rng sim))
+  in
+  let sender =
+    Tcpflow.Sender.create ~net ~flow:0 ~cc ~data_limit_bytes:300_000 ()
+  in
+  Sim.run ~until:30.0 sim;
+  Alcotest.(check bool) "flow completed" true (Tcpflow.Sender.completed sender);
+  Tcpflow.Sender.check_inflight_invariant sender;
+  Alcotest.(check int) "nothing left in flight" 0
+    (Tcpflow.Sender.inflight_bytes sender)
+
 let tests =
   [
     Alcotest.test_case "single flow fills link" `Quick
@@ -176,4 +286,10 @@ let tests =
     Alcotest.test_case "bbr alone" `Quick test_bbr_flow_works_alone;
     Alcotest.test_case "other ccas alone" `Quick test_reno_and_vivace_work;
     Alcotest.test_case "start time" `Quick test_start_time_honored;
+    Alcotest.test_case "rto exponential backoff" `Quick
+      test_rto_exponential_backoff;
+    Alcotest.test_case "inflight accounting exact" `Quick
+      test_inflight_accounting_exact;
+    Alcotest.test_case "inflight zero at completion" `Quick
+      test_inflight_zero_when_completed;
   ]

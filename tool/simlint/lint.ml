@@ -20,6 +20,11 @@
    R5 raw [Experiment] config record literals: only the labelled builder
       [Tcpflow.Experiment.config] validates its inputs, so construction
       must go through it (record literals are fine in the defining module).
+   R6 [=] / [<>] where an operand is [None] or [Some _]: structural
+      comparison descends into the payload, and several of our options
+      hold values containing closures ([Sim.handle], receiver callbacks) —
+      [compare] raises on those at runtime. Pattern match or use
+      [Option.is_none] / [Option.is_some].
 
    A violation is suppressed by [(* simlint: allow R<n> *)] on the same
    line or the line directly above it. *)
@@ -164,6 +169,12 @@ let is_float_literal expr =
   in
   go expr
 
+let is_option_construct expr =
+  let open Parsetree in
+  match expr.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("None" | "Some"); _ }, _) -> true
+  | _ -> false
+
 (* Record literals that spell out an Experiment config by hand: any field
    qualified through an [Experiment] module, or the unqualified field set
    characteristic of [Tcpflow.Experiment.config]. Functional updates
@@ -231,6 +242,16 @@ let check_file ~path source ast =
               (Printf.sprintf
                  "exact float comparison (%s) against a literal; use \
                   Sim_engine.Stats.approx_eq / is_zero"
+                 op)
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+                [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ] )
+            when is_option_construct a || is_option_construct b ->
+            report ~loc:e.pexp_loc ~rule:"R6"
+              (Printf.sprintf
+                 "structural %s against an option constructor; options can \
+                  hold closures (e.g. Sim.handle) where compare raises — \
+                  pattern match or use Option.is_none / Option.is_some"
                  op)
           | Pexp_record (fields, None)
             when (not in_experiment) && is_experiment_record fields ->
