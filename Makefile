@@ -17,20 +17,26 @@ lint:
 
 # CI entrypoint: build, run the full test suite and the lint pass, then
 # smoke-test the parallel executor, result cache and event tracing end to
-# end — a second cached run of fig03 must re-simulate nothing, and a traced
-# run must leave one .jsonl per simulated config.
+# end — the quick fig03 CSV must match the committed golden copy
+# byte-for-byte (the simulator is deterministic; any diff is a semantics
+# change and must be reviewed by re-blessing test/golden/fig03_quick.csv),
+# a second cached run of fig03 must re-simulate nothing, and a traced run
+# must leave one .jsonl per simulated config.
 CHECK_CACHE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-cache
 CHECK_TRACE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-trace
+CHECK_OUT := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-out
 check: build test lint
-	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)"
-	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)"
+	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)" "$(CHECK_OUT)"
+	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)" \
+	  --out "$(CHECK_OUT)"
+	cmp test/golden/fig03_quick.csv "$(CHECK_OUT)/fig03.csv"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)" \
 	  | tee /dev/stderr | grep -q "; 0 simulated"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --trace "$(CHECK_TRACE)" \
 	  | tee /dev/stderr | grep -q "fig03 trace: traces="
 	ls "$(CHECK_TRACE)"/*.jsonl > /dev/null
 	ls "$(CHECK_TRACE)"/*.metrics > /dev/null
-	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)"
+	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)" "$(CHECK_OUT)"
 	@echo "check: OK"
 
 bench:

@@ -12,7 +12,15 @@
       simulator's CUBIC synchronization modes.
 
    Set REPRO_BENCH_SECTIONS to a comma-separated subset (e.g. "micro") to
-   run less. *)
+   run less.
+
+   Machine-readable output: `--json DIR` (or REPRO_BENCH_JSON=DIR) writes
+   each Bechamel-measured section as DIR/BENCH_<section>.json mapping test
+   name -> { ns_per_run; minor_words_per_run }, so the perf trajectory can
+   be tracked across PRs (format documented in DESIGN.md "Event core").
+   `--smoke` (or REPRO_BENCH_SMOKE=1) shrinks the measurement quota so CI
+   can run the micro section quickly; smoke numbers are noisy and only
+   meant to prove the harness runs and to archive a rough trajectory. *)
 
 open Bechamel
 open Toolkit
@@ -193,34 +201,119 @@ let substrate_tests =
       (Staged.stage (short_fluid ~kind:Fluidsim.Fluid_sim.Bbr));
   ]
 
-let run_bechamel tests =
+(* --- CLI / env configuration ----------------------------------------- *)
+
+let smoke =
+  ref
+    (match Sys.getenv_opt "REPRO_BENCH_SMOKE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let json_dir = ref (Sys.getenv_opt "REPRO_BENCH_JSON")
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--json" :: dir :: rest ->
+      json_dir := Some dir;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %s (expected --smoke, --json DIR)\n"
+        arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* --- Bechamel sections ------------------------------------------------ *)
+
+let estimate_of ols =
+  match Analyze.OLS.estimates ols with Some [ est ] -> est | _ -> nan
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Number formatting for JSON: finite floats only (nan/inf are not JSON). *)
+let json_float v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+
+(* DIR/BENCH_<section>.json: { "results": { name: { ns_per_run;
+   minor_words_per_run } } }, keys sorted so the file is diffable. *)
+let write_bench_json ~dir ~section rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" section) in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"section\": \"%s\",\n  \"smoke\": %b,\n"
+    (json_escape section) !smoke;
+  Printf.fprintf oc
+    "  \"units\": { \"ns_per_run\": \"nanoseconds\", \
+     \"minor_words_per_run\": \"minor-heap words\" },\n";
+  Printf.fprintf oc "  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns, words) ->
+      Printf.fprintf oc
+        "    \"%s\": { \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
+        (json_escape name) (json_float ns) (json_float words)
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run_bechamel ~section tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false
-      ~compaction:false ()
+    if !smoke then
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.1) ~stabilize:false
+        ~compaction:false ()
+    else
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false
+        ~compaction:false ()
   in
   let test = Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests in
   let raw = Benchmark.all cfg instances test in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let nanos = Analyze.all ols Instance.monotonic_clock raw in
+  let words = Analyze.all ols Instance.minor_allocated raw in
   let rows =
     (* Hash order is harmless: rows are sorted by name before printing. *)
     (* simlint: allow R1 *)
-    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    Hashtbl.fold
+      (fun name ols acc ->
+        let minor =
+          match Hashtbl.find_opt words name with
+          | Some w -> estimate_of w
+          | None -> nan
+        in
+        (name, estimate_of ols, minor) :: acc)
+      nanos []
+    |> List.sort compare
   in
   List.iter
-    (fun (name, ols) ->
-      let ns =
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] -> est
-        | _ -> nan
-      in
+    (fun (name, ns, minor) ->
       if ns >= 1e6 then
-        Printf.printf "%-45s %12.3f ms/run\n%!" name (ns /. 1e6)
-      else Printf.printf "%-45s %12.1f ns/run\n%!" name ns)
-    (List.sort compare rows)
+        Printf.printf "%-45s %12.3f ms/run %14.0f w/run\n%!" name (ns /. 1e6)
+          minor
+      else Printf.printf "%-45s %12.1f ns/run %14.0f w/run\n%!" name ns minor)
+    rows;
+  match !json_dir with
+  | None -> ()
+  | Some dir -> write_bench_json ~dir ~section rows
 
 (* --- Ablations ------------------------------------------------------- *)
 
@@ -371,7 +464,7 @@ let () =
   end;
   if List.mem "micro" sections then begin
     Printf.printf "==== Bechamel micro-benchmarks ====\n%!";
-    run_bechamel (figure_tests @ substrate_tests)
+    run_bechamel ~section:"micro" (figure_tests @ substrate_tests)
   end;
   if List.mem "scaling" sections then begin
     Printf.printf "\n==== Parallel executor scaling ====\n%!";

@@ -24,7 +24,7 @@ let make_aimd ~mss () =
         cwnd := if loss.Cca.Cc_types.via_timeout then mssf else !ssthresh);
     on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
     cwnd_bytes = (fun () -> Float.max !cwnd (2.0 *. mssf));
-    pacing_rate = (fun () -> None);
+    pacing_rate = (fun () -> nan);
     state = (fun () -> if !cwnd < !ssthresh then "SlowStart" else "AIMD");
   }
 

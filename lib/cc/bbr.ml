@@ -54,7 +54,7 @@ let cwnd_bytes t =
 
 let pacing_rate t =
   let bw = Windowed_filter.Max_rounds.get t.btlbw in
-  if Sim_engine.Stats.is_zero bw then None else Some (t.pacing_gain *. bw)
+  if Sim_engine.Stats.is_zero bw then nan else t.pacing_gain *. bw
 
 let enter_probe_bw t ~now =
   t.mode <- ProbeBW;
@@ -79,7 +79,7 @@ let check_full_pipe t =
   end
 
 let advance_cycle t (ack : Cc_types.ack_info) =
-  let elapsed = ack.now -. t.cycle_stamp in
+  let elapsed = ack.f.now -. t.cycle_stamp in
   let inflight = float_of_int ack.inflight_bytes in
   let should_advance =
     if Sim_engine.Stats.approx_eq t.pacing_gain 1.0 then elapsed > t.rtprop
@@ -94,7 +94,7 @@ let advance_cycle t (ack : Cc_types.ack_info) =
   if should_advance then begin
     t.cycle_index <- (t.cycle_index + 1) mod Array.length gain_cycle;
     t.pacing_gain <- gain_cycle.(t.cycle_index);
-    t.cycle_stamp <- ack.now
+    t.cycle_stamp <- ack.f.now
   end
 
 let enter_probe_rtt t =
@@ -113,30 +113,30 @@ let exit_probe_rtt t ~now =
 (* The Linux rule: a smaller sample always wins; an expired estimate adopts
    the next sample unconditionally (and, below, triggers ProbeRTT). *)
 let update_rtprop t (ack : Cc_types.ack_info) ~expired =
-  if ack.rtt_sample < t.rtprop || expired then begin
-    t.rtprop <- ack.rtt_sample;
-    t.rtprop_stamp <- ack.now
+  if ack.f.rtt_sample < t.rtprop || expired then begin
+    t.rtprop <- ack.f.rtt_sample;
+    t.rtprop_stamp <- ack.f.now
   end
 
 let handle_probe_rtt t (ack : Cc_types.ack_info) =
   if Float.is_nan t.probe_rtt_done_stamp then begin
     if float_of_int ack.inflight_bytes <= min_cwnd t then
-      t.probe_rtt_done_stamp <- ack.now +. t.params.probe_rtt_duration
+      t.probe_rtt_done_stamp <- ack.f.now +. t.params.probe_rtt_duration
   end
-  else if ack.now >= t.probe_rtt_done_stamp then exit_probe_rtt t ~now:ack.now
+  else if ack.f.now >= t.probe_rtt_done_stamp then exit_probe_rtt t ~now:ack.f.now
 
 let on_ack t (ack : Cc_types.ack_info) =
   (* Bandwidth filter: app-limited samples only raise the estimate. *)
   if
-    ack.delivery_rate > 0.0
+    ack.f.delivery_rate > 0.0
     && ((not ack.rate_app_limited)
-        || ack.delivery_rate > Windowed_filter.Max_rounds.get t.btlbw)
+        || ack.f.delivery_rate > Windowed_filter.Max_rounds.get t.btlbw)
   then
     Windowed_filter.Max_rounds.update t.btlbw ~round:ack.round
-      ack.delivery_rate;
+      ack.f.delivery_rate;
   let rtprop_expired =
     t.rtprop < infinity
-    && ack.now -. t.rtprop_stamp > t.params.rtprop_window
+    && ack.f.now -. t.rtprop_stamp > t.params.rtprop_window
   in
   update_rtprop t ack ~expired:rtprop_expired;
   (match t.mode with
@@ -147,7 +147,7 @@ let on_ack t (ack : Cc_types.ack_info) =
       t.pacing_gain <- 1.0 /. t.params.high_gain
     end
   | Drain ->
-    if float_of_int ack.inflight_bytes <= bdp t then enter_probe_bw t ~now:ack.now
+    if float_of_int ack.inflight_bytes <= bdp t then enter_probe_bw t ~now:ack.f.now
   | ProbeBW -> advance_cycle t ack
   | ProbeRTT -> ());
   (* ProbeRTT entry check applies in every mode except ProbeRTT itself. *)

@@ -70,7 +70,7 @@ let cwnd_bytes t =
 
 let pacing_rate t =
   let bw = Windowed_filter.Max_rounds.get t.btlbw in
-  if Sim_engine.Stats.is_zero bw then None else Some (t.pacing_gain *. bw)
+  if Sim_engine.Stats.is_zero bw then nan else t.pacing_gain *. bw
 
 let enter_probe_bw t ~now =
   t.mode <- ProbeBW;
@@ -94,7 +94,7 @@ let check_full_pipe t =
   end
 
 let advance_cycle t (ack : Cc_types.ack_info) =
-  let elapsed = ack.now -. t.cycle_stamp in
+  let elapsed = ack.f.now -. t.cycle_stamp in
   let inflight = float_of_int ack.inflight_bytes in
   let should_advance =
     if Sim_engine.Stats.approx_eq t.pacing_gain 1.0 then elapsed > t.rtprop
@@ -115,7 +115,7 @@ let advance_cycle t (ack : Cc_types.ack_info) =
           (2.0 *. Float.max (bdp t) t.mss);
     t.cycle_index <- (t.cycle_index + 1) mod Array.length gain_cycle;
     t.pacing_gain <- gain_cycle.(t.cycle_index);
-    t.cycle_stamp <- ack.now;
+    t.cycle_stamp <- ack.f.now;
     (* Each up-probe restarts the inflight_hi growth ramp. *)
     if t.pacing_gain > 1.0 then t.hi_growth_mss <- 1.0
   end
@@ -132,22 +132,22 @@ let exit_probe_rtt t ~now =
 let handle_probe_rtt t (ack : Cc_types.ack_info) =
   if Float.is_nan t.probe_rtt_done_stamp then begin
     if float_of_int ack.inflight_bytes <= cwnd_bytes t then
-      t.probe_rtt_done_stamp <- ack.now +. 0.2
+      t.probe_rtt_done_stamp <- ack.f.now +. 0.2
   end
-  else if ack.now >= t.probe_rtt_done_stamp then exit_probe_rtt t ~now:ack.now
+  else if ack.f.now >= t.probe_rtt_done_stamp then exit_probe_rtt t ~now:ack.f.now
 
 let on_ack t (ack : Cc_types.ack_info) =
   if
-    ack.delivery_rate > 0.0
+    ack.f.delivery_rate > 0.0
     && ((not ack.rate_app_limited)
-        || ack.delivery_rate > Windowed_filter.Max_rounds.get t.btlbw)
+        || ack.f.delivery_rate > Windowed_filter.Max_rounds.get t.btlbw)
   then
     Windowed_filter.Max_rounds.update t.btlbw ~round:ack.round
-      ack.delivery_rate;
-  let expired = ack.now -. t.rtprop_stamp > t.params.probe_rtt_interval in
-  if ack.rtt_sample < t.rtprop || expired then begin
-    t.rtprop <- ack.rtt_sample;
-    t.rtprop_stamp <- ack.now
+      ack.f.delivery_rate;
+  let expired = ack.f.now -. t.rtprop_stamp > t.params.probe_rtt_interval in
+  if ack.f.rtt_sample < t.rtprop || expired then begin
+    t.rtprop <- ack.f.rtt_sample;
+    t.rtprop_stamp <- ack.f.now
   end;
   if ack.round > t.round_id then begin
     t.round_id <- ack.round;
@@ -177,7 +177,7 @@ let on_ack t (ack : Cc_types.ack_info) =
     end
   | Drain ->
     if float_of_int ack.inflight_bytes <= bdp t then
-      enter_probe_bw t ~now:ack.now
+      enter_probe_bw t ~now:ack.f.now
   | ProbeBW -> advance_cycle t ack
   | ProbeRTT -> ());
   (match t.mode with

@@ -1,13 +1,21 @@
+(* The per-ACK floats live in their own all-float record so the transport
+   can refill one mutable scratch [ack_info] per ACK without allocating:
+   all-float records store flat, whereas mutable float fields of the mixed
+   record would box on every store. *)
+type ack_floats = {
+  mutable now : float;
+  mutable rtt_sample : float;
+  mutable delivered : float;
+  mutable delivery_rate : float;
+}
+
 type ack_info = {
-  now : float;
-  rtt_sample : float;
-  acked_bytes : int;
-  delivered : float;
-  delivery_rate : float;
-  rate_app_limited : bool;
-  inflight_bytes : int;
-  round : int;
-  round_start : bool;
+  f : ack_floats;
+  mutable acked_bytes : int;
+  mutable rate_app_limited : bool;
+  mutable inflight_bytes : int;
+  mutable round : int;
+  mutable round_start : bool;
 }
 
 type loss_info = {
@@ -23,7 +31,7 @@ type t = {
   on_loss : loss_info -> unit;
   on_send : now:float -> inflight_bytes:int -> unit;
   cwnd_bytes : unit -> float;
-  pacing_rate : unit -> float option;
+  pacing_rate : unit -> float;
   state : unit -> string;
 }
 

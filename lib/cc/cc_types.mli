@@ -9,20 +9,29 @@
     including the [custom_cca] example — can implement new algorithms without
     functors, and so that heterogeneous flows can share one experiment. *)
 
-type ack_info = {
-  now : float;  (** Virtual time of the ACK's arrival at the sender. *)
-  rtt_sample : float;  (** RTT measured by this ACK (seconds). *)
-  acked_bytes : int;  (** Bytes newly acknowledged. *)
-  delivered : float;  (** Sender's cumulative delivered bytes. *)
-  delivery_rate : float;
+(** The float payload of an ACK, split into its own all-float record (flat,
+    unboxed storage) so the transport can reuse one mutable [ack_info] as a
+    per-ACK scratch without allocating. The record is only valid for the
+    duration of the [on_ack] call — CCAs must copy values out, never retain
+    the record. *)
+type ack_floats = {
+  mutable now : float;  (** Virtual time of the ACK's arrival at the sender. *)
+  mutable rtt_sample : float;  (** RTT measured by this ACK (seconds). *)
+  mutable delivered : float;  (** Sender's cumulative delivered bytes. *)
+  mutable delivery_rate : float;
       (** Delivery-rate sample in bytes/s (BBR-style estimator); [0.] when no
           valid sample exists. *)
-  rate_app_limited : bool;
+}
+
+type ack_info = {
+  f : ack_floats;  (** Time, RTT and delivery-rate payload. *)
+  mutable acked_bytes : int;  (** Bytes newly acknowledged. *)
+  mutable rate_app_limited : bool;
       (** The delivery-rate sample was taken while application-limited and
           therefore only a lower bound. *)
-  inflight_bytes : int;  (** Bytes in flight after processing this ACK. *)
-  round : int;  (** Count of completed delivery rounds (RTTs). *)
-  round_start : bool;  (** True for the first ACK of a new round. *)
+  mutable inflight_bytes : int;  (** Bytes in flight after this ACK. *)
+  mutable round : int;  (** Count of completed delivery rounds (RTTs). *)
+  mutable round_start : bool;  (** True for the first ACK of a new round. *)
 }
 
 type loss_info = {
@@ -42,8 +51,10 @@ type t = {
   cwnd_bytes : unit -> float;
       (** Current congestion window. The sender never lets in-flight data
           exceed this. *)
-  pacing_rate : unit -> float option;
-      (** Bytes/second pacing rate; [None] means pure ACK clocking. *)
+  pacing_rate : unit -> float;
+      (** Pacing rate in bytes/s; [nan] when the algorithm is ACK-clocked
+          (no pacing). Returned unboxed-sentinel style rather than as an
+          option so the per-send hot path allocates nothing. *)
   state : unit -> string;
       (** Human-readable internal state (e.g. ["ProbeBW"]) for traces. *)
 }

@@ -21,14 +21,14 @@ type t = {
 
 let update_rtt_filters t (ack : Cc_types.ack_info) =
   t.srtt <-
-    (if Float.is_nan t.srtt then ack.rtt_sample
-     else (0.875 *. t.srtt) +. (0.125 *. ack.rtt_sample));
-  Windowed_filter.Min_time.update t.rtt_min ~time:ack.now ack.rtt_sample;
+    (if Float.is_nan t.srtt then ack.f.rtt_sample
+     else (0.875 *. t.srtt) +. (0.125 *. ack.f.rtt_sample));
+  Windowed_filter.Min_time.update t.rtt_min ~time:ack.f.now ack.f.rtt_sample;
   (* Copa's standing RTT: minimum over the last srtt/2. The window tracks
      srtt, so we keep raw samples (pruned at 2 s) and evaluate lazily. *)
   t.recent_rtts <-
-    (ack.now, ack.rtt_sample)
-    :: List.filter (fun (time, _) -> ack.now -. time <= 2.0) t.recent_rtts
+    (ack.f.now, ack.f.rtt_sample)
+    :: List.filter (fun (time, _) -> ack.f.now -. time <= 2.0) t.recent_rtts
 
 (* Minimum RTT sample within the last srtt/2 seconds. *)
 let standing_rtt t ~now =
@@ -58,9 +58,9 @@ let on_ack t (ack : Cc_types.ack_info) =
   update_rtt_filters t ack;
   update_direction t ack;
   let rtt_min = Windowed_filter.Min_time.get t.rtt_min in
-  let rtt_standing = standing_rtt t ~now:ack.now in
+  let rtt_standing = standing_rtt t ~now:ack.f.now in
   let rtt_standing =
-    if rtt_standing = infinity then ack.rtt_sample else rtt_standing
+    if rtt_standing = infinity then ack.f.rtt_sample else rtt_standing
   in
   let queuing_delay = Float.max 0.0 (rtt_standing -. rtt_min) in
   let cwnd_pkts = t.cwnd /. t.mss in
@@ -122,6 +122,6 @@ let make ?(params = default_params) ~mss () =
     pacing_rate =
       (fun () ->
         (* Copa paces at 2×cwnd/RTT to smooth bursts. *)
-        if Float.is_nan t.srtt then None else Some (2.0 *. t.cwnd /. t.srtt));
+        if Float.is_nan t.srtt then nan else 2.0 *. t.cwnd /. t.srtt);
     state = (fun () -> if t.in_slow_start then "SlowStart" else "Steady");
   }

@@ -34,19 +34,19 @@ let cubic_window t ~elapsed =
 let on_ack t (ack : Cc_types.ack_info) =
   let acked = float_of_int ack.acked_bytes in
   t.srtt <-
-    (if Float.is_nan t.srtt then ack.rtt_sample
-     else (0.875 *. t.srtt) +. (0.125 *. ack.rtt_sample));
+    (if Float.is_nan t.srtt then ack.f.rtt_sample
+     else (0.875 *. t.srtt) +. (0.125 *. ack.f.rtt_sample));
   if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. acked
   else begin
     if Float.is_nan t.epoch_start then begin
       (* First congestion-avoidance ACK without a prior loss: anchor the
          cubic epoch at the current window. *)
-      t.epoch_start <- ack.now;
+      t.epoch_start <- ack.f.now;
       t.w_max <- cwnd_mss t;
       t.k <- 0.0;
       t.w_est <- cwnd_mss t
     end;
-    let elapsed = ack.now -. t.epoch_start +. t.srtt in
+    let elapsed = ack.f.now -. t.epoch_start +. t.srtt in
     let target = cubic_window t ~elapsed in
     let w = cwnd_mss t in
     let increment_mss =
@@ -101,7 +101,7 @@ let make ?(params = default_params) ~mss () =
     on_loss = on_loss t;
     on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
     cwnd_bytes = (fun () -> Float.max t.cwnd (Cc_types.min_cwnd_bytes ~mss));
-    pacing_rate = (fun () -> None);
+    pacing_rate = (fun () -> nan);
     state =
       (fun () -> if t.cwnd < t.ssthresh then "SlowStart" else "CongAvoid");
   }

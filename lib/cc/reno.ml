@@ -38,6 +38,6 @@ let make ?(initial_cwnd_mss = 10) ~mss () =
     on_loss = on_loss t;
     on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
     cwnd_bytes = (fun () -> Float.max t.cwnd (Cc_types.min_cwnd_bytes ~mss));
-    pacing_rate = (fun () -> None);
+    pacing_rate = (fun () -> nan);
     state = (fun () -> if t.cwnd < t.ssthresh then "SlowStart" else "CongAvoid");
   }

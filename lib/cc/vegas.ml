@@ -13,10 +13,10 @@ type t = {
 }
 
 let on_ack t (ack : Cc_types.ack_info) =
-  if ack.rtt_sample < t.base_rtt then t.base_rtt <- ack.rtt_sample;
+  if ack.f.rtt_sample < t.base_rtt then t.base_rtt <- ack.f.rtt_sample;
   t.srtt <-
-    (if Float.is_nan t.srtt then ack.rtt_sample
-     else (0.875 *. t.srtt) +. (0.125 *. ack.rtt_sample));
+    (if Float.is_nan t.srtt then ack.f.rtt_sample
+     else (0.875 *. t.srtt) +. (0.125 *. ack.f.rtt_sample));
   let acked = float_of_int ack.acked_bytes in
   if t.cwnd < t.ssthresh then
     (* Vegas slow start: double every OTHER round so the diff estimate can
@@ -64,6 +64,6 @@ let make ?(params = default_params) ~mss () =
     on_loss = on_loss t;
     on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
     cwnd_bytes = (fun () -> t.cwnd);
-    pacing_rate = (fun () -> None);
+    pacing_rate = (fun () -> nan);
     state = (fun () -> if t.cwnd < t.ssthresh then "SlowStart" else "Vegas");
   }

@@ -130,12 +130,12 @@ let maybe_roll_mi t ~now =
 
 let on_ack t (ack : Cc_types.ack_info) =
   t.srtt <-
-    (if Float.is_nan t.srtt then ack.rtt_sample
-     else (0.875 *. t.srtt) +. (0.125 *. ack.rtt_sample));
+    (if Float.is_nan t.srtt then ack.f.rtt_sample
+     else (0.875 *. t.srtt) +. (0.125 *. ack.f.rtt_sample));
   t.mi.acked_bytes <- t.mi.acked_bytes + ack.acked_bytes;
-  if Float.is_nan t.mi.first_rtt then t.mi.first_rtt <- ack.rtt_sample;
-  t.mi.last_rtt <- ack.rtt_sample;
-  maybe_roll_mi t ~now:ack.now
+  if Float.is_nan t.mi.first_rtt then t.mi.first_rtt <- ack.f.rtt_sample;
+  t.mi.last_rtt <- ack.f.rtt_sample;
+  maybe_roll_mi t ~now:ack.f.now
 
 let on_loss t (loss : Cc_types.loss_info) =
   t.mi.lost_bytes <- t.mi.lost_bytes + loss.lost_bytes;
@@ -166,7 +166,7 @@ let make ?(params = default_params) ~mss ~rng:_ () =
         (* Safety cap: at most two RTTs of data at the current rate. *)
         let rtt = if Float.is_nan t.srtt then 0.1 else t.srtt in
         Float.max (2.0 *. current_pacing_rate t *. rtt) (4.0 *. t.mss));
-    pacing_rate = (fun () -> Some (current_pacing_rate t));
+    pacing_rate = (fun () -> current_pacing_rate t);
     state =
       (fun () ->
         match t.phase with

@@ -13,7 +13,11 @@ type policy =
 type t = {
   capacity_bytes : int;
   policy : policy;
-  fifo : Packet.t Queue.t;
+  (* Packet FIFO as a ring buffer: push/pop allocate nothing, unlike
+     [Queue.t] (a cons cell per push, an option per [take_opt]). *)
+  mutable ring : Packet.t array;
+  mutable head : int;
+  mutable len : int;
   mutable bytes : int;
   mutable avg_bytes : float;  (* RED EWMA; tracks [bytes] under Tail_drop *)
   per_flow : (int, int) Hashtbl.t;
@@ -48,7 +52,9 @@ let create ?(policy = Tail_drop) ~capacity_bytes () =
   {
     capacity_bytes;
     policy;
-    fifo = Queue.create ();
+    ring = Array.make 16 Packet.dummy;
+    head = 0;
+    len = 0;
     bytes = 0;
     avg_bytes = 0.0;
     per_flow = Hashtbl.create 16;
@@ -61,8 +67,17 @@ let create ?(policy = Tail_drop) ~capacity_bytes () =
 let capacity_bytes t = t.capacity_bytes
 
 let adjust_flow t flow delta =
-  let current = Option.value ~default:0 (Hashtbl.find_opt t.per_flow flow) in
+  let current = try Hashtbl.find t.per_flow flow with Not_found -> 0 in
   Hashtbl.replace t.per_flow flow (current + delta)
+
+let grow t =
+  let cap = Array.length t.ring in
+  let ring = Array.make (2 * cap) Packet.dummy in
+  for i = 0 to t.len - 1 do
+    ring.(i) <- t.ring.((t.head + i) land (cap - 1))
+  done;
+  t.ring <- ring;
+  t.head <- 0
 
 (* RED early-drop decision on arrival (gentle variant, byte mode). *)
 let red_early_drop t =
@@ -100,24 +115,33 @@ let enqueue t (p : Packet.t) =
   if t.bytes + p.size > t.capacity_bytes then record_drop t p ~early:false
   else if red_early_drop t then record_drop t p ~early:true
   else begin
-    Queue.push p t.fifo;
+    if t.len = Array.length t.ring then grow t;
+    t.ring.((t.head + t.len) land (Array.length t.ring - 1)) <- p;
+    t.len <- t.len + 1;
     t.bytes <- t.bytes + p.size;
     adjust_flow t p.flow p.size;
     Enqueued
   end
 
-let dequeue t =
-  match Queue.take_opt t.fifo with
-  | None -> None
-  | Some p ->
-    t.bytes <- t.bytes - p.size;
-    adjust_flow t p.flow (-p.size);
-    Some p
+exception Empty
+
+let dequeue_exn t =
+  if t.len = 0 then raise Empty;
+  let h = t.head in
+  let p = t.ring.(h) in
+  t.ring.(h) <- Packet.dummy;
+  t.head <- (h + 1) land (Array.length t.ring - 1);
+  t.len <- t.len - 1;
+  t.bytes <- t.bytes - p.size;
+  adjust_flow t p.flow (-p.size);
+  p
+
+let dequeue t = if t.len = 0 then None else Some (dequeue_exn t)
 
 let occupancy_bytes t = t.bytes
 
 let occupancy_of_flow t flow =
-  Option.value ~default:0 (Hashtbl.find_opt t.per_flow flow)
+  try Hashtbl.find t.per_flow flow with Not_found -> 0
 
 let occupancy_of_flows t pred =
   (* Hash order is harmless: integer addition is commutative. *)
@@ -125,8 +149,8 @@ let occupancy_of_flows t pred =
     (fun flow bytes acc -> if pred flow then acc + bytes else acc)
     t.per_flow 0
 
-let length t = Queue.length t.fifo
-let is_empty t = Queue.is_empty t.fifo
+let length t = t.len
+let is_empty t = t.len = 0
 let drops t = t.drops
 let early_drops t = t.early_drops
 

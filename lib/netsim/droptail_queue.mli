@@ -36,6 +36,12 @@ val enqueue : t -> Packet.t -> verdict
 
 val dequeue : t -> Packet.t option
 
+exception Empty
+
+val dequeue_exn : t -> Packet.t
+(** Like {!dequeue} but raises {!Empty} instead of allocating an option —
+    for the link's transmit loop, which checks {!is_empty} first. *)
+
 val occupancy_bytes : t -> int
 (** Total bytes currently queued. *)
 

@@ -40,14 +40,16 @@ let create ?policy ?trace ~sim ~rate_bps ~buffer_bytes ~flows () =
     match !t_ref with
     | None -> ()
     | Some t -> (
-      match Hashtbl.find_opt receivers p.Packet.flow with
-      | Some receive -> receive p
-      | None -> t.orphaned <- t.orphaned + 1)
+      (* [try Hashtbl.find], not [find_opt]: this runs per delivered
+         packet and the option would allocate. *)
+      match Hashtbl.find receivers p.Packet.flow with
+      | receive -> receive p
+      | exception Not_found -> t.orphaned <- t.orphaned + 1)
   in
   let delay_of (p : Packet.t) =
-    match Hashtbl.find_opt rtts p.flow with
-    | Some rtt -> rtt /. 2.0
-    | None -> 0.0
+    match Hashtbl.find rtts p.flow with
+    | rtt -> rtt /. 2.0
+    | exception Not_found -> 0.0
   in
   let pipe = Pipe.create ~sim ~delay_of ~deliver:deliver_to_receiver in
   let link = Link.create ~sim ~rate_bps ~queue ~deliver:(Pipe.send pipe) in

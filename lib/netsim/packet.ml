@@ -1,18 +1,26 @@
+(* Fields are mutable so a sender can recycle acknowledged packets
+   through a free pool instead of allocating ~15 words per transmission
+   (record + three float boxes). A packet object must only be mutated by
+   its owning sender, and only once no queue or lane holds it. *)
 type t = {
-  flow : int;
-  seq : int;
-  size : int;
-  retransmit : bool;
-  sent_time : float;
-  delivered : float;
-  delivered_time : float;
-  app_limited : bool;
+  mutable flow : int;
+  mutable seq : int;
+  mutable size : int;
+  mutable retransmit : bool;
+  mutable sent_time : float;
+  mutable delivered : float;
+  mutable delivered_time : float;
+  mutable app_limited : bool;
 }
 
 let make ~flow ~seq ~size ~retransmit ~sent_time ~delivered ~delivered_time
     ~app_limited =
   { flow; seq; size; retransmit; sent_time; delivered; delivered_time;
     app_limited }
+
+let dummy =
+  { flow = -1; seq = -1; size = 0; retransmit = false; sent_time = 0.0;
+    delivered = 0.0; delivered_time = 0.0; app_limited = false }
 
 let pp ppf p =
   Format.fprintf ppf "flow=%d seq=%d size=%d%s t=%.6f" p.flow p.seq p.size

@@ -9,18 +9,22 @@
     sender's delivery state at transmission time; they implement the delivery
     rate estimator that BBR's bandwidth filter consumes. *)
 
+(** Fields are mutable so the transport can recycle acknowledged packets
+    through a free pool (see {!Tcpflow.Sender}); only the owning sender may
+    mutate a packet, and only once no queue or lane references it. *)
 type t = {
-  flow : int;  (** Flow identifier, unique within an experiment. *)
-  seq : int;  (** Segment sequence number (in MSS units). *)
-  size : int;  (** Wire size in bytes. *)
-  retransmit : bool;  (** True when this is a retransmission. *)
-  sent_time : float;  (** Time this (re)transmission left the sender. *)
-  delivered : float;
+  mutable flow : int;  (** Flow identifier, unique within an experiment. *)
+  mutable seq : int;  (** Segment sequence number (in MSS units). *)
+  mutable size : int;  (** Wire size in bytes. *)
+  mutable retransmit : bool;  (** True when this is a retransmission. *)
+  mutable sent_time : float;
+      (** Time this (re)transmission left the sender. *)
+  mutable delivered : float;
       (** Bytes the sender had cumulatively delivered when this packet was
           sent. *)
-  delivered_time : float;
+  mutable delivered_time : float;
       (** Time of the most recent delivery when this packet was sent. *)
-  app_limited : bool;
+  mutable app_limited : bool;
       (** Whether the sender was application-limited at send time. *)
 }
 
@@ -34,5 +38,9 @@ val make :
   delivered_time:float ->
   app_limited:bool ->
   t
+
+val dummy : t
+(** Placeholder packet ([flow = -1]) filling empty calendar-lane ring
+    cells; it never enters the network. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,19 +1,35 @@
+module Sim = Sim_engine.Sim
+
 type t = {
-  sim : Sim_engine.Sim.t;
+  sim : Sim.t;
   delay_of : Packet.t -> float;
   deliver : Packet.t -> unit;
   mutable in_flight : int;
+  (* One calendar lane per flow: [delay_of] is constant per flow in every
+     topology we build (per-flow one-way delay), so each flow's deliveries
+     are FIFO and bypass the heap. A per-packet-varying delay still works —
+     Sim.schedule_packet falls back to the heap on FIFO violations. *)
+  lanes : (int, Packet.t Sim.lane) Hashtbl.t;
 }
 
-let create ~sim ~delay_of ~deliver = { sim; delay_of; deliver; in_flight = 0 }
+let create ~sim ~delay_of ~deliver =
+  { sim; delay_of; deliver; in_flight = 0; lanes = Hashtbl.create 8 }
+
+let lane_for t flow =
+  try Hashtbl.find t.lanes flow
+  with Not_found ->
+    let lane =
+      Sim.lane t.sim ~dummy:Packet.dummy ~deliver:(fun p ->
+          t.in_flight <- t.in_flight - 1;
+          t.deliver p)
+    in
+    Hashtbl.replace t.lanes flow lane;
+    lane
 
 let send t p =
   let delay = t.delay_of p in
   if delay < 0.0 then invalid_arg "Pipe.send: negative delay";
   t.in_flight <- t.in_flight + 1;
-  ignore
-    (Sim_engine.Sim.schedule t.sim ~delay (fun () ->
-         t.in_flight <- t.in_flight - 1;
-         t.deliver p))
+  Sim.schedule_packet t.sim (lane_for t p.Packet.flow) ~delay p
 
 let in_flight t = t.in_flight

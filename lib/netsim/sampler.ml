@@ -5,22 +5,28 @@ type t = {
   total : Sim_engine.Timeseries.t;
   classes : (string * (int -> bool) * Sim_engine.Timeseries.t) list;
   mutable running : bool;
+  mutable tick_cb : unit -> unit;
+      (* Allocated once; rescheduling a periodic tick reuses it instead of
+         closing over [t] afresh every period. *)
 }
+
+let rec record_classes t now = function
+  | [] -> ()
+  | (_, pred, series) :: rest ->
+    Sim_engine.Timeseries.record series ~time:now
+      (float_of_int (Droptail_queue.occupancy_of_flows t.queue pred));
+    record_classes t now rest
 
 let sample t =
   let now = Sim_engine.Sim.now t.sim in
   Sim_engine.Timeseries.record t.total ~time:now
     (float_of_int (Droptail_queue.occupancy_bytes t.queue));
-  List.iter
-    (fun (_, pred, series) ->
-      Sim_engine.Timeseries.record series ~time:now
-        (float_of_int (Droptail_queue.occupancy_of_flows t.queue pred)))
-    t.classes
+  record_classes t now t.classes
 
-let rec tick t () =
+let tick t =
   if t.running then begin
     sample t;
-    ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period (tick t))
+    ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period t.tick_cb)
   end
 
 let create ~sim ~queue ~period ?(flow_classes = []) () =
@@ -32,9 +38,10 @@ let create ~sim ~queue ~period ?(flow_classes = []) () =
   in
   let t =
     { sim; queue; period; total = Sim_engine.Timeseries.create (); classes;
-      running = true }
+      running = true; tick_cb = ignore }
   in
-  tick t ();
+  t.tick_cb <- (fun () -> tick t);
+  tick t;
   t
 
 let stop t = t.running <- false

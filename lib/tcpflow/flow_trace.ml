@@ -17,6 +17,9 @@ type t = {
   mutable samples : sample list;  (* newest first *)
   cwnd : Sim_engine.Timeseries.t;
   mutable running : bool;
+  mutable tick_cb : unit -> unit;
+      (* Allocated once; rescheduling reuses it instead of closing over [t]
+         afresh every period. *)
 }
 
 (* The tick only *emits* a [Cc_sample] event; the tracer's own sample list
@@ -31,15 +34,19 @@ let sample t =
        {
          cwnd_bytes = cc.Cca.Cc_types.cwnd_bytes ();
          inflight_bytes = Sender.inflight_bytes t.sender;
-         pacing_rate = cc.Cca.Cc_types.pacing_rate ();
+         pacing_rate =
+           (* The CCA API is nan-sentinel (hot path); the trace schema keeps
+              the option. *)
+           (let r = cc.Cca.Cc_types.pacing_rate () in
+            if Float.is_nan r then None else Some r);
          delivered_bytes = Sender.delivered_bytes t.sender;
          cc_state = cc.Cca.Cc_types.state ();
        })
 
-let rec tick t () =
+let tick t =
   if t.running then begin
     sample t;
-    ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period (tick t))
+    ignore (Sim_engine.Sim.schedule t.sim ~delay:t.period t.tick_cb)
   end
 
 let attach ?trace ~sim ~sender ~period () =
@@ -54,8 +61,10 @@ let attach ?trace ~sim ~sender ~period () =
       samples = [];
       cwnd = Sim_engine.Timeseries.create ();
       running = true;
+      tick_cb = ignore;
     }
   in
+  t.tick_cb <- (fun () -> tick t);
   let flow = Sender.flow sender in
   Tr.subscribe hub (fun (r : Tr.record) ->
       if r.flow = flow then
@@ -70,7 +79,7 @@ let attach ?trace ~sim ~sender ~period () =
           t.samples <- s :: t.samples;
           Sim_engine.Timeseries.record t.cwnd ~time:r.time s.cwnd_bytes
         | _ -> ());
-  tick t ();
+  tick t;
   t
 
 let stop t = t.running <- false

@@ -18,9 +18,18 @@ type seg_state = {
          accounting stays exact across RTOs and late ACKs. *)
 }
 
-(* Send-order queue entry; stale when the segment was acked or has been
-   retransmitted after this transmission. *)
-type order_entry = { o_seq : int; o_sent_time : float }
+(* Hot mutable floats live in their own all-float record: OCaml stores such
+   records flat, so the per-ACK updates below write unboxed doubles instead
+   of allocating a box per store (which they would in the mixed record). *)
+type float_state = {
+  mutable delivered : float;
+  mutable delivered_time : float;
+  mutable next_round_delivered : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable min_rtt : float;
+  mutable next_send_time : float;
+}
 
 type t = {
   sim : Sim.t;
@@ -33,27 +42,40 @@ type t = {
   mutable next_seq : int;
   mutable cum_ack : int;  (* all segments below this are acked *)
   segs : (int, seg_state) Hashtbl.t;
-  order : order_entry Queue.t;
+  (* Send-order ring (parallel arrays, power-of-two capacity): one
+     (seq, sent-time) pair per transmission, FIFO. An entry is stale when
+     the segment was acked or retransmitted after this transmission.
+     Replaces a [Queue] of records — push/pop allocate nothing. *)
+  mutable o_seqs : int array;
+  mutable o_times : float array;
+  mutable o_head : int;
+  mutable o_len : int;
   retx_queue : int Queue.t;
+  (* Free pool of recycled packets (a bounded stack): a packet comes back
+     when its ACK has been fully processed, so no queue, lane or trace still
+     references it. Dropped packets simply never return. *)
+  pk_pool : Packet.t array;
+  mutable pk_pool_len : int;
   mutable inflight_bytes : int;
-  (* Delivery accounting (BBR-style). *)
-  mutable delivered : float;
-  mutable delivered_time : float;
+  (* Delivery accounting (BBR-style), RTT estimation and pacing clock. *)
+  fs : float_state;
   mutable round : int;
-  mutable next_round_delivered : float;
-  (* RTT estimation. *)
-  mutable srtt : float;
-  mutable rttvar : float;
-  mutable min_rtt : float;
   (* Recovery state. *)
   mutable in_recovery : bool;
   mutable recovery_high : int;
-  (* RTO. *)
-  mutable rto_handle : Sim.handle option;
+  (* RTO. [rto_handle] is [Sim.null_handle] when unarmed; [rto_cb] is
+     allocated once in [create] so re-arming schedules without closing over
+     [t] afresh. *)
+  mutable rto_handle : Sim.handle;
   mutable rto_backoff : int;  (* consecutive unanswered RTO firings *)
-  (* Pacing. *)
-  mutable pacing_handle : Sim.handle option;
-  mutable next_send_time : float;
+  mutable rto_cb : unit -> unit;
+  (* Pacing. Same single-allocation discipline as the RTO callback. *)
+  mutable pacing_handle : Sim.handle;
+  mutable pacer_cb : unit -> unit;
+  (* One scratch [ack_info], refilled per ACK: the float stores land in the
+     flat [ack_floats] sub-record, so notifying the CCA allocates nothing.
+     Valid only for the duration of the [on_ack] call. *)
+  ack_scratch : Cc.ack_info;
   (* Telemetry. *)
   mutable last_cc_state : string;
   (* Counters. *)
@@ -63,21 +85,44 @@ type t = {
 
 let flow t = t.flow
 let cc t = t.cc
-let delivered_bytes t = t.delivered
+let delivered_bytes t = t.fs.delivered
 let inflight_bytes t = t.inflight_bytes
 let lost_segments t = t.lost_segments
 let retransmitted_segments t = t.retransmitted_segments
 let rounds t = t.round
-let srtt t = t.srtt
-let min_rtt_observed t = t.min_rtt
+let srtt t = t.fs.srtt
+let min_rtt_observed t = t.fs.min_rtt
 let rto_backoff t = t.rto_backoff
-let snapshot_delivered t = (Sim.now t.sim, t.delivered)
+let snapshot_delivered t = (Sim.now t.sim, t.fs.delivered)
 let completed t = t.seg_limit < max_int && t.cum_ack >= t.seg_limit
 
+let order_grow t =
+  let cap = Array.length t.o_seqs in
+  let seqs = Array.make (2 * cap) 0 in
+  let times = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.o_len - 1 do
+    let j = (t.o_head + i) land (cap - 1) in
+    seqs.(i) <- t.o_seqs.(j);
+    times.(i) <- t.o_times.(j)
+  done;
+  t.o_seqs <- seqs;
+  t.o_times <- times;
+  t.o_head <- 0
+
+let order_push t ~seq ~time =
+  if t.o_len = Array.length t.o_seqs then order_grow t;
+  let tail = (t.o_head + t.o_len) land (Array.length t.o_seqs - 1) in
+  t.o_seqs.(tail) <- seq;
+  t.o_times.(tail) <- time;
+  t.o_len <- t.o_len + 1
+
+let order_pop t =
+  t.o_head <- (t.o_head + 1) land (Array.length t.o_seqs - 1);
+  t.o_len <- t.o_len - 1
+
 let seg t seq =
-  match Hashtbl.find_opt t.segs seq with
-  | Some s -> s
-  | None ->
+  try Hashtbl.find t.segs seq
+  with Not_found ->
     (* Unknown segment: already acked and collected. *)
     { acked = true; lost = false; retx_count = 0; last_sent_time = 0.0;
       counted_bytes = 0 }
@@ -117,22 +162,19 @@ let note_cc_state t =
     end
 
 let rto_base t =
-  if Float.is_nan t.srtt then 1.0
-  else Float.max 0.2 (t.srtt +. (4.0 *. t.rttvar))
+  if Float.is_nan t.fs.srtt then 1.0
+  else Float.max 0.2 (t.fs.srtt +. (4.0 *. t.fs.rttvar))
 
 (* Exponential backoff: each unanswered RTO doubles the interval, capped at
    60 s; a valid ACK resets the backoff. *)
 let rto_interval t = Float.min 60.0 (Float.ldexp (rto_base t) (min t.rto_backoff 16))
 
 let rec arm_rto t =
-  (match t.rto_handle with Some h -> Sim.cancel h | None -> ());
-  let handle =
-    Sim.schedule t.sim ~delay:(rto_interval t) (fun () -> on_rto t)
-  in
-  t.rto_handle <- Some handle
+  if not (Sim.is_null t.rto_handle) then Sim.cancel t.sim t.rto_handle;
+  t.rto_handle <- Sim.schedule t.sim ~delay:(rto_interval t) t.rto_cb
 
 and on_rto t =
-  t.rto_handle <- None;
+  t.rto_handle <- Sim.null_handle;
   if t.inflight_bytes > 0 then begin
     (* Declare everything in flight lost and restart. *)
     let fired_interval = rto_interval t in
@@ -193,12 +235,11 @@ and on_rto t =
 and transmit t ~seq ~retransmit =
   let now = Sim.now t.sim in
   let s =
-    match Hashtbl.find_opt t.segs seq with
-    | Some s -> s
-    | None ->
+    try Hashtbl.find t.segs seq
+    with Not_found ->
       let s = { acked = false; lost = false; retx_count = 0;
                 last_sent_time = now; counted_bytes = 0 } in
-      Hashtbl.replace t.segs seq s;
+      Hashtbl.add t.segs seq s;
       s
   in
   s.last_sent_time <- now;
@@ -207,13 +248,25 @@ and transmit t ~seq ~retransmit =
     s.retx_count <- s.retx_count + 1;
     t.retransmitted_segments <- t.retransmitted_segments + 1
   end;
-  Queue.push { o_seq = seq; o_sent_time = now } t.order;
+  order_push t ~seq ~time:now;
   s.counted_bytes <- s.counted_bytes + t.mss;
   t.inflight_bytes <- t.inflight_bytes + t.mss;
   let packet =
-    Packet.make ~flow:t.flow ~seq ~size:t.mss ~retransmit ~sent_time:now
-      ~delivered:t.delivered ~delivered_time:t.delivered_time
-      ~app_limited:false
+    if t.pk_pool_len > 0 then begin
+      t.pk_pool_len <- t.pk_pool_len - 1;
+      let p = t.pk_pool.(t.pk_pool_len) in
+      t.pk_pool.(t.pk_pool_len) <- Packet.dummy;
+      p.Packet.seq <- seq;
+      p.Packet.retransmit <- retransmit;
+      p.Packet.sent_time <- now;
+      p.Packet.delivered <- t.fs.delivered;
+      p.Packet.delivered_time <- t.fs.delivered_time;
+      p
+    end
+    else
+      Packet.make ~flow:t.flow ~seq ~size:t.mss ~retransmit ~sent_time:now
+        ~delivered:t.fs.delivered ~delivered_time:t.fs.delivered_time
+        ~app_limited:false
   in
   t.cc.Cc.on_send ~now ~inflight_bytes:t.inflight_bytes;
   (match t.trace with
@@ -223,36 +276,35 @@ and transmit t ~seq ~retransmit =
       (Tr.Send { seq; size = t.mss; retransmit }));
   (* Drops surface later through RACK/RTO, exactly as on a real path. *)
   ignore (Dumbbell.send t.net packet);
-  match t.rto_handle with None -> arm_rto t | Some _ -> ()
+  if Sim.is_null t.rto_handle then arm_rto t
 
 and try_send t =
   let now = Sim.now t.sim in
   let cwnd = t.cc.Cc.cwnd_bytes () in
-  let can_send () = float_of_int (t.inflight_bytes + t.mss) <= cwnd in
-  match t.cc.Cc.pacing_rate () with
-  | None ->
+  let rate = t.cc.Cc.pacing_rate () in
+  if Float.is_nan rate then begin
     (* ACK-clocked: fill the window. *)
     let continue = ref true in
-    while !continue && can_send () do
+    while !continue && float_of_int (t.inflight_bytes + t.mss) <= cwnd do
       continue := send_one t
     done
-  | Some rate when rate <= 0.0 -> ()
-  | Some rate ->
-    if can_send () then begin
-      if now >= t.next_send_time then begin
-        if send_one t then begin
-          t.next_send_time <-
-            Float.max t.next_send_time now +. (float_of_int t.mss /. rate);
-          schedule_pacer t
-        end
+  end
+  else if rate <= 0.0 then ()
+  else if float_of_int (t.inflight_bytes + t.mss) <= cwnd then begin
+    if now >= t.fs.next_send_time then begin
+      if send_one t then begin
+        t.fs.next_send_time <-
+          Float.max t.fs.next_send_time now +. (float_of_int t.mss /. rate);
+        schedule_pacer t
       end
-      else schedule_pacer t
     end
+    else schedule_pacer t
+  end
 
 (* Returns false when there is nothing (left) to send. *)
 and send_one t =
-  match Queue.take_opt t.retx_queue with
-  | Some seq ->
+  if not (Queue.is_empty t.retx_queue) then begin
+    let seq = Queue.pop t.retx_queue in
     let s = seg t seq in
     (* Skip stale retransmit requests (acked meanwhile). *)
     if s.acked then send_one t
@@ -260,27 +312,21 @@ and send_one t =
       transmit t ~seq ~retransmit:true;
       true
     end
-  | None ->
-    if t.next_seq >= t.seg_limit then false
-    else begin
-      let seq = t.next_seq in
-      t.next_seq <- t.next_seq + 1;
-      transmit t ~seq ~retransmit:false;
-      true
-    end
+  end
+  else if t.next_seq >= t.seg_limit then false
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    transmit t ~seq ~retransmit:false;
+    true
+  end
 
 and schedule_pacer t =
-  match t.pacing_handle with
-  | Some _ -> ()
-  | None ->
+  if Sim.is_null t.pacing_handle then begin
     let now = Sim.now t.sim in
-    let delay = Float.max 0.0 (t.next_send_time -. now) in
-    let handle =
-      Sim.schedule t.sim ~delay (fun () ->
-          t.pacing_handle <- None;
-          try_send t)
-    in
-    t.pacing_handle <- Some handle
+    let delay = Float.max 0.0 (t.fs.next_send_time -. now) in
+    t.pacing_handle <- Sim.schedule t.sim ~delay t.pacer_cb
+  end
 
 (* Process the arrival of the ACK generated by the (unique) reception of
    [trig]. *)
@@ -295,8 +341,8 @@ let on_ack_packet t (trig : Packet.t) =
   let rtt_valid = s.retx_count = 0 in
   if first_delivery then begin
     s.acked <- true;
-    t.delivered <- t.delivered +. float_of_int t.mss;
-    t.delivered_time <- now;
+    t.fs.delivered <- t.fs.delivered +. float_of_int t.mss;
+    t.fs.delivered_time <- now;
     (* Acked data stops counting in flight, however many copies of it were
        outstanding and whichever of them got through. *)
     t.inflight_bytes <- t.inflight_bytes - s.counted_bytes;
@@ -310,39 +356,41 @@ let on_ack_packet t (trig : Packet.t) =
          {
            seq = trig.seq;
            rtt_sample = now -. trig.sent_time;
-           delivered_bytes = t.delivered;
+           delivered_bytes = t.fs.delivered;
            inflight_bytes = t.inflight_bytes;
          }));
   (* Advance the cumulative ACK point, collecting old state. *)
   let rec advance () =
-    match Hashtbl.find_opt t.segs t.cum_ack with
-    | Some s when s.acked ->
-      Hashtbl.remove t.segs t.cum_ack;
-      t.cum_ack <- t.cum_ack + 1;
-      advance ()
-    | _ -> ()
+    match Hashtbl.find t.segs t.cum_ack with
+    | exception Not_found -> ()
+    | s ->
+      if s.acked then begin
+        Hashtbl.remove t.segs t.cum_ack;
+        t.cum_ack <- t.cum_ack + 1;
+        advance ()
+      end
   in
   advance ();
   (* RACK: every segment sent before [trig] and still unacked is lost. *)
   let newly_lost = ref 0 in
   let rec reap () =
-    match Queue.peek_opt t.order with
-    | None -> ()
-    | Some e ->
-      let es = seg t e.o_seq in
-      if es.acked || es.last_sent_time <> e.o_sent_time then begin
+    if t.o_len > 0 then begin
+      let e_seq = t.o_seqs.(t.o_head) in
+      let e_sent_time = t.o_times.(t.o_head) in
+      let es = seg t e_seq in
+      if es.acked || es.last_sent_time <> e_sent_time then begin
         (* Stale entry: segment acked, or retransmitted more recently. *)
-        ignore (Queue.pop t.order);
-        if es.acked && e.o_seq < t.cum_ack then Hashtbl.remove t.segs e.o_seq;
+        order_pop t;
+        if es.acked && e_seq < t.cum_ack then Hashtbl.remove t.segs e_seq;
         reap ()
       end
-      else if e.o_sent_time < trig.sent_time then begin
-        ignore (Queue.pop t.order);
+      else if e_sent_time < trig.sent_time then begin
+        order_pop t;
         if not es.lost then begin
           es.lost <- true;
           t.lost_segments <- t.lost_segments + 1;
           incr newly_lost;
-          Queue.push e.o_seq t.retx_queue;
+          Queue.push e_seq t.retx_queue;
           (* This entry is the segment's latest transmission; that one copy
              stops counting (earlier copies already stopped when the entry
              they belonged to went stale). *)
@@ -353,25 +401,26 @@ let on_ack_packet t (trig : Packet.t) =
           | None -> ()
           | Some tr ->
             Tr.emit tr ~time:now ~flow:t.flow
-              (Tr.Seg_lost { seq = e.o_seq; via_timeout = false })
+              (Tr.Seg_lost { seq = e_seq; via_timeout = false })
         end;
         reap ()
       end
+    end
   in
   reap ();
   (* RTT estimators (Karn's rule: skip retransmitted segments). *)
   let rtt_sample = now -. trig.sent_time in
   if rtt_valid then begin
-    if Float.is_nan t.srtt then begin
-      t.srtt <- rtt_sample;
-      t.rttvar <- rtt_sample /. 2.0
+    if Float.is_nan t.fs.srtt then begin
+      t.fs.srtt <- rtt_sample;
+      t.fs.rttvar <- rtt_sample /. 2.0
     end
     else begin
-      t.rttvar <-
-        (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt_sample));
-      t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt_sample)
+      t.fs.rttvar <-
+        (0.75 *. t.fs.rttvar) +. (0.25 *. Float.abs (t.fs.srtt -. rtt_sample));
+      t.fs.srtt <- (0.875 *. t.fs.srtt) +. (0.125 *. rtt_sample)
     end;
-    if rtt_sample < t.min_rtt then t.min_rtt <- rtt_sample
+    if rtt_sample < t.fs.min_rtt then t.fs.min_rtt <- rtt_sample
   end;
   (* Loss-round bookkeeping: one CC notification per recovery episode. *)
   if !newly_lost > 0 then begin
@@ -401,42 +450,49 @@ let on_ack_packet t (trig : Packet.t) =
   end;
   (* Round accounting and CC ACK notification for first-time deliveries. *)
   if first_delivery then begin
-    let round_start = trig.delivered >= t.next_round_delivered in
+    let round_start = trig.delivered >= t.fs.next_round_delivered in
     if round_start then begin
       t.round <- t.round + 1;
-      t.next_round_delivered <- t.delivered
+      t.fs.next_round_delivered <- t.fs.delivered
     end;
     let interval = now -. trig.delivered_time in
     let delivery_rate =
-      if interval > 0.0 then (t.delivered -. trig.delivered) /. interval
+      if interval > 0.0 then (t.fs.delivered -. trig.delivered) /. interval
       else 0.0
     in
     let rtt_for_cc =
       if rtt_valid then rtt_sample
-      else if Float.is_nan t.srtt then rtt_sample
-      else t.srtt
+      else if Float.is_nan t.fs.srtt then rtt_sample
+      else t.fs.srtt
     in
-    t.cc.Cc.on_ack
-      {
-        Cc.now;
-        rtt_sample = rtt_for_cc;
-        acked_bytes = t.mss;
-        delivered = t.delivered;
-        delivery_rate;
-        rate_app_limited = trig.app_limited;
-        inflight_bytes = t.inflight_bytes;
-        round = t.round;
-        round_start;
-      }
+    let a = t.ack_scratch in
+    a.Cc.f.Cc.now <- now;
+    a.Cc.f.Cc.rtt_sample <- rtt_for_cc;
+    a.Cc.f.Cc.delivered <- t.fs.delivered;
+    a.Cc.f.Cc.delivery_rate <- delivery_rate;
+    a.Cc.acked_bytes <- t.mss;
+    a.Cc.rate_app_limited <- trig.app_limited;
+    a.Cc.inflight_bytes <- t.inflight_bytes;
+    a.Cc.round <- t.round;
+    a.Cc.round_start <- round_start;
+    t.cc.Cc.on_ack a
   end;
   note_cc_state t;
   if completed t then begin
-    (match t.rto_handle with Some h -> Sim.cancel h | None -> ());
-    t.rto_handle <- None
+    if not (Sim.is_null t.rto_handle) then begin
+      Sim.cancel t.sim t.rto_handle;
+      t.rto_handle <- Sim.null_handle
+    end
   end
   else begin
     arm_rto t;
     try_send t
+  end;
+  (* [trig] has left the network (its delivery popped it from the ACK lane)
+     and every use above copied values out, so it can be recycled. *)
+  if t.pk_pool_len < Array.length t.pk_pool then begin
+    t.pk_pool.(t.pk_pool_len) <- trig;
+    t.pk_pool_len <- t.pk_pool_len + 1
   end
 
 let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
@@ -462,35 +518,69 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
       next_seq = 0;
       cum_ack = 0;
       segs = Hashtbl.create 1024;
-      order = Queue.create ();
+      o_seqs = Array.make 256 0;
+      o_times = Array.make 256 0.0;
+      o_head = 0;
+      o_len = 0;
       retx_queue = Queue.create ();
+      pk_pool = Array.make 512 Packet.dummy;
+      pk_pool_len = 0;
       inflight_bytes = 0;
-      delivered = 0.0;
-      delivered_time = 0.0;
+      fs =
+        {
+          delivered = 0.0;
+          delivered_time = 0.0;
+          next_round_delivered = 0.0;
+          srtt = nan;
+          rttvar = 0.0;
+          min_rtt = infinity;
+          next_send_time = 0.0;
+        };
       round = 0;
-      next_round_delivered = 0.0;
-      srtt = nan;
-      rttvar = 0.0;
-      min_rtt = infinity;
       in_recovery = false;
       recovery_high = 0;
-      rto_handle = None;
+      ack_scratch =
+        {
+          Cc.f =
+            {
+              Cc.now = 0.0;
+              rtt_sample = 0.0;
+              delivered = 0.0;
+              delivery_rate = 0.0;
+            };
+          acked_bytes = 0;
+          rate_app_limited = false;
+          inflight_bytes = 0;
+          round = 0;
+          round_start = false;
+        };
+      rto_handle = Sim.null_handle;
       rto_backoff = 0;
-      pacing_handle = None;
-      next_send_time = 0.0;
+      rto_cb = ignore;
+      pacing_handle = Sim.null_handle;
+      pacer_cb = ignore;
       last_cc_state = cc.Cc.state ();
       lost_segments = 0;
       retransmitted_segments = 0;
     }
   in
+  t.rto_cb <- (fun () -> on_rto t);
+  t.pacer_cb <-
+    (fun () ->
+      t.pacing_handle <- Sim.null_handle;
+      try_send t);
   (* Receiver: each arriving data packet generates one ACK that reaches the
-     sender after the flow's reverse-path delay. *)
+     sender after the flow's reverse-path delay. The reverse delay is a
+     per-flow constant, so ACK arrivals are FIFO and ride a calendar lane. *)
   let reverse = (Dumbbell.reverse_delay net ~flow :> float) in
+  let ack_lane =
+    Sim.lane sim ~dummy:Packet.dummy
+      ~deliver:(fun packet -> on_ack_packet t packet)
+  in
   Dumbbell.set_receiver net ~flow (fun packet ->
-      ignore
-        (Sim.schedule sim ~delay:reverse (fun () -> on_ack_packet t packet)));
+      Sim.schedule_packet sim ack_lane ~delay:reverse packet);
   ignore
     (Sim.schedule sim ~delay:(start_time :> float) (fun () ->
-         t.delivered_time <- Sim.now sim;
+         t.fs.delivered_time <- Sim.now sim;
          try_send t));
   t

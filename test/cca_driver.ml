@@ -7,11 +7,8 @@ let ack ?(now = 0.0) ?(rtt = 0.04) ?(acked = 1500) ?(delivered = 0.0)
     ?(rate = 0.0) ?(app_limited = false) ?(inflight = 15000) ?(round = 0)
     ?(round_start = false) () =
   {
-    now;
-    rtt_sample = rtt;
+    f = { now; rtt_sample = rtt; delivered; delivery_rate = rate };
     acked_bytes = acked;
-    delivered;
-    delivery_rate = rate;
     rate_app_limited = app_limited;
     inflight_bytes = inflight;
     round;

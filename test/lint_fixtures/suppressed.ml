@@ -9,3 +9,6 @@ let digest v = Marshal.to_string v []
 let is_idle rate = rate = 0.0 (* simlint: allow R4 *)
 
 let unarmed handle = handle = None (* simlint: allow R6 *)
+
+(* simlint: allow R7 *)
+let requeue sim packet = ignore (Sim.schedule sim ~delay:0.1 (fun () -> push packet))

@@ -47,8 +47,8 @@ let test_cancel () =
   let fired = ref false in
   let h = Event_queue.add q ~time:1.0 (fun () -> fired := true) in
   ignore (Event_queue.add q ~time:2.0 ignore);
-  Event_queue.cancel h;
-  Alcotest.(check bool) "cancelled flag" true (Event_queue.is_cancelled h);
+  Event_queue.cancel q h;
+  Alcotest.(check bool) "cancelled flag" true (Event_queue.is_cancelled q h);
   (match Event_queue.pop q with
   | Some (t, _) -> Alcotest.(check (float 1e-9)) "skips cancelled" 2.0 t
   | None -> Alcotest.fail "expected an event");
@@ -57,8 +57,8 @@ let test_cancel () =
 let test_cancel_idempotent () =
   let q = Event_queue.create () in
   let h = Event_queue.add q ~time:1.0 ignore in
-  Event_queue.cancel h;
-  Event_queue.cancel h;
+  Event_queue.cancel q h;
+  Event_queue.cancel q h;
   Alcotest.(check int) "size 0" 0 (Event_queue.size q)
 
 let test_size () =
@@ -66,7 +66,7 @@ let test_size () =
   let h1 = Event_queue.add q ~time:1.0 ignore in
   ignore (Event_queue.add q ~time:2.0 ignore);
   Alcotest.(check int) "two live" 2 (Event_queue.size q);
-  Event_queue.cancel h1;
+  Event_queue.cancel q h1;
   Alcotest.(check int) "one live after cancel" 1 (Event_queue.size q)
 
 let test_peek_does_not_remove () =
@@ -99,6 +99,48 @@ let test_growth () =
   drain ();
   Alcotest.(check int) "all popped" 1000 !count
 
+(* [size] is maintained incrementally (length minus cancelled); it must
+   agree with an externally tracked brute-force count across any interleaved
+   add/cancel/pop sequence, including through compaction. A local LCG keeps
+   the op stream deterministic. *)
+let test_size_brute_force () =
+  let q = Event_queue.create () in
+  let st = ref 0x9E3779B9 in
+  let next () =
+    st := ((!st * 25214903917) + 11) land 0x3FFFFFFFFFFF;
+    !st
+  in
+  let handles = ref [] in
+  let count = ref 0 in
+  for i = 0 to 4999 do
+    (match next () mod 5 with
+    | 0 | 1 | 2 ->
+      let time = float_of_int (next () mod 1000) /. 16.0 in
+      let h = Event_queue.add q ~time ignore in
+      handles := h :: !handles;
+      incr count
+    | 3 -> (
+      match !handles with
+      | [] -> ()
+      | hs ->
+        (* May pick a stale handle (popped or already cancelled): cancelling
+           it must be a no-op and must not disturb the count. *)
+        let h = List.nth hs (next () mod List.length hs) in
+        if not (Event_queue.is_cancelled q h) then begin
+          Event_queue.cancel q h;
+          decr count
+        end
+        else Event_queue.cancel q h)
+    | _ -> (
+      match Event_queue.pop q with
+      | Some _ -> decr count
+      | None -> ()));
+    if Event_queue.size q <> !count then
+      Alcotest.failf "after op %d: size %d, brute-force count %d" i
+        (Event_queue.size q) !count
+  done;
+  Alcotest.(check int) "final size" !count (Event_queue.size q)
+
 let prop_pops_sorted =
   QCheck.Test.make ~name:"pops are sorted" ~count:100
     QCheck.(list_of_size (Gen.int_range 0 200) (float_range 0.0 100.0))
@@ -122,7 +164,7 @@ let prop_cancel_subset =
       List.iter
         (fun (t, keep) ->
           let h = Event_queue.add q ~time:t ignore in
-          if keep then incr kept else Event_queue.cancel h)
+          if keep then incr kept else Event_queue.cancel q h)
         entries;
       let rec drain n =
         match Event_queue.pop q with Some _ -> drain (n + 1) | None -> n
@@ -139,6 +181,8 @@ let tests =
     Alcotest.test_case "size with cancellations" `Quick test_size;
     Alcotest.test_case "peek non-destructive" `Quick test_peek_does_not_remove;
     Alcotest.test_case "heap growth" `Quick test_growth;
+    Alcotest.test_case "size agrees with brute force" `Quick
+      test_size_brute_force;
     QCheck_alcotest.to_alcotest prop_pops_sorted;
     QCheck_alcotest.to_alcotest prop_cancel_subset;
   ]

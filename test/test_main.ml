@@ -5,6 +5,7 @@ let () =
       ("engine.rng", Test_rng.tests);
       ("engine.event_queue", Test_event_queue.tests);
       ("engine.sim", Test_sim.tests);
+      ("engine.scheduler_diff", Test_scheduler_diff.tests);
       ("engine.timeseries", Test_timeseries.tests);
       ("engine.stats", Test_stats.tests);
       ("engine.exec", Test_exec.tests);

@@ -27,7 +27,7 @@ let test_register_custom () =
         on_loss = ignore;
         on_send = (fun ~now:_ ~inflight_bytes:_ -> ());
         cwnd_bytes = (fun () -> float_of_int (10 * mss));
-        pacing_rate = (fun () -> None);
+        pacing_rate = (fun () -> nan);
         state = (fun () -> "Fixed");
       });
   let cc = Cca.Registry.create "test-fixed" ~mss:1500 ~rng:(rng ()) in

@@ -60,7 +60,7 @@ let test_cancel_via_sim () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule sim ~delay:1.0 (fun () -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run sim;
   Alcotest.(check bool) "cancelled" false !fired
 

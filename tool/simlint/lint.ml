@@ -25,6 +25,13 @@
       hold values containing closures ([Sim.handle], receiver callbacks) —
       [compare] raises on those at runtime. Pattern match or use
       [Option.is_none] / [Option.is_some].
+   R7 [Sim.schedule] / [Sim.schedule_at] with a callback that captures a
+      packet: each such event boxes a closure (and pins the packet) on the
+      hot path. Packets belong on a calendar lane ([Sim.schedule_packet]),
+      which passes the payload as an argument to a callback registered
+      once. Syntactic heuristic: the function-literal callback reads a
+      [Packet]-qualified record field or mentions a free variable named
+      [packet]/[pkt]; names bound inside the callback don't count.
 
    A violation is suppressed by [(* simlint: allow R<n> *)] on the same
    line or the line directly above it. *)
@@ -196,6 +203,53 @@ let is_experiment_record fields =
   in
   qualified || (List.mem "rate_bps" names && List.mem "flows" names)
 
+(* R7 helpers: recognize timer-scheduling calls and packet-capturing
+   callbacks. *)
+let is_sim_schedule lid =
+  match flatten_longident lid with
+  | [ "Sim"; ("schedule" | "schedule_at") ]
+  | [ "Sim_engine"; "Sim"; ("schedule" | "schedule_at") ] -> true
+  | _ -> false
+
+let packet_var_names = [ "packet"; "pkt" ]
+
+(* Scans a callback expression for packet evidence: a [Packet]-qualified
+   field read, or an occurrence of a conventional packet variable name that
+   no pattern inside the callback binds (so it must be captured). Binding
+   anywhere inside the callback shadows the name — a deliberate
+   over-approximation that keeps the heuristic free of scope tracking. *)
+let callback_captures_packet callback =
+  let open Parsetree in
+  let bound = Hashtbl.create 8 in
+  let field_hit = ref false in
+  let free_candidates = ref [] in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+            Hashtbl.replace bound txt ()
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident name; _ }
+            when List.mem name packet_var_names ->
+            free_candidates := name :: !free_candidates
+          | Pexp_field (_, { txt; _ })
+            when List.mem "Packet" (Longident.flatten txt) ->
+            field_hit := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iter.expr iter callback;
+  !field_hit
+  || List.exists (fun name -> not (Hashtbl.mem bound name)) !free_candidates
+
 let check_file ~path source ast =
   let allow = allowances source in
   let violations = ref [] in
@@ -253,6 +307,20 @@ let check_file ~path source ast =
                   hold closures (e.g. Sim.handle) where compare raises — \
                   pattern match or use Option.is_none / Option.is_some"
                  op)
+          | Pexp_apply
+              ({ pexp_desc = Pexp_ident { txt = flid; _ }; _ }, args)
+            when is_sim_schedule flid ->
+            List.iter
+              (fun (_, (arg : expression)) ->
+                match arg.pexp_desc with
+                | Pexp_fun _ | Pexp_function _ ->
+                  if callback_captures_packet arg then
+                    report ~loc:arg.pexp_loc ~rule:"R7"
+                      "timer callback captures a packet; deliver it on a \
+                       calendar lane (Sim.schedule_packet) so the payload \
+                       rides as an argument instead of a per-event closure"
+                | _ -> ())
+              args
           | Pexp_record (fields, None)
             when (not in_experiment) && is_experiment_record fields ->
             report ~loc:e.pexp_loc ~rule:"R5"
