@@ -36,6 +36,14 @@ check: build test lint
 	  | tee /dev/stderr | grep -q "fig03 trace: traces="
 	ls "$(CHECK_TRACE)"/*.jsonl > /dev/null
 	ls "$(CHECK_TRACE)"/*.metrics > /dev/null
+	dune exec bin/repro.exe -- run fig01 --jobs 2 --cache "$(CHECK_CACHE)" \
+	  --out "$(CHECK_OUT)"
+	cmp test/golden/fig01_quick.csv "$(CHECK_OUT)/fig01.csv"
+	dune exec bin/repro.exe -- run fig05 --jobs 2 --cache "$(CHECK_CACHE)" \
+	  --out "$(CHECK_OUT)"
+	cmp test/golden/fig05_quick.csv "$(CHECK_OUT)/fig05.csv"
+	dune exec bin/repro.exe -- fuzz --count 50 --seed 1 --jobs 2 \
+	  --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"
 	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)" "$(CHECK_OUT)"
 	@echo "check: OK"
 

@@ -1,10 +1,14 @@
-(* Command-line driver: regenerate any of the paper's tables/figures.
+(* Command-line driver: regenerate any of the paper's tables/figures, and
+   drive the correctness tooling.
 
    Usage:
      repro list
      repro run fig03 [--full] [--jobs 4] [--cache DIR] [--out results/]
                      [--trace DIR]
      repro all [--full] [--jobs 4] [--cache DIR] [--out results/]
+     repro fuzz [--count 100] [--seed 1|from-commit] [--jobs 4]
+                [--replay-out FILE] [--no-shrink] [--fault NAME]
+     repro replay FILE [--fault NAME]
 *)
 
 let ctx_of ~full ~jobs ~cache_dir ~trace_dir =
@@ -226,12 +230,152 @@ let all_cmd =
     Term.(
       const run $ full_arg $ out_arg $ jobs_arg $ cache_arg $ trace_arg)
 
+(* --- correctness tooling: fuzz + replay ------------------------------- *)
+
+let fault_arg =
+  let doc =
+    "Interpose a named event-stream corruption between the hub and the \
+     auditor (see Sim_check.Fuzz.faults). Used to exercise the \
+     fuzz/shrink/replay pipeline against a known-bad stream."
+  in
+  let fault_conv =
+    let parse s =
+      match Sim_check.Fuzz.fault_named s with
+      | Some f -> Ok f
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fault %S; known: %s" s
+                (String.concat ", "
+                   (List.map
+                      (fun f -> f.Sim_check.Fuzz.fault_name)
+                      Sim_check.Fuzz.faults))))
+    in
+    Arg.conv (parse, fun ppf f -> Fmt.string ppf f.Sim_check.Fuzz.fault_name)
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"NAME" ~doc)
+
+let fuzz_cmd =
+  let doc =
+    "Fuzz random scenarios under the runtime invariant auditor; on failure, \
+     shrink to a minimal scenario and save a deterministic replay file."
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of scenarios to run.")
+  in
+  let seed_arg =
+    let doc =
+      "Campaign seed: an integer, or $(b,from-commit) to derive one from the \
+       current git HEAD (stable per commit, different across commits)."
+    in
+    let seed_conv =
+      let parse s =
+        if s = "from-commit" then begin
+          let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+          let line = try input_line ic with End_of_file -> "" in
+          ignore (Unix.close_process_in ic);
+          if line = "" then Ok 1
+          else begin
+            (* Fold the hash digest into a positive int seed. *)
+            let d = Digest.string line in
+            let n = ref 0 in
+            String.iter (fun c -> n := ((!n * 31) + Char.code c) land 0x3FFFFFFF) d;
+            Ok (max 1 !n)
+          end
+        end
+        else
+          match int_of_string_opt s with
+          | Some n -> Ok n
+          | None -> Error (`Msg "expected an integer or 'from-commit'")
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(value & opt seed_conv 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let shrink_arg =
+    let on =
+      Arg.info [ "shrink" ]
+        ~doc:"Shrink the first failure to a minimal scenario (default)."
+    in
+    let off = Arg.info [ "no-shrink" ] ~doc:"Report the failure as generated." in
+    Arg.(value & vflag true [ (true, on); (false, off) ])
+  in
+  let replay_out_arg =
+    Arg.(
+      value
+      & opt string "fuzz-failure.scenario"
+      & info [ "replay-out" ] ~docv:"FILE"
+          ~doc:"Where to save the (shrunk) failing scenario.")
+  in
+  let run count seed jobs shrink replay_out fault =
+    Format.printf "fuzz: %d scenarios, seed %d, %d jobs%s@." count seed jobs
+      (match fault with
+      | Some f -> Printf.sprintf ", fault=%s" f.Sim_check.Fuzz.fault_name
+      | None -> "");
+    let c = Sim_check.Fuzz.campaign ?fault ~jobs ~count ~seed () in
+    Format.printf "fuzz: %d/%d passed@." c.passed c.total;
+    match c.failures with
+    | [] -> ()
+    | first :: _ ->
+      List.iter
+        (fun (f : Sim_check.Fuzz.case) ->
+          Format.printf "  case %d FAILED: %s@.    %s@." f.case_index
+            (Sim_check.Scenario.describe f.case_scenario)
+            (Sim_check.Fuzz.outcome_to_string f.case_outcome))
+        c.failures;
+      let scenario =
+        if shrink then begin
+          Format.printf "shrinking case %d...@." first.case_index;
+          let s = Sim_check.Fuzz.shrink ?fault first.case_scenario in
+          Format.printf "shrunk to: %s@." (Sim_check.Scenario.describe s);
+          s
+        end
+        else first.case_scenario
+      in
+      Sim_check.Scenario.save ~path:replay_out scenario;
+      (match Sim_check.Fuzz.run_scenario ?fault scenario with
+      | Pass -> () (* can't happen: shrink preserves failure *)
+      | outcome ->
+        Format.printf "%s@." (Sim_check.Fuzz.outcome_to_string outcome));
+      Format.printf "replay saved to %s (repro replay %s%s)@." replay_out
+        replay_out
+        (match fault with
+        | Some f -> Printf.sprintf " --fault %s" f.Sim_check.Fuzz.fault_name
+        | None -> "");
+      exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ count_arg $ seed_arg $ jobs_arg $ shrink_arg
+      $ replay_out_arg $ fault_arg)
+
+let replay_cmd =
+  let doc =
+    "Re-run a saved fuzz scenario deterministically and report its verdict."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run path fault =
+    match Sim_check.Fuzz.replay ?fault path with
+    | Error msg ->
+      Format.eprintf "replay: %s@." msg;
+      exit 2
+    | Ok (scenario, outcome) ->
+      Format.printf "scenario: %s@." (Sim_check.Scenario.describe scenario);
+      Format.printf "outcome: %s@." (Sim_check.Fuzz.outcome_to_string outcome);
+      (match outcome with Pass -> () | _ -> exit 1)
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ fault_arg)
+
 let main_cmd =
   let doc =
     "Reproduce the experiments of 'Are we heading towards a BBR-dominant \
      Internet?' (IMC 2022)"
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; model_cmd ]
+    [ list_cmd; run_cmd; all_cmd; model_cmd; fuzz_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,388 @@
+module Tr = Sim_engine.Trace
+
+type violation = {
+  invariant : string;
+  v_time : float;
+  v_flow : int;
+  v_index : int;
+  detail : string;
+}
+
+let violation_to_string v =
+  Printf.sprintf "%s@%.6f flow=%d #%d: %s" v.invariant v.v_time v.v_flow
+    v.v_index v.detail
+
+(* The catalogue. Keep in sync with DESIGN.md §Correctness; the test suite
+   asserts every id emitted below appears here. *)
+let invariant_names () =
+  [
+    "ack-unknown-seq";
+    "bottleneck-conservation";
+    "cc-state-chain";
+    "conservation";
+    "cwnd-ceiling";
+    "cwnd-positive";
+    "delivered-monotone";
+    "drop-below-capacity";
+    "drop-event-count";
+    "final-inflight";
+    "inflight-mismatch";
+    "inflight-negative";
+    "link-busy-bound";
+    "loss-after-ack";
+    "loss-unknown-seq";
+    "pacing-ceiling";
+    "pacing-positive";
+    "queue-conservation";
+    "queue-empty-consistency";
+    "queue-negative";
+    "queue-overflow";
+    "recovery-exit-idle";
+    "recovery-reenter";
+    "rto-interval";
+    "rtt-sane";
+    "send-after-ack";
+    "send-size";
+    "sender-self-check";
+    "time-monotone";
+  ]
+
+(* Per-flow mirror of the transport's accounting, reconstructed from the
+   event stream alone. [f_out] maps seq -> outstanding counted bytes (kept
+   at 0, not removed, after an RTO so a seq stays distinguishable from one
+   never sent); entries leave the table when the segment is acknowledged. *)
+type flow_state = {
+  mutable f_sends : int;
+  mutable f_acks : int;
+  mutable f_drops : int;
+  mutable f_inflight : int;
+  mutable f_delivered : float;
+  mutable f_in_recovery : bool;
+  mutable f_mss : int;
+  mutable f_cc_state : string;  (* "" until the first Cc_state_change *)
+  f_out : (int, int) Hashtbl.t;
+  f_acked : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  queue_capacity_bytes : int option;
+  cwnd_ceiling_bytes : float;
+  pacing_ceiling_bps : float;
+  max_violations : int;
+  mutable violations_rev : violation list;
+  mutable kept : int;
+  mutable index : int;
+  mutable last_time : float;
+  flows : (int, flow_state) Hashtbl.t;
+  mutable total_sends : int;
+  mutable total_drop_events : int;
+  mutable stream_closed : bool;
+}
+
+let create ?queue_capacity_bytes ?(cwnd_ceiling_bytes = infinity)
+    ?(pacing_ceiling_bps = infinity) ?(max_violations = 16) () =
+  if max_violations <= 0 then invalid_arg "Audit.create: max_violations";
+  {
+    queue_capacity_bytes;
+    cwnd_ceiling_bytes;
+    pacing_ceiling_bps;
+    max_violations;
+    violations_rev = [];
+    kept = 0;
+    index = 0;
+    last_time = 0.0;
+    flows = Hashtbl.create 16;
+    total_sends = 0;
+    total_drop_events = 0;
+    stream_closed = false;
+  }
+
+let records_seen t = t.index
+let stream_closed t = t.stream_closed
+let violations t = List.rev t.violations_rev
+
+let first_violation t =
+  match t.violations_rev with
+  | [] -> None
+  | vs -> Some (List.nth vs (List.length vs - 1))
+
+let ok t = t.kept = 0
+
+let fail t ~time ~flow ~index invariant detail =
+  if t.kept < t.max_violations then begin
+    t.violations_rev <-
+      { invariant; v_time = time; v_flow = flow; v_index = index; detail }
+      :: t.violations_rev;
+    t.kept <- t.kept + 1
+  end
+
+let flow_state t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      {
+        f_sends = 0;
+        f_acks = 0;
+        f_drops = 0;
+        f_inflight = 0;
+        f_delivered = 0.0;
+        f_in_recovery = false;
+        f_mss = 0;
+        f_cc_state = "";
+        f_out = Hashtbl.create 64;
+        f_acked = Hashtbl.create 64;
+      }
+    in
+    Hashtbl.add t.flows flow fs;
+    fs
+
+(* Per-transmission conservation: every transmitted copy is eventually
+   acknowledged, dropped at the bottleneck, or still in the network — so
+   acks + drops can never exceed sends. *)
+let check_conservation t fs ~time ~flow ~index =
+  if fs.f_acks + fs.f_drops > fs.f_sends then
+    fail t ~time ~flow ~index "conservation"
+      (Printf.sprintf "acks %d + drops %d > sends %d" fs.f_acks fs.f_drops
+         fs.f_sends)
+
+let observe t (r : Tr.record) =
+  let index = t.index in
+  t.index <- index + 1;
+  let time = r.time and flow = r.flow in
+  let fail name detail = fail t ~time ~flow ~index name detail in
+  if (not (Float.is_finite time)) || time < 0.0 then
+    fail "time-monotone" (Printf.sprintf "non-finite or negative time %g" time)
+  else if time < t.last_time then
+    fail "time-monotone"
+      (Printf.sprintf "time %.9f after %.9f" time t.last_time)
+  else t.last_time <- time;
+  match r.event with
+  | Tr.Send { seq; size; retransmit = _ } ->
+    let fs = flow_state t flow in
+    if size <= 0 then fail "send-size" (Printf.sprintf "size %d" size);
+    if Hashtbl.mem fs.f_acked seq then
+      fail "send-after-ack"
+        (Printf.sprintf "seq %d transmitted after its delivery was known" seq);
+    fs.f_sends <- fs.f_sends + 1;
+    t.total_sends <- t.total_sends + 1;
+    fs.f_mss <- size;
+    let out =
+      match Hashtbl.find_opt fs.f_out seq with Some b -> b | None -> 0
+    in
+    Hashtbl.replace fs.f_out seq (out + size);
+    fs.f_inflight <- fs.f_inflight + size
+  | Tr.Ack { seq; rtt_sample; delivered_bytes; inflight_bytes } ->
+    let fs = flow_state t flow in
+    if (not (Float.is_finite rtt_sample)) || rtt_sample < 0.0 then
+      fail "rtt-sane" (Printf.sprintf "rtt sample %g" rtt_sample);
+    if
+      (not (Float.is_finite delivered_bytes))
+      || delivered_bytes < fs.f_delivered
+    then
+      fail "delivered-monotone"
+        (Printf.sprintf "delivered %g after %g" delivered_bytes fs.f_delivered)
+    else fs.f_delivered <- delivered_bytes;
+    if inflight_bytes < 0 then
+      fail "inflight-negative" (Printf.sprintf "reported %d" inflight_bytes);
+    (if not (Hashtbl.mem fs.f_acked seq) then
+       match Hashtbl.find_opt fs.f_out seq with
+       | Some out ->
+         Hashtbl.remove fs.f_out seq;
+         Hashtbl.replace fs.f_acked seq ();
+         fs.f_inflight <- fs.f_inflight - out
+       | None ->
+         fail "ack-unknown-seq"
+           (Printf.sprintf "seq %d acknowledged but never sent" seq));
+    fs.f_acks <- fs.f_acks + 1;
+    if inflight_bytes <> fs.f_inflight then
+      fail "inflight-mismatch"
+        (Printf.sprintf
+           "sender reports %d bytes in flight, event stream reconstructs %d"
+           inflight_bytes fs.f_inflight);
+    check_conservation t fs ~time ~flow ~index
+  | Tr.Seg_lost { seq; via_timeout } ->
+    let fs = flow_state t flow in
+    if Hashtbl.mem fs.f_acked seq then
+      fail "loss-after-ack"
+        (Printf.sprintf "seq %d declared lost after delivery" seq)
+    else begin
+      match Hashtbl.find_opt fs.f_out seq with
+      | None ->
+        fail "loss-unknown-seq"
+          (Printf.sprintf "seq %d declared lost but never sent" seq)
+      | Some out ->
+        (* RACK retires the latest copy; the RTO sweep's per-segment events
+           are bookkeeping only — Rto_fire retires everything at once. *)
+        if not via_timeout then begin
+          let dec = min out (max fs.f_mss 0) in
+          Hashtbl.replace fs.f_out seq (out - dec);
+          fs.f_inflight <- fs.f_inflight - dec
+        end
+    end
+  | Tr.Drop { seq = _; size; early; queue_bytes } ->
+    let fs = flow_state t flow in
+    fs.f_drops <- fs.f_drops + 1;
+    t.total_drop_events <- t.total_drop_events + 1;
+    if size <= 0 then fail "send-size" (Printf.sprintf "dropped size %d" size);
+    (match t.queue_capacity_bytes with
+    | Some cap ->
+      if queue_bytes > cap then
+        fail "queue-overflow"
+          (Printf.sprintf "occupancy %d > capacity %d at drop" queue_bytes cap);
+      (* A tail drop must have been forced: the packet cannot have fit. *)
+      if (not early) && queue_bytes + size <= cap then
+        fail "drop-below-capacity"
+          (Printf.sprintf "tail drop with %d + %d <= capacity %d" queue_bytes
+             size cap)
+    | None -> ());
+    check_conservation t fs ~time ~flow ~index
+  | Tr.Rto_fire { interval; backoff; lost_segments = _ } ->
+    let fs = flow_state t flow in
+    if
+      (not (Float.is_finite interval))
+      || interval <= 0.0
+      || interval > 60.0 +. 1e-9
+      || backoff < 0
+    then
+      fail "rto-interval"
+        (Printf.sprintf "interval %g backoff %d (want 0 < i <= 60, b >= 0)"
+           interval backoff);
+    (* Nothing survives a timeout: zero every outstanding copy. Iteration
+       order is irrelevant (every entry is set to 0 independently). *)
+    Hashtbl.iter (* simlint: allow R1 *)
+      (fun seq _ -> Hashtbl.replace fs.f_out seq 0)
+      fs.f_out;
+    fs.f_inflight <- 0
+  | Tr.Recovery_enter { via_timeout = _; lost_bytes = _ } ->
+    let fs = flow_state t flow in
+    if fs.f_in_recovery then
+      fail "recovery-reenter" "Recovery_enter while already in recovery";
+    fs.f_in_recovery <- true
+  | Tr.Recovery_exit ->
+    let fs = flow_state t flow in
+    if not fs.f_in_recovery then
+      fail "recovery-exit-idle" "Recovery_exit outside recovery";
+    fs.f_in_recovery <- false
+  | Tr.Cc_state_change { from_state; to_state } ->
+    let fs = flow_state t flow in
+    if String.length fs.f_cc_state > 0 && not (String.equal fs.f_cc_state from_state)
+    then
+      fail "cc-state-chain"
+        (Printf.sprintf "transition from %S but last known state was %S"
+           from_state fs.f_cc_state);
+    fs.f_cc_state <- to_state
+  | Tr.Cc_sample
+      { cwnd_bytes; inflight_bytes; pacing_rate; delivered_bytes; cc_state = _ }
+    ->
+    let fs = flow_state t flow in
+    if (not (Float.is_finite cwnd_bytes)) || cwnd_bytes <= 0.0 then
+      fail "cwnd-positive" (Printf.sprintf "cwnd %g" cwnd_bytes)
+    else if cwnd_bytes > t.cwnd_ceiling_bytes then
+      fail "cwnd-ceiling"
+        (Printf.sprintf "cwnd %g > ceiling %g" cwnd_bytes t.cwnd_ceiling_bytes);
+    (match pacing_rate with
+    | None -> ()
+    | Some rate ->
+      if (not (Float.is_finite rate)) || rate <= 0.0 then
+        fail "pacing-positive" (Printf.sprintf "pacing rate %g" rate)
+      else if rate > t.pacing_ceiling_bps then
+        fail "pacing-ceiling"
+          (Printf.sprintf "pacing rate %g > ceiling %g" rate
+             t.pacing_ceiling_bps));
+    if inflight_bytes < 0 then
+      fail "inflight-negative" (Printf.sprintf "sampled %d" inflight_bytes);
+    if
+      (not (Float.is_finite delivered_bytes))
+      || delivered_bytes < fs.f_delivered
+    then
+      fail "delivered-monotone"
+        (Printf.sprintf "sampled delivered %g after %g" delivered_bytes
+           fs.f_delivered)
+    else fs.f_delivered <- delivered_bytes
+  | Tr.Queue_sample { queue_bytes; queue_packets } ->
+    if queue_bytes < 0 || queue_packets < 0 then
+      fail "queue-negative"
+        (Printf.sprintf "%d bytes in %d packets" queue_bytes queue_packets);
+    if (queue_bytes = 0) <> (queue_packets = 0) then
+      fail "queue-empty-consistency"
+        (Printf.sprintf "%d bytes in %d packets" queue_bytes queue_packets);
+    (match t.queue_capacity_bytes with
+    | Some cap ->
+      if queue_bytes > cap then
+        fail "queue-overflow"
+          (Printf.sprintf "occupancy %d > capacity %d" queue_bytes cap)
+    | None -> ())
+
+let attach t hub =
+  Tr.subscribe_sink hub ~on_record:(observe t)
+    ~on_close:(fun () -> t.stream_closed <- true)
+
+type final = {
+  fin_time : float;
+  fin_busy_seconds : float;
+  fin_queue_bytes : int;
+  fin_queue_packets : int;
+  fin_link_busy : bool;
+  fin_tx_slack_seconds : float;
+  fin_enqueued_packets : int;
+  fin_dropped_packets : int;
+  fin_delivered_packets : int;
+  fin_inflight_bytes : (int * int) list;
+}
+
+let finalize t final =
+  let index = t.index in
+  let fail ~flow name detail =
+    fail t ~time:final.fin_time ~flow ~index name detail
+  in
+  let link = Tr.link_scope in
+  (* Link.busy_time accrues a packet's full serialization time when its
+     transmission starts, so a packet mid-service at shutdown pushes the
+     counter past wall time by up to one serialization time — that is the
+     only legitimate overshoot, hence slack only while the link is busy. *)
+  let busy_slack =
+    if final.fin_link_busy then final.fin_tx_slack_seconds else 0.0
+  in
+  if final.fin_busy_seconds > final.fin_time +. busy_slack +. 1e-9 then
+    fail ~flow:link "link-busy-bound"
+      (Printf.sprintf "busy %.9f s > elapsed %.9f s (+%.9f s slack)"
+         final.fin_busy_seconds final.fin_time busy_slack);
+  if t.total_sends <> final.fin_enqueued_packets + final.fin_dropped_packets
+  then
+    fail ~flow:link "bottleneck-conservation"
+      (Printf.sprintf "%d sends but %d enqueued + %d dropped" t.total_sends
+         final.fin_enqueued_packets final.fin_dropped_packets);
+  if t.total_drop_events <> final.fin_dropped_packets then
+    fail ~flow:link "drop-event-count"
+      (Printf.sprintf "%d Drop events but the queue counted %d"
+         t.total_drop_events final.fin_dropped_packets);
+  let in_service = if final.fin_link_busy then 1 else 0 in
+  if
+    final.fin_enqueued_packets
+    <> final.fin_delivered_packets + final.fin_queue_packets + in_service
+  then
+    fail ~flow:link "queue-conservation"
+      (Printf.sprintf "%d enqueued but %d delivered + %d queued + %d in service"
+         final.fin_enqueued_packets final.fin_delivered_packets
+         final.fin_queue_packets in_service);
+  (match t.queue_capacity_bytes with
+  | Some cap ->
+    if final.fin_queue_bytes > cap then
+      fail ~flow:link "queue-overflow"
+        (Printf.sprintf "final occupancy %d > capacity %d" final.fin_queue_bytes
+           cap)
+  | None -> ());
+  List.iter
+    (fun (flow, sender_inflight) ->
+      let reconstructed =
+        match Hashtbl.find_opt t.flows flow with
+        | Some fs -> fs.f_inflight
+        | None -> 0
+      in
+      if reconstructed <> sender_inflight then
+        fail ~flow "final-inflight"
+          (Printf.sprintf
+             "sender tracks %d bytes in flight, event stream reconstructs %d"
+             sender_inflight reconstructed))
+    final.fin_inflight_bytes

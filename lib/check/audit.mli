@@ -1,0 +1,94 @@
+(** Runtime invariant auditor: a {!Sim_engine.Trace} sink that replays the
+    typed event stream against the simulator's conservation laws and flags
+    the first record that breaks one.
+
+    The auditor maintains, per flow, a mirror of the transport's in-flight
+    accounting reconstructed purely from events ([Send] adds a copy,
+    RACK-[Seg_lost] retires one copy, [Rto_fire] retires everything,
+    first-time [Ack] retires every copy of the acknowledged segment) and
+    compares it against the in-flight total the sender stamps on every
+    [Ack] record — any drift between the two is exactly an accounting bug
+    in {!Tcpflow.Sender}. Around that core sit the physical-sanity checks:
+    timestamps monotone and finite, bottleneck occupancy within capacity,
+    per-transmission conservation (acks + drops never exceed sends),
+    cumulative delivered bytes monotone, cwnd/pacing positive and below
+    configured ceilings, recovery enter/exit strictly alternating, and —
+    at {!finalize}, against live component counters — packet conservation
+    through the bottleneck queue and the link-busy-time wall-clock bound.
+
+    The catalogue of invariants lives in DESIGN.md §Correctness; tests can
+    enumerate it via {!invariant_names}. *)
+
+type violation = {
+  invariant : string;  (** Catalogue id, e.g. ["inflight-mismatch"]. *)
+  v_time : float;  (** Simulated time of the offending record. *)
+  v_flow : int;  (** Flow id, or {!Sim_engine.Trace.link_scope}. *)
+  v_index : int;  (** 0-based index of the record in the event stream. *)
+  detail : string;  (** Human-readable expected-vs-got diagnostic. *)
+}
+
+val violation_to_string : violation -> string
+(** One line: [invariant@time flow=N #index: detail] — stable enough to
+    compare across a replay. *)
+
+val invariant_names : unit -> string list
+(** Every invariant id this auditor can emit, sorted — the machine-readable
+    side of the DESIGN.md catalogue (tests assert the two agree). *)
+
+type t
+
+val create :
+  ?queue_capacity_bytes:int ->
+  ?cwnd_ceiling_bytes:float ->
+  ?pacing_ceiling_bps:float ->
+  ?max_violations:int ->
+  unit ->
+  t
+(** [queue_capacity_bytes] enables the occupancy-bound and tail-drop-cause
+    checks; the ceilings (default [infinity]) bound [Cc_sample] cwnd and
+    pacing rate; at most [max_violations] (default 16) are retained. *)
+
+val observe : t -> Sim_engine.Trace.record -> unit
+(** Feed one record. Violations are recorded, never raised — the auditor
+    keeps consuming so one bug cannot hide a later, different one. *)
+
+val attach : t -> Sim_engine.Trace.t -> unit
+(** Subscribe {!observe} to a hub ({!Sim_engine.Trace.subscribe_sink});
+    closing the hub marks the stream complete. *)
+
+type final = {
+  fin_time : float;  (** [Sim.now] when the run stopped. *)
+  fin_busy_seconds : float;  (** {!Netsim.Link.busy_seconds}. *)
+  fin_queue_bytes : int;
+  fin_queue_packets : int;
+  fin_link_busy : bool;  (** A packet is mid-serialization. *)
+  fin_tx_slack_seconds : float;
+      (** Serialization time of one max-size packet at the link rate.
+          {!Netsim.Link} accrues busy time at transmission start, so a
+          packet in service at shutdown legitimately carries the busy
+          counter past wall time by up to this much. *)
+  fin_enqueued_packets : int;  (** {!Netsim.Droptail_queue.enqueued_packets}. *)
+  fin_dropped_packets : int;  (** {!Netsim.Droptail_queue.drops}. *)
+  fin_delivered_packets : int;  (** {!Netsim.Link.delivered_packets}. *)
+  fin_inflight_bytes : (int * int) list;
+      (** Per flow id, the sender's own in-flight byte count, for the
+          event-reconstruction cross-check. *)
+}
+
+val finalize : t -> final -> unit
+(** End-of-run checks against live component state: link busy time within
+    wall time, bottleneck packet conservation
+    ([sends = enqueued + dropped] and
+    [enqueued = delivered + queued + in-service]), drop-event agreement,
+    and per-flow reconstructed in-flight equal to the sender's tracker. *)
+
+val records_seen : t -> int
+
+val stream_closed : t -> bool
+(** True once the hub this auditor was {!attach}ed to has been closed. *)
+
+val violations : t -> violation list
+(** In stream order (the first element is the first violation). *)
+
+val first_violation : t -> violation option
+val ok : t -> bool

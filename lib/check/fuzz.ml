@@ -1,0 +1,207 @@
+module Sim = Sim_engine.Sim
+module Tr = Sim_engine.Trace
+module E = Tcpflow.Experiment
+
+type outcome =
+  | Pass
+  | Violation of Audit.violation
+  | Crash of string
+
+let outcome_to_string = function
+  | Pass -> "pass"
+  | Violation v -> "violation: " ^ Audit.violation_to_string v
+  | Crash msg -> "crash: " ^ msg
+
+type fault = {
+  fault_name : string;
+  fault_apply : Tr.record -> Tr.record;
+}
+
+(* Faults must be stateless (decide from the record alone): campaign fans
+   cases out over domains that share these closures. *)
+let faults =
+  [
+    {
+      fault_name = "inflight";
+      fault_apply =
+        (fun r ->
+          match r.Tr.event with
+          | Tr.Ack { seq; rtt_sample; delivered_bytes; inflight_bytes }
+            when seq land 31 = 3 ->
+            {
+              r with
+              Tr.event =
+                Tr.Ack
+                  {
+                    seq;
+                    rtt_sample;
+                    delivered_bytes;
+                    inflight_bytes = inflight_bytes + 1;
+                  };
+            }
+          | _ -> r);
+    };
+    {
+      fault_name = "delivered-rewind";
+      fault_apply =
+        (fun r ->
+          match r.Tr.event with
+          | Tr.Ack { seq; rtt_sample; delivered_bytes; inflight_bytes }
+            when seq land 63 = 7 ->
+            {
+              r with
+              Tr.event =
+                Tr.Ack
+                  {
+                    seq;
+                    rtt_sample;
+                    delivered_bytes = delivered_bytes /. 2.0;
+                    inflight_bytes;
+                  };
+            }
+          | _ -> r);
+    };
+  ]
+
+let fault_named name =
+  List.find_opt (fun f -> String.equal f.fault_name name) faults
+
+(* Ceilings for the Cc_sample checks. These have to be runaway guards, not
+   tight physical bounds: rate-based CCAs with multiplicative search (Vivace
+   doubles its rate every monitor interval until utility feedback turns it
+   around, with no upper clamp) legitimately overshoot the link rate by
+   orders of magnitude during startup on deep-buffered paths. NaN/inf and
+   non-positive values are caught by the separate positivity checks, so the
+   ceilings only need to flag unbounded drift — 1e12 B (~a terabyte window /
+   8 Tbps pacing) is absurd for any scenario this generator produces. *)
+let ceilings (_cfg : E.config) = (1e12, 1e12)
+
+let run_scenario ?fault scenario =
+  let cfg = Scenario.to_config scenario in
+  let hub = Tr.create ~ring_capacity:256 () in
+  let cwnd_ceiling_bytes, pacing_ceiling_bps = ceilings cfg in
+  let audit =
+    Audit.create ~queue_capacity_bytes:cfg.E.buffer_bytes ~cwnd_ceiling_bytes
+      ~pacing_ceiling_bps ()
+  in
+  (match fault with
+  | None -> Audit.attach audit hub
+  | Some f ->
+    Tr.subscribe_sink hub
+      ~on_record:(fun r -> Audit.observe audit (f.fault_apply r))
+      ~on_close:ignore);
+  match E.setup ~trace:hub cfg with
+  | exception e -> Crash (Printexc.to_string e)
+  | live -> (
+    let sim = E.live_sim live in
+    let net = E.live_net live in
+    let senders = E.live_senders live in
+    (* Periodic probe: the transport's own O(window) self-check, at ~200
+       points per run. A failure is converted into a violation, stamped
+       with the probe time. *)
+    let sender_failure = ref None in
+    let duration = (cfg.E.duration :> float) in
+    let period = Float.max 0.010 (duration /. 200.0) in
+    let rec probe () =
+      Array.iter
+        (fun sender ->
+          if Option.is_none !sender_failure then
+            try Tcpflow.Sender.check_inflight_invariant sender
+            with Failure msg ->
+              sender_failure :=
+                Some
+                  {
+                    Audit.invariant = "sender-self-check";
+                    v_time = Sim.now sim;
+                    v_flow = Tcpflow.Sender.flow sender;
+                    v_index = Audit.records_seen audit;
+                    detail = msg;
+                  })
+        senders;
+      ignore (Sim.schedule sim ~delay:period probe)
+    in
+    ignore (Sim.schedule sim ~delay:period probe);
+    match Sim.run ~until:duration sim with
+    | exception e -> Crash (Printexc.to_string e)
+    | () ->
+      Tr.close hub;
+      let queue = Netsim.Dumbbell.queue net in
+      let link = Netsim.Dumbbell.link net in
+      Audit.finalize audit
+        {
+          Audit.fin_time = Sim.now sim;
+          fin_busy_seconds = (Netsim.Link.busy_seconds link :> float);
+          fin_queue_bytes = Netsim.Droptail_queue.occupancy_bytes queue;
+          fin_queue_packets = Netsim.Droptail_queue.length queue;
+          fin_link_busy = Netsim.Link.busy link;
+          fin_tx_slack_seconds =
+            1500.0 *. 8.0 /. (cfg.E.rate_bps :> float);
+          fin_enqueued_packets = Netsim.Droptail_queue.enqueued_packets queue;
+          fin_dropped_packets = Netsim.Droptail_queue.drops queue;
+          fin_delivered_packets = Netsim.Link.delivered_packets link;
+          fin_inflight_bytes =
+            Array.to_list
+              (Array.map
+                 (fun s ->
+                   (Tcpflow.Sender.flow s, Tcpflow.Sender.inflight_bytes s))
+                 senders);
+        };
+      (match !sender_failure with
+      | Some v -> Violation v
+      | None -> (
+        match Audit.first_violation audit with
+        | Some v -> Violation v
+        | None -> Pass)))
+
+let fails ?fault scenario =
+  match run_scenario ?fault scenario with
+  | Pass -> false
+  | Violation _ | Crash _ -> true
+
+let shrink ?fault scenario =
+  let rec go s budget =
+    if budget = 0 then s
+    else
+      match List.find_opt (fails ?fault) (Scenario.shrink_candidates s) with
+      | None -> s
+      | Some simpler -> go simpler (budget - 1)
+  in
+  if fails ?fault scenario then go scenario 64 else scenario
+
+type case = {
+  case_index : int;
+  case_scenario : Scenario.t;
+  case_outcome : outcome;
+}
+
+type campaign = {
+  total : int;
+  passed : int;
+  failures : case list;
+}
+
+let campaign ?fault ?(jobs = 1) ~count ~seed () =
+  if count <= 0 then invalid_arg "Fuzz.campaign: count";
+  let scenarios = Array.of_list (Scenario.generate_batch ~seed ~count) in
+  let outcomes = Sim_engine.Exec.map ~jobs (run_scenario ?fault) scenarios in
+  let failures = ref [] in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Pass -> ()
+      | Violation _ | Crash _ ->
+        failures :=
+          { case_index = i; case_scenario = scenarios.(i); case_outcome = outcome }
+          :: !failures)
+    outcomes;
+  let failures = List.rev !failures in
+  {
+    total = count;
+    passed = count - List.length failures;
+    failures;
+  }
+
+let replay ?fault path =
+  match Scenario.load ~path with
+  | Error _ as e -> e
+  | Ok scenario -> Ok (scenario, run_scenario ?fault scenario)

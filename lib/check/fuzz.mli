@@ -1,0 +1,62 @@
+(** The scenario fuzzer: generate → simulate under the invariant auditor →
+    shrink failures to minimal scenarios → save byte-for-byte replays.
+
+    Every simulated case runs fully traced with an {!Audit} attached, a
+    periodic probe calling {!Tcpflow.Sender.check_inflight_invariant} on
+    every sender, and an end-of-run {!Audit.finalize} against the live
+    queue/link counters. Cases are pure functions of their scenario, so
+    campaigns fan out over {!Sim_engine.Exec} worker domains without
+    changing any verdict. *)
+
+type outcome =
+  | Pass
+  | Violation of Audit.violation
+  | Crash of string  (** The simulation raised; the message is the exn. *)
+
+val outcome_to_string : outcome -> string
+
+type fault = {
+  fault_name : string;
+  fault_apply : Sim_engine.Trace.record -> Sim_engine.Trace.record;
+}
+(** A deterministic, stateless event-stream corruption, interposed between
+    the hub and the auditor. Faults simulate accounting bugs without
+    patching the simulator: they validate that the auditor catches a class
+    of defect and give the shrinker something real to minimize. *)
+
+val faults : fault list
+(** The canonical corruption models: ["inflight"] (skews the in-flight
+    count stamped on some ACKs, as an accounting drift would) and
+    ["delivered-rewind"] (makes cumulative delivered bytes regress). *)
+
+val fault_named : string -> fault option
+
+val run_scenario : ?fault:fault -> Scenario.t -> outcome
+(** Run one scenario under full instrumentation and return its verdict.
+    Deterministic: equal scenarios (and fault) yield equal outcomes. *)
+
+val shrink : ?fault:fault -> Scenario.t -> Scenario.t
+(** Greedily minimize a failing scenario: repeatedly adopt the first
+    {!Scenario.shrink_candidates} variant that still fails (any violation
+    or crash counts), until none does or the step budget (64) runs out.
+    Returns the input unchanged if it does not fail. *)
+
+type case = {
+  case_index : int;  (** Position in the generated batch. *)
+  case_scenario : Scenario.t;
+  case_outcome : outcome;
+}
+
+type campaign = {
+  total : int;
+  passed : int;
+  failures : case list;  (** In batch order; empty on a clean campaign. *)
+}
+
+val campaign :
+  ?fault:fault -> ?jobs:int -> count:int -> seed:int -> unit -> campaign
+(** Generate [count] scenarios from [seed] and run them on [jobs] worker
+    domains (default 1). Verdicts are independent of [jobs]. *)
+
+val replay : ?fault:fault -> string -> (Scenario.t * outcome, string) result
+(** [replay path] loads a replay file and re-runs it. *)

@@ -1,0 +1,234 @@
+module Rng = Sim_engine.Rng
+module Units = Sim_engine.Units
+module E = Tcpflow.Experiment
+
+type flow = { f_cca : string; f_rtt_ms : float; f_start_s : float }
+
+type aqm = Tail | Red
+
+type t = {
+  seed : int;
+  mbps : float;
+  buffer_bdp : float;
+  base_rtt_ms : float;
+  duration_s : float;
+  aqm : aqm;
+  flows : flow list;
+}
+
+(* Quantize to 1e-4: %.4f then prints every float losslessly, so the
+   replay-file round-trip is byte-for-byte. *)
+let q x = Float.round (x *. 1e4) /. 1e4
+
+let to_config t =
+  let rate_bps = Units.mbps t.mbps in
+  let rtt = Units.ms t.base_rtt_ms in
+  E.config
+    ~aqm:(match t.aqm with Tail -> E.Tail_drop | Red -> E.Red_default)
+    ~seed:t.seed ~rate_bps
+    ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:t.buffer_bdp)
+    ~duration:(Units.seconds t.duration_s)
+    ~sample_period:(Units.ms 5.0)
+    (List.map
+       (fun f ->
+         E.flow_config
+           ~base_rtt:(Units.ms f.f_rtt_ms)
+           ~start_time:(Units.seconds f.f_start_s)
+           f.f_cca)
+       t.flows)
+
+let generate rng =
+  let duration_s = q (Rng.uniform_in rng ~lo:3.0 ~hi:8.0) in
+  let n_flows = 1 + Rng.int rng 5 in
+  let names = Cca.Registry.names () in
+  let flows =
+    List.init n_flows (fun _ ->
+        {
+          f_cca = List.nth names (Rng.int rng (List.length names));
+          f_rtt_ms = q (Rng.uniform_in rng ~lo:5.0 ~hi:80.0);
+          f_start_s = q (Rng.uniform_in rng ~lo:0.0 ~hi:(duration_s /. 3.0));
+        })
+  in
+  {
+    seed = 1 + Rng.int rng 1_000_000_000;
+    mbps = q (Rng.uniform_in rng ~lo:5.0 ~hi:50.0);
+    buffer_bdp = q (Rng.uniform_in rng ~lo:0.25 ~hi:16.0);
+    base_rtt_ms = q (Rng.uniform_in rng ~lo:5.0 ~hi:80.0);
+    duration_s;
+    aqm = (if Rng.int rng 8 = 0 then Red else Tail);
+    flows;
+  }
+
+let generate_batch ~seed ~count =
+  let rng = Rng.create seed in
+  List.init count (fun _ -> generate (Rng.split rng))
+
+(* ---------- shrinking ---------- *)
+
+let ne a b = Float.compare a b <> 0
+
+let without_flow t i =
+  { t with flows = List.filteri (fun j _ -> j <> i) t.flows }
+
+let shrink_candidates t =
+  let candidates = ref [] in
+  let add c = candidates := c :: !candidates in
+  (* Reversed accumulation: add least-aggressive first so the final list
+     leads with the biggest reductions. *)
+  (if List.exists (fun f -> not (String.equal f.f_cca "reno")) t.flows then
+     add
+       {
+         t with
+         flows = List.map (fun f -> { f with f_cca = "reno" }) t.flows;
+       });
+  if ne t.base_rtt_ms 20.0 then add { t with base_rtt_ms = 20.0 };
+  if ne t.mbps 10.0 then add { t with mbps = 10.0 };
+  if ne t.buffer_bdp 1.0 then
+    add
+      {
+        t with
+        buffer_bdp = (if t.buffer_bdp > 2.0 then q (t.buffer_bdp /. 2.0) else 1.0);
+      };
+  (if List.exists (fun f -> ne f.f_rtt_ms t.base_rtt_ms) t.flows then
+     add
+       {
+         t with
+         flows = List.map (fun f -> { f with f_rtt_ms = t.base_rtt_ms }) t.flows;
+       });
+  (match t.aqm with Red -> add { t with aqm = Tail } | Tail -> ());
+  (if List.exists (fun f -> ne f.f_start_s 0.0) t.flows then
+     add
+       { t with flows = List.map (fun f -> { f with f_start_s = 0.0 }) t.flows });
+  if t.duration_s > 1.5 then
+    add { t with duration_s = q (Float.max 1.0 (t.duration_s /. 2.0)) };
+  if List.length t.flows > 1 then
+    List.iteri (fun i _ -> add (without_flow t i)) t.flows;
+  !candidates
+
+(* ---------- serialization ---------- *)
+
+let header = "sim_check scenario v1"
+
+let aqm_to_string = function Tail -> "tail" | Red -> "red"
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Printf.bprintf b "seed %d\n" t.seed;
+  Printf.bprintf b "mbps %.4f\n" t.mbps;
+  Printf.bprintf b "buffer_bdp %.4f\n" t.buffer_bdp;
+  Printf.bprintf b "base_rtt_ms %.4f\n" t.base_rtt_ms;
+  Printf.bprintf b "duration_s %.4f\n" t.duration_s;
+  Printf.bprintf b "aqm %s\n" (aqm_to_string t.aqm);
+  List.iter
+    (fun f ->
+      Printf.bprintf b "flow %s %.4f %.4f\n" f.f_cca f.f_rtt_ms f.f_start_s)
+    t.flows;
+  Buffer.contents b
+
+let of_string s =
+  let ( let* ) r f = Result.bind r f in
+  let float_field name v =
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> Ok f
+    | _ -> Error (Printf.sprintf "scenario: bad %s %S" name v)
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length (String.trim l) > 0)
+  in
+  match lines with
+  | [] -> Error "scenario: empty file"
+  | first :: rest ->
+    if not (String.equal (String.trim first) header) then
+      Error (Printf.sprintf "scenario: unknown header %S" first)
+    else
+      let init =
+        {
+          seed = 0;
+          mbps = nan;
+          buffer_bdp = nan;
+          base_rtt_ms = nan;
+          duration_s = nan;
+          aqm = Tail;
+          flows = [];
+        }
+      in
+      let* parsed =
+        List.fold_left
+          (fun acc line ->
+            let* t = acc in
+            match String.split_on_char ' ' (String.trim line) with
+            | [ "seed"; v ] -> (
+              match int_of_string_opt v with
+              | Some seed when seed > 0 -> Ok { t with seed }
+              | _ -> Error (Printf.sprintf "scenario: bad seed %S" v))
+            | [ "mbps"; v ] ->
+              let* mbps = float_field "mbps" v in
+              Ok { t with mbps }
+            | [ "buffer_bdp"; v ] ->
+              let* buffer_bdp = float_field "buffer_bdp" v in
+              Ok { t with buffer_bdp }
+            | [ "base_rtt_ms"; v ] ->
+              let* base_rtt_ms = float_field "base_rtt_ms" v in
+              Ok { t with base_rtt_ms }
+            | [ "duration_s"; v ] ->
+              let* duration_s = float_field "duration_s" v in
+              Ok { t with duration_s }
+            | [ "aqm"; "tail" ] -> Ok { t with aqm = Tail }
+            | [ "aqm"; "red" ] -> Ok { t with aqm = Red }
+            | [ "flow"; cca; rtt; start ] ->
+              let* f_rtt_ms = float_field "flow rtt" rtt in
+              let* f_start_s = float_field "flow start" start in
+              Ok
+                {
+                  t with
+                  flows = t.flows @ [ { f_cca = cca; f_rtt_ms; f_start_s } ];
+                }
+            | _ -> Error (Printf.sprintf "scenario: bad line %S" line))
+          (Ok init) rest
+      in
+      if parsed.seed = 0 then Error "scenario: missing seed"
+      else if Float.is_nan parsed.mbps || parsed.mbps <= 0.0 then
+        Error "scenario: missing or non-positive mbps"
+      else if Float.is_nan parsed.buffer_bdp || parsed.buffer_bdp <= 0.0 then
+        Error "scenario: missing or non-positive buffer_bdp"
+      else if Float.is_nan parsed.base_rtt_ms || parsed.base_rtt_ms <= 0.0 then
+        Error "scenario: missing or non-positive base_rtt_ms"
+      else if Float.is_nan parsed.duration_s || parsed.duration_s <= 0.0 then
+        Error "scenario: missing or non-positive duration_s"
+      else if parsed.flows = [] then Error "scenario: no flows"
+      else begin
+        match
+          List.find_opt
+            (fun f -> Option.is_none (Cca.Registry.find f.f_cca))
+            parsed.flows
+        with
+        | Some f ->
+          Error (Printf.sprintf "scenario: unknown cca %S" f.f_cca)
+        | None -> Ok parsed
+      end
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load ~path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+
+let describe t =
+  Printf.sprintf "seed=%d mbps=%.1f buffer=%.2fbdp rtt=%.1fms dur=%.1fs aqm=%s flows=%s"
+    t.seed t.mbps t.buffer_bdp t.base_rtt_ms t.duration_s
+    (aqm_to_string t.aqm)
+    (String.concat ","
+       (List.map
+          (fun f -> Printf.sprintf "%s@%.1f+%.1f" f.f_cca f.f_rtt_ms f.f_start_s)
+          t.flows))

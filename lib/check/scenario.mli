@@ -1,0 +1,54 @@
+(** Fuzzable simulation scenarios: a compact, fully serializable description
+    of one packet-level run (topology, CCA mix, flow schedule, horizon,
+    seed) plus a seeded generator and shrinking.
+
+    Scenarios quantize every float to four decimals so that
+    [of_string (to_string s)] round-trips byte-for-byte — a saved replay
+    file re-runs the exact simulation that failed, forever. *)
+
+type flow = {
+  f_cca : string;  (** A {!Cca.Registry} name. *)
+  f_rtt_ms : float;  (** The flow's two-way propagation delay. *)
+  f_start_s : float;  (** When the flow starts sending. *)
+}
+
+type aqm = Tail | Red
+
+type t = {
+  seed : int;  (** The simulation seed (all randomness derives from it). *)
+  mbps : float;  (** Bottleneck capacity. *)
+  buffer_bdp : float;  (** Buffer depth in BDPs of [base_rtt_ms]. *)
+  base_rtt_ms : float;  (** The RTT defining one BDP. *)
+  duration_s : float;  (** Simulated horizon (quick-mode scale). *)
+  aqm : aqm;
+  flows : flow list;
+}
+
+val to_config : t -> Tcpflow.Experiment.config
+(** The packet-level experiment this scenario denotes (warm-up 0 — the
+    auditor cares about the whole run, not a measurement window). *)
+
+val generate : Sim_engine.Rng.t -> t
+(** Draw one scenario: 1–5 flows over every registered CCA, 5–50 Mbps,
+    5–80 ms RTTs, 0.25–16 BDP buffers, 3–8 s horizons, occasional RED. *)
+
+val generate_batch : seed:int -> count:int -> t list
+(** [count] scenarios, deterministically derived from [seed] alone. *)
+
+val shrink_candidates : t -> t list
+(** Strictly-simpler variants, most aggressive first (drop a flow, halve
+    the horizon, zero the start times, drop RED, collapse RTTs, canonical
+    buffer/bandwidth, simplest CCA). The fuzz driver keeps a candidate only
+    when it still fails, so each accepted step shrinks the counterexample. *)
+
+val to_string : t -> string
+(** The replay-file format: a versioned, line-oriented [key value] text. *)
+
+val of_string : string -> (t, string) result
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result
+
+val describe : t -> string
+(** One line for logs:
+    [seed=8 mbps=10.0 buffer=1.0bdp rtt=40.0ms dur=4.0s aqm=tail
+    flows=cubic@40.0+0.0,bbr@20.0+1.5]. *)

@@ -30,13 +30,41 @@ type t = {
   mutable next : int;  (* ring slot for the next record *)
   mutable emitted : int;
   mutable sinks : (record -> unit) list;  (* reversed subscription order *)
+  mutable closers : (unit -> unit) list;  (* reversed subscription order *)
+  mutable closed : bool;
 }
 
 let create ?(ring_capacity = 65536) () =
   if ring_capacity <= 0 then invalid_arg "Trace.create: ring_capacity";
-  { ring = Array.make ring_capacity None; next = 0; emitted = 0; sinks = [] }
+  {
+    ring = Array.make ring_capacity None;
+    next = 0;
+    emitted = 0;
+    sinks = [];
+    closers = [];
+    closed = false;
+  }
 
 let subscribe t sink = t.sinks <- sink :: t.sinks
+
+let subscribe_sink t ~on_record ~on_close =
+  t.sinks <- on_record :: t.sinks;
+  t.closers <- on_close :: t.closers
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* Subscription order, like [emit]. *)
+    let rec fire = function
+      | [] -> ()
+      | f :: rest ->
+        fire rest;
+        f ()
+    in
+    fire t.closers
+  end
+
+let closed t = t.closed
 
 let emit t ~time ~flow event =
   let r = { time; flow; event } in

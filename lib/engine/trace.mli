@@ -69,6 +69,20 @@ val emit : t -> time:float -> flow:int -> event -> unit
 val subscribe : t -> (record -> unit) -> unit
 (** Sinks run synchronously at emission, in subscription order. *)
 
+val subscribe_sink :
+  t -> on_record:(record -> unit) -> on_close:(unit -> unit) -> unit
+(** Like {!subscribe}, but with an end-of-stream callback: [on_close] runs
+    when the hub is {!close}d, letting stateful sinks (file writers, the
+    invariant auditor) flush buffers or run whole-stream checks. *)
+
+val close : t -> unit
+(** Declare the stream complete: every sink's [on_close] runs once, in
+    subscription order. Idempotent — only the first call fires the
+    callbacks. Closing does not disable {!emit}; it is a signal to sinks,
+    not a lifecycle gate on the hub. *)
+
+val closed : t -> bool
+
 val records : t -> record list
 (** The retained (up to [ring_capacity] most recent) records, in emission
     order. *)

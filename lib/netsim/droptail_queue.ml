@@ -24,6 +24,8 @@ type t = {
   mutable drops : int;
   mutable early_drops : int;
   mutable dropped_bytes : int;
+  mutable enqueued_packets : int;
+  mutable enqueued_bytes : int;
   mutable drop_hook : early:bool -> Packet.t -> unit;
 }
 
@@ -61,6 +63,8 @@ let create ?(policy = Tail_drop) ~capacity_bytes () =
     drops = 0;
     early_drops = 0;
     dropped_bytes = 0;
+    enqueued_packets = 0;
+    enqueued_bytes = 0;
     drop_hook = (fun ~early:_ _ -> ());
   }
 
@@ -119,6 +123,8 @@ let enqueue t (p : Packet.t) =
     t.ring.((t.head + t.len) land (Array.length t.ring - 1)) <- p;
     t.len <- t.len + 1;
     t.bytes <- t.bytes + p.size;
+    t.enqueued_packets <- t.enqueued_packets + 1;
+    t.enqueued_bytes <- t.enqueued_bytes + p.size;
     adjust_flow t p.flow p.size;
     Enqueued
   end
@@ -160,5 +166,7 @@ let average_queue_bytes t =
   | Red _ -> t.avg_bytes
 
 let dropped_bytes t = t.dropped_bytes
+let enqueued_packets t = t.enqueued_packets
+let enqueued_bytes t = t.enqueued_bytes
 let set_drop_hook t f = t.drop_hook <- f
 let drop_hook t = t.drop_hook

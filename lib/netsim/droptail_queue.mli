@@ -68,6 +68,17 @@ val average_queue_bytes : t -> float
 
 val dropped_bytes : t -> int
 
+val enqueued_packets : t -> int
+(** Cumulative count of packets accepted into the queue since creation.
+    Together with {!drops} this closes the bottleneck's conservation law:
+    every arrival is either enqueued or dropped, so
+    [arrivals = enqueued_packets + drops] — the relation the runtime
+    invariant auditor ({!Sim_check.Audit}) cross-checks against the event
+    stream. *)
+
+val enqueued_bytes : t -> int
+(** Cumulative bytes accepted into the queue since creation. *)
+
 val set_drop_hook : t -> (early:bool -> Packet.t -> unit) -> unit
 (** Invoked synchronously on every drop (after counters update); [early] is
     true for RED's probabilistic drops, false for tail drops. *)

@@ -79,7 +79,18 @@ type result = {
 let distinct_ccas flows =
   List.sort_uniq compare (List.map (fun f -> f.cca) flows)
 
-let run ?trace config =
+type live = {
+  live_config : config;
+  sim : Sim.t;
+  net : Netsim.Dumbbell.t;
+  senders : Sender.t array;
+  sampler : Netsim.Sampler.t;
+  flow_tracers : Flow_trace.t array;
+  delivered_at_warmup : float array;
+  flow_classes : (string * (int -> bool)) list;
+}
+
+let setup ?trace config =
   if (config.warmup :> float) >= (config.duration :> float) then
     invalid_arg "Experiment.run: warmup must precede duration";
   let sim = Sim.create ~seed:config.seed () in
@@ -141,6 +152,30 @@ let run ?trace config =
            (fun i sender ->
              delivered_at_warmup.(i) <- Sender.delivered_bytes sender)
            senders));
+  {
+    live_config = config;
+    sim;
+    net;
+    senders;
+    sampler;
+    flow_tracers;
+    delivered_at_warmup;
+    flow_classes;
+  }
+
+let live_sim l = l.sim
+let live_net l = l.net
+let live_senders l = l.senders
+
+let finish l =
+  let config = l.live_config in
+  let sim = l.sim
+  and net = l.net
+  and senders = l.senders
+  and sampler = l.sampler
+  and flow_classes = l.flow_classes
+  and delivered_at_warmup = l.delivered_at_warmup in
+  let flows = Array.of_list config.flows in
   Sim.run ~until:(config.duration :> float) sim;
   let window = (config.duration :> float) -. (config.warmup :> float) in
   let per_flow =
@@ -202,8 +237,10 @@ let run ?trace config =
     }
   in
   Netsim.Sampler.stop sampler;
-  Array.iter Flow_trace.stop flow_tracers;
+  Array.iter Flow_trace.stop l.flow_tracers;
   result
+
+let run ?trace config = finish (setup ?trace config)
 
 let throughput_of_cca result name =
   List.filter_map

@@ -93,7 +93,30 @@ val run : ?trace:Sim_engine.Trace.t -> config -> result
 (** When [trace] is given, the dumbbell, every sender, and a per-flow
     {!Flow_trace} all emit into it, so a sink subscribed before [run] sees
     the full event stream. [trace] deliberately does not participate in
-    {!digest}: tracing must not perturb cache keys or results. *)
+    {!digest}: tracing must not perturb cache keys or results.
+
+    Equivalent to [finish (setup ?trace config)]. *)
+
+type live
+(** A fully wired but not-yet-run experiment: the simulator, network and
+    senders of one {!config}, exposed so harnesses (the fuzz driver, the
+    invariant auditor) can attach probes and cross-check live component
+    state before and during the run. *)
+
+val setup : ?trace:Sim_engine.Trace.t -> config -> live
+(** Build the simulator, bottleneck, senders, samplers and (when traced)
+    flow tracers for [config] without advancing the clock. Raises
+    [Invalid_argument] when [config.warmup >= config.duration]. *)
+
+val live_sim : live -> Sim_engine.Sim.t
+val live_net : live -> Netsim.Dumbbell.t
+val live_senders : live -> Sender.t array
+(** Senders in flow-id order: [live_senders l).(i)] drives flow [i]. *)
+
+val finish : live -> result
+(** Run the simulation to [config.duration] (a no-op if a caller already
+    advanced the clock there via {!live_sim}) and compute the {!result},
+    stopping the samplers and tracers. Call at most once. *)
 
 val throughput_of_cca : result -> string -> float list
 (** Per-flow goodputs (bits/s) of all flows running the named CCA. *)

@@ -85,6 +85,9 @@ type t = {
 
 let flow t = t.flow
 let cc t = t.cc
+let mss t = t.mss
+let next_seq t = t.next_seq
+let cum_ack t = t.cum_ack
 let delivered_bytes t = t.fs.delivered
 let inflight_bytes t = t.inflight_bytes
 let lost_segments t = t.lost_segments

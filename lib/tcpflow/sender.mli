@@ -44,6 +44,18 @@ val completed : t -> bool
 val flow : t -> int
 val cc : t -> Cca.Cc_types.t
 
+val mss : t -> int
+
+val next_seq : t -> int
+(** The next fresh sequence number: segments [0 .. next_seq - 1] have been
+    transmitted at least once. *)
+
+val cum_ack : t -> int
+(** The cumulative-ACK point: every segment below it has been delivered.
+    Exposed (with {!next_seq} and {!inflight_bytes}) so the runtime
+    invariant auditor can cross-check its event-stream reconstruction
+    against the transport's own accounting. *)
+
 val delivered_bytes : t -> float
 (** Cumulative bytes delivered (first-time ACKed), the basis for goodput
     measurements. *)

@@ -1,0 +1,361 @@
+(* The invariant auditor, exercised on synthetic event streams: each test
+   hand-builds a minimal record sequence that violates exactly one law (or
+   none) and checks the auditor's verdict, invariant id and first-violation
+   ordering. *)
+
+module Tr = Sim_engine.Trace
+module Audit = Sim_check.Audit
+
+let rec_ time flow event = { Tr.time; flow; event }
+let send ?(t = 0.0) ?(flow = 0) ?(size = 1500) ?(retransmit = false) seq =
+  rec_ t flow (Tr.Send { seq; size; retransmit })
+
+let ack ?(t = 0.0) ?(flow = 0) ?(rtt = 0.02) ?(delivered = 0.0) ~inflight seq =
+  rec_ t flow
+    (Tr.Ack { seq; rtt_sample = rtt; delivered_bytes = delivered;
+              inflight_bytes = inflight })
+
+let feed audit records = List.iter (Audit.observe audit) records
+
+let check_first name audit expected =
+  match Audit.first_violation audit with
+  | None -> Alcotest.failf "%s: expected a %S violation, got none" name expected
+  | Some v ->
+    Alcotest.(check string) (name ^ " invariant") expected v.Audit.invariant
+
+let check_ok name audit =
+  (match Audit.first_violation audit with
+  | Some v ->
+    Alcotest.failf "%s: unexpected violation %s" name
+      (Audit.violation_to_string v)
+  | None -> ());
+  Alcotest.(check bool) (name ^ " ok") true (Audit.ok audit)
+
+(* A consistent finalize for a stream with [sends] transmissions, all
+   delivered and acknowledged. *)
+let all_delivered ~time ~sends =
+  {
+    Audit.fin_time = time;
+    fin_busy_seconds = 0.0;
+    fin_queue_bytes = 0;
+    fin_queue_packets = 0;
+    fin_link_busy = false;
+    fin_tx_slack_seconds = 0.0012;
+    fin_enqueued_packets = sends;
+    fin_dropped_packets = 0;
+    fin_delivered_packets = sends;
+    fin_inflight_bytes = [ (0, 0) ];
+  }
+
+let test_catalogue () =
+  let names = Audit.invariant_names () in
+  Alcotest.(check bool) "non-empty" true (List.length names > 20);
+  Alcotest.(check (list string)) "sorted, unique" (List.sort_uniq compare names)
+    names;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " catalogued") true (List.mem key names))
+    [ "inflight-mismatch"; "time-monotone"; "queue-overflow";
+      "sender-self-check"; "link-busy-bound" ]
+
+let test_clean_stream () =
+  let audit = Audit.create () in
+  feed audit
+    [
+      send ~t:0.0 0;
+      send ~t:0.001 1;
+      ack ~t:0.02 ~delivered:1500.0 ~inflight:1500 0;
+      ack ~t:0.021 ~delivered:3000.0 ~inflight:0 1;
+    ];
+  Alcotest.(check int) "records" 4 (Audit.records_seen audit)
+
+let test_clean_send_ack_cycle () =
+  let audit = Audit.create () in
+  feed audit
+    [
+      send ~t:0.0 0;
+      send ~t:0.001 1;
+      ack ~t:0.020 ~delivered:1500.0 ~inflight:1500 0;
+      ack ~t:0.021 ~delivered:3000.0 ~inflight:0 1;
+    ];
+  Audit.finalize audit (all_delivered ~time:0.021 ~sends:2);
+  check_ok "clean cycle" audit
+
+let test_time_monotone () =
+  let audit = Audit.create () in
+  feed audit [ send ~t:1.0 0; send ~t:0.5 1 ];
+  check_first "regression" audit "time-monotone";
+  let audit = Audit.create () in
+  feed audit [ send ~t:nan 0 ];
+  check_first "nan time" audit "time-monotone"
+
+let test_inflight_mismatch () =
+  let audit = Audit.create () in
+  feed audit [ send 0; ack ~t:0.02 ~inflight:1 0 ];
+  check_first "mismatch" audit "inflight-mismatch"
+
+let test_ack_unknown_seq () =
+  let audit = Audit.create () in
+  feed audit [ ack ~t:0.02 ~inflight:0 7 ];
+  check_first "unknown" audit "ack-unknown-seq"
+
+let test_send_after_ack () =
+  let audit = Audit.create () in
+  feed audit
+    [ send 0; ack ~t:0.02 ~inflight:0 0; send ~t:0.03 ~retransmit:true 0 ];
+  check_first "send after ack" audit "send-after-ack"
+
+let test_loss_events () =
+  let audit = Audit.create () in
+  feed audit
+    [ send 0; ack ~t:0.02 ~inflight:0 0;
+      rec_ 0.03 0 (Tr.Seg_lost { seq = 0; via_timeout = false }) ];
+  check_first "loss after ack" audit "loss-after-ack";
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 0 (Tr.Seg_lost { seq = 3; via_timeout = false }) ];
+  check_first "loss unknown" audit "loss-unknown-seq"
+
+(* A RACK loss retires one MSS of the outstanding copies; the subsequent
+   first-delivery ACK retires whatever remains of that seq. *)
+let test_rack_loss_accounting () =
+  let audit = Audit.create () in
+  feed audit
+    [
+      send 0;
+      send ~t:0.01 ~retransmit:true 0;
+      (* two copies of seq 0 in flight: 3000 bytes *)
+      rec_ 0.02 0 (Tr.Seg_lost { seq = 0; via_timeout = false });
+      (* one copy retired: 1500 left *)
+      ack ~t:0.03 ~delivered:1500.0 ~inflight:0 0;
+    ];
+  check_ok "rack accounting" audit
+
+(* An RTO zeroes every outstanding copy; later ACKs of those seqs retire
+   nothing. *)
+let test_rto_zeroes_everything () =
+  let audit = Audit.create () in
+  feed audit
+    [
+      send 0;
+      send ~t:0.001 1;
+      rec_ 0.2 0 (Tr.Rto_fire { interval = 0.2; backoff = 0; lost_segments = 2 });
+      send ~t:0.21 ~retransmit:true 0;
+      ack ~t:0.23 ~delivered:1500.0 ~inflight:0 0;
+    ];
+  check_ok "rto accounting" audit
+
+let test_rto_interval () =
+  let audit = Audit.create () in
+  feed audit
+    [ rec_ 0.0 0 (Tr.Rto_fire { interval = 61.0; backoff = 0; lost_segments = 0 }) ];
+  check_first "over cap" audit "rto-interval";
+  let audit = Audit.create () in
+  feed audit
+    [ rec_ 0.0 0 (Tr.Rto_fire { interval = 0.0; backoff = 0; lost_segments = 0 }) ];
+  check_first "zero" audit "rto-interval"
+
+let test_recovery_alternation () =
+  let enter = Tr.Recovery_enter { via_timeout = false; lost_bytes = 1500 } in
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 0 enter; rec_ 0.1 0 enter ];
+  check_first "reenter" audit "recovery-reenter";
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 0 Tr.Recovery_exit ];
+  check_first "exit idle" audit "recovery-exit-idle";
+  let audit = Audit.create () in
+  feed audit
+    [ rec_ 0.0 0 enter; rec_ 0.1 0 Tr.Recovery_exit; rec_ 0.2 0 enter ];
+  check_ok "alternating" audit
+
+let test_cc_state_chain () =
+  let change from_state to_state =
+    Tr.Cc_state_change { from_state; to_state }
+  in
+  let audit = Audit.create () in
+  feed audit
+    [ rec_ 0.0 0 (change "Startup" "Drain"); rec_ 0.1 0 (change "Drain" "ProbeBW") ];
+  check_ok "chained" audit;
+  let audit = Audit.create () in
+  feed audit
+    [ rec_ 0.0 0 (change "Startup" "Drain"); rec_ 0.1 0 (change "Startup" "ProbeBW") ];
+  check_first "broken chain" audit "cc-state-chain"
+
+let cc_sample ?(cwnd = 30000.0) ?(inflight = 0) ?pacing ?(delivered = 0.0) () =
+  Tr.Cc_sample
+    {
+      cwnd_bytes = cwnd;
+      inflight_bytes = inflight;
+      pacing_rate = pacing;
+      delivered_bytes = delivered;
+      cc_state = "ProbeBW";
+    }
+
+let test_cc_sample_checks () =
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 0 (cc_sample ~cwnd:nan ()) ];
+  check_first "nan cwnd" audit "cwnd-positive";
+  let audit = Audit.create ~cwnd_ceiling_bytes:1e4 () in
+  feed audit [ rec_ 0.0 0 (cc_sample ~cwnd:2e4 ()) ];
+  check_first "cwnd ceiling" audit "cwnd-ceiling";
+  let audit = Audit.create ~pacing_ceiling_bps:1e6 () in
+  feed audit [ rec_ 0.0 0 (cc_sample ~pacing:2e6 ()) ];
+  check_first "pacing ceiling" audit "pacing-ceiling";
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 0 (cc_sample ~pacing:(-1.0) ()) ];
+  check_first "negative pacing" audit "pacing-positive";
+  let audit = Audit.create () in
+  feed audit
+    [ rec_ 0.0 0 (cc_sample ~delivered:3000.0 ());
+      rec_ 0.1 0 (cc_sample ~delivered:1500.0 ()) ];
+  check_first "delivered rewind" audit "delivered-monotone"
+
+let queue_sample queue_bytes queue_packets =
+  Tr.Queue_sample { queue_bytes; queue_packets }
+
+let test_queue_checks () =
+  let audit = Audit.create ~queue_capacity_bytes:10_000 () in
+  feed audit [ rec_ 0.0 Tr.link_scope (queue_sample 10_001 7) ];
+  check_first "overflow" audit "queue-overflow";
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 Tr.link_scope (queue_sample (-1) 0) ];
+  check_first "negative" audit "queue-negative";
+  let audit = Audit.create () in
+  feed audit [ rec_ 0.0 Tr.link_scope (queue_sample 1500 0) ];
+  check_first "empty mismatch" audit "queue-empty-consistency";
+  let audit = Audit.create ~queue_capacity_bytes:10_000 () in
+  feed audit [ rec_ 0.0 Tr.link_scope (queue_sample 9_000 6) ];
+  check_ok "within capacity" audit
+
+let test_drop_checks () =
+  let drop ?(early = false) queue_bytes =
+    Tr.Drop { seq = 0; size = 1500; early; queue_bytes }
+  in
+  (* A tail drop with room left is a contradiction. *)
+  let audit = Audit.create ~queue_capacity_bytes:10_000 () in
+  feed audit [ send 0; rec_ 0.0 0 (drop 1500) ];
+  check_first "below capacity" audit "drop-below-capacity";
+  (* A forced tail drop at a full queue is fine. *)
+  let audit = Audit.create ~queue_capacity_bytes:10_000 () in
+  feed audit [ send 0; rec_ 0.0 0 (drop 9_500) ];
+  check_ok "forced drop" audit;
+  (* RED's early drop needs no overflow. *)
+  let audit = Audit.create ~queue_capacity_bytes:10_000 () in
+  feed audit [ send 0; rec_ 0.0 0 (drop ~early:true 1500) ];
+  check_ok "early drop" audit
+
+let test_conservation () =
+  let audit = Audit.create () in
+  feed audit
+    [ send 0;
+      ack ~t:0.02 ~delivered:1500.0 ~inflight:0 0;
+      rec_ 0.03 0 (Tr.Drop { seq = 1; size = 1500; early = false; queue_bytes = 0 }) ];
+  check_first "acks + drops > sends" audit "conservation"
+
+let test_finalize_busy_bound () =
+  let base = all_delivered ~time:1.0 ~sends:0 in
+  let base = { base with Audit.fin_inflight_bytes = [] } in
+  (* Idle link: busy time beyond wall time is a hard violation. *)
+  let audit = Audit.create () in
+  Audit.finalize audit { base with Audit.fin_busy_seconds = 1.0008 };
+  check_first "idle overshoot" audit "link-busy-bound";
+  (* A packet mid-service may carry the counter one serialization past. *)
+  let busy_final busy_seconds =
+    {
+      base with
+      Audit.fin_busy_seconds = busy_seconds;
+      fin_link_busy = true;
+      fin_enqueued_packets = 1;
+      fin_delivered_packets = 0;
+      fin_inflight_bytes = [ (0, 1500) ];
+    }
+  in
+  let audit = Audit.create () in
+  feed audit [ send 0 ];
+  Audit.finalize audit (busy_final 1.0008);
+  check_ok "in-service slack" audit;
+  (* ... but not more than one serialization time. *)
+  let audit = Audit.create () in
+  feed audit [ send 0 ];
+  Audit.finalize audit (busy_final 1.01);
+  check_first "slack exceeded" audit "link-busy-bound"
+
+let test_finalize_conservation () =
+  let audit = Audit.create () in
+  feed audit [ send 0; send ~t:0.001 1 ];
+  let base = all_delivered ~time:1.0 ~sends:2 in
+  Audit.finalize audit
+    { base with Audit.fin_enqueued_packets = 1; fin_inflight_bytes = [] };
+  check_first "missing packet" audit "bottleneck-conservation";
+  let audit = Audit.create () in
+  feed audit [ send 0 ];
+  Audit.finalize audit
+    {
+      (all_delivered ~time:1.0 ~sends:1) with
+      Audit.fin_delivered_packets = 0;
+      fin_inflight_bytes = [];
+    };
+  check_first "lost in queue" audit "queue-conservation"
+
+let test_finalize_inflight () =
+  let audit = Audit.create () in
+  feed audit [ send 0 ];
+  Audit.finalize audit
+    {
+      (all_delivered ~time:1.0 ~sends:1) with
+      Audit.fin_delivered_packets = 0;
+      fin_link_busy = true;
+      fin_inflight_bytes = [ (0, 0) ] (* sender claims 0; stream says 1500 *);
+    };
+  check_first "final inflight" audit "final-inflight"
+
+let test_first_violation_order_and_cap () =
+  let audit = Audit.create ~max_violations:2 () in
+  feed audit
+    [
+      ack ~t:0.0 ~inflight:0 0 (* ack-unknown-seq *);
+      ack ~t:0.1 ~inflight:5 1 (* another, plus mismatch *);
+      ack ~t:0.2 ~inflight:9 2;
+    ];
+  (match Audit.first_violation audit with
+  | Some v ->
+    Alcotest.(check string) "first is first" "ack-unknown-seq" v.Audit.invariant;
+    Alcotest.(check int) "at record 0" 0 v.Audit.v_index
+  | None -> Alcotest.fail "expected violations");
+  Alcotest.(check int) "capped" 2 (List.length (Audit.violations audit))
+
+let test_attach_close () =
+  let hub = Tr.create ~ring_capacity:16 () in
+  let audit = Audit.create () in
+  Audit.attach audit hub;
+  Tr.emit hub ~time:0.0 ~flow:0 (Tr.Send { seq = 0; size = 1500; retransmit = false });
+  Alcotest.(check int) "observed via hub" 1 (Audit.records_seen audit);
+  Alcotest.(check bool) "not closed yet" false (Audit.stream_closed audit);
+  Tr.close hub;
+  Alcotest.(check bool) "closed" true (Audit.stream_closed audit)
+
+let tests =
+  [
+    Alcotest.test_case "invariant catalogue" `Quick test_catalogue;
+    Alcotest.test_case "record counting" `Quick test_clean_stream;
+    Alcotest.test_case "clean send/ack cycle" `Quick test_clean_send_ack_cycle;
+    Alcotest.test_case "time monotone" `Quick test_time_monotone;
+    Alcotest.test_case "inflight mismatch" `Quick test_inflight_mismatch;
+    Alcotest.test_case "ack unknown seq" `Quick test_ack_unknown_seq;
+    Alcotest.test_case "send after ack" `Quick test_send_after_ack;
+    Alcotest.test_case "loss events" `Quick test_loss_events;
+    Alcotest.test_case "rack loss accounting" `Quick test_rack_loss_accounting;
+    Alcotest.test_case "rto zeroes everything" `Quick test_rto_zeroes_everything;
+    Alcotest.test_case "rto interval" `Quick test_rto_interval;
+    Alcotest.test_case "recovery alternation" `Quick test_recovery_alternation;
+    Alcotest.test_case "cc state chain" `Quick test_cc_state_chain;
+    Alcotest.test_case "cc sample checks" `Quick test_cc_sample_checks;
+    Alcotest.test_case "queue checks" `Quick test_queue_checks;
+    Alcotest.test_case "drop checks" `Quick test_drop_checks;
+    Alcotest.test_case "conservation" `Quick test_conservation;
+    Alcotest.test_case "finalize busy bound" `Quick test_finalize_busy_bound;
+    Alcotest.test_case "finalize conservation" `Quick test_finalize_conservation;
+    Alcotest.test_case "finalize inflight" `Quick test_finalize_inflight;
+    Alcotest.test_case "first violation + cap" `Quick
+      test_first_violation_order_and_cap;
+    Alcotest.test_case "attach / close" `Quick test_attach_close;
+  ]

@@ -1,0 +1,136 @@
+(* The CCA conformance matrix: every algorithm in the registry is pushed
+   through the same adversarial scenarios (a loss burst, an RTT step,
+   app-limited idling) via the synthetic Cca_driver, and must keep its
+   window finite, positive and above the conventional floor, with a pacing
+   rate that is either nan (ACK-clocked) or strictly positive. BBR-family
+   algorithms must additionally visit ProbeRTT once their RTprop estimate
+   ages out. *)
+
+open Cca.Cc_types
+
+let mss = 1500
+
+(* The built-ins; custom registrations from other test modules (alcotest
+   runs suites in one process) are excluded deliberately. *)
+let conformance_names =
+  [ "reno"; "cubic"; "bbr"; "bbr2"; "copa"; "vegas"; "vivace" ]
+
+let make name =
+  Cca.Registry.create name ~mss ~rng:(Sim_engine.Rng.create 77)
+
+let check_sane name (cc : t) ~context =
+  let cwnd = cc.cwnd_bytes () in
+  if not (Float.is_finite cwnd) then
+    Alcotest.failf "%s: non-finite cwnd %g %s" name cwnd context;
+  if cwnd < float_of_int (2 * mss) -. 1e-6 then
+    Alcotest.failf "%s: cwnd %g below the 2-MSS floor %s" name cwnd context;
+  let pacing = cc.pacing_rate () in
+  if (not (Float.is_nan pacing)) && pacing <= 0.0 then
+    Alcotest.failf "%s: pacing rate %g not positive %s" name pacing context
+
+(* Grow for a while, hit a burst of losses, then recover. *)
+let scenario_loss_burst name =
+  let cc = make name in
+  let now, round =
+    Cca_driver.feed_rounds cc ~rounds:20 ~per_round:10 ~rtt:0.04 ~rate:2e6
+      ~start_now:0.0 ~start_round:0
+  in
+  check_sane name cc ~context:"after growth";
+  let after_growth = cc.cwnd_bytes () in
+  for i = 0 to 4 do
+    cc.on_loss
+      (Cca_driver.loss
+         ~now:(now +. (0.001 *. float_of_int i))
+         ~inflight:(10 * mss) ())
+  done;
+  check_sane name cc ~context:"after loss burst";
+  let after_loss = cc.cwnd_bytes () in
+  if after_loss > after_growth +. 1e-6 then
+    Alcotest.failf "%s: loss burst grew cwnd %g -> %g" name after_growth
+      after_loss;
+  let _ =
+    Cca_driver.feed_rounds cc ~rounds:50 ~per_round:10 ~rtt:0.04 ~rate:2e6
+      ~start_now:(now +. 0.01) ~start_round:round
+  in
+  check_sane name cc ~context:"after recovery";
+  (* Recovery must not wedge the window: window-based CCAs re-grow from the
+     trough; rate-based ones (vivace) converge toward the observed delivery
+     rate, which may sit somewhat below the trough — but a collapse to half
+     of it means the burst broke the algorithm. *)
+  if cc.cwnd_bytes () < (0.5 *. after_loss) -. 1e-6 then
+    Alcotest.failf "%s: window wedged after loss burst (%g -> %g)" name
+      after_loss (cc.cwnd_bytes ())
+
+(* A sudden 5x RTT increase (path change / bufferbloat) must not produce
+   NaN or a collapse below the floor. *)
+let scenario_rtt_step name =
+  let cc = make name in
+  let now, round =
+    Cca_driver.feed_rounds cc ~rounds:20 ~per_round:10 ~rtt:0.04 ~rate:2e6
+      ~start_now:0.0 ~start_round:0
+  in
+  check_sane name cc ~context:"before rtt step";
+  let _ =
+    Cca_driver.feed_rounds cc ~rounds:20 ~per_round:10 ~rtt:0.2 ~rate:2e6
+      ~start_now:now ~start_round:round
+  in
+  check_sane name cc ~context:"after rtt step"
+
+(* App-limited idling: tiny ACK volume, rate samples flagged app-limited.
+   The window must stay sane and the flags must not poison rate state. *)
+let scenario_app_limited_idle name =
+  let cc = make name in
+  let now, _ =
+    Cca_driver.feed_rounds cc ~rounds:10 ~per_round:10 ~rtt:0.04 ~rate:2e6
+      ~start_now:0.0 ~start_round:0
+  in
+  for i = 1 to 50 do
+    cc.on_ack
+      (Cca_driver.ack
+         ~now:(now +. (0.04 *. float_of_int i))
+         ~acked:100 ~rate:1e4 ~app_limited:true ~inflight:200
+         ~round:(10 + i) ~round_start:true ())
+  done;
+  check_sane name cc ~context:"after app-limited idle"
+
+let test_matrix () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (List.mem name (Cca.Registry.names ()));
+      scenario_loss_burst name;
+      scenario_rtt_step name;
+      scenario_app_limited_idle name)
+    conformance_names
+
+(* BBR-family: RTprop expires after ~10 s of samples above the minimum, so
+   a long steady drive must pass through ProbeRTT at least once. *)
+let test_probe_rtt_entered () =
+  List.iter
+    (fun name ->
+      let cc = make name in
+      let now, round =
+        Cca_driver.feed_rounds cc ~rounds:10 ~per_round:10 ~rtt:0.04 ~rate:2e6
+          ~start_now:0.0 ~start_round:0
+      in
+      let seen = ref false in
+      let now = ref now and round = ref round in
+      for _ = 1 to 300 do
+        incr round;
+        now := !now +. 0.05;
+        for i = 0 to 9 do
+          cc.on_ack
+            (Cca_driver.ack ~now:!now ~rtt:0.05 ~rate:2e6 ~round:!round
+               ~round_start:(i = 0) ~inflight:(10 * mss) ())
+        done;
+        if String.equal (cc.state ()) "ProbeRTT" then seen := true
+      done;
+      Alcotest.(check bool) (name ^ " visited ProbeRTT") true !seen)
+    [ "bbr"; "bbr2" ]
+
+let tests =
+  [
+    Alcotest.test_case "conformance matrix" `Quick test_matrix;
+    Alcotest.test_case "bbr family enters ProbeRTT" `Quick
+      test_probe_rtt_entered;
+  ]

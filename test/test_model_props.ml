@@ -1,0 +1,76 @@
+(* QCheck properties for the analytical model (lib/model): randomized
+   parameter sweeps over the paper's validity range (1 BDP <= B <= 100 BDP)
+   checking the structural facts the figures rely on — shares are physical,
+   BBR loses ground as buffers deepen, and the multi-flow synch/de-synch
+   interval is a real interval. *)
+
+module Params = Ccmodel.Params
+module Two_flow = Ccmodel.Two_flow
+module Multi_flow = Ccmodel.Multi_flow
+
+(* mbps, buffer_bdp, rtt_ms over the model's validity range. *)
+let params_gen =
+  QCheck.Gen.(
+    map3
+      (fun mbps buffer_bdp rtt_ms -> (mbps, buffer_bdp, rtt_ms))
+      (float_range 5.0 1000.0) (float_range 1.0 100.0) (float_range 5.0 200.0))
+
+let params_arb =
+  QCheck.make params_gen ~print:(fun (m, b, r) ->
+      Printf.sprintf "mbps=%g buffer=%gbdp rtt=%gms" m b r)
+
+let prop_shares_physical =
+  QCheck.Test.make ~name:"two-flow shares >= 0 and sum <= capacity" ~count:200
+    params_arb
+    (fun (mbps, buffer_bdp, rtt_ms) ->
+      let p = Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let s = Two_flow.solve p in
+      let capacity_bits = mbps *. 1e6 in
+      s.Two_flow.cubic_bandwidth_bps >= -1e-6
+      && s.Two_flow.bbr_bandwidth_bps >= -1e-6
+      && s.Two_flow.cubic_bandwidth_bps +. s.Two_flow.bbr_bandwidth_bps
+         <= capacity_bits *. (1.0 +. 1e-9))
+
+let prop_bbr_share_monotone =
+  (* Deeper buffers help CUBIC (Fig. 2): BBR's share never increases in B. *)
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun (mbps, b1, rtt_ms) b2 -> (mbps, rtt_ms, b1, b2))
+        params_gen (float_range 1.0 100.0))
+  in
+  QCheck.Test.make ~name:"bbr share non-increasing in buffer depth" ~count:200
+    (QCheck.make gen ~print:(fun (m, r, b1, b2) ->
+         Printf.sprintf "mbps=%g rtt=%gms b1=%g b2=%g" m r b1 b2))
+    (fun (mbps, rtt_ms, b1, b2) ->
+      let lo = Float.min b1 b2 and hi = Float.max b1 b2 in
+      let share b =
+        Two_flow.bbr_share (Params.of_paper_units ~mbps ~buffer_bdp:b ~rtt_ms)
+      in
+      share lo >= share hi -. 1e-6)
+
+let prop_interval_ordered =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun (mbps, buffer_bdp, rtt_ms) n_cubic n_bbr ->
+          (mbps, buffer_bdp, rtt_ms, n_cubic, n_bbr))
+        params_gen (int_range 1 30) (int_range 1 30))
+  in
+  QCheck.Test.make
+    ~name:"multi-flow synch bound <= de-synch bound" ~count:200
+    (QCheck.make gen ~print:(fun (m, b, r, nc, nb) ->
+         Printf.sprintf "mbps=%g buffer=%gbdp rtt=%gms n_cubic=%d n_bbr=%d" m b
+           r nc nb))
+    (fun (mbps, buffer_bdp, rtt_ms, n_cubic, n_bbr) ->
+      let p = Params.of_paper_units ~mbps ~buffer_bdp ~rtt_ms in
+      let i = Multi_flow.per_flow_bbr_interval p ~n_cubic ~n_bbr in
+      Float.is_finite i.Multi_flow.lower_bbr_per_flow_bps
+      && Float.is_finite i.Multi_flow.upper_bbr_per_flow_bps
+      && i.Multi_flow.lower_bbr_per_flow_bps >= -1e-6
+      && i.Multi_flow.lower_bbr_per_flow_bps
+         <= i.Multi_flow.upper_bbr_per_flow_bps +. 1e-6)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_shares_physical; prop_bbr_share_monotone; prop_interval_ordered ]

@@ -1,0 +1,67 @@
+(* Differential test: the packet-level simulator against the fluid model on
+   a seeded random grid of single-flow scenarios. With one flow there is no
+   inter-CCA competition to disagree about, so both simulators must land on
+   (near-)full utilization — a cheap, broad cross-check that the two
+   implementations describe the same network. *)
+
+module E = Tcpflow.Experiment
+module Units = Sim_engine.Units
+
+let fluid_kind = function
+  | "cubic" -> Fluidsim.Fluid_sim.Cubic
+  | "bbr" -> Fluidsim.Fluid_sim.Bbr
+  | "bbr2" -> Fluidsim.Fluid_sim.Bbr2
+  | s -> Alcotest.failf "no fluid counterpart for %s" s
+
+let packet_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed =
+  let rate_bps = Units.mbps mbps in
+  let rtt = Units.ms rtt_ms in
+  let cfg =
+    E.config ~seed ~rate_bps
+      ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
+      ~warmup:(Units.seconds 2.0) ~duration:(Units.seconds 10.0)
+      [ E.flow_config ~base_rtt:rtt cca ]
+  in
+  (List.hd (E.run cfg).E.per_flow).E.throughput_bps
+
+let fluid_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed =
+  let rate_bps = Units.mbps mbps in
+  let rtt = Units.ms rtt_ms in
+  let cfg =
+    {
+      Fluidsim.Fluid_sim.default_config with
+      capacity_bps = rate_bps;
+      buffer_bytes =
+        Units.bytes
+          (float_of_int (E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp));
+      flows = [ { Fluidsim.Fluid_sim.kind = fluid_kind cca; rtt } ];
+      duration = Units.seconds 10.0;
+      warmup = Units.seconds 2.0;
+      seed;
+    }
+  in
+  (Fluidsim.Fluid_sim.run cfg).Fluidsim.Fluid_sim.per_flow_bps.(0)
+
+let test_single_flow_grid () =
+  let rng = Sim_engine.Rng.create 2024 in
+  for _ = 1 to 6 do
+    let ccas = [ "cubic"; "bbr"; "bbr2" ] in
+    let cca = List.nth ccas (Sim_engine.Rng.int rng (List.length ccas)) in
+    let mbps = Sim_engine.Rng.uniform_in rng ~lo:10.0 ~hi:50.0 in
+    let rtt_ms = Sim_engine.Rng.uniform_in rng ~lo:10.0 ~hi:60.0 in
+    let buffer_bdp = Sim_engine.Rng.uniform_in rng ~lo:1.0 ~hi:8.0 in
+    let seed = 1 + Sim_engine.Rng.int rng 10_000 in
+    let packet = packet_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed in
+    let fluid = fluid_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed in
+    let capacity = mbps *. 1e6 in
+    let gap = Float.abs (packet -. fluid) /. capacity in
+    if gap > 0.2 then
+      Alcotest.failf
+        "%s @ %.1f Mbps rtt %.1f ms buffer %.1f BDP seed %d: packet %.2f vs \
+         fluid %.2f Mbps (gap %.0f%% of capacity)"
+        cca mbps rtt_ms buffer_bdp seed (packet /. 1e6) (fluid /. 1e6)
+        (100.0 *. gap)
+  done
+
+let tests =
+  [ Alcotest.test_case "single-flow packet vs fluid" `Slow test_single_flow_grid ]
