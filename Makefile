@@ -42,8 +42,15 @@ check: build test lint
 	dune exec bin/repro.exe -- run fig05 --jobs 2 --cache "$(CHECK_CACHE)" \
 	  --out "$(CHECK_OUT)"
 	cmp test/golden/fig05_quick.csv "$(CHECK_OUT)/fig05.csv"
+	dune exec bin/repro.exe -- run fluidgrid --jobs 2 --cache "$(CHECK_CACHE)" \
+	  --out "$(CHECK_OUT)"
+	cmp test/golden/fluidgrid_quick.csv "$(CHECK_OUT)/fluidgrid.csv"
 	dune exec bin/repro.exe -- fuzz --count 50 --seed 1 --jobs 2 \
 	  --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"
+	dune exec bin/repro.exe -- fuzz --backend fluid --count 25 --seed 1 \
+	  --jobs 2 --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"
+	dune exec bin/repro.exe -- fuzz --backend ode --count 25 --seed 1 \
+	  --jobs 2 --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"
 	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)" "$(CHECK_OUT)"
 	@echo "check: OK"
 

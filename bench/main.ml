@@ -201,6 +201,44 @@ let substrate_tests =
       (Staged.stage (short_fluid ~kind:Fluidsim.Fluid_sim.Bbr));
   ]
 
+(* The analytic-backend section: the SoA fluid kernel under its
+   post-rewrite name (the baseline block in BENCH_fluid.json keeps the
+   pre-rewrite numbers for the before/after pair) and the ODE model's
+   2-flow competition cell. *)
+let ode_2flow () =
+  let rtt = Sim_engine.Units.ms 40.0 in
+  let capacity_bps = Sim_engine.Units.mbps 100.0 in
+  let config =
+    {
+      Fluidsim.Ode_model.default_config with
+      capacity_bps;
+      buffer_bytes =
+        Sim_engine.Units.scale 10.0
+          (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt);
+      flows =
+        [
+          { Fluidsim.Fluid_sim.kind = Fluidsim.Fluid_sim.Cubic; rtt };
+          { Fluidsim.Fluid_sim.kind = Fluidsim.Fluid_sim.Bbr; rtt };
+        ];
+      duration = Sim_engine.Units.seconds 30.0;
+      warmup = Sim_engine.Units.seconds 10.0;
+    }
+  in
+  ignore (Fluidsim.Ode_model.run config)
+
+let fluid_tests =
+  [
+    Test.make ~name:"fluid/short-10flows-soa"
+      (Staged.stage (short_fluid ~kind:Fluidsim.Fluid_sim.Bbr));
+    Test.make ~name:"ode/2flow-competition" (Staged.stage ode_2flow);
+  ]
+
+(* Pre-rewrite numbers for fluid/short-10flows (AoS fluid simulator,
+   same kernel, same machine class) so BENCH_fluid.json carries its own
+   before/after pair. *)
+let fluid_baseline =
+  [ ("bench fluid/short-10flows-pre-soa", 18_615_018.921, 8_673_185.907) ]
+
 (* --- CLI / env configuration ----------------------------------------- *)
 
 let smoke =
@@ -250,8 +288,10 @@ let json_escape s =
 let json_float v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
 
 (* DIR/BENCH_<section>.json: { "results": { name: { ns_per_run;
-   minor_words_per_run } } }, keys sorted so the file is diffable. *)
-let write_bench_json ~dir ~section rows =
+   minor_words_per_run } } }, keys sorted so the file is diffable.
+   [baseline] adds a "baseline_pre_rewrite" object in the same row format
+   for sections that track a before/after pair. *)
+let write_bench_json ?(baseline = []) ~dir ~section rows =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" section) in
   let oc = open_out path in
@@ -260,20 +300,28 @@ let write_bench_json ~dir ~section rows =
   Printf.fprintf oc
     "  \"units\": { \"ns_per_run\": \"nanoseconds\", \
      \"minor_words_per_run\": \"minor-heap words\" },\n";
+  let print_rows rows =
+    let n = List.length rows in
+    List.iteri
+      (fun i (name, ns, words) ->
+        Printf.fprintf oc
+          "    \"%s\": { \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
+          (json_escape name) (json_float ns) (json_float words)
+          (if i = n - 1 then "" else ","))
+      rows
+  in
+  if baseline <> [] then begin
+    Printf.fprintf oc "  \"baseline_pre_rewrite\": {\n";
+    print_rows baseline;
+    Printf.fprintf oc "  },\n"
+  end;
   Printf.fprintf oc "  \"results\": {\n";
-  let n = List.length rows in
-  List.iteri
-    (fun i (name, ns, words) ->
-      Printf.fprintf oc
-        "    \"%s\": { \"ns_per_run\": %s, \"minor_words_per_run\": %s }%s\n"
-        (json_escape name) (json_float ns) (json_float words)
-        (if i = n - 1 then "" else ","))
-    rows;
+  print_rows rows;
   Printf.fprintf oc "  }\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
-let run_bechamel ~section tests =
+let run_bechamel ?(baseline = []) ~section tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -313,7 +361,7 @@ let run_bechamel ~section tests =
     rows;
   match !json_dir with
   | None -> ()
-  | Some dir -> write_bench_json ~dir ~section rows
+  | Some dir -> write_bench_json ~baseline ~dir ~section rows
 
 (* --- Ablations ------------------------------------------------------- *)
 
@@ -448,7 +496,7 @@ let scaling_jobs () =
 
 let sections () =
   match Sys.getenv_opt "REPRO_BENCH_SECTIONS" with
-  | None | Some "" -> [ "figures"; "micro"; "scaling"; "ablations" ]
+  | None | Some "" -> [ "figures"; "micro"; "fluid"; "scaling"; "ablations" ]
   | Some s -> String.split_on_char ',' s
 
 let () =
@@ -465,6 +513,10 @@ let () =
   if List.mem "micro" sections then begin
     Printf.printf "==== Bechamel micro-benchmarks ====\n%!";
     run_bechamel ~section:"micro" (figure_tests @ substrate_tests)
+  end;
+  if List.mem "fluid" sections then begin
+    Printf.printf "==== Analytic-backend benchmarks ====\n%!";
+    run_bechamel ~baseline:fluid_baseline ~section:"fluid" fluid_tests
   end;
   if List.mem "scaling" sections then begin
     Printf.printf "\n==== Parallel executor scaling ====\n%!";

@@ -8,7 +8,10 @@
      repro all [--full] [--jobs 4] [--cache DIR] [--out results/]
      repro fuzz [--count 100] [--seed 1|from-commit] [--jobs 4]
                 [--replay-out FILE] [--no-shrink] [--fault NAME]
-     repro replay FILE [--fault NAME]
+                [--backend packet|fluid|ode]
+     repro replay FILE [--fault NAME] [--backend packet|fluid|ode]
+     repro compare [--backend packet --backend fluid ...] [--cca cubic ...]
+                   [--mbps 100] [--rtt 40] [--buffer 10] [--duration 30]
 *)
 
 let ctx_of ~full ~jobs ~cache_dir ~trace_dir =
@@ -255,6 +258,29 @@ let fault_arg =
   in
   Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"NAME" ~doc)
 
+let backend_conv =
+  let parse s =
+    match Sim_backend.find s with
+    | Ok b -> Ok b
+    | Error _ ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown backend %S; known: %s" s
+              (String.concat ", " (Sim_backend.names ()))))
+  in
+  Arg.conv (parse, fun ppf b -> Fmt.string ppf (Sim_backend.name b))
+
+let backend_arg =
+  let doc =
+    "Simulation backend to fuzz: $(b,packet) (default; full event-stream \
+     audit) or an analytic backend ($(b,fluid), $(b,ode)) checked against \
+     outcome-level invariants and cross-backend parity."
+  in
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"NAME" ~doc)
+
 let fuzz_cmd =
   let doc =
     "Fuzz random scenarios under the runtime invariant auditor; on failure, \
@@ -309,12 +335,33 @@ let fuzz_cmd =
       & info [ "replay-out" ] ~docv:"FILE"
           ~doc:"Where to save the (shrunk) failing scenario.")
   in
-  let run count seed jobs shrink replay_out fault =
-    Format.printf "fuzz: %d scenarios, seed %d, %d jobs%s@." count seed jobs
+  let run count seed jobs shrink replay_out fault backend =
+    let analytic =
+      match backend with
+      | Some b when not (String.equal (Sim_backend.name b) "packet") -> Some b
+      | Some _ | None -> None
+    in
+    (match (analytic, fault) with
+    | Some b, Some _ ->
+      Format.eprintf
+        "fuzz: --fault applies to the packet event stream; backend %s has \
+         none@."
+        (Sim_backend.name b);
+      exit 2
+    | _ -> ());
+    Format.printf "fuzz: %d scenarios, seed %d, %d jobs%s%s@." count seed jobs
       (match fault with
       | Some f -> Printf.sprintf ", fault=%s" f.Sim_check.Fuzz.fault_name
+      | None -> "")
+      (match analytic with
+      | Some b -> Printf.sprintf ", backend=%s" (Sim_backend.name b)
       | None -> "");
-    let c = Sim_check.Fuzz.campaign ?fault ~jobs ~count ~seed () in
+    let c =
+      match analytic with
+      | Some backend ->
+        Sim_check.Fuzz.backend_campaign ~backend ~jobs ~count ~seed ()
+      | None -> Sim_check.Fuzz.campaign ?fault ~jobs ~count ~seed ()
+    in
     Format.printf "fuzz: %d/%d passed@." c.passed c.total;
     match c.failures with
     | [] -> ()
@@ -328,28 +375,42 @@ let fuzz_cmd =
       let scenario =
         if shrink then begin
           Format.printf "shrinking case %d...@." first.case_index;
-          let s = Sim_check.Fuzz.shrink ?fault first.case_scenario in
+          let s =
+            match analytic with
+            | Some backend ->
+              Sim_check.Fuzz.shrink_backend ~backend first.case_scenario
+            | None -> Sim_check.Fuzz.shrink ?fault first.case_scenario
+          in
           Format.printf "shrunk to: %s@." (Sim_check.Scenario.describe s);
           s
         end
         else first.case_scenario
       in
       Sim_check.Scenario.save ~path:replay_out scenario;
-      (match Sim_check.Fuzz.run_scenario ?fault scenario with
-      | Pass -> () (* can't happen: shrink preserves failure *)
-      | outcome ->
-        Format.printf "%s@." (Sim_check.Fuzz.outcome_to_string outcome));
-      Format.printf "replay saved to %s (repro replay %s%s)@." replay_out
+      (let outcome =
+         match analytic with
+         | Some backend ->
+           Sim_check.Fuzz.run_scenario_backend ~backend scenario
+         | None -> Sim_check.Fuzz.run_scenario ?fault scenario
+       in
+       match outcome with
+       | Pass -> () (* can't happen: shrink preserves failure *)
+       | outcome ->
+         Format.printf "%s@." (Sim_check.Fuzz.outcome_to_string outcome));
+      Format.printf "replay saved to %s (repro replay %s%s%s)@." replay_out
         replay_out
         (match fault with
         | Some f -> Printf.sprintf " --fault %s" f.Sim_check.Fuzz.fault_name
+        | None -> "")
+        (match analytic with
+        | Some b -> Printf.sprintf " --backend %s" (Sim_backend.name b)
         | None -> "");
       exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ count_arg $ seed_arg $ jobs_arg $ shrink_arg
-      $ replay_out_arg $ fault_arg)
+      $ replay_out_arg $ fault_arg $ backend_arg)
 
 let replay_cmd =
   let doc =
@@ -358,8 +419,18 @@ let replay_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
-  let run path fault =
-    match Sim_check.Fuzz.replay ?fault path with
+  let run path fault backend =
+    let result =
+      match backend with
+      | Some b when not (String.equal (Sim_backend.name b) "packet") ->
+        if Option.is_some fault then begin
+          Format.eprintf "replay: --fault needs the packet backend@.";
+          exit 2
+        end;
+        Sim_check.Fuzz.replay_backend ~backend:b path
+      | Some _ | None -> Sim_check.Fuzz.replay ?fault path
+    in
+    match result with
     | Error msg ->
       Format.eprintf "replay: %s@." msg;
       exit 2
@@ -368,7 +439,96 @@ let replay_cmd =
       Format.printf "outcome: %s@." (Sim_check.Fuzz.outcome_to_string outcome);
       (match outcome with Pass -> () | _ -> exit 1)
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ fault_arg)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ file_arg $ fault_arg $ backend_arg)
+
+let compare_cmd =
+  let doc =
+    "Run one shared-bottleneck spec on several backends and print each \
+     backend's per-flow goodput side by side (the one-off version of the \
+     $(b,fluidgrid) experiment)."
+  in
+  let backends_arg =
+    let doc =
+      "Backend to include (repeatable; default: every backend that \
+       supports all requested CCAs)."
+    in
+    Arg.(value & opt_all backend_conv [] & info [ "backend" ] ~docv:"NAME" ~doc)
+  in
+  let ccas_arg =
+    let doc = "A flow's CCA, by registry name (repeatable)." in
+    Arg.(value & opt_all string [ "cubic"; "bbr" ] & info [ "cca" ] ~docv:"CCA" ~doc)
+  in
+  let mbps_arg =
+    Arg.(value & opt float 100.0 & info [ "mbps" ] ~docv:"MBPS" ~doc:"Link capacity.")
+  in
+  let rtt_arg =
+    Arg.(value & opt float 40.0 & info [ "rtt" ] ~docv:"MS" ~doc:"Base RTT in ms.")
+  in
+  let buffer_arg =
+    Arg.(value & opt float 10.0 & info [ "buffer" ] ~docv:"BDP" ~doc:"Buffer in BDP.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 30.0 & info [ "duration" ] ~docv:"S" ~doc:"Horizon in seconds.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed (stochastic backends).")
+  in
+  let run backends ccas mbps rtt_ms buffer_bdp duration_s seed =
+    let module U = Sim_engine.Units in
+    let rate_bps = U.mbps mbps in
+    let rtt = U.ms rtt_ms in
+    let spec =
+      Sim_backend.spec ~seed ~rate_bps
+        ~buffer_bytes:(U.scale buffer_bdp (U.bdp_bytes ~rate_bps ~rtt))
+        ~duration:(U.seconds duration_s)
+        ~warmup:(U.seconds (duration_s /. 3.0))
+        (List.map (fun cca -> { Sim_backend.cca; rtt }) ccas)
+    in
+    let backends =
+      match backends with
+      | [] ->
+        List.filter
+          (fun b -> List.for_all (Sim_backend.supports b) ccas)
+          Sim_backend.all
+      | bs -> bs
+    in
+    if backends = [] then begin
+      Format.eprintf "compare: no backend supports all of: %s@."
+        (String.concat ", " ccas);
+      exit 2
+    end;
+    Format.printf "spec: %.1f Mbps, %.1f ms, %.1f BDP buffer, %.1f s, flows=%s@."
+      mbps rtt_ms buffer_bdp duration_s (String.concat "," ccas);
+    let failed = ref false in
+    List.iter
+      (fun b ->
+        match Sim_backend.run b spec with
+        | Error e ->
+          failed := true;
+          Format.printf "%-8s %a@." (Sim_backend.name b) Sim_backend.pp_error e
+        | Ok o ->
+          let shares =
+            Array.to_list
+              (Array.map2
+                 (fun cca bps ->
+                   Printf.sprintf "%s=%.2f" cca (U.bps_to_mbps (U.bps bps)))
+                 o.Sim_backend.per_flow_cca o.Sim_backend.per_flow_bps)
+          in
+          Format.printf
+            "%-8s %s Mbps  util=%.3f queue=%.0fB qdelay=%.1fms losses=%d@."
+            (Sim_backend.name b)
+            (String.concat " " shares)
+            o.Sim_backend.utilization o.Sim_backend.mean_queue_bytes
+            (1e3 *. o.Sim_backend.mean_queuing_delay)
+            o.Sim_backend.loss_events)
+      backends;
+    if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const run $ backends_arg $ ccas_arg $ mbps_arg $ rtt_arg $ buffer_arg
+      $ duration_arg $ seed_arg)
 
 let main_cmd =
   let doc =
@@ -376,6 +536,6 @@ let main_cmd =
      Internet?' (IMC 2022)"
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; model_cmd; fuzz_cmd; replay_cmd ]
+    [ list_cmd; run_cmd; all_cmd; model_cmd; compare_cmd; fuzz_cmd; replay_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

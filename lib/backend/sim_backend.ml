@@ -1,0 +1,291 @@
+type flow = { cca : string; rtt : Sim_engine.Units.seconds }
+
+type spec = {
+  rate_bps : Sim_engine.Units.rate_bps;
+  buffer_bytes : Sim_engine.Units.byte_count;
+  flows : flow list;
+  duration : Sim_engine.Units.seconds;
+  warmup : Sim_engine.Units.seconds;
+  seed : int;
+}
+
+let spec ?(warmup = Sim_engine.Units.seconds 0.0) ?(seed = 1) ~rate_bps
+    ~buffer_bytes ~duration flows =
+  (* simlint: allow R5 — this IS the labelled builder for [spec]. *)
+  { rate_bps; buffer_bytes; flows; duration; warmup; seed }
+
+type outcome = {
+  per_flow_bps : float array;
+  per_flow_cca : string array;
+  mean_queue_bytes : float;
+  mean_queuing_delay : float;
+  loss_events : int;
+  utilization : float;
+}
+
+type error =
+  | Unknown_backend of { name : string; known : string list }
+  | Unsupported_cca of {
+      backend : string;
+      cca : string;
+      supported : string list;
+    }
+  | Invalid_spec of string
+
+let pp_error ppf = function
+  | Unknown_backend { name; known } ->
+    Format.fprintf ppf "unknown backend %S (known: %s)" name
+      (String.concat ", " known)
+  | Unsupported_cca { backend; cca; supported } ->
+    Format.fprintf ppf "backend %s does not model CCA %S (supported: %s)"
+      backend cca
+      (String.concat ", " supported)
+  | Invalid_spec msg -> Format.fprintf ppf "invalid spec: %s" msg
+
+module type S = sig
+  val name : string
+  val supports : string -> bool
+  val validate : spec -> (unit, error) result
+  val digest : spec -> string
+  val run : spec -> (outcome, error) result
+end
+
+type t = (module S)
+
+let ( let* ) = Result.bind
+
+(* Backend-independent sanity of a spec. *)
+let validate_shape s =
+  let module Raw = Sim_engine.Units.Raw in
+  if s.flows = [] then Error (Invalid_spec "no flows")
+  else if Raw.to_float s.duration <= 0.0 then
+    Error (Invalid_spec "duration must be > 0")
+  else if
+    Raw.to_float s.warmup < 0.0
+    || Raw.to_float s.warmup >= Raw.to_float s.duration
+  then Error (Invalid_spec "need 0 <= warmup < duration")
+  else if Raw.to_float s.rate_bps <= 0.0 then
+    Error (Invalid_spec "rate must be > 0")
+  else if Raw.to_float s.buffer_bytes <= 0.0 then
+    Error (Invalid_spec "buffer must be > 0")
+  else if List.exists (fun f -> Raw.to_float f.rtt <= 0.0) s.flows then
+    Error (Invalid_spec "flow rtt must be > 0")
+  else Ok ()
+
+let validate_ccas ~backend ~supports ~supported s =
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      if supports f.cca then Ok ()
+      else Error (Unsupported_cca { backend; cca = f.cca; supported }))
+    (Ok ()) s.flows
+
+(* Canonical spec string shared by the analytic backends' digests. The
+   version token goes first so bumping a backend's internals invalidates
+   every cached outcome of that backend and nothing else. *)
+let canonical ~version s =
+  let module Raw = Sim_engine.Units.Raw in
+  let b = Buffer.create 128 in
+  Buffer.add_string b version;
+  Printf.bprintf b "|rate=%.17g|buf=%.17g|dur=%.17g|warm=%.17g|seed=%d"
+    (Raw.to_float s.rate_bps)
+    (Raw.to_float s.buffer_bytes)
+    (Raw.to_float s.duration) (Raw.to_float s.warmup) s.seed;
+  List.iter
+    (fun f -> Printf.bprintf b "|%s@%.17g" f.cca (Raw.to_float f.rtt))
+    s.flows;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* --- Packet backend ------------------------------------------------- *)
+
+module Packet = struct
+  module E = Tcpflow.Experiment
+
+  let name = "packet"
+  let supports cca = Option.is_some (Cca.Registry.find cca)
+
+  let to_config s =
+    E.config ~warmup:s.warmup ~seed:s.seed ~rate_bps:s.rate_bps
+      ~buffer_bytes:(Sim_engine.Units.bytes_to_int s.buffer_bytes)
+      ~duration:s.duration
+      (List.map (fun f -> E.flow_config ~base_rtt:f.rtt f.cca) s.flows)
+
+  let validate s =
+    let* () = validate_shape s in
+    validate_ccas ~backend:name ~supports
+      ~supported:(Cca.Registry.names ()) s
+
+  let digest s = "packet-1:" ^ E.digest (to_config s)
+
+  let run s =
+    let* () = validate s in
+    let r = E.run (to_config s) in
+    let per_flow =
+      List.sort
+        (fun (a : E.flow_result) b -> compare a.flow_id b.flow_id)
+        r.E.per_flow
+    in
+    Ok
+      {
+        per_flow_bps =
+          Array.of_list
+            (List.map (fun (fr : E.flow_result) -> fr.throughput_bps) per_flow);
+        per_flow_cca =
+          Array.of_list
+            (List.map (fun (fr : E.flow_result) -> fr.flow_cca) per_flow);
+        mean_queue_bytes = r.E.queue_mean_bytes;
+        mean_queuing_delay = r.E.queuing_delay;
+        loss_events = r.E.drops;
+        utilization = r.E.utilization;
+      }
+end
+
+(* --- Fluid backend -------------------------------------------------- *)
+
+module Fluid = struct
+  module F = Fluidsim.Fluid_sim
+
+  let name = "fluid"
+  let supports cca = Result.is_ok (F.kind_of_cca cca)
+
+  let to_config s =
+    {
+      F.default_config with
+      F.capacity_bps = s.rate_bps;
+      buffer_bytes = s.buffer_bytes;
+      flows =
+        List.map
+          (fun f -> { F.kind = F.kind_of_cca_exn f.cca; rtt = f.rtt })
+          s.flows;
+      duration = s.duration;
+      warmup = s.warmup;
+      seed = s.seed;
+    }
+
+  let validate s =
+    let* () = validate_shape s in
+    validate_ccas ~backend:name ~supports ~supported:F.supported_ccas s
+
+  let digest s = canonical ~version:"fluid-soa-1" s
+
+  let run s =
+    let* () = validate s in
+    let r = F.run (to_config s) in
+    let total = Array.fold_left ( +. ) 0.0 r.F.per_flow_bps in
+    Ok
+      {
+        per_flow_bps = r.F.per_flow_bps;
+        per_flow_cca = Array.map F.cca_of_kind r.F.flow_kinds;
+        mean_queue_bytes = r.F.mean_queue_bytes;
+        mean_queuing_delay = r.F.mean_queuing_delay;
+        loss_events = r.F.loss_events;
+        utilization = total /. Sim_engine.Units.Raw.to_float s.rate_bps;
+      }
+end
+
+(* --- ODE backend ---------------------------------------------------- *)
+
+module Ode = struct
+  module F = Fluidsim.Fluid_sim
+  module O = Fluidsim.Ode_model
+
+  let name = "ode"
+  let supports cca = Result.is_ok (F.kind_of_cca cca)
+
+  let to_config s =
+    {
+      O.default_config with
+      O.capacity_bps = s.rate_bps;
+      buffer_bytes = s.buffer_bytes;
+      flows =
+        List.map
+          (fun f -> { F.kind = F.kind_of_cca_exn f.cca; rtt = f.rtt })
+          s.flows;
+      duration = s.duration;
+      warmup = s.warmup;
+    }
+
+  let validate s =
+    let* () = validate_shape s in
+    validate_ccas ~backend:name ~supports ~supported:F.supported_ccas s
+
+  (* The ODE model is deterministic: the seed deliberately does not
+     participate, so runs differing only by seed share a cache entry. *)
+  let digest s = canonical ~version:"ode-rk4-1" { s with seed = 0 }
+
+  let run s =
+    let* () = validate s in
+    let r = O.run (to_config s) in
+    let total = Array.fold_left ( +. ) 0.0 r.O.per_flow_bps in
+    Ok
+      {
+        per_flow_bps = r.O.per_flow_bps;
+        per_flow_cca = Array.map F.cca_of_kind r.O.flow_kinds;
+        mean_queue_bytes = r.O.mean_queue_bytes;
+        mean_queuing_delay = r.O.mean_queuing_delay;
+        loss_events =
+          int_of_float (Float.round r.O.expected_backoffs);
+        utilization = total /. Sim_engine.Units.Raw.to_float s.rate_bps;
+      }
+end
+
+let packet : t = (module Packet)
+let fluid : t = (module Fluid)
+let ode : t = (module Ode)
+let all = [ packet; fluid; ode ]
+
+let name (b : t) =
+  let module B = (val b) in
+  B.name
+
+let supports (b : t) cca =
+  let module B = (val b) in
+  B.supports cca
+
+let names () = List.map name all
+
+let find n =
+  match List.find_opt (fun b -> name b = n) all with
+  | Some b -> Ok b
+  | None -> Error (Unknown_backend { name = n; known = names () })
+
+let find_exn n =
+  match find n with
+  | Ok b -> b
+  | Error e -> invalid_arg (Format.asprintf "Sim_backend: %a" pp_error e)
+
+let run (b : t) s =
+  let module B = (val b) in
+  B.run s
+
+let digest (b : t) s =
+  let module B = (val b) in
+  B.digest s
+
+let validate (b : t) s =
+  let module B = (val b) in
+  B.validate s
+
+let run_exn b s =
+  match run b s with
+  | Ok o -> o
+  | Error e ->
+    invalid_arg (Format.asprintf "Sim_backend %s: %a" (name b) pp_error e)
+
+let mean_bps_of_cca o cca =
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if String.equal c cca then begin
+        sum := !sum +. o.per_flow_bps.(i);
+        incr count
+      end)
+    o.per_flow_cca;
+  if !count = 0 then nan else !sum /. float_of_int !count
+
+let aggregate_bps_of_cca o cca =
+  let sum = ref 0.0 in
+  Array.iteri
+    (fun i c -> if String.equal c cca then sum := !sum +. o.per_flow_bps.(i))
+    o.per_flow_cca;
+  !sum

@@ -60,3 +60,39 @@ val campaign :
 
 val replay : ?fault:fault -> string -> (Scenario.t * outcome, string) result
 (** [replay path] loads a replay file and re-runs it. *)
+
+(** {1 Analytic-backend fuzzing}
+
+    The fluid and ODE backends have no event stream to audit, so their
+    campaigns check outcome-level invariants instead: every reported field
+    finite, per-flow goodput non-negative and summing to at most capacity
+    (1% headroom), the mean queue within the buffer, the outcome exactly
+    reproducible on a re-run, and — for single-flow scenarios — fluid/ODE
+    parity: both backends re-run with a half-horizon warm-up (excluding
+    their differently-modelled startups) must agree on goodput within 10%
+    of capacity. Violations are reported as {!Audit.violation}s under the
+    [backend-*] invariant ids. *)
+
+val run_scenario_backend : backend:Sim_backend.t -> Scenario.t -> outcome
+(** Run one scenario's {!Scenario.to_spec} on the backend and check the
+    outcome invariants above. A backend rejection (unsupported CCA in a
+    hand-written scenario) is a [Crash]. Deterministic. *)
+
+val shrink_backend : backend:Sim_backend.t -> Scenario.t -> Scenario.t
+(** {!shrink} for backend failures; candidate CCA collapse is restricted
+    to the backend's supported names. *)
+
+val backend_campaign :
+  backend:Sim_backend.t ->
+  ?jobs:int ->
+  count:int ->
+  seed:int ->
+  unit ->
+  campaign
+(** {!campaign} against an analytic backend. Scenario generation is
+    restricted to the backend's supported CCAs, so the same seed draws
+    different (but still deterministic) batches than the packet
+    campaign. *)
+
+val replay_backend :
+  backend:Sim_backend.t -> string -> (Scenario.t * outcome, string) result

@@ -37,10 +37,30 @@ let to_config t =
            f.f_cca)
        t.flows)
 
-let generate rng =
+(* The backend-neutral reading of a scenario. Start times and the AQM are
+   packet-level refinements with no analytic counterpart: the spec keeps
+   every flow's CCA and RTT but has all flows start at 0 on a drop-tail
+   bottleneck, which is what the analytic backends model. *)
+let to_spec t =
+  let rate_bps = Units.mbps t.mbps in
+  let rtt = Units.ms t.base_rtt_ms in
+  Sim_backend.spec ~seed:t.seed ~rate_bps
+    ~buffer_bytes:
+      (Units.bytes_of_int (E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:t.buffer_bdp))
+    ~duration:(Units.seconds t.duration_s)
+    (List.map
+       (fun f -> { Sim_backend.cca = f.f_cca; rtt = Units.ms f.f_rtt_ms })
+       t.flows)
+
+let generate ?ccas rng =
   let duration_s = q (Rng.uniform_in rng ~lo:3.0 ~hi:8.0) in
   let n_flows = 1 + Rng.int rng 5 in
-  let names = Cca.Registry.names () in
+  let names =
+    match ccas with
+    | None -> Cca.Registry.names ()
+    | Some [] -> invalid_arg "Scenario.generate: empty cca filter"
+    | Some names -> names
+  in
   let flows =
     List.init n_flows (fun _ ->
         {
@@ -59,9 +79,9 @@ let generate rng =
     flows;
   }
 
-let generate_batch ~seed ~count =
+let generate_batch ?ccas ~seed ~count () =
   let rng = Rng.create seed in
-  List.init count (fun _ -> generate (Rng.split rng))
+  List.init count (fun _ -> generate ?ccas (Rng.split rng))
 
 (* ---------- shrinking ---------- *)
 
@@ -70,17 +90,29 @@ let ne a b = Float.compare a b <> 0
 let without_flow t i =
   { t with flows = List.filteri (fun j _ -> j <> i) t.flows }
 
-let shrink_candidates t =
+let shrink_candidates ?ccas t =
   let candidates = ref [] in
   let add c = candidates := c :: !candidates in
+  (* Simplest CCA to collapse the mix to: reno when the allowed set (all
+     of the registry by default, a backend's supported names when
+     shrinking a backend-campaign failure) contains it, cubic otherwise. *)
+  let simplest =
+    match ccas with
+    | None -> Some "reno"
+    | Some allowed ->
+      List.find_opt (fun c -> List.mem c allowed) [ "reno"; "cubic" ]
+  in
   (* Reversed accumulation: add least-aggressive first so the final list
      leads with the biggest reductions. *)
-  (if List.exists (fun f -> not (String.equal f.f_cca "reno")) t.flows then
-     add
-       {
-         t with
-         flows = List.map (fun f -> { f with f_cca = "reno" }) t.flows;
-       });
+  (match simplest with
+  | Some simplest
+    when List.exists (fun f -> not (String.equal f.f_cca simplest)) t.flows ->
+    add
+      {
+        t with
+        flows = List.map (fun f -> { f with f_cca = simplest }) t.flows;
+      }
+  | Some _ | None -> ());
   if ne t.base_rtt_ms 20.0 then add { t with base_rtt_ms = 20.0 };
   if ne t.mbps 10.0 then add { t with mbps = 10.0 };
   if ne t.buffer_bdp 1.0 then

@@ -28,18 +28,30 @@ val to_config : t -> Tcpflow.Experiment.config
 (** The packet-level experiment this scenario denotes (warm-up 0 — the
     auditor cares about the whole run, not a measurement window). *)
 
-val generate : Sim_engine.Rng.t -> t
-(** Draw one scenario: 1–5 flows over every registered CCA, 5–50 Mbps,
-    5–80 ms RTTs, 0.25–16 BDP buffers, 3–8 s horizons, occasional RED. *)
+val to_spec : t -> Sim_backend.spec
+(** The backend-neutral reading of the same scenario, for fuzzing the
+    analytic backends. Flow start times and the AQM are packet-level
+    refinements the analytic backends do not model: the spec starts every
+    flow at 0 on a drop-tail bottleneck. *)
 
-val generate_batch : seed:int -> count:int -> t list
-(** [count] scenarios, deterministically derived from [seed] alone. *)
+val generate : ?ccas:string list -> Sim_engine.Rng.t -> t
+(** Draw one scenario: 1–5 flows over every registered CCA (or the [ccas]
+    subset — pass a backend's supported names when fuzzing it), 5–50 Mbps,
+    5–80 ms RTTs, 0.25–16 BDP buffers, 3–8 s horizons, occasional RED.
+    Raises [Invalid_argument] on an empty [ccas]. *)
 
-val shrink_candidates : t -> t list
+val generate_batch : ?ccas:string list -> seed:int -> count:int -> unit -> t list
+(** [count] scenarios, deterministically derived from [seed] alone (for a
+    fixed [ccas] filter). *)
+
+val shrink_candidates : ?ccas:string list -> t -> t list
 (** Strictly-simpler variants, most aggressive first (drop a flow, halve
     the horizon, zero the start times, drop RED, collapse RTTs, canonical
-    buffer/bandwidth, simplest CCA). The fuzz driver keeps a candidate only
-    when it still fails, so each accepted step shrinks the counterexample. *)
+    buffer/bandwidth, simplest CCA). [ccas] restricts the simplest-CCA
+    step to an allowed set (reno, else cubic, else skipped) so shrunk
+    scenarios stay runnable on the backend that failed. The fuzz driver
+    keeps a candidate only when it still fails, so each accepted step
+    shrinks the counterexample. *)
 
 val to_string : t -> string
 (** The replay-file format: a versioned, line-oriented [key value] text. *)

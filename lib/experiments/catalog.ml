@@ -63,6 +63,11 @@ let all =
       run = Fig12.run;
     };
     {
+      id = "fluidgrid";
+      summary = "Fluid vs ODE analytic-backend differential grid";
+      run = Fluidgrid.run;
+    };
+    {
       id = "ext-red";
       summary = "Extension: CUBIC vs BBR under a RED AQM";
       run = Ext_red.run;

@@ -1,0 +1,8 @@
+(** The fluid-vs-ODE differential grid as a catalog entry ([fluidgrid]):
+    runs every calibrated cross-validation cell on both analytic backends
+    through {!Runs.run_specs} and tabulates per-kind mean shares side by
+    side with their worst absolute deviation. Deterministic — quick mode is
+    golden-CSV gated. See EXPERIMENTS.md, "Reproducing the differential
+    grid". *)
+
+val run : Common.ctx -> Common.table

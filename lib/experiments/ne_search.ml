@@ -46,16 +46,24 @@ let observed_equilibria ?epsilon ~n ~fair_bps ~payoff ~window () =
     [ crossing ]
   | ne -> ne
 
-let fluid_payoff ~base ~kind ~rtt ~n =
-  let open Fluidsim.Fluid_sim in
+let backend_payoff ?ctx ~backend ~spec ~other ~rtt ~n () =
   memoize (fun k ->
-      if k < 0 || k > n then invalid_arg "fluid_payoff: k out of range";
+      if k < 0 || k > n then invalid_arg "backend_payoff: k out of range";
       let flows =
-        List.init (n - k) (fun _ -> { kind = Cubic; rtt })
-        @ List.init k (fun _ -> { kind; rtt })
+        List.init (n - k) (fun _ -> { Sim_backend.cca = "cubic"; rtt })
+        @ List.init k (fun _ -> { Sim_backend.cca = other; rtt })
       in
-      let result = run { base with flows } in
-      (mean_bps_of_kind result Cubic, mean_bps_of_kind result kind))
+      let spec = { spec with Sim_backend.flows } in
+      let outcome =
+        match ctx with
+        | Some ctx -> (
+          match Runs.run_specs ctx backend [ spec ] with
+          | [ o ] -> o
+          | _ -> assert false)
+        | None -> Sim_backend.run_exn backend spec
+      in
+      ( Sim_backend.mean_bps_of_cca outcome "cubic",
+        Sim_backend.mean_bps_of_cca outcome other ))
 
 let packet_payoff ?duration ?warmup ~ctx ~mbps ~rtt_ms ~buffer_bdp ~other ~n
     () =

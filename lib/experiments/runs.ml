@@ -114,6 +114,43 @@ let eval (ctx : Common.ctx) configs =
       to_run computed;
     List.map (fun (key, _) -> Hashtbl.find known key) keyed)
 
+(* [eval]'s cache discipline for the backend-neutral API: one lookup and
+   at most one run per distinct (backend, spec) digest, misses fanned out
+   over the ctx's worker pool. Analytic backends have no event stream, so
+   [trace_dir] does not apply here. *)
+let run_specs (ctx : Common.ctx) backend specs =
+  let run_one s = Sim_backend.run_exn backend s in
+  match ctx.cache_dir with
+  | None -> Sim_engine.Exec.map_list ~jobs:ctx.jobs run_one specs
+  | Some dir ->
+    let cache = Sim_engine.Exec.Cache.create dir in
+    let keyed = List.map (fun s -> (Sim_backend.digest backend s, s)) specs in
+    let known : (string, Sim_backend.outcome) Hashtbl.t = Hashtbl.create 16 in
+    let pending = Hashtbl.create 16 in
+    let to_run =
+      List.filter
+        (fun (key, _) ->
+          if Hashtbl.mem known key || Hashtbl.mem pending key then false
+          else
+            match Sim_engine.Exec.Cache.find cache ~key with
+            | Some (outcome : Sim_backend.outcome) ->
+              Hashtbl.add known key outcome;
+              false
+            | None ->
+              Hashtbl.add pending key ();
+              true)
+        keyed
+    in
+    let computed =
+      Sim_engine.Exec.map_list ~jobs:ctx.jobs (fun (_, s) -> run_one s) to_run
+    in
+    List.iter2
+      (fun (key, _) outcome ->
+        Sim_engine.Exec.Cache.store cache ~key outcome;
+        Hashtbl.replace known key outcome)
+      to_run computed;
+    List.map (fun (key, _) -> Hashtbl.find known key) keyed
+
 type mix_spec = {
   spec_duration : Sim_engine.Units.seconds option;
   spec_warmup : Sim_engine.Units.seconds option;

@@ -32,6 +32,19 @@ val eval :
     no trace — and the files are byte-identical across invocations and
     [jobs] settings for a given config. *)
 
+val run_specs :
+  Common.ctx ->
+  Sim_backend.t ->
+  Sim_backend.spec list ->
+  Sim_backend.outcome list
+(** {!eval}'s backend-neutral sibling: run every spec on the given backend,
+    in order, with the same cache discipline — outcomes are keyed by
+    {!Sim_backend.digest} (which includes the backend's version token), so
+    the packet, fluid and ODE backends never share entries. Misses run on
+    [ctx.jobs] worker domains. [ctx.trace_dir] does not apply: analytic
+    backends emit no event stream. Raises [Invalid_argument] when the
+    backend rejects a spec (unsupported CCA, malformed spec). *)
+
 type mix_spec
 (** One homogeneous-RTT CUBIC-vs-other mix — one grid point of a figure,
     before seed expansion. *)

@@ -4,6 +4,8 @@ type flow_spec = { kind : kind; rtt : Sim_engine.Units.seconds }
 
 type sync_mode = Synchronized | Desynchronized | Stochastic of float
 
+type stepper = Rounds | Heun
+
 type config = {
   capacity_bps : Sim_engine.Units.rate_bps;
   buffer_bytes : Sim_engine.Units.byte_count;
@@ -14,6 +16,7 @@ type config = {
   dt : Sim_engine.Units.seconds;
   seed : int;
   trace_period : Sim_engine.Units.seconds;  (* 0. = no trace *)
+  stepper : stepper;
 }
 
 let mss = float_of_int Sim_engine.Units.mss
@@ -33,7 +36,31 @@ let default_config =
     dt = Sim_engine.Units.ms 2.0;
     seed = 1;
     trace_period = Sim_engine.Units.seconds 0.0;
+    stepper = Rounds;
   }
+
+(* --- CCA-name mapping (the one place registry names meet fluid kinds) --- *)
+
+type unsupported_cca = { cca : string; supported : string list }
+
+let supported_ccas = [ "cubic"; "bbr"; "bbr2" ]
+
+let kind_of_cca = function
+  | "cubic" -> Ok Cubic
+  | "bbr" -> Ok Bbr
+  | "bbr2" -> Ok Bbr2
+  | cca -> Error { cca; supported = supported_ccas }
+
+let cca_of_kind = function Cubic -> "cubic" | Bbr -> "bbr" | Bbr2 -> "bbr2"
+
+let kind_of_cca_exn cca =
+  match kind_of_cca cca with
+  | Ok k -> k
+  | Error { cca; supported } ->
+    invalid_arg
+      (Printf.sprintf "Fluid_sim: no fluid model for CCA %S (supported: %s)"
+         cca
+         (String.concat ", " supported))
 
 type trace_sample = {
   t_time : float;
@@ -52,92 +79,309 @@ type result = {
   trace : trace_sample list;
 }
 
-(* The integrator's inner loop crunches bare floats: the typed config is
-   unwrapped once, here, through the [Units.Raw] escape hatch. *)
-type ispec = { s_kind : kind; s_rtt : float (* seconds *) }
-
-(* Per-flow mutable state. CUBIC fields are unused for BBR flows and vice
-   versa; a single record keeps the hot loop allocation-free. *)
-type flow_state = {
-  spec : ispec;
-  mutable w : float;  (* current window / in-flight target, bytes *)
-  (* CUBIC *)
-  mutable in_slow_start : bool;
-  mutable w_max : float;  (* bytes *)
-  mutable epoch : float;  (* time of last back-off *)
-  mutable k : float;  (* cubic K, seconds *)
-  (* BBR *)
-  mutable btlbw : float;  (* bytes/s, windowed max *)
-  mutable btlbw_entries : (float * float) list;  (* (time, rate) deque *)
-  mutable last_bw_update : float;
-  mutable w_cur : float;  (* BBR's actual in-flight (ramps at pacing rate) *)
-  mutable rtprop : float;
-  mutable rtprop_stamp : float;
-  mutable probing_until : float;  (* > now while in ProbeRTT *)
-  mutable probe_min_rtt : float;  (* min RTT sampled during current probe *)
-  (* BBRv2 *)
-  mutable inflight_hi : float;
-  mutable last_loss_time : float;
-  mutable last_hi_growth : float;
-  mutable last_backoff : float;  (* for at-most-one back-off per RTT *)
-  (* accounting *)
-  mutable delivered : float;  (* bytes in measurement window *)
-}
-
 let cubic_c = 0.4 (* MSS/s^3 *)
 let cubic_beta = 0.3
 let probe_rtt_interval = 10.0
 let probe_rtt_duration = 0.2
 
-let cubic_window state ~now =
-  let t = now -. state.epoch in
+(* Struct-of-arrays flow state. One float array per field (plus int/bool
+   arrays for discrete state) keeps the integrator's inner loop free of
+   per-step allocation: every read/write is an unboxed array access, and
+   all transient accumulators live in the [acc] scratch slots below. The
+   BBR bandwidth filter — a windowed max previously kept as a (time, rate)
+   list — is a flat ring holding each flow's monotone deque. *)
+
+let bw_cap = 64 (* per-flow deque slots; ~11 live entries at 10-RTT windows *)
+
+(* [acc] scratch-slot indices. *)
+let a_prev_qdelay = 0
+let a_q_prev = 1
+let a_queue_integral = 2
+let a_queue_time = 3
+let acc_slots = 4
+
+type soa = {
+  n : int;
+  kinds : kind array;
+  rtt : float array;  (* seconds; the [Queue_fixpoint] view of the flows *)
+  w : float array;  (* current window / in-flight target, bytes *)
+  (* CUBIC *)
+  slow_start : bool array;
+  w_max : float array;  (* bytes *)
+  epoch : float array;  (* time of last back-off *)
+  ck : float array;  (* cubic K, seconds *)
+  (* BBR *)
+  btlbw : float array;  (* bytes/s, windowed max *)
+  bw_time : float array;  (* ring of sample times, flow i at [i*bw_cap ..] *)
+  bw_rate : float array;  (* ring of sampled rates *)
+  bw_head : int array;  (* oldest live slot, relative to the flow's base *)
+  bw_len : int array;
+  last_bw_update : float array;
+  w_cur : float array;  (* BBR's actual in-flight (ramps at pacing rate) *)
+  rtprop : float array;
+  rtprop_stamp : float array;
+  probing_until : float array;  (* > now while in ProbeRTT *)
+  probe_min_rtt : float array;  (* min RTT sampled during current probe *)
+  (* BBRv2 *)
+  inflight_hi : float array;
+  last_loss_time : float array;
+  last_hi_growth : float array;
+  last_backoff : float array;  (* for at-most-one back-off per RTT *)
+  (* accounting *)
+  delivered : float array;  (* bytes in measurement window *)
+  rate : float array;  (* this step's per-flow throughput, bytes/s *)
+  w_save : float array;  (* Heun predictor snapshots of w / w_cur *)
+  w_cur_save : float array;
+  acc : float array;  (* scratch accumulators, see [a_*] above *)
+}
+
+let make_soa flows rng =
+  let n = Array.length flows in
+  let st =
+    {
+      n;
+      kinds = Array.map (fun f -> f.kind) flows;
+      rtt = Array.make n 0.0;
+      w = Array.make n 0.0;
+      slow_start = Array.make n true;
+      w_max = Array.make n 0.0;
+      epoch = Array.make n 0.0;
+      ck = Array.make n 0.0;
+      btlbw = Array.make n 0.0;
+      bw_time = Array.make (n * bw_cap) 0.0;
+      bw_rate = Array.make (n * bw_cap) 0.0;
+      bw_head = Array.make n 0;
+      bw_len = Array.make n 0;
+      last_bw_update = Array.make n neg_infinity;
+      w_cur = Array.make n 0.0;
+      rtprop = Array.make n 0.0;
+      rtprop_stamp = Array.make n 0.0;
+      probing_until = Array.make n 0.0;
+      probe_min_rtt = Array.make n infinity;
+      inflight_hi = Array.make n infinity;
+      last_loss_time = Array.make n neg_infinity;
+      last_hi_growth = Array.make n 0.0;
+      last_backoff = Array.make n neg_infinity;
+      delivered = Array.make n 0.0;
+      rate = Array.make n 0.0;
+      w_save = Array.make n 0.0;
+      w_cur_save = Array.make n 0.0;
+      acc = Array.make acc_slots 0.0;
+    }
+  in
+  Array.iteri
+    (fun i (f : flow_spec) ->
+      let s_rtt = Sim_engine.Units.Raw.to_float f.rtt in
+      (* All flows start together, as in the paper's experiments; the
+         jitter only desynchronizes slow-start exits slightly. *)
+      let jitter = Sim_engine.Rng.uniform_in rng ~lo:0.8 ~hi:1.2 in
+      let w0 = 10.0 *. mss *. jitter in
+      st.rtt.(i) <- s_rtt;
+      st.w.(i) <- w0;
+      st.w_max.(i) <- w0;
+      st.epoch.(i) <- -.Sim_engine.Rng.float rng 1.0;
+      st.btlbw.(i) <- w0 /. s_rtt;
+      st.w_cur.(i) <- w0;
+      st.rtprop.(i) <- s_rtt;
+      st.rtprop_stamp.(i) <- Sim_engine.Rng.float rng 2.0)
+    flows;
+  st
+
+let cubic_window st i ~now =
+  let t = now -. st.epoch.(i) in
   let w_mss =
-    (cubic_c *. ((t -. state.k) ** 3.0)) +. (state.w_max /. mss)
+    (cubic_c *. ((t -. st.ck.(i)) ** 3.0)) +. (st.w_max.(i) /. mss)
   in
   Float.max (2.0 *. mss) (w_mss *. mss)
 
-let cubic_backoff state ~now =
-  state.in_slow_start <- false;
-  state.w_max <- state.w;
-  state.k <- Float.cbrt (state.w_max /. mss *. cubic_beta /. cubic_c);
-  state.epoch <- now;
-  state.w <- Float.max (2.0 *. mss) (0.7 *. state.w)
+let cubic_backoff st i ~now =
+  st.slow_start.(i) <- false;
+  st.w_max.(i) <- st.w.(i);
+  st.ck.(i) <- Float.cbrt (st.w_max.(i) /. mss *. cubic_beta /. cubic_c);
+  st.epoch.(i) <- now;
+  st.w.(i) <- Float.max (2.0 *. mss) (0.7 *. st.w.(i));
+  st.last_backoff.(i) <- now
 
-(* Windowed max of the achieved rate over roughly 10 (inflated) RTTs,
-   implemented as a monotone deque on time. *)
-let update_btlbw state ~now ~rate ~window =
-  let entries =
-    List.filter (fun (t, v) -> now -. t <= window && v > rate)
-      state.btlbw_entries
-  in
-  state.btlbw_entries <- entries @ [ (now, rate) ];
-  state.btlbw <-
-    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0
-      state.btlbw_entries
+(* Windowed max of the achieved rate over roughly 10 (inflated) RTTs: a
+   monotone deque (decreasing rates front→back, increasing times) in the
+   flat ring. Expired entries leave at the front, dominated ones at the
+   back, and the front is the max. *)
+let update_btlbw st i ~now ~rate ~window =
+  let base = i * bw_cap in
+  (* Expire from the front (times increase front→back). *)
+  while
+    st.bw_len.(i) > 0
+    && now -. st.bw_time.(base + st.bw_head.(i)) > window
+  do
+    st.bw_head.(i) <- (st.bw_head.(i) + 1) mod bw_cap;
+    st.bw_len.(i) <- st.bw_len.(i) - 1
+  done;
+  (* Drop dominated entries from the back. *)
+  while
+    st.bw_len.(i) > 0
+    &&
+    let back = (st.bw_head.(i) + st.bw_len.(i) - 1) mod bw_cap in
+    st.bw_rate.(base + back) <= rate
+  do
+    st.bw_len.(i) <- st.bw_len.(i) - 1
+  done;
+  (* Push (now, rate); on a full ring drop the oldest (cannot happen at
+     one sample per RTT and 10-RTT windows, but stay safe). *)
+  if st.bw_len.(i) = bw_cap then begin
+    st.bw_head.(i) <- (st.bw_head.(i) + 1) mod bw_cap;
+    st.bw_len.(i) <- st.bw_len.(i) - 1
+  end;
+  let slot = (st.bw_head.(i) + st.bw_len.(i)) mod bw_cap in
+  st.bw_time.(base + slot) <- now;
+  st.bw_rate.(base + slot) <- rate;
+  st.bw_len.(i) <- st.bw_len.(i) + 1;
+  st.btlbw.(i) <- st.bw_rate.(base + st.bw_head.(i))
 
-(* Fluid queue fixed point: find q >= 0 with sum_i w_i/(rtt_i + q/C) = C,
-   or q = 0 when the link is under-utilized. *)
-let solve_queue ~capacity flows =
-  let offered q =
-    Array.fold_left
-      (fun acc f -> acc +. (f.w /. (f.spec.s_rtt +. (q /. capacity))))
-      0.0 flows
-  in
-  if offered 0.0 <= capacity then 0.0
-  else begin
-    let lo = ref 0.0 and hi = ref (mss *. 16.0) in
-    while offered !hi > capacity do
-      hi := !hi *. 2.0
+(* Desired in-flight per flow for one step. [qdelay] is the previous step's
+   queuing delay (slow start doubles per inflated RTT). *)
+let update_windows st ~now ~dt ~qdelay =
+  for i = 0 to st.n - 1 do
+    match st.kinds.(i) with
+    | Cubic ->
+      if st.slow_start.(i) then
+        (* Doubling per (inflated) RTT until the first loss. *)
+        st.w.(i) <- st.w.(i) *. Float.exp2 (dt /. (st.rtt.(i) +. qdelay))
+      else st.w.(i) <- cubic_window st i ~now
+    | Bbr | Bbr2 ->
+      if now < st.probing_until.(i) then st.w.(i) <- 4.0 *. mss
+      else begin
+        let cap = 2.0 *. st.btlbw.(i) *. st.rtprop.(i) in
+        let cap =
+          if st.kinds.(i) = Bbr2 then Float.min cap st.inflight_hi.(i)
+          else cap
+        in
+        (* The in-flight cap applies immediately (it is a cwnd bound);
+           growth toward a raised cap is limited by the pacing surplus
+           of the ProbeBW up-phases (~0.25 x btlbw). *)
+        if st.w_cur.(i) > cap then st.w_cur.(i) <- cap
+        else
+          st.w_cur.(i) <-
+            Float.min cap (st.w_cur.(i) +. (0.25 *. st.btlbw.(i) *. dt));
+        st.w.(i) <- Float.max (4.0 *. mss) st.w_cur.(i)
+      end
+  done
+
+(* Buffer overflow: the queue saturates at B, excess is dropped, and
+   eligible flows register one loss event per (inflated) RTT. The CUBIC
+   victim set is the synchronization mode; BBRv2 clamps inflight_hi. *)
+let apply_losses st rng sync ~now ~qdelay =
+  let eligible i = now -. st.last_backoff.(i) > st.rtt.(i) +. qdelay in
+  let eligible_cubic i = st.kinds.(i) = Cubic && eligible i in
+  (match sync with
+  | Synchronized ->
+    for i = 0 to st.n - 1 do
+      if eligible_cubic i then cubic_backoff st i ~now
+    done
+  | Desynchronized ->
+    (* The largest eligible window backs off (first max wins ties). *)
+    let victim = ref (-1) in
+    for i = 0 to st.n - 1 do
+      if eligible_cubic i && (!victim < 0 || st.w.(i) > st.w.(!victim)) then
+        victim := i
     done;
-    for _ = 1 to 50 do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if offered mid > capacity then lo := mid else hi := mid
+    if !victim >= 0 then cubic_backoff st !victim ~now
+  | Stochastic p ->
+    let any = ref false in
+    let victim = ref (-1) in
+    for i = 0 to st.n - 1 do
+      if eligible_cubic i then begin
+        if !victim < 0 || st.w.(i) > st.w.(!victim) then victim := i;
+        if Sim_engine.Rng.float rng 1.0 < p then begin
+          any := true;
+          cubic_backoff st i ~now
+        end
+      end
     done;
-    0.5 *. (!lo +. !hi)
+    if (not !any) && !victim >= 0 then cubic_backoff st !victim ~now);
+  (* BBRv2 reacts to the shared loss round. *)
+  for i = 0 to st.n - 1 do
+    if st.kinds.(i) = Bbr2 && eligible i then begin
+      st.inflight_hi.(i) <-
+        Float.max (4.0 *. mss)
+          (0.7 *. Float.min st.w.(i) st.inflight_hi.(i));
+      st.last_loss_time.(i) <- now;
+      st.last_backoff.(i) <- now
+    end
+  done
+
+(* Per-flow throughput for this step into [st.rate]: fluid shares at the
+   solved queue, or drop-tail shares of the saturated buffer. *)
+let compute_rates st ~capacity ~qdelay ~overflowing =
+  if overflowing then begin
+    let total = ref 0.0 in
+    for i = 0 to st.n - 1 do
+      let d = st.w.(i) /. (st.rtt.(i) +. qdelay) in
+      st.rate.(i) <- d;
+      total := !total +. d
+    done;
+    let scale = capacity /. !total in
+    for i = 0 to st.n - 1 do
+      st.rate.(i) <- st.rate.(i) *. scale
+    done
   end
+  else
+    for i = 0 to st.n - 1 do
+      st.rate.(i) <- st.w.(i) /. (st.rtt.(i) +. qdelay)
+    done
 
-let is_cubic f = f.spec.s_kind = Cubic
-let is_bbr_like f = f.spec.s_kind = Bbr || f.spec.s_kind = Bbr2
+(* Delivery accounting, the BBR bandwidth/RTT estimators, and the BBRv2
+   inflight_hi recovery, for one step of width [dt]. *)
+let account st ~now ~dt ~warmup ~qdelay ~fair =
+  for i = 0 to st.n - 1 do
+    let rate = st.rate.(i) in
+    if now >= warmup then st.delivered.(i) <- st.delivered.(i) +. (rate *. dt);
+    match st.kinds.(i) with
+    | Cubic -> ()
+    | Bbr | Bbr2 ->
+      let inflated_rtt = st.rtt.(i) +. qdelay in
+      (* Bandwidth samples arrive once per (inflated) round trip, as in
+         the real delivery-rate estimator; the in-flight ramp above is
+         what bounds the feedback loop to physical timescales. *)
+      if now -. st.last_bw_update.(i) >= inflated_rtt then begin
+        st.last_bw_update.(i) <- now;
+        update_btlbw st i ~now ~rate ~window:(10.0 *. inflated_rtt)
+      end;
+      (* ProbeRTT state machine. *)
+      if now < st.probing_until.(i) then begin
+        st.probe_min_rtt.(i) <- Float.min st.probe_min_rtt.(i) inflated_rtt;
+        if now +. dt >= st.probing_until.(i) then begin
+          st.rtprop.(i) <- st.probe_min_rtt.(i);
+          st.rtprop_stamp.(i) <- now
+        end
+      end
+      else if inflated_rtt < st.rtprop.(i) then begin
+        st.rtprop.(i) <- inflated_rtt;
+        st.rtprop_stamp.(i) <- now
+      end
+      else if now -. st.rtprop_stamp.(i) > probe_rtt_interval then begin
+        st.probing_until.(i) <- now +. probe_rtt_duration;
+        st.probe_min_rtt.(i) <- infinity;
+        st.rtprop_stamp.(i) <- now
+      end;
+      (* BBRv2 inflight_hi recovery: multiplicative growth every 2 s of
+         loss-free cruising. *)
+      if
+        st.kinds.(i) = Bbr2
+        && st.inflight_hi.(i) < infinity
+        && now -. st.last_loss_time.(i) > 2.0
+        && now -. st.last_hi_growth.(i) > 2.0
+      then begin
+        st.inflight_hi.(i) <-
+          Float.min
+            (st.inflight_hi.(i) *. 1.25)
+            (2.0 *. Float.max st.btlbw.(i) fair *. st.rtprop.(i));
+        st.last_hi_growth.(i) <- now
+      end
+  done
+
+let solve_step st ~capacity =
+  Queue_fixpoint.solve ~capacity ~w:st.w ~rtt:st.rtt ~n:st.n
+    ~init:st.acc.(a_q_prev)
 
 let run config =
   let module Raw = Sim_engine.Units.Raw in
@@ -154,232 +398,87 @@ let run config =
   let n = List.length config.flows in
   if n = 0 then invalid_arg "Fluid_sim.run: no flows";
   let fair = capacity /. float_of_int n in
-  let flows =
-    Array.of_list
-      (List.map
-         (fun { kind; rtt } ->
-           let spec = { s_kind = kind; s_rtt = Raw.to_float rtt } in
-           (* All flows start together, as in the paper's experiments; the
-              jitter only desynchronizes slow-start exits slightly. *)
-           let jitter = Sim_engine.Rng.uniform_in rng ~lo:0.8 ~hi:1.2 in
-           let w0 = 10.0 *. mss *. jitter in
-           {
-             spec;
-             w = w0;
-             in_slow_start = true;
-             w_max = w0;
-             epoch = -.Sim_engine.Rng.float rng 1.0;
-             k = 0.0;
-             btlbw = w0 /. spec.s_rtt;
-             btlbw_entries = [];
-             last_bw_update = neg_infinity;
-             w_cur = w0;
-             rtprop = spec.s_rtt;
-             rtprop_stamp = Sim_engine.Rng.float rng 2.0;
-             probing_until = 0.0;
-             probe_min_rtt = infinity;
-             inflight_hi = infinity;
-             last_loss_time = neg_infinity;
-             last_hi_growth = 0.0;
-             last_backoff = neg_infinity;
-             delivered = 0.0;
-           })
-         config.flows)
-  in
+  let st = make_soa (Array.of_list config.flows) rng in
+  let heun = config.stepper = Heun in
   let loss_events = ref 0 in
-  let queue_integral = ref 0.0 and queue_time = ref 0.0 in
-  let prev_qdelay = ref 0.0 in
   let trace = ref [] in
   let next_trace = ref 0.0 in
   let steps = int_of_float (Float.round (duration /. dt)) in
   for step = 0 to steps - 1 do
     let now = float_of_int step *. dt in
-    (* 1. Desired in-flight per flow. *)
-    Array.iter
-      (fun f ->
-        match f.spec.s_kind with
-        | Cubic ->
-          if f.in_slow_start then
-            (* Doubling per (inflated) RTT until the first loss. *)
-            f.w <-
-              f.w
-              *. Float.exp2 (dt /. (f.spec.s_rtt +. !prev_qdelay))
-          else f.w <- cubic_window f ~now
-        | Bbr | Bbr2 ->
-          if now < f.probing_until then f.w <- 4.0 *. mss
-          else begin
-            let cap = 2.0 *. f.btlbw *. f.rtprop in
-            let cap =
-              if f.spec.s_kind = Bbr2 then Float.min cap f.inflight_hi else cap
-            in
-            (* The in-flight cap applies immediately (it is a cwnd bound);
-               growth toward a raised cap is limited by the pacing surplus
-               of the ProbeBW up-phases (~0.25 x btlbw). *)
-            if f.w_cur > cap then f.w_cur <- cap
-            else
-              f.w_cur <-
-                Float.min cap (f.w_cur +. (0.25 *. f.btlbw *. dt));
-            f.w <- Float.max (4.0 *. mss) f.w_cur
-          end)
-      flows;
-    (* 2. Queue fixed point. When the fixed point exceeds the buffer, the
-       queue physically saturates at B and the excess is dropped: rates are
-       the drop-tail shares at q = B, and eligible flows register one loss
-       event per (inflated) RTT. *)
-    let q_star = solve_queue ~capacity flows in
+    (* 1. Desired in-flight per flow, from the previous queuing delay. *)
+    let prev_qdelay = st.acc.(a_prev_qdelay) in
+    if heun then begin
+      Array.blit st.w 0 st.w_save 0 st.n;
+      Array.blit st.w_cur 0 st.w_cur_save 0 st.n
+    end;
+    update_windows st ~now ~dt ~qdelay:prev_qdelay;
+    (* 2. Queue fixed point (warm-started from the last solution). With
+       the Heun stepper, the predictor's step is discarded and re-taken
+       under the midpoint of the old and predicted delays, damping the
+       dt-sized lag of the explicit round step. *)
+    let q_star = solve_step st ~capacity in
+    let q_star =
+      if heun then begin
+        let mid_qdelay =
+          0.5 *. (prev_qdelay +. (Float.min q_star buffer_bytes /. capacity))
+        in
+        Array.blit st.w_save 0 st.w 0 st.n;
+        Array.blit st.w_cur_save 0 st.w_cur 0 st.n;
+        update_windows st ~now ~dt ~qdelay:mid_qdelay;
+        solve_step st ~capacity
+      end
+      else q_star
+    in
+    st.acc.(a_q_prev) <- q_star;
     let overflowing = q_star > buffer_bytes in
     let q = if overflowing then buffer_bytes else q_star in
     let qdelay = q /. capacity in
-    prev_qdelay := qdelay;
-    let rate_of =
-      if overflowing then begin
-        let demand f = f.w /. (f.spec.s_rtt +. qdelay) in
-        let total = Array.fold_left (fun acc f -> acc +. demand f) 0.0 flows in
-        fun f -> capacity *. demand f /. total
-      end
-      else fun f -> f.w /. (f.spec.s_rtt +. qdelay)
-    in
+    st.acc.(a_prev_qdelay) <- qdelay;
+    (* 3. Overflow: the excess is dropped and eligible flows back off. *)
     if overflowing then begin
       incr loss_events;
-      let eligible f =
-        now -. f.last_backoff > f.spec.s_rtt +. qdelay
-      in
-      let cubics =
-        Array.of_list
-          (List.filter (fun f -> is_cubic f && eligible f)
-             (Array.to_list flows))
-      in
-      let backoff f =
-        cubic_backoff f ~now;
-        f.last_backoff <- now
-      in
-      (match config.sync with
-      | Synchronized -> Array.iter backoff cubics
-      | Desynchronized ->
-        let victim =
-          Array.fold_left
-            (fun best f ->
-              match best with
-              | None -> Some f
-              | Some b -> if f.w > b.w then Some f else best)
-            None cubics
-        in
-        Option.iter backoff victim
-      | Stochastic p ->
-        let any = ref false in
-        Array.iter
-          (fun f ->
-            if Sim_engine.Rng.float rng 1.0 < p then begin
-              any := true;
-              backoff f
-            end)
-          cubics;
-        if (not !any) && Array.length cubics > 0 then begin
-          let victim =
-            Array.fold_left
-              (fun best f ->
-                match best with
-                | None -> Some f
-                | Some b -> if f.w > b.w then Some f else best)
-              None cubics
-          in
-          Option.iter backoff victim
-        end);
-      (* BBRv2 reacts to the shared loss round. *)
-      Array.iter
-        (fun f ->
-          if f.spec.s_kind = Bbr2 && eligible f then begin
-            f.inflight_hi <-
-              Float.max (4.0 *. mss) (0.7 *. Float.min f.w f.inflight_hi);
-            f.last_loss_time <- now;
-            f.last_backoff <- now
-          end)
-        flows
+      apply_losses st rng config.sync ~now ~qdelay
     end;
-    queue_integral := !queue_integral +. (q *. dt);
-    queue_time := !queue_time +. dt;
+    st.acc.(a_queue_integral) <- st.acc.(a_queue_integral) +. (q *. dt);
+    st.acc.(a_queue_time) <- st.acc.(a_queue_time) +. dt;
+    compute_rates st ~capacity ~qdelay ~overflowing;
     if trace_period > 0.0 && now >= !next_trace then begin
       next_trace := now +. trace_period;
       trace :=
         {
           t_time = now;
           t_queue = q;
-          t_w = Array.map (fun f -> f.w) flows;
-          t_btlbw = Array.map (fun f -> f.btlbw) flows;
-          t_rtprop = Array.map (fun f -> f.rtprop) flows;
+          t_w = Array.copy st.w;
+          t_btlbw = Array.copy st.btlbw;
+          t_rtprop = Array.copy st.rtprop;
         }
         :: !trace
     end;
-    (* 4. Per-flow throughput and accounting. *)
-    Array.iter
-      (fun f ->
-        let rate = rate_of f in
-        if now >= warmup then f.delivered <- f.delivered +. (rate *. dt);
-        if is_bbr_like f then begin
-          let inflated_rtt = f.spec.s_rtt +. qdelay in
-          (* Bandwidth samples arrive once per (inflated) round trip, as in
-             the real delivery-rate estimator; the in-flight ramp above is
-             what bounds the feedback loop to physical timescales. *)
-          if now -. f.last_bw_update >= inflated_rtt then begin
-            f.last_bw_update <- now;
-            update_btlbw f ~now ~rate ~window:(10.0 *. inflated_rtt)
-          end;
-          (* ProbeRTT state machine. *)
-          if now < f.probing_until then begin
-            f.probe_min_rtt <- Float.min f.probe_min_rtt inflated_rtt;
-            if now +. dt >= f.probing_until then begin
-              f.rtprop <- f.probe_min_rtt;
-              f.rtprop_stamp <- now
-            end
-          end
-          else if inflated_rtt < f.rtprop then begin
-            f.rtprop <- inflated_rtt;
-            f.rtprop_stamp <- now
-          end
-          else if now -. f.rtprop_stamp > probe_rtt_interval then begin
-            f.probing_until <- now +. probe_rtt_duration;
-            f.probe_min_rtt <- infinity;
-            f.rtprop_stamp <- now
-          end;
-          (* BBRv2 inflight_hi recovery: multiplicative growth every 2 s of
-             loss-free cruising. *)
-          if
-            f.spec.s_kind = Bbr2
-            && f.inflight_hi < infinity
-            && now -. f.last_loss_time > 2.0
-            && now -. f.last_hi_growth > 2.0
-          then begin
-            f.inflight_hi <-
-              Float.min
-                (f.inflight_hi *. 1.25)
-                (2.0 *. Float.max f.btlbw fair *. f.rtprop);
-            f.last_hi_growth <- now
-          end
-        end)
-      flows
+    (* 4. Per-flow throughput and estimator accounting. *)
+    account st ~now ~dt ~warmup ~qdelay ~fair
   done;
   let window = duration -. warmup in
   {
-    per_flow_bps =
-      Array.map (fun f -> f.delivered /. window *. 8.0) flows;
-    mean_queue_bytes = !queue_integral /. !queue_time;
-    mean_queuing_delay = !queue_integral /. !queue_time /. capacity;
+    per_flow_bps = Array.map (fun d -> d /. window *. 8.0) st.delivered;
+    mean_queue_bytes = st.acc.(a_queue_integral) /. st.acc.(a_queue_time);
+    mean_queuing_delay =
+      st.acc.(a_queue_integral) /. st.acc.(a_queue_time) /. capacity;
     loss_events = !loss_events;
-    flow_kinds = Array.map (fun f -> f.spec.s_kind) flows;
+    flow_kinds = st.kinds;
     trace = List.rev !trace;
   }
 
 let mean_bps_of_kind result kind =
-  let values = ref [] and count = ref 0 in
+  let total = ref 0.0 and count = ref 0 in
   Array.iteri
     (fun i k ->
       if k = kind then begin
-        values := result.per_flow_bps.(i) :: !values;
+        total := !total +. result.per_flow_bps.(i);
         incr count
       end)
     result.flow_kinds;
-  if !count = 0 then nan
-  else List.fold_left ( +. ) 0.0 !values /. float_of_int !count
+  if !count = 0 then nan else !total /. float_of_int !count
 
 let aggregate_bps_of_kind result kind =
   let total = ref 0.0 in

@@ -7,7 +7,8 @@
 
     - CUBIC windows follow Eq. (1) exactly between loss epochs;
     - the shared queue is the fluid fixed point of
-      Σᵢ wᵢ/(rttᵢ + q/C) = C (or q = 0 when the link is under-utilized);
+      Σᵢ wᵢ/(rttᵢ + q/C) = C (or q = 0 when the link is under-utilized),
+      solved by the shared {!Queue_fixpoint} kernel;
     - buffer overflow triggers a back-off event whose victim set is the
       synchronization mode: all CUBIC flows ({!Synchronized}), the largest
       window only ({!Desynchronized}), or each independently with
@@ -19,8 +20,15 @@
     - the BBRv2 variant adds a loss-clamped in-flight bound (β = 0.7) with
       multiplicative recovery.
 
-    Cross-validation against the packet-level simulator is part of the test
-    suite and EXPERIMENTS.md. *)
+    The implementation is struct-of-arrays with a zero-allocation step loop
+    (preallocated scratch, flat-ring bandwidth filters, no per-step
+    records/closures/lists): see DESIGN.md "Analytic backends".
+
+    Most callers should not build a {!config} by hand: {!Sim_backend.fluid}
+    runs this simulator behind the backend-neutral spec, selecting kinds by
+    registry CCA name via {!kind_of_cca}. Cross-validation against the
+    packet-level simulator and the ODE backend is part of the test suite
+    and EXPERIMENTS.md. *)
 
 type kind = Cubic | Bbr | Bbr2
 
@@ -30,6 +38,17 @@ type sync_mode =
   | Synchronized
   | Desynchronized
   | Stochastic of float  (** Per-flow back-off probability on overflow. *)
+
+type stepper =
+  | Rounds
+      (** The event-driven round stepping: one explicit step per [dt], loss
+          rounds applied at buffer overflow. The historical path — golden
+          CSVs and the differential grid are blessed against it. *)
+  | Heun
+      (** A fixed-step two-stage (predictor/corrector) integrator of the
+          same dynamics: each step is re-taken under the midpoint queuing
+          delay, damping the one-[dt] feedback lag of {!Rounds} at coarse
+          [dt]. Loss rounds are still discrete. *)
 
 type config = {
   capacity_bps : Sim_engine.Units.rate_bps;
@@ -42,11 +61,31 @@ type config = {
   seed : int;
   trace_period : Sim_engine.Units.seconds;
       (** Record a {!trace_sample} this often; 0 = off. *)
+  stepper : stepper;
 }
 
 val default_config : config
 (** 100 Mbps, 10 BDP at 40 ms, 1 CUBIC vs 1 BBR, synchronized, 60 s with
-    20 s warm-up, dt 2 ms, seed 1. *)
+    20 s warm-up, dt 2 ms, seed 1, {!Rounds} stepping. *)
+
+(** {1 Registry-name mapping}
+
+    The one place where {!Cca.Registry} name strings meet fluid kinds;
+    everything above the fluid layer (the backend API, tests, drivers)
+    selects kinds through these instead of matching strings itself. *)
+
+type unsupported_cca = { cca : string; supported : string list }
+(** A CCA name with no fluid counterpart, plus the names that do have one. *)
+
+val supported_ccas : string list
+(** [["cubic"; "bbr"; "bbr2"]]. *)
+
+val kind_of_cca : string -> (kind, unsupported_cca) result
+
+val kind_of_cca_exn : string -> kind
+(** Raises [Invalid_argument] listing the supported names. *)
+
+val cca_of_kind : kind -> string
 
 type trace_sample = {
   t_time : float;

@@ -1,0 +1,525 @@
+type integrator =
+  | Rk4 of Sim_engine.Units.seconds
+  | Adaptive of {
+      tol : float;
+      dt_init : Sim_engine.Units.seconds;
+      dt_max : Sim_engine.Units.seconds;
+    }
+
+type config = {
+  capacity_bps : Sim_engine.Units.rate_bps;
+  buffer_bytes : Sim_engine.Units.byte_count;
+  flows : Fluid_sim.flow_spec list;
+  duration : Sim_engine.Units.seconds;
+  warmup : Sim_engine.Units.seconds;
+  integrator : integrator;
+  sample_period : Sim_engine.Units.seconds;
+}
+
+let default_config =
+  let capacity_bps = Sim_engine.Units.mbps 100.0 in
+  let rtt = Sim_engine.Units.ms 40.0 in
+  {
+    capacity_bps;
+    buffer_bytes =
+      Sim_engine.Units.scale 10.0
+        (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt);
+    flows =
+      [
+        { Fluid_sim.kind = Fluid_sim.Cubic; rtt };
+        { Fluid_sim.kind = Fluid_sim.Bbr; rtt };
+      ];
+    duration = Sim_engine.Units.seconds 60.0;
+    warmup = Sim_engine.Units.seconds 20.0;
+    integrator =
+      Adaptive
+        {
+          tol = 1e-4;
+          dt_init = Sim_engine.Units.ms 2.0;
+          dt_max = Sim_engine.Units.ms 100.0;
+        };
+    sample_period = Sim_engine.Units.ms 50.0;
+  }
+
+type metrics = {
+  jain_index : float;
+  convergence_time : float;
+  oscillation_bps : float;
+}
+
+type result = {
+  per_flow_bps : float array;
+  flow_kinds : Fluid_sim.kind array;
+  mean_queue_bytes : float;
+  mean_queuing_delay : float;
+  expected_backoffs : float;
+  metrics : metrics;
+  steps : int;
+  rejected_steps : int;
+}
+
+let mss = float_of_int Sim_engine.Units.mss
+
+(* --- Model constants ------------------------------------------------ *)
+
+(* CUBIC's dw/dt between losses is 3c(t−K)², i.e. 3·c^(1/3)·|w−w_max|^(2/3)
+   in MSS/s when expressed in window terms (same c as the fluid sim). *)
+let cubic_c = 0.4
+let cubic_gain = 3.0 *. Float.cbrt cubic_c
+let cubic_beta = 0.3
+
+(* Probing floor (MSS per RTT): the cubic curve has zero slope exactly at
+   the plateau w = w_max, which in the autonomous reduction would be an
+   asymptote the window never crosses; real CUBIC crosses it because time
+   keeps advancing. A small constant probing term restores that. *)
+let cubic_floor_mss = 0.3
+
+(* Loss-event saturation: the overflow drop fraction p maps to a back-off
+   rate of p/(p+p0) events per RTT, approaching once-per-RTT as the
+   overflow deepens. *)
+let p0 = 0.02
+
+(* BBR bandwidth tracking: fast rise (the max filter latches a new peak in
+   one RTT), slow decay (a stale peak persists for the ~10-RTT window). *)
+let bw_tc_up = 1.0
+let bw_tc_down = 10.0
+
+(* RTprop residual: ProbeRTT drains this flow's own contribution, so the
+   estimate settles at base + γ·qdelay·(1 − share). γ < 1 accounts for the
+   sawtoothing queue of the round-based sim averaging below its cap; the
+   value is calibrated against {!Fluid_sim} on the differential grid. *)
+let residual_gamma = 0.84
+
+(* BBRv2 inflight_hi multiplicative recovery (×1.25 every 2 s, as in the
+   fluid sim), as a continuous rate. *)
+let hi_recovery_rate = Float.log 1.25 /. 2.0
+
+(* --- Preallocated integrator state --------------------------------- *)
+
+(* State vector layout: 3 slots per flow.
+   [3i]   window / in-flight target w, bytes
+   [3i+1] CUBIC: w_max (bytes); BBR/BBRv2: btlbw estimate (bytes/s)
+   [3i+2] BBRv2: inflight_hi (bytes); otherwise unused (zero derivative) *)
+
+(* [acc] scratch-slot indices. *)
+let a_q = 0 (* buffer-clamped queue, bytes *)
+let a_p = 1 (* overflow drop fraction *)
+let a_warm = 2 (* warm start for the fixed-point solve *)
+let acc_slots = 3
+
+type st = {
+  n : int;
+  kinds : Fluid_sim.kind array;
+  rtt : float array;
+  capacity : float; (* bytes/s *)
+  buffer : float; (* bytes *)
+  w_floor : float array;
+  w_ceil : float array;
+  y : float array; (* 3n *)
+  k1 : float array;
+  k2 : float array;
+  k3 : float array;
+  k4 : float array;
+  ytmp : float array;
+  y_full : float array; (* step-doubling scratch *)
+  y_mid : float array;
+  y_half : float array;
+  w : float array; (* n: clamped windows for the queue solve *)
+  x : float array; (* n: per-flow rates, bytes/s *)
+  acc : float array;
+  startup : bool array;
+      (* n: CUBIC slow start — exponential growth until the first
+         overflow, mirroring the fluid model's doubling phase. BBR's
+         window-tracking dynamics are already exponential from a cold
+         start, so only CUBIC flows begin [true]. *)
+}
+
+let make_st ~capacity ~buffer flows =
+  let n = List.length flows in
+  let kinds = Array.make n Fluid_sim.Cubic in
+  let rtt = Array.make n 0.0 in
+  List.iteri
+    (fun i (f : Fluid_sim.flow_spec) ->
+      kinds.(i) <- f.kind;
+      rtt.(i) <- Sim_engine.Units.Raw.to_float f.rtt;
+      if rtt.(i) <= 0.0 then invalid_arg "Ode_model: flow rtt must be > 0")
+    flows;
+  let w_floor =
+    Array.init n (fun i ->
+        match kinds.(i) with
+        | Fluid_sim.Cubic -> 2.0 *. mss
+        | Fluid_sim.Bbr | Fluid_sim.Bbr2 -> 4.0 *. mss)
+  in
+  let w_ceil =
+    Array.init n (fun i ->
+        (4.0 *. capacity *. (rtt.(i) +. (buffer /. capacity))) +. (16.0 *. mss))
+  in
+  let y = Array.make (3 * n) 0.0 in
+  for i = 0 to n - 1 do
+    let w0 = 10.0 *. mss in
+    y.(3 * i) <- w0;
+    (match kinds.(i) with
+    | Fluid_sim.Cubic -> y.((3 * i) + 1) <- w0
+    | Fluid_sim.Bbr | Fluid_sim.Bbr2 -> y.((3 * i) + 1) <- w0 /. rtt.(i));
+    y.((3 * i) + 2) <-
+      (match kinds.(i) with
+      | Fluid_sim.Bbr2 ->
+        2.0 *. capacity *. (rtt.(i) +. (buffer /. capacity))
+      | Fluid_sim.Cubic | Fluid_sim.Bbr -> 0.0)
+  done;
+  {
+    n;
+    kinds;
+    rtt;
+    capacity;
+    buffer;
+    w_floor;
+    w_ceil;
+    y;
+    k1 = Array.make (3 * n) 0.0;
+    k2 = Array.make (3 * n) 0.0;
+    k3 = Array.make (3 * n) 0.0;
+    k4 = Array.make (3 * n) 0.0;
+    ytmp = Array.make (3 * n) 0.0;
+    y_full = Array.make (3 * n) 0.0;
+    y_mid = Array.make (3 * n) 0.0;
+    y_half = Array.make (3 * n) 0.0;
+    w = Array.make n 0.0;
+    x = Array.make n 0.0;
+    acc = Array.make acc_slots 0.0;
+    startup = Array.init n (fun i -> kinds.(i) = Fluid_sim.Cubic);
+  }
+
+(* Queue fixed point and per-flow rates at state [y]; leaves the clamped
+   queue in acc.(a_q) and the overflow drop fraction in acc.(a_p). *)
+let compute_rates st y =
+  let n = st.n in
+  for i = 0 to n - 1 do
+    let w = y.(3 * i) in
+    st.w.(i) <-
+      (if w < st.w_floor.(i) then st.w_floor.(i)
+       else if w > st.w_ceil.(i) then st.w_ceil.(i)
+       else w)
+  done;
+  let qstar =
+    Queue_fixpoint.solve ~capacity:st.capacity ~w:st.w ~rtt:st.rtt ~n
+      ~init:st.acc.(a_warm)
+  in
+  st.acc.(a_warm) <- qstar;
+  let q = Float.min qstar st.buffer in
+  let qdelay = q /. st.capacity in
+  if qstar > st.buffer then begin
+    (* Drop-tail: demands scaled so the served rates sum to capacity. *)
+    let sumd = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = st.w.(i) /. (st.rtt.(i) +. qdelay) in
+      st.x.(i) <- d;
+      sumd := !sumd +. d
+    done;
+    let scale = st.capacity /. !sumd in
+    for i = 0 to n - 1 do
+      st.x.(i) <- st.x.(i) *. scale
+    done;
+    st.acc.(a_p) <- (!sumd -. st.capacity) /. !sumd
+  end
+  else begin
+    for i = 0 to n - 1 do
+      st.x.(i) <- st.w.(i) /. (st.rtt.(i) +. qdelay)
+    done;
+    st.acc.(a_p) <- 0.0
+  end;
+  st.acc.(a_q) <- q
+
+let deriv st y dy =
+  compute_rates st y;
+  let qdelay = st.acc.(a_q) /. st.capacity in
+  let p = st.acc.(a_p) in
+  let nu_rtt = p /. (p +. p0) in
+  (* back-off events per RTT *)
+  for i = 0 to st.n - 1 do
+    let rtt_eff = st.rtt.(i) +. qdelay in
+    let nu = nu_rtt /. rtt_eff in
+    (* events/s *)
+    match st.kinds.(i) with
+    | Fluid_sim.Cubic ->
+      let w = y.(3 * i) in
+      if st.startup.(i) then begin
+        (* Slow start: double per (inflated) RTT until the first
+           overflow ends the phase (see [account]). *)
+        dy.(3 * i) <- Float.log 2.0 *. w /. rtt_eff;
+        dy.((3 * i) + 1) <- 0.0;
+        dy.((3 * i) + 2) <- 0.0
+      end
+      else begin
+        let m = y.((3 * i) + 1) in
+        let dmss = Float.abs (w -. m) /. mss in
+        let grow_mss =
+          (cubic_gain *. (dmss ** (2.0 /. 3.0)))
+          +. (cubic_floor_mss /. rtt_eff)
+        in
+        dy.(3 * i) <- (grow_mss *. mss) -. (cubic_beta *. w *. nu);
+        dy.((3 * i) + 1) <- (w -. m) *. nu;
+        dy.((3 * i) + 2) <- 0.0
+      end
+    | Fluid_sim.Bbr | Fluid_sim.Bbr2 ->
+      let w = y.(3 * i) in
+      let b = Float.max y.((3 * i) + 1) (mss /. st.rtt.(i)) in
+      let x = st.x.(i) in
+      let share = Float.min 1.0 (x /. st.capacity) in
+      let rtprop =
+        st.rtt.(i) +. (residual_gamma *. qdelay *. (1.0 -. share))
+      in
+      let target =
+        match st.kinds.(i) with
+        | Fluid_sim.Bbr2 ->
+          let h = Float.max y.((3 * i) + 2) (4.0 *. mss) in
+          Float.min (2.0 *. b *. rtprop) h
+        | Fluid_sim.Bbr | Fluid_sim.Cubic -> 2.0 *. b *. rtprop
+      in
+      dy.(3 * i) <- (target -. w) /. rtt_eff;
+      dy.((3 * i) + 1) <-
+        (x -. b)
+        /. (rtt_eff *. if x > b then bw_tc_up else bw_tc_down);
+      (match st.kinds.(i) with
+      | Fluid_sim.Bbr2 ->
+        let h = Float.max y.((3 * i) + 2) (4.0 *. mss) in
+        let fair = st.capacity /. float_of_int st.n in
+        let h_cap = 2.0 *. Float.max b fair *. rtprop in
+        let recover =
+          if nu_rtt < 1e-3 && h < h_cap then hi_recovery_rate *. h else 0.0
+        in
+        dy.((3 * i) + 2) <-
+          recover -. (cubic_beta *. Float.min w h *. nu)
+      | Fluid_sim.Bbr | Fluid_sim.Cubic -> dy.((3 * i) + 2) <- 0.0)
+  done
+
+(* One classical RK4 step from [y] into [out] (out == y is allowed: [y] is
+   only read while building the stage states). *)
+let rk4_step st ~dt ~y ~out =
+  let m = 3 * st.n in
+  deriv st y st.k1;
+  for j = 0 to m - 1 do
+    st.ytmp.(j) <- y.(j) +. (0.5 *. dt *. st.k1.(j))
+  done;
+  deriv st st.ytmp st.k2;
+  for j = 0 to m - 1 do
+    st.ytmp.(j) <- y.(j) +. (0.5 *. dt *. st.k2.(j))
+  done;
+  deriv st st.ytmp st.k3;
+  for j = 0 to m - 1 do
+    st.ytmp.(j) <- y.(j) +. (dt *. st.k3.(j))
+  done;
+  deriv st st.ytmp st.k4;
+  let c = dt /. 6.0 in
+  for j = 0 to m - 1 do
+    out.(j) <-
+      y.(j)
+      +. (c
+          *. (st.k1.(j)
+              +. (2.0 *. st.k2.(j))
+              +. (2.0 *. st.k3.(j))
+              +. st.k4.(j)))
+  done
+
+(* Projection after an accepted step: keep every component in its
+   physically meaningful box so the smoothed dynamics stay well-posed. *)
+let clamp_state st =
+  for i = 0 to st.n - 1 do
+    let clamp lo hi v = Float.max lo (Float.min hi v) in
+    st.y.(3 * i) <- clamp st.w_floor.(i) st.w_ceil.(i) st.y.(3 * i);
+    (match st.kinds.(i) with
+    | Fluid_sim.Cubic ->
+      st.y.((3 * i) + 1) <-
+        clamp (2.0 *. mss) st.w_ceil.(i) st.y.((3 * i) + 1)
+    | Fluid_sim.Bbr | Fluid_sim.Bbr2 ->
+      st.y.((3 * i) + 1) <-
+        clamp (mss /. st.rtt.(i)) (2.0 *. st.capacity) st.y.((3 * i) + 1));
+    match st.kinds.(i) with
+    | Fluid_sim.Bbr2 ->
+      st.y.((3 * i) + 2) <-
+        clamp (4.0 *. mss) st.w_ceil.(i) st.y.((3 * i) + 2)
+    | Fluid_sim.Cubic | Fluid_sim.Bbr -> ()
+  done
+
+(* Scaled max-norm distance between the full-step and half-step results. *)
+let step_error st =
+  let m = 3 * st.n in
+  let err = ref 0.0 in
+  for j = 0 to m - 1 do
+    let scale = Float.max (Float.abs st.y_half.(j)) mss in
+    let e = Float.abs (st.y_full.(j) -. st.y_half.(j)) /. scale in
+    if e > !err then err := e
+  done;
+  !err
+
+let dt_min = 1e-5
+
+let run config =
+  let module Raw = Sim_engine.Units.Raw in
+  let duration = Raw.to_float config.duration in
+  let warmup = Raw.to_float config.warmup in
+  let sample_period = Raw.to_float config.sample_period in
+  let buffer = Raw.to_float config.buffer_bytes in
+  let capacity = Sim_engine.Units.bytes_per_sec config.capacity_bps in
+  if duration <= 0.0 then invalid_arg "Ode_model: duration must be > 0";
+  if warmup < 0.0 || warmup >= duration then
+    invalid_arg "Ode_model: need 0 <= warmup < duration";
+  if sample_period <= 0.0 then
+    invalid_arg "Ode_model: sample_period must be > 0";
+  if config.flows = [] then invalid_arg "Ode_model: no flows";
+  if capacity <= 0.0 then invalid_arg "Ode_model: capacity must be > 0";
+  if buffer <= 0.0 then invalid_arg "Ode_model: buffer must be > 0";
+  (match config.integrator with
+  | Rk4 dt ->
+    if Raw.to_float dt <= 0.0 then invalid_arg "Ode_model: Rk4 dt must be > 0"
+  | Adaptive { tol; dt_init; dt_max } ->
+    if tol <= 0.0 then invalid_arg "Ode_model: Adaptive tol must be > 0";
+    if Raw.to_float dt_init <= 0.0 || Raw.to_float dt_max <= 0.0 then
+      invalid_arg "Ode_model: Adaptive steps must be > 0");
+  let st = make_st ~capacity ~buffer config.flows in
+  let n = st.n in
+  let capacity_bps = capacity *. Sim_engine.Units.bits_per_byte in
+  (* Sampled per-flow rate trajectory (bps) for the stability metrics. *)
+  let max_samples = int_of_float (duration /. sample_period) + 2 in
+  let s_times = Array.make max_samples 0.0 in
+  let s_rows = Array.make max_samples [||] in
+  let n_samples = ref 0 in
+  let record t =
+    if !n_samples < max_samples then begin
+      s_times.(!n_samples) <- t;
+      s_rows.(!n_samples) <-
+        Array.init n (fun i -> st.x.(i) *. Sim_engine.Units.bits_per_byte);
+      incr n_samples
+    end
+  in
+  let delivered = Array.make n 0.0 in
+  let queue_integral = ref 0.0 in
+  let measured = ref 0.0 in
+  let backoffs = ref 0.0 in
+  let steps = ref 0 in
+  let rejected = ref 0 in
+  let next_sample = ref 0.0 in
+  (* Goodput/queue accounting over [t, t+dt] at the just-accepted state. *)
+  let account t_new dt =
+    compute_rates st st.y;
+    let overlap = Float.min dt (Float.max 0.0 (t_new -. warmup)) in
+    if overlap > 0.0 then begin
+      for i = 0 to n - 1 do
+        delivered.(i) <- delivered.(i) +. (st.x.(i) *. overlap)
+      done;
+      queue_integral := !queue_integral +. (st.acc.(a_q) *. overlap);
+      measured := !measured +. overlap
+    end;
+    let nu_rtt = st.acc.(a_p) /. (st.acc.(a_p) +. p0) in
+    if nu_rtt > 0.0 then begin
+      let qdelay = st.acc.(a_q) /. st.capacity in
+      for i = 0 to n - 1 do
+        match st.kinds.(i) with
+        | Fluid_sim.Cubic | Fluid_sim.Bbr2 ->
+          backoffs := !backoffs +. (nu_rtt /. (st.rtt.(i) +. qdelay) *. dt)
+        | Fluid_sim.Bbr -> ()
+      done
+    end;
+    while !next_sample <= t_new +. 1e-12 do
+      record !next_sample;
+      next_sample := !next_sample +. sample_period
+    done;
+    (* Slow-start exit: the first overflow ends every CUBIC startup phase
+       with the fluid model's backoff (w_max := w, then w := 0.7 w). A
+       discrete event, like the clamping projection: from here the
+       continuous loss term takes over. *)
+    if st.acc.(a_p) > 0.0 then
+      for i = 0 to n - 1 do
+        if st.startup.(i) then begin
+          st.startup.(i) <- false;
+          st.y.((3 * i) + 1) <- st.y.(3 * i);
+          st.y.(3 * i) <- Float.max (2.0 *. mss) (0.7 *. st.y.(3 * i))
+        end
+      done
+  in
+  (* Initial sample at t = 0. *)
+  compute_rates st st.y;
+  account 0.0 0.0;
+  let t = ref 0.0 in
+  (match config.integrator with
+  | Rk4 dt_u ->
+    let dt0 = Raw.to_float dt_u in
+    while !t < duration -. 1e-12 do
+      let dt = Float.min dt0 (duration -. !t) in
+      rk4_step st ~dt ~y:st.y ~out:st.y;
+      clamp_state st;
+      t := !t +. dt;
+      incr steps;
+      account !t dt
+    done
+  | Adaptive { tol; dt_init; dt_max } ->
+    let dt = ref (Raw.to_float dt_init) in
+    let dt_max = Raw.to_float dt_max in
+    while !t < duration -. 1e-12 do
+      let h = Float.min (Float.min !dt dt_max) (duration -. !t) in
+      let h = Float.max h dt_min in
+      rk4_step st ~dt:h ~y:st.y ~out:st.y_full;
+      rk4_step st ~dt:(0.5 *. h) ~y:st.y ~out:st.y_mid;
+      rk4_step st ~dt:(0.5 *. h) ~y:st.y_mid ~out:st.y_half;
+      let err = step_error st in
+      if err <= tol || h <= dt_min then begin
+        (* Accept, with Richardson extrapolation of the half-step pair. *)
+        for j = 0 to (3 * n) - 1 do
+          st.y.(j) <-
+            st.y_half.(j) +. ((st.y_half.(j) -. st.y_full.(j)) /. 15.0)
+        done;
+        clamp_state st;
+        t := !t +. h;
+        incr steps;
+        account !t h;
+        let grow =
+          if err <= 0.0 then 2.0
+          else Float.min 2.0 (0.9 *. ((tol /. err) ** 0.2))
+        in
+        dt := Float.min dt_max (h *. Float.max 0.3 grow)
+      end
+      else begin
+        incr rejected;
+        dt := Float.max dt_min (h *. Float.max 0.3 (0.9 *. ((tol /. err) ** 0.2)))
+      end
+    done);
+  let window = Float.max !measured 1e-9 in
+  let per_flow_bps =
+    Array.map
+      (fun d -> d /. window *. Sim_engine.Units.bits_per_byte)
+      delivered
+  in
+  let times = Array.sub s_times 0 !n_samples in
+  let series = Array.sub s_rows 0 !n_samples in
+  let final = Ccmodel.Fairness.tail_mean ~frac:0.2 ~times ~series in
+  let metrics =
+    {
+      jain_index = Ccmodel.Fairness.jain per_flow_bps;
+      convergence_time =
+        Ccmodel.Fairness.convergence_time ~times ~series ~final ~rel_band:0.1
+          ~abs_band:(0.02 *. capacity_bps);
+      oscillation_bps =
+        Ccmodel.Fairness.oscillation_amplitude ~tail_frac:0.3 ~times ~series;
+    }
+  in
+  {
+    per_flow_bps;
+    flow_kinds = Array.copy st.kinds;
+    mean_queue_bytes = !queue_integral /. window;
+    mean_queuing_delay = !queue_integral /. window /. capacity;
+    expected_backoffs = !backoffs;
+    metrics;
+    steps = !steps;
+    rejected_steps = !rejected;
+  }
+
+let mean_bps_of_kind res kind =
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if k = kind then begin
+        sum := !sum +. res.per_flow_bps.(i);
+        incr count
+      end)
+    res.flow_kinds;
+  if !count = 0 then nan else !sum /. float_of_int !count

@@ -8,9 +8,9 @@ let test_catalog_complete () =
     (fun id ->
       Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
     [ "table1"; "fig01"; "fig03"; "fig04"; "fig05"; "fig06"; "fig07";
-      "fig08"; "fig09"; "fig10"; "fig11"; "fig12"; "ext-red"; "ext-utility";
-      "ext-short"; "ext-internals"; "ext-2flow" ];
-  Alcotest.(check int) "17 artifacts" 17 (List.length ids);
+      "fig08"; "fig09"; "fig10"; "fig11"; "fig12"; "fluidgrid"; "ext-red";
+      "ext-utility"; "ext-short"; "ext-internals"; "ext-2flow" ];
+  Alcotest.(check int) "18 artifacts" 18 (List.length ids);
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq compare ids))
 
@@ -121,27 +121,32 @@ let test_observed_equilibria_all_cubic () =
   in
   Alcotest.(check bool) "contains all-cubic" true (List.mem 0 ne)
 
-let test_fluid_payoff () =
+let test_backend_payoff () =
   let rtt = Sim_engine.Units.ms 40.0 in
   let capacity_bps = Sim_engine.Units.mbps 50.0 in
-  let base =
-    {
-      Fluidsim.Fluid_sim.default_config with
-      capacity_bps;
-      buffer_bytes =
-        Sim_engine.Units.scale 5.0
-          (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt);
-      duration = Sim_engine.Units.seconds 20.0;
-      warmup = Sim_engine.Units.seconds 5.0;
-    }
+  let spec =
+    Sim_backend.spec ~rate_bps:capacity_bps
+      ~buffer_bytes:
+        (Sim_engine.Units.scale 5.0
+           (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt))
+      ~duration:(Sim_engine.Units.seconds 20.0)
+      ~warmup:(Sim_engine.Units.seconds 5.0)
+      [ { Sim_backend.cca = "cubic"; rtt } ]
   in
-  let payoff =
-    Ne_search.fluid_payoff ~base ~kind:Fluidsim.Fluid_sim.Bbr ~rtt ~n:4
-  in
-  let u_cubic, u_bbr = payoff 2 in
-  Alcotest.(check bool) "both positive" true (u_cubic > 0.0 && u_bbr > 0.0);
-  Alcotest.(check bool) "bounded by capacity" true
-    (u_cubic < (capacity_bps :> float) && u_bbr < (capacity_bps :> float))
+  List.iter
+    (fun backend ->
+      let payoff =
+        Ne_search.backend_payoff ~backend ~spec ~other:"bbr" ~rtt ~n:4 ()
+      in
+      let u_cubic, u_bbr = payoff 2 in
+      let label s = Sim_backend.name backend ^ " " ^ s in
+      Alcotest.(check bool)
+        (label "both positive") true
+        (u_cubic > 0.0 && u_bbr > 0.0);
+      Alcotest.(check bool)
+        (label "bounded by capacity") true
+        (u_cubic < (capacity_bps :> float) && u_bbr < (capacity_bps :> float)))
+    [ Sim_backend.fluid; Sim_backend.ode ]
 
 (* --- Model-only figure drivers (fast) --- *)
 
@@ -220,7 +225,7 @@ let tests =
       test_observed_equilibria_all_bbr;
     Alcotest.test_case "NE search all-cubic" `Quick
       test_observed_equilibria_all_cubic;
-    Alcotest.test_case "fluid payoff" `Quick test_fluid_payoff;
+    Alcotest.test_case "backend payoff" `Quick test_backend_payoff;
     Alcotest.test_case "table1 driver" `Quick test_table1_driver;
     Alcotest.test_case "fig06 driver" `Quick test_fig06_driver;
     Alcotest.test_case "fig06 monotone" `Quick test_fig06_points_monotone;

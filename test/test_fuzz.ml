@@ -21,10 +21,10 @@ let small_scenario =
   }
 
 let test_generator_deterministic () =
-  let a = Scenario.generate_batch ~seed:42 ~count:8 in
-  let b = Scenario.generate_batch ~seed:42 ~count:8 in
+  let a = Scenario.generate_batch ~seed:42 ~count:8 () in
+  let b = Scenario.generate_batch ~seed:42 ~count:8 () in
   Alcotest.(check (list scenario_eq)) "same seed, same batch" a b;
-  let c = Scenario.generate_batch ~seed:43 ~count:8 in
+  let c = Scenario.generate_batch ~seed:43 ~count:8 () in
   Alcotest.(check bool) "different seed, different batch" false (a = c)
 
 let test_generator_bounds () =
@@ -40,7 +40,7 @@ let test_generator_bounds () =
           Alcotest.(check bool) (f.f_cca ^ " registered") true
             (List.mem f.f_cca (Cca.Registry.names ())))
         s.flows)
-    (Scenario.generate_batch ~seed:7 ~count:32)
+    (Scenario.generate_batch ~seed:7 ~count:32 ())
 
 let test_roundtrip () =
   List.iter
@@ -48,7 +48,7 @@ let test_roundtrip () =
       match Scenario.of_string (Scenario.to_string s) with
       | Ok s' -> Alcotest.(check scenario_eq) "round-trips" s s'
       | Error e -> Alcotest.failf "parse failed: %s" e)
-    (small_scenario :: Scenario.generate_batch ~seed:5 ~count:16)
+    (small_scenario :: Scenario.generate_batch ~seed:5 ~count:16 ())
 
 let test_of_string_rejects () =
   List.iter
@@ -70,7 +70,7 @@ let test_of_string_rejects () =
     ]
 
 let test_shrink_candidates_simpler () =
-  let s = List.hd (Scenario.generate_batch ~seed:9 ~count:1) in
+  let s = List.hd (Scenario.generate_batch ~seed:9 ~count:1 ()) in
   let candidates = Scenario.shrink_candidates s in
   Alcotest.(check bool) "has candidates" true (List.length candidates > 0);
   List.iter
@@ -140,6 +140,62 @@ let test_campaign_jobs_invariant () =
     (List.map (fun f -> f.Fuzz.case_index) seq.Fuzz.failures)
     (List.map (fun f -> f.Fuzz.case_index) par.Fuzz.failures)
 
+(* --- analytic-backend fuzzing ---------------------------------------- *)
+
+let test_generator_cca_filter () =
+  let ccas = [ "cubic"; "bbr" ] in
+  List.iter
+    (fun (s : Scenario.t) ->
+      List.iter
+        (fun (f : Scenario.flow) ->
+          Alcotest.(check bool) (f.Scenario.f_cca ^ " allowed") true
+            (List.mem f.Scenario.f_cca ccas))
+        s.Scenario.flows)
+    (Scenario.generate_batch ~ccas ~seed:21 ~count:24 ())
+
+let test_backend_clean_campaign () =
+  List.iter
+    (fun backend ->
+      let c =
+        Fuzz.backend_campaign ~backend ~jobs:2 ~count:6 ~seed:3 ()
+      in
+      Alcotest.(check int) (Sim_backend.name backend ^ " total") 6 c.Fuzz.total;
+      List.iter
+        (fun f ->
+          Alcotest.failf "%s case %d: %s" (Sim_backend.name backend)
+            f.Fuzz.case_index
+            (Fuzz.outcome_to_string f.Fuzz.case_outcome))
+        c.Fuzz.failures)
+    [ Sim_backend.fluid; Sim_backend.ode ]
+
+let test_backend_run_deterministic () =
+  let s =
+    List.hd
+      (Scenario.generate_batch ~ccas:[ "cubic"; "bbr"; "bbr2" ] ~seed:5
+         ~count:1 ())
+  in
+  let a = Fuzz.run_scenario_backend ~backend:Sim_backend.ode s in
+  let b = Fuzz.run_scenario_backend ~backend:Sim_backend.ode s in
+  Alcotest.(check string) "same verdict" (Fuzz.outcome_to_string a)
+    (Fuzz.outcome_to_string b)
+
+let test_backend_unsupported_cca_is_crash () =
+  (* [small_scenario] runs reno, which the analytic backends reject. *)
+  match Fuzz.run_scenario_backend ~backend:Sim_backend.fluid small_scenario with
+  | Fuzz.Crash _ -> ()
+  | o ->
+    Alcotest.failf "expected a crash on reno, got %s"
+      (Fuzz.outcome_to_string o)
+
+let test_backend_shrink_keeps_passing_scenario () =
+  let s =
+    List.hd
+      (Scenario.generate_batch ~ccas:[ "cubic"; "bbr"; "bbr2" ] ~seed:17
+         ~count:1 ())
+  in
+  Alcotest.(check scenario_eq) "no shrink on a passing scenario" s
+    (Fuzz.shrink_backend ~backend:Sim_backend.fluid s)
+
 let tests =
   [
     Alcotest.test_case "generator deterministic" `Quick
@@ -156,4 +212,13 @@ let tests =
     Alcotest.test_case "clean campaign" `Slow test_clean_campaign;
     Alcotest.test_case "campaign jobs-invariant" `Slow
       test_campaign_jobs_invariant;
+    Alcotest.test_case "generator CCA filter" `Quick test_generator_cca_filter;
+    Alcotest.test_case "backend campaigns clean" `Slow
+      test_backend_clean_campaign;
+    Alcotest.test_case "backend run deterministic" `Quick
+      test_backend_run_deterministic;
+    Alcotest.test_case "backend rejects unsupported CCA as crash" `Quick
+      test_backend_unsupported_cca_is_crash;
+    Alcotest.test_case "backend shrink keeps passing scenario" `Quick
+      test_backend_shrink_keeps_passing_scenario;
   ]

@@ -1,58 +1,44 @@
-(* Differential test: the packet-level simulator against the fluid model on
-   a seeded random grid of single-flow scenarios. With one flow there is no
-   inter-CCA competition to disagree about, so both simulators must land on
-   (near-)full utilization — a cheap, broad cross-check that the two
-   implementations describe the same network. *)
+(* Differential tests across the three simulation backends.
 
-module E = Tcpflow.Experiment
+   1. Packet vs fluid on a seeded random grid of single-flow scenarios:
+      with one flow there is no inter-CCA competition to disagree about,
+      so both simulators must land on (near-)full utilization.
+   2. The three-way grid: packet, fluid and ODE run the same
+      {!Sim_backend.spec} on single-flow and 2-flow cells, each judged
+      against its own tolerance band (the packet simulator is stochastic
+      and transient-rich; the analytic backends were calibrated against
+      each other, so their bands are tighter). *)
+
 module Units = Sim_engine.Units
+module B = Sim_backend
 
-let fluid_kind = function
-  | "cubic" -> Fluidsim.Fluid_sim.Cubic
-  | "bbr" -> Fluidsim.Fluid_sim.Bbr
-  | "bbr2" -> Fluidsim.Fluid_sim.Bbr2
-  | s -> Alcotest.failf "no fluid counterpart for %s" s
-
-let packet_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed =
+let mk_spec ?warmup ~mbps ~rtt_ms ~buffer_bdp ~duration ~seed ccas =
   let rate_bps = Units.mbps mbps in
   let rtt = Units.ms rtt_ms in
-  let cfg =
-    E.config ~seed ~rate_bps
-      ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp)
-      ~warmup:(Units.seconds 2.0) ~duration:(Units.seconds 10.0)
-      [ E.flow_config ~base_rtt:rtt cca ]
-  in
-  (List.hd (E.run cfg).E.per_flow).E.throughput_bps
+  B.spec ?warmup ~seed ~rate_bps
+    ~buffer_bytes:(Units.scale buffer_bdp (Units.bdp_bytes ~rate_bps ~rtt))
+    ~duration:(Units.seconds duration)
+    (List.map (fun cca -> { B.cca; rtt }) ccas)
 
-let fluid_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed =
-  let rate_bps = Units.mbps mbps in
-  let rtt = Units.ms rtt_ms in
-  let cfg =
-    {
-      Fluidsim.Fluid_sim.default_config with
-      capacity_bps = rate_bps;
-      buffer_bytes =
-        Units.bytes
-          (float_of_int (E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:buffer_bdp));
-      flows = [ { Fluidsim.Fluid_sim.kind = fluid_kind cca; rtt } ];
-      duration = Units.seconds 10.0;
-      warmup = Units.seconds 2.0;
-      seed;
-    }
-  in
-  (Fluidsim.Fluid_sim.run cfg).Fluidsim.Fluid_sim.per_flow_bps.(0)
+let run_bps backend spec =
+  let o = B.run_exn backend spec in
+  Array.fold_left ( +. ) 0.0 o.B.per_flow_bps
 
 let test_single_flow_grid () =
   let rng = Sim_engine.Rng.create 2024 in
   for _ = 1 to 6 do
-    let ccas = [ "cubic"; "bbr"; "bbr2" ] in
+    let ccas = Fluidsim.Fluid_sim.supported_ccas in
     let cca = List.nth ccas (Sim_engine.Rng.int rng (List.length ccas)) in
     let mbps = Sim_engine.Rng.uniform_in rng ~lo:10.0 ~hi:50.0 in
     let rtt_ms = Sim_engine.Rng.uniform_in rng ~lo:10.0 ~hi:60.0 in
     let buffer_bdp = Sim_engine.Rng.uniform_in rng ~lo:1.0 ~hi:8.0 in
     let seed = 1 + Sim_engine.Rng.int rng 10_000 in
-    let packet = packet_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed in
-    let fluid = fluid_throughput ~cca ~mbps ~rtt_ms ~buffer_bdp ~seed in
+    let spec =
+      mk_spec ~warmup:(Units.seconds 2.0) ~mbps ~rtt_ms ~buffer_bdp
+        ~duration:10.0 ~seed [ cca ]
+    in
+    let packet = run_bps B.packet spec in
+    let fluid = run_bps B.fluid spec in
     let capacity = mbps *. 1e6 in
     let gap = Float.abs (packet -. fluid) /. capacity in
     if gap > 0.2 then
@@ -63,5 +49,83 @@ let test_single_flow_grid () =
         (100.0 *. gap)
   done
 
+(* --- three-way grid -------------------------------------------------- *)
+
+(* Minimum utilization each backend must reach on a lone flow at 1 BDP:
+   the packet simulator pays real retransmission and startup costs, the
+   fluid model only its loss duty cycle, the ODE none. *)
+let single_util_floor backend =
+  match B.name backend with
+  | "packet" -> 0.80
+  | "fluid" -> 0.90
+  | _ -> 0.97
+
+let test_three_way_single () =
+  List.iter
+    (fun cca ->
+      let spec =
+        mk_spec ~warmup:(Units.seconds 5.0) ~mbps:50.0 ~rtt_ms:40.0
+          ~buffer_bdp:1.0 ~duration:20.0 ~seed:1 [ cca ]
+      in
+      List.iter
+        (fun backend ->
+          let util = run_bps backend spec /. 50e6 in
+          let floor = single_util_floor backend in
+          if util < floor || util > 1.01 then
+            Alcotest.failf "%s/%s: utilization %.3f outside [%.2f, 1.01]"
+              (B.name backend) cca util floor)
+        B.all)
+    Fluidsim.Fluid_sim.supported_ccas
+
+(* 2-flow cubic-v-bbr cells. The analytic pair is compared on the
+   calibrated horizon (60 s / 20 s warm-up) under the calibration bound
+   (5% of capacity on kind means). The packet backend runs a shorter
+   horizon and is held to coarse, per-cell sanity bands: near-full
+   aggregate utilization plus the cell's qualitative share ordering. *)
+let test_three_way_two_flow () =
+  List.iter
+    (fun buffer_bdp ->
+      let analytic_spec =
+        mk_spec ~warmup:(Units.seconds 20.0) ~mbps:100.0 ~rtt_ms:40.0
+          ~buffer_bdp ~duration:60.0 ~seed:1 [ "cubic"; "bbr" ]
+      in
+      let fo = B.run_exn B.fluid analytic_spec in
+      let oo = B.run_exn B.ode analytic_spec in
+      List.iter
+        (fun cca ->
+          let f = B.mean_bps_of_cca fo cca and o = B.mean_bps_of_cca oo cca in
+          if Float.abs (f -. o) > 0.05 *. 100e6 then
+            Alcotest.failf
+              "fluid vs ode, %s @ %.1f BDP: %.2f vs %.2f Mbps (band 5.00)" cca
+              buffer_bdp (f /. 1e6) (o /. 1e6))
+        [ "cubic"; "bbr" ];
+      let packet_spec =
+        mk_spec ~warmup:(Units.seconds 10.0) ~mbps:100.0 ~rtt_ms:40.0
+          ~buffer_bdp ~duration:30.0 ~seed:1 [ "cubic"; "bbr" ]
+      in
+      let po = B.run_exn B.packet packet_spec in
+      let total = Array.fold_left ( +. ) 0.0 po.B.per_flow_bps in
+      if total < 0.90 *. 100e6 || total > 1.01 *. 100e6 then
+        Alcotest.failf "packet @ %.1f BDP: aggregate %.2f Mbps not near 100"
+          buffer_bdp (total /. 1e6);
+      (* Shallow buffer: the paper's headline regime — BBR ignores the
+         losses that force CUBIC into constant back-off, so the packet
+         simulator gives BBR the dominant share. *)
+      if buffer_bdp <= 1.0 then begin
+        let pc = B.mean_bps_of_cca po "cubic"
+        and pb = B.mean_bps_of_cca po "bbr" in
+        if pb <= pc then
+          Alcotest.failf
+            "packet @ %.1f BDP: expected bbr > cubic, got bbr %.2f vs cubic \
+             %.2f Mbps"
+            buffer_bdp (pb /. 1e6) (pc /. 1e6)
+      end)
+    [ 1.0; 10.0 ]
+
 let tests =
-  [ Alcotest.test_case "single-flow packet vs fluid" `Slow test_single_flow_grid ]
+  [
+    Alcotest.test_case "single-flow packet vs fluid" `Slow test_single_flow_grid;
+    Alcotest.test_case "three-way single-flow utilization" `Slow
+      test_three_way_single;
+    Alcotest.test_case "three-way 2-flow cells" `Slow test_three_way_two_flow;
+  ]
