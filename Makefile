@@ -10,13 +10,20 @@ build:
 test:
 	dune runtest
 
-# Repo-specific static checks (determinism, serialization, unit hygiene);
-# see DESIGN.md "Unit discipline & lint rules".
-lint:
-	dune exec tool/simlint/simlint.exe -- lib bin bench test
+# Repo-specific static checks: the parsetree rules R1-R7 (determinism,
+# serialization, unit hygiene) plus the typedtree suite A0-A3 (zero-alloc
+# hot paths, Domain safety, interprocedural determinism) driven by
+# tool/simlint/hotpaths.sexp; see DESIGN.md "Static analysis". Needs the
+# .cmt files, so it builds first; LINT_REPORT.json is the machine-readable
+# copy CI uploads.
+lint: build
+	dune exec tool/simlint/simlint.exe -- --cmt _build/default \
+	  --manifest tool/simlint/hotpaths.sexp --json LINT_REPORT.json \
+	  lib bin bench test examples tool
 
-# CI entrypoint: build, run the full test suite and the lint pass, then
-# smoke-test the parallel executor, result cache and event tracing end to
+# CI entrypoint: build, run the full test suite, the lint pass and the
+# allocation gates (deterministic Gc.minor_words budgets per hot kernel),
+# then smoke-test the parallel executor, result cache and event tracing end to
 # end — the quick fig03 CSV must match the committed golden copy
 # byte-for-byte (the simulator is deterministic; any diff is a semantics
 # change and must be reviewed by re-blessing test/golden/fig03_quick.csv),
@@ -26,6 +33,7 @@ CHECK_CACHE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-cache
 CHECK_TRACE := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-trace
 CHECK_OUT := $(or $(TMPDIR),/tmp)/bbr-equilibrium-check-out
 check: build test lint
+	dune exec bench/main.exe -- --alloc-gate
 	rm -rf "$(CHECK_CACHE)" "$(CHECK_TRACE)" "$(CHECK_OUT)"
 	dune exec bin/repro.exe -- run fig03 --jobs 2 --cache "$(CHECK_CACHE)" \
 	  --out "$(CHECK_OUT)"

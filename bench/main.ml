@@ -73,6 +73,40 @@ let short_fluid ~kind () =
   in
   ignore (Fluidsim.Fluid_sim.run config)
 
+(* Substrate kernels, named so the allocation gates below can reuse the
+   exact workloads the micro section measures. *)
+let event_queue_1k () =
+  let q = Sim_engine.Event_queue.create () in
+  for i = 0 to 999 do
+    ignore
+      (Sim_engine.Event_queue.add q
+         ~time:(float_of_int ((i * 7919) mod 1000))
+         ignore)
+  done;
+  while Option.is_some (Sim_engine.Event_queue.pop q) do
+    ()
+  done
+
+let windowed_max_filter () =
+  let f = Cca.Windowed_filter.Max_rounds.create ~window:10 in
+  for round = 0 to 999 do
+    Cca.Windowed_filter.Max_rounds.update f ~round (float_of_int (round mod 97));
+    ignore (Cca.Windowed_filter.Max_rounds.get f)
+  done
+
+let droptail_queue_1k () =
+  let q = Netsim.Droptail_queue.create ~capacity_bytes:1_500_000 () in
+  for seq = 0 to 999 do
+    ignore
+      (Netsim.Droptail_queue.enqueue q
+         (Netsim.Packet.make ~flow:(seq mod 8) ~seq ~size:1500
+            ~retransmit:false ~sent_time:0.0 ~delivered:0.0
+            ~delivered_time:0.0 ~app_limited:false))
+  done;
+  while Option.is_some (Netsim.Droptail_queue.dequeue q) do
+    ()
+  done
+
 (* One Test.make per paper artifact: the figure's computational kernel. *)
 let figure_tests =
   [
@@ -156,18 +190,7 @@ let figure_tests =
 
 let substrate_tests =
   [
-    Test.make ~name:"engine/event-queue-1k"
-      (Staged.stage (fun () ->
-           let q = Sim_engine.Event_queue.create () in
-           for i = 0 to 999 do
-             ignore
-               (Sim_engine.Event_queue.add q
-                  ~time:(float_of_int ((i * 7919) mod 1000))
-                  ignore)
-           done;
-           while Option.is_some (Sim_engine.Event_queue.pop q) do
-             ()
-           done));
+    Test.make ~name:"engine/event-queue-1k" (Staged.stage event_queue_1k);
     Test.make ~name:"engine/rng-splitmix"
       (Staged.stage (fun () ->
            let rng = Sim_engine.Rng.create 7 in
@@ -175,26 +198,8 @@ let substrate_tests =
              ignore (Sim_engine.Rng.float rng 1.0)
            done));
     Test.make ~name:"cca/windowed-max-filter"
-      (Staged.stage (fun () ->
-           let f = Cca.Windowed_filter.Max_rounds.create ~window:10 in
-           for round = 0 to 999 do
-             Cca.Windowed_filter.Max_rounds.update f ~round
-               (float_of_int (round mod 97));
-             ignore (Cca.Windowed_filter.Max_rounds.get f)
-           done));
-    Test.make ~name:"netsim/droptail-queue"
-      (Staged.stage (fun () ->
-           let q = Netsim.Droptail_queue.create ~capacity_bytes:1_500_000 () in
-           for seq = 0 to 999 do
-             ignore
-               (Netsim.Droptail_queue.enqueue q
-                  (Netsim.Packet.make ~flow:(seq mod 8) ~seq ~size:1500
-                     ~retransmit:false ~sent_time:0.0 ~delivered:0.0
-                     ~delivered_time:0.0 ~app_limited:false))
-           done;
-           while Option.is_some (Netsim.Droptail_queue.dequeue q) do
-             ()
-           done));
+      (Staged.stage windowed_max_filter);
+    Test.make ~name:"netsim/droptail-queue" (Staged.stage droptail_queue_1k);
     Test.make ~name:"tcpflow/short-sim-cubic-v-bbr"
       (Staged.stage (short_sim ~other:"bbr"));
     Test.make ~name:"fluid/short-10flows"
@@ -239,6 +244,55 @@ let fluid_tests =
 let fluid_baseline =
   [ ("bench fluid/short-10flows-pre-soa", 18_615_018.921, 8_673_185.907) ]
 
+(* --- Allocation gates ------------------------------------------------- *)
+
+(* Committed minor-words-per-run ceilings for the allocation-sensitive
+   kernels, set from the checked-in BENCH_micro.json / BENCH_fluid.json
+   numbers plus ~10% headroom. Unlike run times, allocation counts are
+   deterministic, so the gate holds on noisy CI runners: a breach means a
+   new per-operation allocation reached a hot path (the A1 pass in
+   tool/simlint sees the construct; this sees the total). Raising a
+   ceiling is a reviewed decision, like re-blessing a golden CSV. *)
+let alloc_gates =
+  [
+    ("engine/event-queue-1k", 50, 13_400.0, event_queue_1k);
+    ("cca/windowed-max-filter", 50, 9_100.0, windowed_max_filter);
+    ("netsim/droptail-queue", 50, 12_800.0, droptail_queue_1k);
+    ("fig08/short-sim-bbr", 3, 880_000.0, short_sim ~other:"bbr");
+    ("fig07/short-sim-vivace", 3, 935_000.0, short_sim ~other:"vivace");
+    ( "fluid/short-10flows-soa", 3, 265_000.0,
+      short_fluid ~kind:Fluidsim.Fluid_sim.Bbr );
+    ("ode/2flow-competition", 3, 70_000.0, ode_2flow);
+  ]
+
+let run_alloc_gates () =
+  Printf.printf "==== Allocation gates (Gc.minor_words per run) ====\n";
+  Printf.printf "%-28s %14s %14s  %s\n" "kernel" "words/run" "ceiling" "status";
+  let failures = ref 0 in
+  List.iter
+    (fun (name, iters, ceiling, f) ->
+      (* One warm-up run so pool/array growth and registry setup don't
+         count against the steady-state budget. *)
+      f ();
+      let before = Gc.minor_words () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      let words = (Gc.minor_words () -. before) /. float_of_int iters in
+      let ok = words <= ceiling in
+      if not ok then incr failures;
+      Printf.printf "%-28s %14.1f %14.1f  %s\n%!" name words ceiling
+        (if ok then "ok" else "FAIL"))
+    alloc_gates;
+  if !failures > 0 then begin
+    Printf.printf
+      "alloc-gate: %d kernel(s) over budget — a new allocation reached a hot \
+       path, or the ceiling in bench/main.ml needs a reviewed bump\n"
+      !failures;
+    exit 1
+  end;
+  Printf.printf "alloc-gate: OK (%d kernels)\n" (List.length alloc_gates)
+
 (* --- CLI / env configuration ----------------------------------------- *)
 
 let smoke =
@@ -248,6 +302,7 @@ let smoke =
     | Some _ | None -> false)
 
 let json_dir = ref (Sys.getenv_opt "REPRO_BENCH_JSON")
+let alloc_gate = ref false
 
 let () =
   let rec parse = function
@@ -258,12 +313,25 @@ let () =
     | "--json" :: dir :: rest ->
       json_dir := Some dir;
       parse rest
+    | "--alloc-gate" :: rest ->
+      alloc_gate := true;
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "bench: unknown argument %s (expected --smoke, --json DIR)\n"
+      Printf.eprintf
+        "bench: unknown argument %s (expected --smoke, --json DIR, \
+         --alloc-gate)\n"
         arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
+
+(* `--alloc-gate` replaces the benchmark sections entirely: run the gates,
+   set the exit status, done — that is the make-check/CI entry point. *)
+let () =
+  if !alloc_gate then begin
+    run_alloc_gates ();
+    exit 0
+  end
 
 (* --- Bechamel sections ------------------------------------------------ *)
 

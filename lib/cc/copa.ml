@@ -9,7 +9,14 @@ type t = {
   mss : float;
   mutable cwnd : float;  (* bytes *)
   rtt_min : Windowed_filter.Min_time.t;  (* path min over 100 s *)
-  mutable recent_rtts : (float * float) list;  (* (time, sample), newest first *)
+  (* Raw RTT samples from the last 2 s: a time-ordered ring of parallel
+     arrays (power-of-two capacity, oldest at [rtt_head]). Copa's standing
+     RTT is a lazy min over the most recent srtt/2 of them; a ring keeps
+     the per-ACK bookkeeping allocation-free. *)
+  mutable rtt_times : float array;
+  mutable rtt_samples : float array;
+  mutable rtt_head : int;
+  mutable rtt_len : int;
   mutable srtt : float;
   mutable velocity : float;
   mutable direction : direction;
@@ -19,6 +26,20 @@ type t = {
   mutable in_slow_start : bool;
 }
 
+let[@simlint.alloc_ok "amortized geometric growth; arrays never shrink"]
+    grow_rtts t =
+  let cap = Array.length t.rtt_times in
+  let times = Array.make (2 * cap) 0.0 in
+  let samples = Array.make (2 * cap) 0.0 in
+  for i = 0 to t.rtt_len - 1 do
+    let j = (t.rtt_head + i) land (cap - 1) in
+    times.(i) <- t.rtt_times.(j);
+    samples.(i) <- t.rtt_samples.(j)
+  done;
+  t.rtt_times <- times;
+  t.rtt_samples <- samples;
+  t.rtt_head <- 0
+
 let update_rtt_filters t (ack : Cc_types.ack_info) =
   t.srtt <-
     (if Float.is_nan t.srtt then ack.f.rtt_sample
@@ -26,17 +47,29 @@ let update_rtt_filters t (ack : Cc_types.ack_info) =
   Windowed_filter.Min_time.update t.rtt_min ~time:ack.f.now ack.f.rtt_sample;
   (* Copa's standing RTT: minimum over the last srtt/2. The window tracks
      srtt, so we keep raw samples (pruned at 2 s) and evaluate lazily. *)
-  t.recent_rtts <-
-    (ack.f.now, ack.f.rtt_sample)
-    :: List.filter (fun (time, _) -> ack.f.now -. time <= 2.0) t.recent_rtts
+  let mask = Array.length t.rtt_times - 1 in
+  while t.rtt_len > 0 && ack.f.now -. t.rtt_times.(t.rtt_head) > 2.0 do
+    t.rtt_head <- (t.rtt_head + 1) land mask;
+    t.rtt_len <- t.rtt_len - 1
+  done;
+  if t.rtt_len = Array.length t.rtt_times then grow_rtts t;
+  let mask = Array.length t.rtt_times - 1 in
+  let back = (t.rtt_head + t.rtt_len) land mask in
+  t.rtt_times.(back) <- ack.f.now;
+  t.rtt_samples.(back) <- ack.f.rtt_sample;
+  t.rtt_len <- t.rtt_len + 1
 
 (* Minimum RTT sample within the last srtt/2 seconds. *)
 let standing_rtt t ~now =
   let window = if Float.is_nan t.srtt then 0.1 else t.srtt /. 2.0 in
-  List.fold_left
-    (fun acc (time, sample) ->
-      if now -. time <= window then Float.min acc sample else acc)
-    infinity t.recent_rtts
+  let mask = Array.length t.rtt_times - 1 in
+  let acc = ref infinity in
+  for i = 0 to t.rtt_len - 1 do
+    let j = (t.rtt_head + i) land mask in
+    if now -. t.rtt_times.(j) <= window then
+      if t.rtt_samples.(j) < !acc then acc := t.rtt_samples.(j)
+  done;
+  !acc
 
 let update_direction t (ack : Cc_types.ack_info) =
   if ack.round > t.last_round then begin
@@ -103,7 +136,10 @@ let make ?(params = default_params) ~mss () =
       mss = float_of_int mss;
       cwnd = float_of_int (params.initial_cwnd_mss * mss);
       rtt_min = Windowed_filter.Min_time.create ~window:100.0;
-      recent_rtts = [];
+      rtt_times = Array.make 16 0.0;
+      rtt_samples = Array.make 16 0.0;
+      rtt_head = 0;
+      rtt_len = 0;
       srtt = nan;
       velocity = 1.0;
       direction = Unset;

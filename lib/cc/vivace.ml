@@ -44,7 +44,9 @@ type t = {
   mutable last_sign : int;
 }
 
-let fresh_mi ~now ~attempted_rate =
+let[@simlint.alloc_ok
+     "one record per monitor interval (~ one RTT), not per ACK"] fresh_mi
+    ~now ~attempted_rate =
   { start_time = now; attempted_rate; acked_bytes = 0; lost_bytes = 0;
     first_rtt = nan; last_rtt = nan }
 

@@ -25,10 +25,14 @@ let make_deque ~window ~is_max =
 
 (* [old_v] still dominates a new sample [v]: strictly better in the filter's
    direction. Ties are dropped in favour of the newer sample, matching the
-   monotone-deque convention. *)
-let keeps d old_v v = if d.is_max then old_v > v else old_v < v
+   monotone-deque convention. The float annotations matter: without them
+   the comparisons infer polymorphic, and every call boxes both floats to
+   run generic compare. *)
+let keeps d (old_v : float) (v : float) =
+  if d.is_max then old_v > v else old_v < v
 
-let grow d =
+let[@simlint.alloc_ok "amortized geometric growth; arrays never shrink"] grow
+    d =
   let cap = Array.length d.pos in
   let pos = Array.make (2 * cap) 0.0 in
   let value = Array.make (2 * cap) 0.0 in

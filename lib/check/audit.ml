@@ -146,7 +146,9 @@ let check_conservation t fs ~time ~flow ~index =
       (Printf.sprintf "acks %d + drops %d > sends %d" fs.f_acks fs.f_drops
          fs.f_sends)
 
-let observe t (r : Tr.record) =
+let[@simlint.taint_ok
+     "the only hash iteration zeroes every entry independently: order-free"]
+    observe t (r : Tr.record) =
   let index = t.index in
   t.index <- index + 1;
   let time = r.time and flow = r.flow in

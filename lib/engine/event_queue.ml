@@ -65,7 +65,8 @@ let create () =
 
 (* ---------- slot pool ---------- *)
 
-let grow_pool t =
+let[@simlint.alloc_ok "amortized geometric growth; the pool never shrinks"]
+    grow_pool t =
   let old = Array.length t.cbs in
   let cap = 2 * old in
   let cbs = Array.make cap nop in
@@ -133,7 +134,8 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let grow_heap t =
+let[@simlint.alloc_ok "amortized geometric growth; the heap never shrinks"]
+    grow_heap t =
   let old = Array.length t.times in
   let cap = 2 * old in
   let times = Array.make cap 0.0 in
@@ -241,7 +243,9 @@ let take_head t =
   remove_root t;
   action
 
-let pop t =
+let[@simlint.alloc_ok
+     "option-returning convenience API; the zero-alloc drive loop uses \
+      settle/head_time_unsafe/take_head"] pop t =
   settle t;
   if t.length = 0 then None
   else begin

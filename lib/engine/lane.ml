@@ -79,7 +79,8 @@ let create ~dummy ~deliver =
 let view t = t.view
 let length t = t.len
 
-let grow t =
+let[@simlint.alloc_ok "amortized geometric growth; lanes never shrink"]
+    grow t =
   let cap = Array.length t.times in
   let cap' = 2 * cap in
   let times = Array.make cap' infinity in

@@ -71,7 +71,12 @@ let schedule_packet t l ~delay x =
     (* Out-of-FIFO delivery (e.g. a delay function that varies per
        packet): fall back to the heap. Ordering stays global (time, seq)
        either way; only the allocation profile differs. *)
-    ignore (Event_queue.add t.queue ~time (fun () -> Lane.apply l x))
+    ignore
+      (Event_queue.add t.queue ~time
+         ((fun () -> Lane.apply l x)
+         [@simlint.alloc_ok
+           "heap fallback for out-of-FIFO delivery; the lane fast path \
+            builds no closure"]))
 
 (* One N-way merge step: find the earliest (time, seq) among the heap head
    and every lane head, leaving the choice in [best_time]/[best_seq]/

@@ -66,19 +66,23 @@ let close t =
 
 let closed t = t.closed
 
-let emit t ~time ~flow event =
+(* Subscription order: the sink list is kept reversed, so walk it
+   backwards. Toplevel so [emit] builds no closure per record. *)
+let rec fire_sinks sinks r =
+  match sinks with
+  | [] -> ()
+  | sink :: rest ->
+    fire_sinks rest r;
+    sink r
+
+let[@simlint.alloc_ok
+     "the record is the product: senders only call emit when a trace is \
+      attached"] emit t ~time ~flow event =
   let r = { time; flow; event } in
   t.ring.(t.next) <- Some r;
   t.next <- (t.next + 1) mod Array.length t.ring;
   t.emitted <- t.emitted + 1;
-  (* Subscription order: the list is kept reversed, so walk it backwards. *)
-  let rec fire = function
-    | [] -> ()
-    | sink :: rest ->
-      fire rest;
-      sink r
-  in
-  fire t.sinks
+  fire_sinks t.sinks r
 
 let emitted t = t.emitted
 let overwritten t = max 0 (t.emitted - Array.length t.ring)

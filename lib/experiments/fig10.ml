@@ -7,7 +7,11 @@
     several starts followed by an exact neighbourhood check. *)
 
 let mbps = 100.0
-let group_rtts_ms = [| 10.0; 30.0; 50.0 |]
+
+let[@simlint.domain_ok "read-only RTT config table; workers never write it"]
+    group_rtts_ms =
+  [| 10.0; 30.0; 50.0 |]
+
 let group_size = 10
 
 type point = {
@@ -17,7 +21,9 @@ type point = {
   shortest_rtt_mostly_cubic : bool;
 }
 
-let sizes = Array.map (fun _ -> group_size) group_rtts_ms
+let[@simlint.domain_ok "read-only group-size table; workers never write it"]
+    sizes =
+  Array.map (fun _ -> group_size) group_rtts_ms
 
 let payoff_tables ~(ctx : Common.ctx) ~buffer_bdp ~seed =
   let shortest_rtt_ms = group_rtts_ms.(0) in

@@ -266,22 +266,28 @@ let update_windows st ~now ~dt ~qdelay =
       end
   done
 
+(* Loss eligibility, hoisted from [apply_losses] so the per-step loss scan
+   builds no closures. *)
+let loss_eligible st ~now ~qdelay i =
+  now -. st.last_backoff.(i) > st.rtt.(i) +. qdelay
+
+let loss_eligible_cubic st ~now ~qdelay i =
+  st.kinds.(i) = Cubic && loss_eligible st ~now ~qdelay i
+
 (* Buffer overflow: the queue saturates at B, excess is dropped, and
    eligible flows register one loss event per (inflated) RTT. The CUBIC
    victim set is the synchronization mode; BBRv2 clamps inflight_hi. *)
 let apply_losses st rng sync ~now ~qdelay =
-  let eligible i = now -. st.last_backoff.(i) > st.rtt.(i) +. qdelay in
-  let eligible_cubic i = st.kinds.(i) = Cubic && eligible i in
   (match sync with
   | Synchronized ->
     for i = 0 to st.n - 1 do
-      if eligible_cubic i then cubic_backoff st i ~now
+      if loss_eligible_cubic st ~now ~qdelay i then cubic_backoff st i ~now
     done
   | Desynchronized ->
     (* The largest eligible window backs off (first max wins ties). *)
     let victim = ref (-1) in
     for i = 0 to st.n - 1 do
-      if eligible_cubic i && (!victim < 0 || st.w.(i) > st.w.(!victim)) then
+      if loss_eligible_cubic st ~now ~qdelay i && (!victim < 0 || st.w.(i) > st.w.(!victim)) then
         victim := i
     done;
     if !victim >= 0 then cubic_backoff st !victim ~now
@@ -289,7 +295,7 @@ let apply_losses st rng sync ~now ~qdelay =
     let any = ref false in
     let victim = ref (-1) in
     for i = 0 to st.n - 1 do
-      if eligible_cubic i then begin
+      if loss_eligible_cubic st ~now ~qdelay i then begin
         if !victim < 0 || st.w.(i) > st.w.(!victim) then victim := i;
         if Sim_engine.Rng.float rng 1.0 < p then begin
           any := true;
@@ -300,7 +306,7 @@ let apply_losses st rng sync ~now ~qdelay =
     if (not !any) && !victim >= 0 then cubic_backoff st !victim ~now);
   (* BBRv2 reacts to the shared loss round. *)
   for i = 0 to st.n - 1 do
-    if st.kinds.(i) = Bbr2 && eligible i then begin
+    if st.kinds.(i) = Bbr2 && loss_eligible st ~now ~qdelay i then begin
       st.inflight_hi.(i) <-
         Float.max (4.0 *. mss)
           (0.7 *. Float.min st.w.(i) st.inflight_hi.(i));

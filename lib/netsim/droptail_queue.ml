@@ -70,11 +70,14 @@ let create ?(policy = Tail_drop) ~capacity_bytes () =
 
 let capacity_bytes t = t.capacity_bytes
 
-let adjust_flow t flow delta =
+let[@simlint.alloc_ok
+     "Hashtbl.replace mutates an existing bucket in place; a cons is only \
+      built the first time a flow appears"] adjust_flow t flow delta =
   let current = try Hashtbl.find t.per_flow flow with Not_found -> 0 in
   Hashtbl.replace t.per_flow flow (current + delta)
 
-let grow t =
+let[@simlint.alloc_ok "amortized geometric growth; the ring never shrinks"]
+    grow t =
   let cap = Array.length t.ring in
   let ring = Array.make (2 * cap) Packet.dummy in
   for i = 0 to t.len - 1 do
@@ -149,7 +152,8 @@ let occupancy_bytes t = t.bytes
 let occupancy_of_flow t flow =
   try Hashtbl.find t.per_flow flow with Not_found -> 0
 
-let occupancy_of_flows t pred =
+let[@simlint.taint_ok "integer sum over a fold: commutative, order-free"]
+    occupancy_of_flows t pred =
   (* Hash order is harmless: integer addition is commutative. *)
   Hashtbl.fold (* simlint: allow R1 *)
     (fun flow bytes acc -> if pred flow then acc + bytes else acc)

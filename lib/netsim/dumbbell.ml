@@ -86,7 +86,10 @@ let send t p =
            {
              queue_bytes = Droptail_queue.occupancy_bytes t.queue;
              queue_packets = Droptail_queue.length t.queue;
-           }));
+           }))
+    [@simlint.alloc_ok
+      "trace event: built only with a sink attached; the record is the \
+       product"];
     Link.kick t.link
   | Droptail_queue.Dropped -> ());
   verdict

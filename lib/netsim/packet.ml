@@ -13,8 +13,10 @@ type t = {
   mutable app_limited : bool;
 }
 
-let make ~flow ~seq ~size ~retransmit ~sent_time ~delivered ~delivered_time
-    ~app_limited =
+let[@simlint.alloc_ok
+     "pool growth only: senders recycle packets through a free pool and \
+      call make when it runs dry"] make ~flow ~seq ~size ~retransmit
+    ~sent_time ~delivered ~delivered_time ~app_limited =
   { flow; seq; size; retransmit; sent_time; delivered; delivered_time;
     app_limited }
 

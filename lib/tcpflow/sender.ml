@@ -99,7 +99,8 @@ let rto_backoff t = t.rto_backoff
 let snapshot_delivered t = (Sim.now t.sim, t.fs.delivered)
 let completed t = t.seg_limit < max_int && t.cum_ack >= t.seg_limit
 
-let order_grow t =
+let[@simlint.alloc_ok "amortized geometric growth; the ring never shrinks"]
+    order_grow t =
   let cap = Array.length t.o_seqs in
   let seqs = Array.make (2 * cap) 0 in
   let times = Array.make (2 * cap) 0.0 in
@@ -127,8 +128,11 @@ let seg t seq =
   try Hashtbl.find t.segs seq
   with Not_found ->
     (* Unknown segment: already acked and collected. *)
-    { acked = true; lost = false; retx_count = 0; last_sent_time = 0.0;
-      counted_bytes = 0 }
+    ({ acked = true; lost = false; retx_count = 0; last_sent_time = 0.0;
+       counted_bytes = 0 }
+    [@simlint.alloc_ok
+      "placeholder for a dup-ACKed, already-collected segment: off the \
+       steady-state path"])
 
 (* The tracked in-flight total must equal the per-segment contributions at
    all times; [on_rto] asserts this after its sweep and tests probe it
@@ -151,9 +155,15 @@ let check_inflight_invariant t =
          "Sender: in-flight drift: tracked %d bytes, per-segment sum %d"
          t.inflight_bytes !sum)
 
+(* Trace emission allocates the event payload (and the record inside
+   [Trace.emit]); every site below is gated on a sink being attached, and
+   the records are the run's product, so A1 exempts them by name. *)
+
 (* CC-state transitions surface as trace events; the comparison runs only
    when a trace is attached. *)
-let note_cc_state t =
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] note_cc_state t =
   match t.trace with
   | None -> ()
   | Some tr ->
@@ -163,6 +173,100 @@ let note_cc_state t =
         (Tr.Cc_state_change { from_state = t.last_cc_state; to_state = state });
       t.last_cc_state <- state
     end
+
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] trace_send t ~now ~seq ~retransmit =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Send { seq; size = t.mss; retransmit })
+
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] trace_ack t ~now ~seq ~rtt_sample =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Ack
+         {
+           seq;
+           rtt_sample;
+           delivered_bytes = t.fs.delivered;
+           inflight_bytes = t.inflight_bytes;
+         })
+
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] trace_seg_lost t ~now ~seq ~via_timeout =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow (Tr.Seg_lost { seq; via_timeout })
+
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] trace_recovery_enter t ~now ~via_timeout ~lost_bytes =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Recovery_enter { via_timeout; lost_bytes })
+
+(* Advance the cumulative ACK point, collecting old state. Toplevel
+   (rather than a local [let rec]) so the per-ACK path builds no
+   closure. *)
+let rec advance_cum_ack t =
+  match Hashtbl.find t.segs t.cum_ack with
+  | exception Not_found -> ()
+  | s ->
+    if s.acked then begin
+      Hashtbl.remove t.segs t.cum_ack;
+      t.cum_ack <- t.cum_ack + 1;
+      advance_cum_ack t
+    end
+
+(* RACK sweep: every order-ring entry sent before the triggering
+   transmission and still unacked is lost. Returns the count of segments
+   newly marked lost. Toplevel for the same no-closure reason. *)
+let rec reap_lost t ~now ~trig_sent acc =
+  if t.o_len = 0 then acc
+  else begin
+    let e_seq = t.o_seqs.(t.o_head) in
+    let e_sent_time = t.o_times.(t.o_head) in
+    let es = seg t e_seq in
+    if es.acked || es.last_sent_time <> e_sent_time then begin
+      (* Stale entry: segment acked, or retransmitted more recently. *)
+      order_pop t;
+      if es.acked && e_seq < t.cum_ack then Hashtbl.remove t.segs e_seq;
+      reap_lost t ~now ~trig_sent acc
+    end
+    else if e_sent_time < trig_sent then begin
+      order_pop t;
+      let acc =
+        if not es.lost then begin
+          es.lost <- true;
+          t.lost_segments <- t.lost_segments + 1;
+          (Queue.push e_seq t.retx_queue)
+          [@simlint.alloc_ok
+            "loss path: one retransmit-queue cell per newly lost segment"];
+          (* This entry is the segment's latest transmission; that one copy
+             stops counting (earlier copies already stopped when the entry
+             they belonged to went stale). *)
+          let dec = min es.counted_bytes t.mss in
+          es.counted_bytes <- es.counted_bytes - dec;
+          t.inflight_bytes <- t.inflight_bytes - dec;
+          trace_seg_lost t ~now ~seq:e_seq ~via_timeout:false;
+          acc + 1
+        end
+        else acc
+      in
+      reap_lost t ~now ~trig_sent acc
+    end
+    else acc
+  end
 
 let rto_base t =
   if Float.is_nan t.fs.srtt then 1.0
@@ -240,10 +344,14 @@ and transmit t ~seq ~retransmit =
   let s =
     try Hashtbl.find t.segs seq
     with Not_found ->
-      let s = { acked = false; lost = false; retx_count = 0;
-                last_sent_time = now; counted_bytes = 0 } in
-      Hashtbl.add t.segs seq s;
-      s
+      ((let s = { acked = false; lost = false; retx_count = 0;
+                  last_sent_time = now; counted_bytes = 0 } in
+        Hashtbl.add t.segs seq s;
+        s)
+      [@simlint.alloc_ok
+        "first transmission of a segment: its bookkeeping record lives \
+         until the cumulative ACK passes it; pooled packets cover the \
+         wire path"])
   in
   s.last_sent_time <- now;
   s.lost <- false;
@@ -272,11 +380,7 @@ and transmit t ~seq ~retransmit =
         ~app_limited:false
   in
   t.cc.Cc.on_send ~now ~inflight_bytes:t.inflight_bytes;
-  (match t.trace with
-  | None -> ()
-  | Some tr ->
-    Tr.emit tr ~time:now ~flow:t.flow
-      (Tr.Send { seq; size = t.mss; retransmit }));
+  trace_send t ~now ~seq ~retransmit;
   (* Drops surface later through RACK/RTO, exactly as on a real path. *)
   ignore (Dumbbell.send t.net packet);
   if Sim.is_null t.rto_handle then arm_rto t
@@ -351,66 +455,11 @@ let on_ack_packet t (trig : Packet.t) =
     t.inflight_bytes <- t.inflight_bytes - s.counted_bytes;
     s.counted_bytes <- 0
   end;
-  (match t.trace with
-  | None -> ()
-  | Some tr ->
-    Tr.emit tr ~time:now ~flow:t.flow
-      (Tr.Ack
-         {
-           seq = trig.seq;
-           rtt_sample = now -. trig.sent_time;
-           delivered_bytes = t.fs.delivered;
-           inflight_bytes = t.inflight_bytes;
-         }));
+  trace_ack t ~now ~seq:trig.seq ~rtt_sample:(now -. trig.sent_time);
   (* Advance the cumulative ACK point, collecting old state. *)
-  let rec advance () =
-    match Hashtbl.find t.segs t.cum_ack with
-    | exception Not_found -> ()
-    | s ->
-      if s.acked then begin
-        Hashtbl.remove t.segs t.cum_ack;
-        t.cum_ack <- t.cum_ack + 1;
-        advance ()
-      end
-  in
-  advance ();
+  advance_cum_ack t;
   (* RACK: every segment sent before [trig] and still unacked is lost. *)
-  let newly_lost = ref 0 in
-  let rec reap () =
-    if t.o_len > 0 then begin
-      let e_seq = t.o_seqs.(t.o_head) in
-      let e_sent_time = t.o_times.(t.o_head) in
-      let es = seg t e_seq in
-      if es.acked || es.last_sent_time <> e_sent_time then begin
-        (* Stale entry: segment acked, or retransmitted more recently. *)
-        order_pop t;
-        if es.acked && e_seq < t.cum_ack then Hashtbl.remove t.segs e_seq;
-        reap ()
-      end
-      else if e_sent_time < trig.sent_time then begin
-        order_pop t;
-        if not es.lost then begin
-          es.lost <- true;
-          t.lost_segments <- t.lost_segments + 1;
-          incr newly_lost;
-          Queue.push e_seq t.retx_queue;
-          (* This entry is the segment's latest transmission; that one copy
-             stops counting (earlier copies already stopped when the entry
-             they belonged to went stale). *)
-          let dec = min es.counted_bytes t.mss in
-          es.counted_bytes <- es.counted_bytes - dec;
-          t.inflight_bytes <- t.inflight_bytes - dec;
-          match t.trace with
-          | None -> ()
-          | Some tr ->
-            Tr.emit tr ~time:now ~flow:t.flow
-              (Tr.Seg_lost { seq = e_seq; via_timeout = false })
-        end;
-        reap ()
-      end
-    end
-  in
-  reap ();
+  let newly_lost = reap_lost t ~now ~trig_sent:trig.sent_time 0 in
   (* RTT estimators (Karn's rule: skip retransmitted segments). *)
   let rtt_sample = now -. trig.sent_time in
   if rtt_valid then begin
@@ -426,23 +475,20 @@ let on_ack_packet t (trig : Packet.t) =
     if rtt_sample < t.fs.min_rtt then t.fs.min_rtt <- rtt_sample
   end;
   (* Loss-round bookkeeping: one CC notification per recovery episode. *)
-  if !newly_lost > 0 then begin
+  if newly_lost > 0 then begin
     if not t.in_recovery then begin
       t.in_recovery <- true;
       t.recovery_high <- t.next_seq;
-      (match t.trace with
-      | None -> ()
-      | Some tr ->
-        Tr.emit tr ~time:now ~flow:t.flow
-          (Tr.Recovery_enter
-             { via_timeout = false; lost_bytes = !newly_lost * t.mss }));
+      trace_recovery_enter t ~now ~via_timeout:false
+        ~lost_bytes:(newly_lost * t.mss);
       t.cc.Cc.on_loss
-        {
-          Cc.now = now;
-          lost_bytes = !newly_lost * t.mss;
-          inflight_bytes = t.inflight_bytes;
-          via_timeout = false;
-        }
+        ({
+           Cc.now = now;
+           lost_bytes = newly_lost * t.mss;
+           inflight_bytes = t.inflight_bytes;
+           via_timeout = false;
+         }
+        [@simlint.alloc_ok "one loss notification record per recovery episode"])
     end
   end;
   if t.in_recovery && t.cum_ack >= t.recovery_high then begin

@@ -1,0 +1,19 @@
+(* A2 fixture: [bump] runs on a spawned Domain (the packet-level [Exec]
+   wrappers are thin layers over [Domain.spawn], which is what the
+   synthetic manifest lists as the spawn API) and touches three pieces of
+   toplevel state:
+
+   - [hits], a bare ref: the finding;
+   - [table], a Hashtbl: allowlisted in the manifest's [domain_safe];
+   - [calls], an [Atomic.t]: sanctioned by construction, never a root. *)
+
+let hits = ref 0
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+let calls = Atomic.make 0
+
+let bump () =
+  incr hits;
+  Hashtbl.replace table (Atomic.get calls) !hits;
+  Atomic.incr calls
+
+let run () = Domain.join (Domain.spawn bump)

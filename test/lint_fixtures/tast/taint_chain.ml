@@ -1,0 +1,16 @@
+(* A3 fixture: a hash-iteration order dependence two calls away from the
+   determinism root. [run] -> [middle] -> [helper] where only [helper]
+   touches [Hashtbl.fold]; the finding must surface at the fold even
+   though the root never mentions it. The vouched chain is identical but
+   its helper carries [@simlint.taint_ok] with a reason, so the taint
+   stops there and [run_vouched] stays clean. *)
+
+let helper tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+let middle tbl = helper tbl + 1
+let run tbl = middle tbl
+
+let[@simlint.taint_ok "fixture: the fold result is a sum, order-free"]
+    helper_vouched tbl =
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let run_vouched tbl = helper_vouched tbl

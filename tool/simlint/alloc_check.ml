@@ -1,0 +1,52 @@
+(* A1 — zero-alloc hot-path verifier.
+
+   The manifest's [hot_paths] section names the entry points whose
+   BENCH_micro.json / BENCH_fluid.json numbers depend on not touching the
+   minor heap per operation. This pass computes everything reachable from
+   those entries over the call graph and reports every allocating
+   construct {!Callgraph} recorded inside a reachable *function* body.
+
+   Non-function nodes (toplevel constants, pre-built records) are
+   reachable but not scanned: they run once at module init, where
+   allocation is fine. Suppression is [@simlint.alloc_ok "reason"] on the
+   offending expression or the whole binding; the walk already honoured
+   those, so this pass only filters and formats. *)
+
+let violation ~file ~line ~col message =
+  { Lint.rule = "A1"; file; line; col; message }
+
+let of_loc ~id ~via (a : Callgraph.alloc) =
+  let loc = a.aloc in
+  violation ~file:loc.loc_start.pos_fname ~line:loc.loc_start.pos_lnum
+    ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+    (Printf.sprintf "%s on hot path [%s]: %s" id via a.what)
+
+let check graph (manifest : Manifest.t) =
+  let missing =
+    List.filter
+      (fun r -> Option.is_none (Callgraph.find_node graph r))
+      manifest.hot_paths
+  in
+  let missing_vs =
+    List.map
+      (fun r ->
+        violation ~file:"tool/simlint/hotpaths.sexp" ~line:0 ~col:0
+          (Printf.sprintf
+             "hot_paths entry %s matches no node in the call graph (typo or \
+              renamed function?)"
+             r))
+      missing
+  in
+  let parents = Callgraph.reachable_with_parents graph manifest.hot_paths in
+  let findings = ref [] in
+  List.iter
+    (fun id ->
+      match (Hashtbl.find_opt parents id, Callgraph.find_node graph id) with
+      | Some _, Some n when n.is_fun && n.allocs <> [] ->
+        let via = String.concat " -> " (Callgraph.chain parents id) in
+        List.iter
+          (fun a -> findings := of_loc ~id ~via a :: !findings)
+          n.allocs
+      | _ -> ())
+    (Callgraph.node_ids graph);
+  missing_vs @ List.sort Lint.compare_violation !findings

@@ -1,0 +1,71 @@
+(* Loads the [.cmt] files dune leaves under [_build/default] and exposes
+   their typedtrees.
+
+   A [.cmt] is a marshalled snapshot of the typechecked implementation
+   (written because dune passes [-bin-annot]); reading one needs no
+   environment setup, just [Cmt_format.read_cmt] from the same compiler
+   version that produced it — which holds here because the linter is built
+   by the same switch as the tree it analyzes.
+
+   Units are keyed by their short name: dune wraps library modules as
+   [Lib__Module] ([Sim_engine__Event_queue]), and the part after the last
+   [__] is the name the rest of the suite (and the manifest) uses
+   ([Event_queue]). Wrapper/alias units ([Sim_engine], [Cca], ...) load too
+   — they carry no value bindings but their names anchor path
+   canonicalization in {!Callgraph}. *)
+
+type unit_info = {
+  short : string;  (* Event_queue *)
+  source : string;  (* lib/engine/event_queue.ml as recorded at build time *)
+  structure : Typedtree.structure;
+}
+
+let short_of_modname modname =
+  let n = String.length modname in
+  let rec last_sep i found =
+    if i + 1 >= n then found
+    else if modname.[i] = '_' && modname.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) found
+  in
+  match last_sep 0 None with
+  | Some start -> String.sub modname start (n - start)
+  | None -> modname
+
+(* Fixture modules intentionally violate the rules; the tree-wide analysis
+   must never load them (tests load them explicitly via [load_file]). *)
+let is_fixture_source source =
+  let parts = String.split_on_char '/' source in
+  List.mem "lint_fixtures" parts
+
+let load_file path =
+  match Cmt_format.read_cmt path with
+  | { cmt_annots = Cmt_format.Implementation structure; cmt_modname; cmt_sourcefile; _ } ->
+    let source =
+      match cmt_sourcefile with Some s -> s | None -> path
+    in
+    Some { short = short_of_modname cmt_modname; source; structure }
+  | _ -> None
+  | exception _ -> None
+
+let rec cmt_files acc path =
+  if not (Sys.file_exists path) then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left (fun acc f -> cmt_files acc (Filename.concat path f)) acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* Loads every implementation cmt under [roots], first occurrence of a
+   short name wins (dune emits each unit's cmt once, so duplicates only
+   arise when byte and native object dirs are both given). *)
+let load_dirs roots =
+  let files = List.fold_left cmt_files [] roots |> List.sort compare in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun path ->
+      match load_file path with
+      | Some u when (not (is_fixture_source u.source)) && not (Hashtbl.mem seen u.short) ->
+        Hashtbl.replace seen u.short ();
+        Some u
+      | Some _ | None -> None)
+    files

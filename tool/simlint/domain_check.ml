@@ -1,0 +1,50 @@
+(* A2 — Domain-safety detector.
+
+   Mutable state shared between the Domains that [Exec] spawns is how
+   [--jobs N] runs silently diverge from sequential ones. This pass makes
+   the contract checkable: every *toplevel* binding whose type is mutable
+   (ref / array / bytes / Hashtbl / Queue / Stack / Buffer, or any repo
+   record with a [mutable] field, at any nesting depth) is a mutable
+   root; every function handed to a spawn API ([Domain.spawn] and the
+   [Exec] wrappers, per the manifest's [spawn_apis]) is a spawn root. A
+   mutable root reachable from a spawn root is a finding unless it is
+
+   - allowlisted in the manifest's [domain_safe] section with a reason
+     (e.g. [Registry.table]: populated at module init, read-only after), or
+   - carries [@simlint.domain_ok "reason"] at its definition.
+
+   [Atomic.t] / [Mutex.t] / [Condition.t] / semaphores are sanctioned by
+   construction and never roots. *)
+
+let violation ~file ~line message =
+  { Lint.rule = "A2"; file; line; col = 0; message }
+
+let check graph (manifest : Manifest.t) =
+  let roots = Callgraph.SS.elements graph.Callgraph.spawn_roots in
+  let parents = Callgraph.reachable_with_parents graph roots in
+  let findings = ref [] in
+  List.iter
+    (fun id ->
+      match Callgraph.find_node graph id with
+      | Some n
+        when n.toplevel
+             && Hashtbl.mem parents id
+             && Option.is_none n.domain_ok
+             && not (List.mem_assoc id manifest.domain_safe) -> (
+        match n.binding_type with
+        | Some ty
+          when Callgraph.type_is_mutable graph ~unit:n.unit_short ty ->
+          let via = String.concat " -> " (Callgraph.chain parents id) in
+          findings :=
+            violation ~file:n.file ~line:n.line
+              (Printf.sprintf
+                 "toplevel mutable state %s is reachable from a \
+                  Domain-spawned closure [%s]; make it Domain-local, guard \
+                  it, or allowlist it in hotpaths.sexp (domain_safe) with a \
+                  reason"
+                 id via)
+            :: !findings
+        | _ -> ())
+      | _ -> ())
+    (Callgraph.node_ids graph);
+  List.sort Lint.compare_violation !findings

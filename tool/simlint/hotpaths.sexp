@@ -1,0 +1,62 @@
+; Analysis manifest for the simlint typedtree passes (see DESIGN.md §12).
+;
+; Names are canonical call-graph node ids: the defining compilation
+; unit's short name, then any submodule path, then the value name —
+; independent of dune's Lib__Module wrapping and of local aliases.
+
+((hot_paths
+  ; Event core: the pooled-heap settle/take cycle and the calendar lanes.
+  (Event_queue.add
+   Event_queue.pop
+   Event_queue.settle
+   Event_queue.head_time_unsafe
+   Event_queue.take_head
+   Lane.push
+   Lane.fire_head
+   Sim.select
+   Sim.run
+   ; Packet cycle: droptail enqueue/dequeue and the sender's per-packet
+   ; and per-ACK work (pool recycle, RTO bookkeeping, CCA callback).
+   Droptail_queue.enqueue
+   Droptail_queue.dequeue_exn
+   Sender.on_ack_packet
+   Sender.seg
+   Sender.order_push
+   Sender.order_pop
+   ; Shared CCA machinery.
+   Windowed_filter.Max_rounds.update
+   Windowed_filter.Min_time.update
+   ; Per-ACK CCA paths (closure-record fields resolve to Unit.on_ack).
+   Reno.on_ack
+   Cubic.on_ack
+   Bbr.on_ack
+   Bbr2.on_ack
+   Copa.on_ack
+   Vegas.on_ack
+   Vivace.on_ack
+   ; Fluid/ODE step loop.
+   Fluid_sim.update_btlbw
+   Fluid_sim.update_windows
+   Fluid_sim.apply_losses
+   Fluid_sim.compute_rates
+   Fluid_sim.account
+   Fluid_sim.solve_step))
+
+ (spawn_apis (Domain.spawn Exec.map Exec.map_list))
+
+ (domain_safe
+  ; name must be a call-graph node id; reason is mandatory.
+  ((Registry.table
+    "populated once by module-init register calls, read-only afterwards")
+   (Packet.dummy
+    "pool placeholder that never enters the network; workers only read it")))
+
+ (determinism_roots
+  ; Entry points whose results are cached content-addressed (Exec.Cache)
+  ; or replayed byte-for-byte (fuzz corpus): any transitive
+  ; nondeterminism breaks cache hits and replays.
+  (Experiment.run
+   Runs.eval
+   Fuzz.run_scenario
+   Fuzz.campaign
+   Fuzz.replay)))

@@ -1,0 +1,165 @@
+(* The analysis manifest ([tool/simlint/hotpaths.sexp]): the one file that
+   names which functions the typedtree passes treat as entry points and
+   which shared structures are vetted.
+
+   Format — a single top-level alist of sections, each a list:
+
+     ((hot_paths (Event_queue.pop Sim.run ...))          ; A1 entry points
+      (spawn_apis (Domain.spawn Exec.map Exec.map_list)) ; A2 spawn surface
+      (domain_safe ((Registry.table "reason") ...))      ; A2 allowlist
+      (determinism_roots (Experiment.run Runs.eval ...))); A3 entry points
+
+   Names are canonical node ids as produced by {!Callgraph}: the defining
+   compilation unit's short name, any submodule path, then the value name
+   ([Event_queue.pop], [Windowed_filter.Max_rounds.update]). Every
+   [domain_safe] entry must carry a reason string; an entry without one is
+   rejected so the allowlist stays auditable.
+
+   The parser is a deliberately small hand-rolled sexp reader (atoms,
+   quoted strings, [;] line comments) so the tool keeps its
+   compiler-libs-only dependency footprint. *)
+
+type t = {
+  hot_paths : string list;
+  spawn_apis : string list;
+  domain_safe : (string * string) list;  (* node id, reason *)
+  determinism_roots : string list;
+}
+
+let empty =
+  { hot_paths = []; spawn_apis = []; domain_safe = []; determinism_roots = [] }
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of string
+
+let parse_sexps source =
+  let n = String.length source in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some source.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      while !pos < n && source.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 32 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_error "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ()
+        | None -> raise (Parse_error "unterminated escape"));
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ();
+    String.sub source start (!pos - start)
+  in
+  let rec read_sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> raise (Parse_error "unclosed list")
+        | Some _ ->
+          items := read_sexp () :: !items;
+          go ()
+      in
+      go ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected )")
+    | Some '"' -> Atom (read_string ())
+    | Some _ -> Atom (read_atom ())
+  in
+  let rec top acc =
+    skip_ws ();
+    if !pos >= n then List.rev acc else top (read_sexp () :: acc)
+  in
+  top []
+
+let atom_of = function
+  | Atom a -> a
+  | List _ -> raise (Parse_error "expected an atom")
+
+let names_of = function
+  | List items -> List.map atom_of items
+  | Atom _ -> raise (Parse_error "expected a list of names")
+
+let allow_entry_of = function
+  | List [ Atom name; Atom reason ] when String.length reason > 0 ->
+    (name, reason)
+  | List [ Atom name ] | List [ Atom name; Atom "" ] ->
+    raise
+      (Parse_error
+         (Printf.sprintf "domain_safe entry %s has no reason; every allowlist \
+                          entry must say why it is safe" name))
+  | _ -> raise (Parse_error "malformed domain_safe entry: want (name \"reason\")")
+
+let of_string source =
+  let sections =
+    match parse_sexps source with
+    | [ List sections ] -> sections
+    | [] -> []
+    | _ -> raise (Parse_error "manifest must be a single top-level alist")
+  in
+  List.fold_left
+    (fun t section ->
+      match section with
+      | List (Atom "hot_paths" :: [ body ]) ->
+        { t with hot_paths = names_of body }
+      | List (Atom "spawn_apis" :: [ body ]) ->
+        { t with spawn_apis = names_of body }
+      | List (Atom "determinism_roots" :: [ body ]) ->
+        { t with determinism_roots = names_of body }
+      | List (Atom "domain_safe" :: [ List entries ]) ->
+        { t with domain_safe = List.map allow_entry_of entries }
+      | List (Atom key :: _) ->
+        raise (Parse_error (Printf.sprintf "unknown manifest section %s" key))
+      | _ -> raise (Parse_error "malformed manifest section"))
+    empty sections
+
+let load path =
+  let ic = open_in_bin path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string source

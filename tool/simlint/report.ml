@@ -1,0 +1,66 @@
+(* Machine-readable output and cross-pass hygiene findings.
+
+   [write_json] serializes the full violation list as a flat array of
+   {rule, file, line, col, message} objects — the artifact CI uploads as
+   LINT_REPORT.json so regressions are diffable across runs without
+   scraping the human-readable log.
+
+   [bad_suppressions] turns every reasonless [@simlint.*] attribute the
+   walk recorded into an A0 violation: the escape hatches stay auditable
+   only if each one says why. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path (violations : Lint.violation list) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "[";
+      List.iteri
+        (fun i (v : Lint.violation) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": \
+             %d, \"message\": \"%s\"}"
+            (json_escape v.rule) (json_escape v.file) v.line v.col
+            (json_escape v.message))
+        violations;
+      output_string oc "\n]\n")
+
+let bad_suppressions graph =
+  List.concat_map
+    (fun id ->
+      match Callgraph.find_node graph id with
+      | Some n ->
+        List.map
+          (fun (loc : Location.t) ->
+            {
+              Lint.rule = "A0";
+              file = loc.loc_start.pos_fname;
+              line = loc.loc_start.pos_lnum;
+              col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+              message =
+                Printf.sprintf
+                  "[@simlint.*] suppression on %s has no reason string; \
+                   every suppression must say why it is safe"
+                  id;
+            })
+          n.bad_suppressions
+      | None -> [])
+    (Callgraph.node_ids graph)
+  |> List.sort Lint.compare_violation

@@ -1,15 +1,64 @@
-(* CLI driver: [simlint DIR...] lints every .ml under the given roots
-   (default: lib bin bench test) and exits non-zero on any violation. *)
+(* CLI driver.
+
+     simlint [--cmt DIR]... [--manifest FILE] [--json FILE] [ROOT]...
+
+   Two layers run in one invocation:
+
+   - the parsetree rules R1-R7 over every .ml under the source ROOTs
+     (default: lib bin bench test examples tool), exactly as before;
+   - when at least one [--cmt DIR] is given, the typedtree suite: load
+     every .cmt under the dirs, build the cross-module call graph, and run
+     A1 (zero-alloc hot paths), A2 (Domain safety) and A3 (interprocedural
+     determinism) against the manifest (default
+     tool/simlint/hotpaths.sexp), plus A0 (reasonless suppressions).
+
+   [--json FILE] additionally writes the combined violation list as a
+   machine-readable report (the LINT_REPORT.json CI artifact). Exits
+   non-zero on any violation. *)
 
 module Lint = Simlint_core.Lint
+module Manifest = Simlint_core.Manifest
+module Cmt_load = Simlint_core.Cmt_load
+module Callgraph = Simlint_core.Callgraph
+module Alloc_check = Simlint_core.Alloc_check
+module Domain_check = Simlint_core.Domain_check
+module Taint = Simlint_core.Taint
+module Report = Simlint_core.Report
 
-let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+let default_roots = [ "lib"; "bin"; "bench"; "test"; "examples"; "tool" ]
+let default_manifest = "tool/simlint/hotpaths.sexp"
+
+let usage () =
+  prerr_endline
+    "usage: simlint [--cmt DIR]... [--manifest FILE] [--json FILE] [ROOT]...";
+  exit 2
 
 let () =
+  let cmt_dirs = ref [] in
+  let manifest_path = ref None in
+  let json_path = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--cmt" :: dir :: rest ->
+      cmt_dirs := dir :: !cmt_dirs;
+      parse rest
+    | "--manifest" :: file :: rest ->
+      manifest_path := Some file;
+      parse rest
+    | "--json" :: file :: rest ->
+      json_path := Some file;
+      parse rest
+    | ("--cmt" | "--manifest" | "--json") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      usage ()
+    | root :: rest ->
+      roots := root :: !roots;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let roots =
-    match List.tl (Array.to_list Sys.argv) with
-    | [] -> default_roots
-    | roots -> roots
+    match List.rev !roots with [] -> default_roots | roots -> roots
   in
   List.iter
     (fun root ->
@@ -18,8 +67,47 @@ let () =
         exit 2
       end)
     roots;
-  let n_files, violations = Lint.lint_paths roots in
+  let n_files, parse_violations = Lint.lint_paths roots in
+  let typed_violations =
+    match List.rev !cmt_dirs with
+    | [] -> []
+    | dirs -> (
+      match
+        let manifest =
+          Manifest.load
+            (match !manifest_path with
+            | Some f -> f
+            | None -> default_manifest)
+        in
+        let units = Cmt_load.load_dirs dirs in
+        (manifest, units)
+      with
+      | exception Manifest.Parse_error msg ->
+        Printf.eprintf "simlint: manifest error: %s\n" msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "simlint: %s\n" msg;
+        exit 2
+      | manifest, [] ->
+        ignore manifest;
+        Printf.eprintf
+          "simlint: no .cmt files under %s — run `dune build @all` first\n"
+          (String.concat " " dirs);
+        exit 2
+      | manifest, units ->
+        let graph =
+          Callgraph.build ~spawn_apis:manifest.Manifest.spawn_apis units
+        in
+        Alloc_check.check graph manifest
+        @ Domain_check.check graph manifest
+        @ Taint.check graph manifest
+        @ Report.bad_suppressions graph)
+  in
+  let violations =
+    List.sort Lint.compare_violation (parse_violations @ typed_violations)
+  in
   List.iter (fun v -> Format.printf "%a@." Lint.pp v) violations;
+  Option.iter (fun path -> Report.write_json path violations) !json_path;
   match violations with
   | [] ->
     Format.printf "simlint: OK (%d files, 0 violations)@." n_files;

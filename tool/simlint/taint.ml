@@ -1,0 +1,98 @@
+(* A3 — interprocedural determinism.
+
+   R1 already rejects writing [Random.float] or [Hashtbl.iter] in repo
+   sources, but only syntactically and per file: a helper three modules
+   away that folds over a hash table still poisons every cached trial
+   that transitively calls it — and R1's comment suppression
+   ([(* simlint: allow R1 *)]) vouches only for the file it sits in, not
+   for the callers. This pass propagates over the call graph instead: a
+   node is *directly tainted* when its external references include a
+   nondeterminism source (Stdlib [Random], hash-iteration order,
+   wall-clock, filesystem order); a determinism root from the manifest
+   ([determinism_roots]: the cached-trial and replay entry points) is
+   flagged when it can reach a tainted node.
+
+   Sanctioned escapes: the repo's [Rng] unit wraps a seeded splitmix PRNG
+   — it is the *approved* randomness and never taints; a binding carrying
+   [@simlint.taint_ok "reason"] neither taints directly nor propagates
+   taint from below (the author vouches for everything it calls — e.g.
+   [Registry.names] sorts the fold's result, making the order canonical
+   again). *)
+
+let exact_sources =
+  [
+    "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.to_seq"; "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values"; "Sys.time"; "Sys.readdir"; "Unix.gettimeofday";
+    "Unix.time"; "Unix.times"; "Unix.opendir"; "Unix.readdir";
+  ]
+
+let prefix_sources = [ "Random." ]
+
+let is_source name =
+  List.mem name exact_sources
+  || List.exists
+       (fun p ->
+         String.length name >= String.length p
+         && String.equal (String.sub name 0 (String.length p)) p)
+       prefix_sources
+
+(* The seeded-PRNG wrapper: its Random usage is the sanctioned one. *)
+let sanctioned_units = [ "Rng" ]
+
+let violation ~file ~line ~col message =
+  { Lint.rule = "A3"; file; line; col; message }
+
+let node_sources (n : Callgraph.node) =
+  Callgraph.SS.elements (Callgraph.SS.filter is_source n.ext_refs)
+
+let check graph (manifest : Manifest.t) =
+  let missing =
+    List.filter
+      (fun r -> Option.is_none (Callgraph.find_node graph r))
+      manifest.determinism_roots
+  in
+  let missing_vs =
+    List.map
+      (fun r ->
+        violation ~file:"tool/simlint/hotpaths.sexp" ~line:0 ~col:0
+          (Printf.sprintf
+             "determinism_roots entry %s matches no node in the call graph \
+              (typo or renamed function?)"
+             r))
+      missing
+  in
+  let stop (n : Callgraph.node) = Option.is_some n.taint_ok in
+  let parents =
+    Callgraph.reachable_with_parents ~stop graph manifest.determinism_roots
+  in
+  let findings = ref [] in
+  List.iter
+    (fun id ->
+      match Callgraph.find_node graph id with
+      | Some n
+        when Hashtbl.mem parents id
+             && Option.is_none n.taint_ok
+             && not (List.mem n.unit_short sanctioned_units) ->
+        List.iter
+          (fun src ->
+            let file, line, col =
+              match Callgraph.ext_loc n src with
+              | Some (loc : Location.t) ->
+                ( loc.loc_start.pos_fname,
+                  loc.loc_start.pos_lnum,
+                  loc.loc_start.pos_cnum - loc.loc_start.pos_bol )
+              | None -> (n.file, n.line, 0)
+            in
+            let via = String.concat " -> " (Callgraph.chain parents id) in
+            findings :=
+              violation ~file ~line ~col
+                (Printf.sprintf
+                   "nondeterminism source %s reaches determinism root via \
+                    [%s]; sort/seed it, or vouch for it with \
+                    [@simlint.taint_ok \"reason\"]"
+                   src via)
+              :: !findings)
+          (node_sources n)
+      | _ -> ())
+    (Callgraph.node_ids graph);
+  missing_vs @ List.sort Lint.compare_violation !findings
