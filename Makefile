@@ -53,6 +53,9 @@ check: build test lint
 	dune exec bin/repro.exe -- run fluidgrid --jobs 2 --cache "$(CHECK_CACHE)" \
 	  --out "$(CHECK_OUT)"
 	cmp test/golden/fluidgrid_quick.csv "$(CHECK_OUT)/fluidgrid.csv"
+	dune exec bin/repro.exe -- evolve --jobs 2 --cache "$(CHECK_CACHE)" \
+	  --out "$(CHECK_OUT)"
+	cmp test/golden/evolve_quick.csv "$(CHECK_OUT)/evolve.csv"
 	dune exec bin/repro.exe -- fuzz --count 50 --seed 1 --jobs 2 \
 	  --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"
 	dune exec bin/repro.exe -- fuzz --backend fluid --count 25 --seed 1 \

@@ -238,6 +238,52 @@ let fluid_tests =
     Test.make ~name:"ode/2flow-competition" (Staged.stage ode_2flow);
   ]
 
+(* --- Adoption-dynamics kernels --------------------------------------- *)
+
+(* 1000 generations of the allocation-free step kernel over 64 classes:
+   ns_per_run / 1000 is the generations/sec figure for the evolve loop's
+   compute half (payoff evaluation, the simulation half, is measured by
+   the backend sections above). The arrays live across generations like
+   the scratch buffers in Evolve.run. *)
+let evolve_steps ~dyn () =
+  let n = 64 in
+  let src = Array.init n (fun i -> 0.1 +. (0.8 *. float_of_int i /. 64.0)) in
+  let dst = Array.make n 0.0 in
+  let adv =
+    Array.init n (fun i -> (float_of_int (i mod 7) /. 3.0) -. 1.0)
+  in
+  for _ = 1 to 1000 do
+    Ccgame.Evolve.step_into dyn ~rate:0.5 ~adv ~src ~dst;
+    Array.blit dst 0 src 0 n
+  done
+
+(* A full trajectory against an analytic payoff landscape (interior NE at
+   s = 0.6 in every class): measures the run loop's bookkeeping around the
+   kernel — residuals, state snapshots, convergence detection. *)
+let evolve_trajectory () =
+  let payoffs =
+    {
+      Ccgame.Evolve.u_cubic = (fun ~cls ~shares -> 1.0 +. (0.1 *. float_of_int cls) +. shares.(cls));
+      u_bbr = (fun ~cls ~shares:_ -> 1.6 +. (0.1 *. float_of_int cls));
+    }
+  in
+  ignore
+    (Ccgame.Evolve.run Ccgame.Evolve.Replicator ~rate:0.5 ~max_generations:200
+       payoffs
+       ~init:(Array.make 8 0.3))
+
+let evolve_tests =
+  [
+    Test.make ~name:"evolve/step-1k-replicator"
+      (Staged.stage (evolve_steps ~dyn:Ccgame.Evolve.Replicator));
+    Test.make ~name:"evolve/step-1k-best-response"
+      (Staged.stage (evolve_steps ~dyn:Ccgame.Evolve.Best_response));
+    Test.make ~name:"evolve/step-1k-logit"
+      (Staged.stage (evolve_steps ~dyn:(Ccgame.Evolve.Logit 0.1)));
+    Test.make ~name:"evolve/run-trajectory-8class"
+      (Staged.stage evolve_trajectory);
+  ]
+
 (* Pre-rewrite numbers for fluid/short-10flows (AoS fluid simulator,
    same kernel, same machine class) so BENCH_fluid.json carries its own
    before/after pair. *)
@@ -263,6 +309,10 @@ let alloc_gates =
     ( "fluid/short-10flows-soa", 3, 265_000.0,
       short_fluid ~kind:Fluidsim.Fluid_sim.Bbr );
     ("ode/2flow-competition", 3, 70_000.0, ode_2flow);
+    (* The step kernel itself is allocation-free; the budget covers the
+       three 64-slot scratch arrays the harness sets up per run. *)
+    ( "evolve/step-1k-logit", 50, 1_000.0,
+      evolve_steps ~dyn:(Ccgame.Evolve.Logit 0.1) );
   ]
 
 let run_alloc_gates () =
@@ -564,7 +614,8 @@ let scaling_jobs () =
 
 let sections () =
   match Sys.getenv_opt "REPRO_BENCH_SECTIONS" with
-  | None | Some "" -> [ "figures"; "micro"; "fluid"; "scaling"; "ablations" ]
+  | None | Some "" ->
+    [ "figures"; "micro"; "fluid"; "evolve"; "scaling"; "ablations" ]
   | Some s -> String.split_on_char ',' s
 
 let () =
@@ -585,6 +636,10 @@ let () =
   if List.mem "fluid" sections then begin
     Printf.printf "==== Analytic-backend benchmarks ====\n%!";
     run_bechamel ~baseline:fluid_baseline ~section:"fluid" fluid_tests
+  end;
+  if List.mem "evolve" sections then begin
+    Printf.printf "==== Adoption-dynamics benchmarks ====\n%!";
+    run_bechamel ~section:"evolve" evolve_tests
   end;
   if List.mem "scaling" sections then begin
     Printf.printf "\n==== Parallel executor scaling ====\n%!";

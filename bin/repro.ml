@@ -12,6 +12,9 @@
      repro replay FILE [--fault NAME] [--backend packet|fluid|ode]
      repro compare [--backend packet --backend fluid ...] [--cca cubic ...]
                    [--mbps 100] [--rtt 40] [--buffer 10] [--duration 30]
+     repro evolve [--dynamics replicator|best-response|logit[:TAU]]
+                  [--backend fluid|ode|packet] [--seed 1] [--jobs 4]
+                  [--generations N] [--spot-checks N] [--out results/]
 *)
 
 let ctx_of ~full ~jobs ~cache_dir ~trace_dir =
@@ -530,12 +533,90 @@ let compare_cmd =
       const run $ backends_arg $ ccas_arg $ mbps_arg $ rtt_arg $ buffer_arg
       $ duration_arg $ seed_arg)
 
+let evolve_cmd =
+  let doc =
+    "Evolve population-scale CCA adoption (replicator / best-response / \
+     logit dynamics over RTT classes, simulator-measured payoffs) and \
+     print the adoption-trajectory table."
+  in
+  let dynamics_conv =
+    let parse s =
+      match Ccgame.Evolve.dynamics_of_string s with
+      | Ok d -> Ok d
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      (parse, fun ppf d -> Fmt.string ppf (Ccgame.Evolve.dynamics_name d))
+  in
+  let dynamics_arg =
+    let doc =
+      "Dynamics to evolve (repeatable): $(b,replicator), \
+       $(b,best-response), $(b,logit) or $(b,logit:TAU). Default: all \
+       three."
+    in
+    Arg.(value & opt_all dynamics_conv [] & info [ "dynamics" ] ~docv:"DYN" ~doc)
+  in
+  let evolve_backend_arg =
+    let doc =
+      "Payoff backend: $(b,fluid) (default), $(b,ode) or $(b,packet) \
+       (packet disables the spot checks — it is what they check against)."
+    in
+    Arg.(
+      value
+      & opt backend_conv Sim_backend.fluid
+      & info [ "backend" ] ~docv:"NAME" ~doc)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for initial shares and simulations.")
+  in
+  let generations_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "generations" ] ~docv:"N"
+          ~doc:"Generation cap (default: 60 quick / 150 full).")
+  in
+  let spot_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spot-checks" ] ~docv:"N"
+          ~doc:
+            "Packet-level sign checks per trajectory; 0 disables (default: \
+             1 quick / 2 full).")
+  in
+  let run full out jobs cache_dir dynamics backend seed max_generations
+      spot_checks =
+    let ctx = ctx_of ~full ~jobs ~cache_dir ~trace_dir:None in
+    let dynamics = if dynamics = [] then None else Some dynamics in
+    let entry =
+      {
+        Experiments.Catalog.id = "evolve";
+        summary = "Population-scale CCA adoption dynamics";
+        run =
+          Experiments.Adoption.run_with ?dynamics ~backend ~seed
+            ?max_generations ?spot_checks;
+      }
+    in
+    run_entry ~out entry ctx
+  in
+  Cmd.v (Cmd.info "evolve" ~doc)
+    Term.(
+      const run $ full_arg $ out_arg $ jobs_arg $ cache_arg $ dynamics_arg
+      $ evolve_backend_arg $ seed_arg $ generations_arg $ spot_arg)
+
 let main_cmd =
   let doc =
     "Reproduce the experiments of 'Are we heading towards a BBR-dominant \
      Internet?' (IMC 2022)"
   in
   Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; model_cmd; compare_cmd; fuzz_cmd; replay_cmd ]
+    [
+      list_cmd; run_cmd; all_cmd; model_cmd; compare_cmd; evolve_cmd;
+      fuzz_cmd; replay_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

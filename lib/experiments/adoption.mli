@@ -1,0 +1,33 @@
+(** The [evolve] experiment: population-scale CCA adoption dynamics.
+
+    Evolves per-RTT-class BBR shares under {!Ccgame.Evolve} dynamics with
+    simulator-measured tagged-flow payoffs, one trajectory per
+    (scenario cell x dynamics), and reports the adoption trajectory rows:
+    population BBR share per generation, epsilon-Nash residual,
+    convergence and fixation generations, the terminal
+    {!Ccgame.Grouped_game.is_equilibrium} verdict, and packet-backend
+    sign spot-checks near share crossings. Deterministic for fixed
+    arguments and independent of [ctx.jobs]. *)
+
+val default_dynamics : Ccgame.Evolve.dynamics list
+(** Replicator, smoothed best response, and logit at the default
+    temperature — the dynamics [run] evolves. *)
+
+val run_with :
+  ?dynamics:Ccgame.Evolve.dynamics list ->
+  ?backend:Sim_backend.t ->
+  ?seed:int ->
+  ?max_generations:int ->
+  ?spot_checks:int ->
+  Common.ctx ->
+  Common.table
+(** The parameterized driver behind [repro evolve]. [dynamics] defaults to
+    {!default_dynamics} (must be non-empty), [backend] to the fluid model,
+    [seed] (initial-share draws and simulation seeds) to 1,
+    [max_generations] to 60 (quick) / 150 (full), [spot_checks] — the
+    per-trajectory cap on packet-level sign checks — to 1 (quick) /
+    2 (full); spot checks are skipped when [backend] is the packet
+    simulator itself. *)
+
+val run : Common.ctx -> Common.table
+(** [run_with] with every default — the catalog entry. *)

@@ -63,6 +63,11 @@ let all =
       run = Fig12.run;
     };
     {
+      id = "evolve";
+      summary = "Population-scale CCA adoption dynamics";
+      run = Adoption.run;
+    };
+    {
       id = "fluidgrid";
       summary = "Fluid vs ODE analytic-backend differential grid";
       run = Fluidgrid.run;

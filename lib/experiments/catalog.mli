@@ -11,9 +11,10 @@ type entry = {
 }
 
 val all : entry list
-(** In paper order: table1, fig01, fig03..fig12, then the extensions
-    (ext-red, ext-utility, ext-short, ext-internals, ext-2flow) motivated
-    by the paper's discussion sections and its ref [21]. *)
+(** In paper order: table1, fig01, fig03..fig12, then the repo's own
+    artifacts ([evolve], [fluidgrid]) and the extensions (ext-red,
+    ext-utility, ext-short, ext-internals, ext-2flow) motivated by the
+    paper's discussion sections and its ref [21]. *)
 
 val find : string -> entry option
 val ids : unit -> string list

@@ -19,6 +19,8 @@ type point = {
   ne : int array list;  (** BBR counts per group at each NE found. *)
   cubic_at_ne : int list;
   shortest_rtt_mostly_cubic : bool;
+  br_converged : bool;
+      (** Every best-response run reached a fixpoint before the step cap. *)
 }
 
 let[@simlint.domain_ok "read-only group-size table; workers never write it"]
@@ -83,12 +85,19 @@ let payoff_tables ~(ctx : Common.ctx) ~buffer_bdp ~seed =
 
 (* Best-response dynamics: from a starting distribution, repeatedly let the
    group with the largest switching gain move one flow, until no group
-   gains. Converges quickly in practice; the fixpoint is NE-checked. *)
-let best_response_fixpoint ~payoffs ~start =
+   gains. Converges quickly in practice, but pure best response can cycle
+   (two groups endlessly swapping a flow), so the result carries a
+   converged flag: [true] means a genuine fixpoint, [false] means the step
+   cap fired and the terminal profile is an arbitrary cycle member. *)
+let best_response_fixpoint ?(max_steps = 60) ~sizes ~payoffs ~start () =
+  if max_steps <= 0 then
+    invalid_arg "Fig10.best_response_fixpoint: max_steps";
+  if Array.length start <> Array.length sizes then
+    invalid_arg "Fig10.best_response_fixpoint: start/sizes length mismatch";
   let counts = Array.copy start in
   let steps = ref 0 in
   let improved = ref true in
-  while !improved && !steps < 60 do
+  while !improved && !steps < max_steps do
     incr steps;
     improved := false;
     let best_gain = ref 0.0 and best_move = ref None in
@@ -135,7 +144,9 @@ let best_response_fixpoint ~payoffs ~start =
       improved := true
     | _ -> ()
   done;
-  counts
+  (* [improved] still set means the loop was cut off mid-flight by the
+     step cap, not by reaching a rest point. *)
+  (counts, not !improved)
 
 (* The paper observes NE to be threshold profiles: the CUBIC flows are
    exactly the shortest-RTT flows. [threshold_profile m] places m CUBIC
@@ -172,21 +183,30 @@ let find_ne ~buffer_bdp ~payoffs =
     List.map threshold_profile
       (List.sort_uniq compare [ clamp (m0 - 5); clamp m0; clamp (m0 + 5) ])
   in
-  let fixpoints =
-    List.sort_uniq compare
-      (List.map (fun start -> best_response_fixpoint ~payoffs ~start) starts)
+  let results =
+    List.map
+      (fun start -> best_response_fixpoint ~sizes ~payoffs ~start ())
+      starts
   in
-  match
-    List.filter
-      (Ccgame.Grouped_game.is_equilibrium ~epsilon:0.02 ~sizes payoffs)
-      fixpoints
-  with
-  | [] ->
-    (* Measurement noise can break the strict check at the best-response
-       fixpoints; report them as the approximate NE (the paper likewise
-       reports several neighbouring NE across trials). *)
-    fixpoints
-  | ne -> ne
+  let br_converged = List.for_all snd results in
+  let terminals = List.sort_uniq compare (List.map fst results) in
+  let ne =
+    match
+      List.filter
+        (Ccgame.Grouped_game.is_equilibrium ~epsilon:0.02 ~sizes payoffs)
+        terminals
+    with
+    | [] ->
+      (* Measurement noise can break the strict check at the best-response
+         fixpoints; report the {e converged} ones as the approximate NE
+         (the paper likewise reports several neighbouring NE across
+         trials). Capped runs are excluded: their terminal profile is
+         wherever the cycle happened to be cut off, not a rest point. *)
+      List.sort_uniq compare
+        (List.filter_map (fun (c, ok) -> if ok then Some c else None) results)
+    | ne -> ne
+  in
+  (ne, br_converged)
 
 (* Best-response dynamics are adaptive, so each buffer point runs its
    probes sequentially and the buffer sweep is what parallelises. *)
@@ -200,7 +220,7 @@ let points (ctx : Common.ctx) =
   Sim_engine.Exec.map_list ~jobs:ctx.jobs
     (fun buffer_bdp ->
       let payoffs = payoff_tables ~ctx:point_ctx ~buffer_bdp ~seed:1 in
-      let ne = find_ne ~buffer_bdp ~payoffs in
+      let ne, br_converged = find_ne ~buffer_bdp ~payoffs in
       let cubic_at_ne =
         List.map (Ccgame.Grouped_game.total_cubic ~sizes) ne
       in
@@ -213,7 +233,7 @@ let points (ctx : Common.ctx) =
             counts.(0) <= counts.(1) && counts.(1) <= counts.(2))
           ne
       in
-      { buffer_bdp; ne; cubic_at_ne; shortest_rtt_mostly_cubic })
+      { buffer_bdp; ne; cubic_at_ne; shortest_rtt_mostly_cubic; br_converged })
     buffers
 
 let run ctx : Common.table =
@@ -224,7 +244,7 @@ let run ctx : Common.table =
       "NE with different RTTs (30 flows: 10 each at 10/30/50 ms, 100 Mbps)";
     header =
       [ "buffer(BDP_10ms)"; "NE bbr counts (10/30/50ms)"; "#cubic_at_NE";
-        "short-RTT flows prefer CUBIC" ];
+        "short-RTT flows prefer CUBIC"; "BR converged" ];
     rows =
       List.map
         (fun p ->
@@ -237,12 +257,15 @@ let run ctx : Common.table =
                  p.ne);
             String.concat "/" (List.map string_of_int p.cubic_at_ne);
             string_of_bool p.shortest_rtt_mostly_cubic;
+            string_of_bool p.br_converged;
           ])
         points;
     notes =
       [
         Printf.sprintf "NE found at every buffer size: %b"
           (List.for_all (fun p -> p.ne <> []) points);
+        Printf.sprintf "best-response dynamics converged at every buffer: %b"
+          (List.for_all (fun p -> p.br_converged) points);
         "paper trends: (1) NE exist in multi-RTT networks; (2) at the NE \
          the CUBIC flows are the shortest-RTT flows";
       ];

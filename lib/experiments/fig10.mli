@@ -7,5 +7,21 @@ val threshold_profile : int -> int array
     shortest-RTT-first and returns the per-group {e BBR} counts — the
     model-informed starting profile for the NE search. *)
 
+val best_response_fixpoint :
+  ?max_steps:int ->
+  sizes:int array ->
+  payoffs:Ccgame.Grouped_game.payoffs ->
+  start:int array ->
+  unit ->
+  int array * bool
+(** One-flow-at-a-time best-response dynamics from [start] over groups of
+    the given [sizes]: each step the single most profitable deviation (one
+    flow switching CCA) is applied, until no deviation gains or [max_steps]
+    (default 60) steps elapse. Returns the terminal BBR counts and whether
+    a genuine fixpoint was reached — [false] means the cap fired, which
+    with cycling payoffs (e.g. matching-pennies-like tables) leaves the
+    counts at an arbitrary point of the cycle, so callers must not treat
+    an unconverged terminal as an approximate equilibrium. *)
+
 val run : Common.ctx -> Common.table
 (** Drive the experiment and render its result table. *)

@@ -151,6 +151,34 @@ let run_specs (ctx : Common.ctx) backend specs =
       to_run computed;
     List.map (fun (key, _) -> Hashtbl.find known key) keyed
 
+type memo = (string, Sim_backend.outcome) Hashtbl.t
+
+let memo () : memo = Hashtbl.create 64
+
+(* An in-memory layer over [run_specs] for adaptive drivers (the evolve
+   loop) that revisit the same profile across generations: one digest
+   lookup per spec, one run per distinct miss, order preserved. The memo
+   only ever sees find/replace, so no hash-order dependence can leak into
+   results. *)
+let run_specs_memo ~memo (ctx : Common.ctx) backend specs =
+  let keyed = List.map (fun s -> (Sim_backend.digest backend s, s)) specs in
+  let pending = Hashtbl.create 16 in
+  let to_run =
+    List.filter
+      (fun (key, _) ->
+        if Hashtbl.mem memo key || Hashtbl.mem pending key then false
+        else begin
+          Hashtbl.add pending key ();
+          true
+        end)
+      keyed
+  in
+  let computed = run_specs ctx backend (List.map snd to_run) in
+  List.iter2
+    (fun (key, _) outcome -> Hashtbl.replace memo key outcome)
+    to_run computed;
+  List.map (fun (key, _) -> Hashtbl.find memo key) keyed
+
 type mix_spec = {
   spec_duration : Sim_engine.Units.seconds option;
   spec_warmup : Sim_engine.Units.seconds option;

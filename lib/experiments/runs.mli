@@ -45,6 +45,28 @@ val run_specs :
     backends emit no event stream. Raises [Invalid_argument] when the
     backend rejects a spec (unsupported CCA, malformed spec). *)
 
+type memo
+(** An in-memory outcome store keyed by {!Sim_backend.digest}, layered in
+    front of {!run_specs}'s disk cache for adaptive drivers whose payoff
+    queries revisit the same profile many times per process (the evolve
+    generation loop: late generations are quantized onto a few profiles).
+    One memo per driver unit of work — memos are not domain-safe, so keep
+    each inside the worker that owns it. *)
+
+val memo : unit -> memo
+
+val run_specs_memo :
+  memo:memo ->
+  Common.ctx ->
+  Sim_backend.t ->
+  Sim_backend.spec list ->
+  Sim_backend.outcome list
+(** {!run_specs} with memoization: specs whose digest is already in the
+    memo are answered without touching the cache or the worker pool;
+    distinct misses run once (batched, so a generation's whole payoff
+    batch shares one {!eval}-style fan-out) and are recorded. Results are
+    independent of [ctx.jobs], like {!run_specs}. *)
+
 type mix_spec
 (** One homogeneous-RTT CUBIC-vs-other mix — one grid point of a figure,
     before seed expansion. *)

@@ -1,0 +1,193 @@
+type dynamics = Replicator | Best_response | Logit of float
+
+let dynamics_name = function
+  | Replicator -> "replicator"
+  | Best_response -> "best-response"
+  | Logit _ -> "logit"
+
+let default_logit_temperature = 0.1
+
+let dynamics_of_string s =
+  match String.split_on_char ':' s with
+  | [ "replicator" ] -> Ok Replicator
+  | [ "best-response" ] | [ "best_response" ] -> Ok Best_response
+  | [ "logit" ] -> Ok (Logit default_logit_temperature)
+  | [ "logit"; tau ] -> (
+    match float_of_string_opt tau with
+    | Some tau when tau > 0.0 -> Ok (Logit tau)
+    | Some _ | None ->
+      Error (Printf.sprintf "logit temperature must be a positive float: %S" s))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown dynamics %S (expected replicator, best-response, logit or \
+          logit:TAU)"
+         s)
+
+type payoffs = {
+  u_cubic : cls:int -> shares:float array -> float;
+  u_bbr : cls:int -> shares:float array -> float;
+}
+
+(* Normalized advantage of BBR over CUBIC for a tagged flow of the class:
+   (u_bbr - u_cubic) / max(|u_bbr|, |u_cubic|), in [-2, 2]. Payoffs are
+   raw throughputs/utilities of arbitrary scale (bps in the experiments),
+   so every dynamics rate and logit temperature below is defined against
+   this dimensionless advantage rather than the raw payoff gap. *)
+let advantage_of ~ub ~uc =
+  if not (Float.is_finite ub && Float.is_finite uc) then 0.0
+  else
+    let norm = Float.max (Float.abs ub) (Float.abs uc) in
+    if norm > 0.0 then (ub -. uc) /. norm else 0.0
+
+let advantages_into p ~shares ~adv =
+  if Array.length adv <> Array.length shares then
+    invalid_arg "Evolve.advantages_into: length mismatch";
+  Array.iteri
+    (fun g _ ->
+      adv.(g) <-
+        advantage_of
+          ~ub:(p.u_bbr ~cls:g ~shares)
+          ~uc:(p.u_cubic ~cls:g ~shares))
+    shares
+
+let advantages p shares =
+  let adv = Array.make (Array.length shares) 0.0 in
+  advantages_into p ~shares ~adv;
+  adv
+
+(* The per-generation update kernel, kept allocation-free: the payoff
+   evaluation (simulation-backed, inherently allocating) happens upstream
+   in [advantages_into]; this consumes the precomputed advantage array.
+   Registered as a hot path in tool/simlint/hotpaths.sexp and gated by
+   `bench --alloc-gate`. *)
+let step_into dyn ~rate ~adv ~src ~dst =
+  let n = Array.length src in
+  if Array.length dst <> n || Array.length adv <> n then
+    invalid_arg "Evolve.step_into: length mismatch";
+  if rate <= 0.0 || rate > 1.0 then invalid_arg "Evolve.step_into: rate";
+  for g = 0 to n - 1 do
+    let s = src.(g) in
+    let a = adv.(g) in
+    let next =
+      match dyn with
+      | Replicator ->
+        (* ds = rate * s (1 - s) a: extinct strategies never revive, and
+           interior rest points have a = 0 (indifference). *)
+        s +. (rate *. s *. (1.0 -. s) *. a)
+      | Best_response ->
+        (* A [rate] fraction of the class switches to the pure best
+           response each generation; rate 1 is exact best response. *)
+        let target = if a > 0.0 then 1.0 else if a < 0.0 then 0.0 else s in
+        s +. (rate *. (target -. s))
+      | Logit tau ->
+        (* Quantal response: the class drifts toward the logit choice
+           distribution at temperature tau. *)
+        let target = 1.0 /. (1.0 +. exp (-.a /. tau)) in
+        s +. (rate *. (target -. s))
+    in
+    dst.(g) <- Float.max 0.0 (Float.min 1.0 next)
+  done
+
+let step dyn ~rate p shares =
+  let adv = advantages p shares in
+  let dst = Array.make (Array.length shares) 0.0 in
+  step_into dyn ~rate ~adv ~src:shares ~dst;
+  dst
+
+let residual p shares =
+  let r = ref 0.0 in
+  Array.iteri
+    (fun g s ->
+      let a =
+        advantage_of
+          ~ub:(p.u_bbr ~cls:g ~shares)
+          ~uc:(p.u_cubic ~cls:g ~shares)
+      in
+      (* A CUBIC member can profit by a > 0 (only if any CUBIC remains);
+         a BBR member by -a > 0 (only if any BBR exists). *)
+      if s < 1.0 then r := Float.max !r a;
+      if s > 0.0 then r := Float.max !r (-.a))
+    shares;
+  Float.max 0.0 !r
+
+let is_rest ?(epsilon = 0.0) p shares =
+  if epsilon < 0.0 then invalid_arg "Evolve.is_rest: epsilon";
+  residual p shares <= epsilon
+
+type trajectory = {
+  states : float array array;
+  residuals : float array;
+  converged_at : int option;
+  fixated_at : int option;
+}
+
+let fixated ~fix_tol shares =
+  Array.for_all (fun s -> s <= fix_tol || s >= 1.0 -. fix_tol) shares
+
+let run ?(tol = 1e-4) ?(fix_tol = 1e-3) dyn ~rate ~max_generations p ~init =
+  if max_generations < 0 then invalid_arg "Evolve.run: max_generations";
+  Array.iter
+    (fun s ->
+      if not (Float.is_finite s) || s < 0.0 || s > 1.0 then
+        invalid_arg "Evolve.run: init shares must lie in [0, 1]")
+    init;
+  let n = Array.length init in
+  let states = ref [ Array.copy init ] in
+  let residuals = ref [ residual p init ] in
+  let converged_at = ref None in
+  let fixated_at = ref (if fixated ~fix_tol init then Some 0 else None) in
+  let src = Array.copy init and dst = Array.make n 0.0 in
+  let adv = Array.make n 0.0 in
+  let gen = ref 0 in
+  while Option.is_none !converged_at && !gen < max_generations do
+    incr gen;
+    advantages_into p ~shares:src ~adv;
+    step_into dyn ~rate ~adv ~src ~dst;
+    let delta = ref 0.0 in
+    for g = 0 to n - 1 do
+      delta := Float.max !delta (Float.abs (dst.(g) -. src.(g)));
+      src.(g) <- dst.(g)
+    done;
+    states := Array.copy src :: !states;
+    residuals := residual p src :: !residuals;
+    if Option.is_none !fixated_at && fixated ~fix_tol src then
+      fixated_at := Some !gen;
+    if !delta <= tol then converged_at := Some !gen
+  done;
+  {
+    states = Array.of_list (List.rev !states);
+    residuals = Array.of_list (List.rev !residuals);
+    converged_at = !converged_at;
+    fixated_at = !fixated_at;
+  }
+
+let mean_share ~weights shares =
+  if Array.length weights <> Array.length shares then
+    invalid_arg "Evolve.mean_share: length mismatch";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Evolve.mean_share: weights";
+  let acc = ref 0.0 in
+  Array.iteri (fun g w -> acc := !acc +. (w *. shares.(g))) weights;
+  !acc /. total
+
+let counts_of_shares ~sizes shares =
+  if Array.length sizes <> Array.length shares then
+    invalid_arg "Evolve.counts_of_shares: length mismatch";
+  Array.mapi
+    (fun g s ->
+      let size = sizes.(g) in
+      let k = int_of_float (Float.round (s *. float_of_int size)) in
+      max 0 (min size k))
+    shares
+
+let shares_of_counts ~sizes counts =
+  if Array.length sizes <> Array.length counts then
+    invalid_arg "Evolve.shares_of_counts: length mismatch";
+  Array.map2
+    (fun size k ->
+      if size <= 0 then invalid_arg "Evolve.shares_of_counts: sizes";
+      if k < 0 || k > size then
+        invalid_arg "Evolve.shares_of_counts: count out of range";
+      float_of_int k /. float_of_int size)
+    sizes counts

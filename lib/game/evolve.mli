@@ -1,0 +1,127 @@
+(** Evolutionary dynamics over a population of flow classes — the layer
+    that turns the static NE machinery into the paper's actual question:
+    does a population of users migrating CCAs converge to the mixed NE,
+    and how fast?
+
+    The population is partitioned into classes (in the experiments: RTT
+    groups inside one scenario cell); the state is one BBR share per class,
+    each in [0, 1], the complement playing CUBIC. Payoffs follow the
+    tagged-flow convention: [u_bbr ~cls ~shares] is the payoff a single
+    member of class [cls] receives for playing BBR while everyone else
+    follows [shares] (and symmetrically for [u_cubic]) — i.e. both are
+    deviation payoffs at the current state, which makes rest points of the
+    dynamics coincide with the no-profitable-deviation conditions of
+    {!Grouped_game.is_equilibrium} on the rounded counts.
+
+    All dynamics operate on the {e normalized advantage}
+    [a = (u_bbr - u_cubic) / max |u|] per class, so rates and temperatures
+    are dimensionless and independent of the payoff scale (raw payoffs are
+    throughputs in bps). Everything here is pure and deterministic; the
+    simulation-backed payoff evaluation lives in the experiments layer. *)
+
+type dynamics =
+  | Replicator
+      (** ds = rate * s (1 - s) a: proportional imitation; extinct
+          strategies never revive; interior rest points are indifference
+          points. *)
+  | Best_response
+      (** A [rate] fraction of each class switches to the current pure
+          best response each generation; rate 1 is exact best response
+          (which may cycle — see the fig10 non-convergence guard). *)
+  | Logit of float
+      (** Quantal (logit) response with the given temperature: classes
+          drift toward [1 / (1 + exp (-a / tau))]. Rest points are logit
+          equilibria, not exact NE. *)
+
+val dynamics_name : dynamics -> string
+(** ["replicator" | "best-response" | "logit"] (temperature elided). *)
+
+val default_logit_temperature : float
+
+val dynamics_of_string : string -> (dynamics, string) result
+(** Parses ["replicator"], ["best-response"], ["logit"] and ["logit:TAU"]. *)
+
+type payoffs = {
+  u_cubic : cls:int -> shares:float array -> float;
+  u_bbr : cls:int -> shares:float array -> float;
+}
+(** Tagged-flow deviation payoffs (see the module preamble). Non-finite
+    payoffs are treated as zero advantage. *)
+
+(** {1 Stepping} *)
+
+val advantage_of : ub:float -> uc:float -> float
+(** The normalized advantage underlying everything here:
+    [(ub - uc) / max (|ub|, |uc|)], in [-2, 2]; 0 when either payoff is
+    non-finite or both are 0. *)
+
+val advantages : payoffs -> float array -> float array
+(** Normalized advantage per class at the given state, each in [-2, 2]. *)
+
+val advantages_into : payoffs -> shares:float array -> adv:float array -> unit
+(** {!advantages} into a caller-owned array (the payoff-evaluation half of
+    a generation; allocation lives here and in the payoff closures). *)
+
+val step_into :
+  dynamics ->
+  rate:float ->
+  adv:float array ->
+  src:float array ->
+  dst:float array ->
+  unit
+(** One generation given precomputed advantages, writing the clamped next
+    state into [dst]. This is the allocation-free hot kernel (registered
+    in tool/simlint/hotpaths.sexp, gated by [bench --alloc-gate]). [rate]
+    must lie in (0, 1]. [src == dst] is allowed. *)
+
+val step : dynamics -> rate:float -> payoffs -> float array -> float array
+(** [advantages_into] + [step_into], allocating the result. *)
+
+(** {1 Trajectories} *)
+
+type trajectory = {
+  states : float array array;
+      (** Generation-indexed states; [states.(0)] is the initial state. *)
+  residuals : float array;
+      (** Per-generation epsilon-Nash residual (see {!residual}). *)
+  converged_at : int option;
+      (** First generation whose update moved every class by at most
+          [tol]; [None] when the generation cap was hit first. *)
+  fixated_at : int option;
+      (** First generation at which every class is within [fix_tol] of a
+          pure state (0 or 1). *)
+}
+
+val run :
+  ?tol:float ->
+  ?fix_tol:float ->
+  dynamics ->
+  rate:float ->
+  max_generations:int ->
+  payoffs ->
+  init:float array ->
+  trajectory
+(** Iterate until convergence ([tol], default 1e-4 on the max per-class
+    update) or [max_generations]. [fix_tol] (default 1e-3) only affects
+    [fixated_at] reporting. Raises [Invalid_argument] on init shares
+    outside [0, 1]. *)
+
+(** {1 Equilibrium bridge} *)
+
+val residual : payoffs -> float array -> float
+(** The epsilon-Nash residual at a state: the largest positive normalized
+    advantage available to any member able to switch (CUBIC members when
+    the class share is < 1, BBR members when > 0); 0 when no deviation
+    profits. A state is an epsilon-rest point iff [residual <= epsilon]. *)
+
+val is_rest : ?epsilon:float -> payoffs -> float array -> bool
+(** [residual p shares <= epsilon] (default 0). *)
+
+val mean_share : weights:float array -> float array -> float
+(** Population-wide BBR share, classes weighted (by class size). *)
+
+val counts_of_shares : sizes:int array -> float array -> int array
+(** Round shares onto a finite per-class population (clamped). *)
+
+val shares_of_counts : sizes:int array -> int array -> float array
+(** Exact inverse embedding; raises on counts outside [0, sizes]. *)

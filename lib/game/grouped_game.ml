@@ -12,7 +12,7 @@ let is_equilibrium ?(epsilon = 0.0) ~sizes payoffs counts =
   if Array.length sizes <> Array.length counts then
     invalid_arg "Grouped_game.is_equilibrium: length mismatch";
   if epsilon < 0.0 then invalid_arg "Grouped_game.is_equilibrium: epsilon";
-  let no_gain current target = current >= target *. (1.0 -. epsilon) in
+  let no_gain current target = Tolerance.no_gain ~epsilon current target in
   Array.for_all Fun.id
     (Array.mapi
        (fun g k ->

@@ -17,8 +17,9 @@ type payoffs = {
 val is_equilibrium :
   ?epsilon:float -> sizes:int array -> payoffs -> int array -> bool
 (** [sizes.(g)] is the number of flows in group [g]; the candidate is a
-    BBR-count array of the same length. [epsilon] is the relative
-    no-gain tolerance (see {!Symmetric_game.is_equilibrium}). *)
+    BBR-count array of the same length. [epsilon] is the relative no-gain
+    tolerance of {!Tolerance.no_gain} (see
+    {!Symmetric_game.is_equilibrium}). *)
 
 val equilibria :
   ?epsilon:float -> sizes:int array -> payoffs -> int array list

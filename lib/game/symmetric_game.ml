@@ -3,10 +3,7 @@ type payoffs = { u_cubic : int -> float; u_bbr : int -> float }
 let is_equilibrium ?(epsilon = 0.0) ~n payoffs k =
   if k < 0 || k > n then invalid_arg "Symmetric_game.is_equilibrium";
   if epsilon < 0.0 then invalid_arg "Symmetric_game.is_equilibrium: epsilon";
-  let no_gain current target =
-    (* [current >= target] up to a relative tolerance. *)
-    current >= target *. (1.0 -. epsilon)
-  in
+  let no_gain current target = Tolerance.no_gain ~epsilon current target in
   let cubic_stays =
     k = n || no_gain (payoffs.u_cubic k) (payoffs.u_bbr (k + 1))
   in
@@ -19,8 +16,9 @@ let equilibria ?epsilon ~n payoffs =
   List.filter (is_equilibrium ?epsilon ~n payoffs) (List.init (n + 1) Fun.id)
 
 let equilibria_cubic_counts ?epsilon ~n payoffs =
+  (* [equilibria] is increasing in k, so reversing while mapping [n - k]
+     yields increasing CUBIC counts directly — no sort needed. *)
   List.rev_map (fun k -> n - k) (equilibria ?epsilon ~n payoffs)
-  |> List.rev |> List.sort compare
 
 let of_samples ~u_cubic ~u_bbr =
   if Array.length u_cubic <> Array.length u_bbr then

@@ -23,10 +23,11 @@ type payoffs = {
 
 val is_equilibrium : ?epsilon:float -> n:int -> payoffs -> int -> bool
 (** Raises [Invalid_argument] if the distribution is outside [\[0, n\]].
-    [epsilon] (default 0) is a relative tolerance: a deviation must gain
-    more than [epsilon x target] to break the equilibrium — the empirical
-    analogue of the paper's observation that throughput gains are marginal
-    around the NE, so measurement noise produces several neighbouring NE. *)
+    [epsilon] (default 0) is the relative tolerance of {!Tolerance.no_gain}:
+    a deviation must gain more than [epsilon x max |payoff|] to break the
+    equilibrium — the empirical analogue of the paper's observation that
+    throughput gains are marginal around the NE, so measurement noise
+    produces several neighbouring NE. *)
 
 val equilibria : ?epsilon:float -> n:int -> payoffs -> int list
 (** All equilibrium BBR-counts in increasing order. The paper's argument
@@ -35,7 +36,8 @@ val equilibria : ?epsilon:float -> n:int -> payoffs -> int list
     candidates. *)
 
 val equilibria_cubic_counts : ?epsilon:float -> n:int -> payoffs -> int list
-(** {!equilibria} expressed as CUBIC-flow counts (the y-axis of Fig. 9). *)
+(** {!equilibria} expressed as CUBIC-flow counts (the y-axis of Fig. 9),
+    in increasing order. *)
 
 val of_samples : u_cubic:float array -> u_bbr:float array -> payoffs
 (** Build payoffs from measured tables indexed by the BBR count

@@ -1,0 +1,7 @@
+let no_gain ?(epsilon = 0.0) ?(abs_tol = 0.0) current target =
+  if epsilon < 0.0 then invalid_arg "Tolerance.no_gain: epsilon";
+  if abs_tol < 0.0 then invalid_arg "Tolerance.no_gain: abs_tol";
+  let slack =
+    (epsilon *. Float.max (Float.abs current) (Float.abs target)) +. abs_tol
+  in
+  current >= target -. slack

@@ -1,0 +1,26 @@
+(** The one no-gain comparison shared by every equilibrium check.
+
+    A deviation from [current] to [target] "does not gain" when [current]
+    is at least [target] up to a combined relative + absolute slack:
+
+    [current >= target - (epsilon * max |current| |target| + abs_tol)]
+
+    The historical per-module comparison [current >= target * (1 - epsilon)]
+    had two degeneracies this form removes:
+
+    - [target ~ 0]: the relative slack vanished, so the tolerance had no
+      effect at all near zero payoffs (and for [target = 0] exactly, any
+      non-negative [current] passed regardless of [epsilon]). Scaling by
+      [max |current| |target|] keeps the slack meaningful on whichever side
+      of the comparison still has magnitude, and [abs_tol] covers the case
+      where both are ~0.
+    - [target < 0]: [target * (1 - epsilon)] moves {e up}, turning the
+      tolerance into a penalty — [current = target] itself failed the
+      check. Subtracting a non-negative slack keeps the direction right for
+      any sign (utilities such as throughput-minus-delay go negative). *)
+
+val no_gain : ?epsilon:float -> ?abs_tol:float -> float -> float -> bool
+(** [no_gain ~epsilon ~abs_tol current target]. Defaults are 0 (exact
+    comparison). [no_gain current target] is [true] whenever
+    [current >= target], for any tolerances; NaN on either side is [false].
+    Raises [Invalid_argument] on negative tolerances. *)

@@ -1,0 +1,274 @@
+open Ccgame
+
+(* --- dynamics parsing --- *)
+
+let test_dynamics_parse () =
+  Alcotest.(check bool) "replicator" true
+    (Evolve.dynamics_of_string "replicator" = Ok Evolve.Replicator);
+  Alcotest.(check bool) "best-response" true
+    (Evolve.dynamics_of_string "best-response" = Ok Evolve.Best_response);
+  Alcotest.(check bool) "best_response alias" true
+    (Evolve.dynamics_of_string "best_response" = Ok Evolve.Best_response);
+  Alcotest.(check bool) "logit default tau" true
+    (Evolve.dynamics_of_string "logit"
+    = Ok (Evolve.Logit Evolve.default_logit_temperature));
+  Alcotest.(check bool) "logit explicit tau" true
+    (Evolve.dynamics_of_string "logit:0.5" = Ok (Evolve.Logit 0.5));
+  Alcotest.(check bool) "negative tau rejected" true
+    (Result.is_error (Evolve.dynamics_of_string "logit:-1"));
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Evolve.dynamics_of_string "nash"))
+
+(* --- advantage normalization --- *)
+
+let test_advantage_of () =
+  Alcotest.(check (float 1e-9)) "positive" 0.5
+    (Evolve.advantage_of ~ub:2.0 ~uc:1.0);
+  Alcotest.(check (float 1e-9)) "negative" (-0.5)
+    (Evolve.advantage_of ~ub:1.0 ~uc:2.0);
+  Alcotest.(check (float 1e-9)) "nan payoff is zero advantage" 0.0
+    (Evolve.advantage_of ~ub:nan ~uc:1.0);
+  Alcotest.(check (float 1e-9)) "both zero" 0.0
+    (Evolve.advantage_of ~ub:0.0 ~uc:0.0);
+  Alcotest.(check (float 1e-9)) "opposite signs saturate" 2.0
+    (Evolve.advantage_of ~ub:1.0 ~uc:(-1.0))
+
+(* --- counts/shares bridge --- *)
+
+let test_counts_shares_roundtrip () =
+  let sizes = [| 5; 10; 2 |] in
+  let counts = [| 0; 7; 2 |] in
+  Alcotest.(check (array int)) "roundtrip" counts
+    (Evolve.counts_of_shares ~sizes (Evolve.shares_of_counts ~sizes counts));
+  Alcotest.(check (array int)) "rounds to nearest" [| 0; 1 |]
+    (Evolve.counts_of_shares ~sizes:[| 1; 1 |] [| 0.49; 0.51 |]);
+  (match Evolve.shares_of_counts ~sizes:[| 2 |] [| 3 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "count out of range should raise");
+  match Evolve.counts_of_shares ~sizes:[| 2 |] [| 0.5; 0.5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch should raise"
+
+(* --- step kernel --- *)
+
+let step dyn ~rate ~adv ~src =
+  let dst = Array.make (Array.length src) 0.0 in
+  Evolve.step_into dyn ~rate ~adv ~src ~dst;
+  dst
+
+let test_replicator_boundaries_absorb () =
+  (* s (1 - s) kills the update at both boundaries for any advantage. *)
+  let src = [| 0.0; 1.0 |] and adv = [| 2.0; -2.0 |] in
+  Alcotest.(check (array (float 0.0))) "absorbing" [| 0.0; 1.0 |]
+    (step Evolve.Replicator ~rate:1.0 ~adv ~src)
+
+let test_best_response_full_rate_jumps () =
+  let src = [| 0.3; 0.7; 0.4 |] and adv = [| 1.0; -1.0; 0.0 |] in
+  Alcotest.(check (array (float 1e-9))) "pure best response" [| 1.0; 0.0; 0.4 |]
+    (step Evolve.Best_response ~rate:1.0 ~adv ~src)
+
+let test_logit_targets_interior () =
+  (* At temperature tau the target is 1/(1+exp(-a/tau)): strictly interior
+     and increasing in the advantage. *)
+  let src = [| 0.5; 0.5; 0.5 |] and adv = [| 1.0; -1.0; 0.0 |] in
+  let dst = step (Evolve.Logit 0.5) ~rate:1.0 ~adv ~src in
+  Alcotest.(check bool) "ordered" true (dst.(1) < dst.(2) && dst.(2) < dst.(0));
+  Alcotest.(check (float 1e-9)) "zero advantage is indifferent" 0.5 dst.(2);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "interior" true (s > 0.0 && s < 1.0))
+    dst
+
+let test_step_clamps () =
+  (* An out-of-scale advantage cannot push a share outside [0, 1]. *)
+  let dst =
+    step Evolve.Best_response ~rate:1.0 ~adv:[| 2.0; -2.0 |] ~src:[| 0.9; 0.1 |]
+  in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "in range" true (s >= 0.0 && s <= 1.0))
+    dst
+
+let test_step_in_place () =
+  let src = [| 0.2; 0.8 |] and adv = [| 1.0; -0.5 |] in
+  let expected = step Evolve.Replicator ~rate:0.5 ~adv ~src in
+  Evolve.step_into Evolve.Replicator ~rate:0.5 ~adv ~src ~dst:src;
+  Alcotest.(check (array (float 1e-12))) "src == dst allowed" expected src
+
+let test_step_validation () =
+  (match
+     Evolve.step_into Evolve.Replicator ~rate:0.0 ~adv:[| 0.0 |]
+       ~src:[| 0.5 |] ~dst:[| 0.0 |]
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rate 0 should raise");
+  match
+    Evolve.step_into Evolve.Replicator ~rate:0.5 ~adv:[| 0.0 |]
+      ~src:[| 0.5; 0.5 |] ~dst:[| 0.0; 0.0 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "length mismatch should raise"
+
+(* --- trajectories --- *)
+
+let dominant_bbr =
+  {
+    Evolve.u_cubic = (fun ~cls:_ ~shares:_ -> 1.0);
+    u_bbr = (fun ~cls:_ ~shares:_ -> 2.0);
+  }
+
+let test_run_dominant_fixates () =
+  let traj =
+    Evolve.run Evolve.Replicator ~rate:1.0 ~max_generations:200 dominant_bbr
+      ~init:[| 0.5; 0.2 |]
+  in
+  let last = Array.length traj.Evolve.states - 1 in
+  Alcotest.(check bool) "converged" true (Option.is_some traj.Evolve.converged_at);
+  Alcotest.(check bool) "fixated" true (Option.is_some traj.Evolve.fixated_at);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "all BBR" true (s > 0.99))
+    traj.Evolve.states.(last);
+  Alcotest.(check (array (float 0.0))) "states.(0) is init" [| 0.5; 0.2 |]
+    traj.Evolve.states.(0);
+  Alcotest.(check int) "one residual per state" (last + 1)
+    (Array.length traj.Evolve.residuals);
+  (* Replicator only reaches the boundary asymptotically, so the terminal
+     residual still reports the stragglers' switching gain; at the exact
+     all-BBR state only BBR members exist and none gains by leaving. *)
+  Alcotest.(check (float 0.0)) "exact boundary is rest" 0.0
+    (Evolve.residual dominant_bbr [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "straggler gain reported" true
+    (traj.Evolve.residuals.(last) > 0.4)
+
+let test_run_validates_init () =
+  match
+    Evolve.run Evolve.Replicator ~rate:0.5 ~max_generations:10 dominant_bbr
+      ~init:[| 1.5 |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "init outside [0,1] should raise"
+
+let test_mean_share_weighted () =
+  Alcotest.(check (float 1e-9)) "weighted" 0.25
+    (Evolve.mean_share ~weights:[| 3.0; 1.0 |] [| 0.0; 1.0 |])
+
+(* --- the equilibrium bridge property --- *)
+
+(* The driver's construction in miniature: tagged-flow payoffs over the
+   quantized profile, served from a per-class linear payoff table. *)
+let quantized_payoffs ~sizes ~table =
+  let u_of (base, slope) s = base +. (slope *. s) in
+  let tagged ~pick ~boundary ~delta ~cls ~shares =
+    let counts = Evolve.counts_of_shares ~sizes shares in
+    if counts.(cls) = boundary cls then counts.(cls) <- counts.(cls) + delta;
+    let qs = Evolve.shares_of_counts ~sizes counts in
+    u_of (pick table.(cls)) qs.(cls)
+  in
+  {
+    Evolve.u_cubic =
+      (fun ~cls ~shares ->
+        tagged ~pick:fst ~boundary:(fun c -> sizes.(c)) ~delta:(-1) ~cls
+          ~shares);
+    u_bbr =
+      (fun ~cls ~shares -> tagged ~pick:snd ~boundary:(fun _ -> 0) ~delta:1
+          ~cls ~shares);
+  }
+
+let grouped_of_table ~sizes ~table =
+  let u_of (base, slope) s = base +. (slope *. s) in
+  {
+    Grouped_game.u_cubic =
+      (fun ~group ~counts ->
+        u_of (fst table.(group))
+          (Evolve.shares_of_counts ~sizes counts).(group));
+    u_bbr =
+      (fun ~group ~counts ->
+        u_of (snd table.(group))
+          (Evolve.shares_of_counts ~sizes counts).(group));
+  }
+
+(* Rest points of every dynamics on sampled payoff tables are epsilon-Nash
+   for the corresponding finite grouped game: the bridge the evolve
+   experiment's terminal check relies on. Payoff levels in [8, 16] with
+   slopes in [-1, 1] keep the one-flow discretization error well inside
+   the epsilon slack, so the implication is non-vacuous whenever the
+   trajectory actually settles (residual below 0.05 at the terminal
+   state). *)
+let prop_rest_points_are_epsilon_nash =
+  let gen =
+    QCheck.Gen.(
+      array_size (return 2)
+        (quad (float_range 8.0 16.0) (float_range (-1.0) 1.0)
+           (float_range 8.0 16.0)
+           (float_range (-1.0) 1.0)))
+  in
+  QCheck.Test.make ~name:"evolve rest points are epsilon-Nash" ~count:100
+    (QCheck.make gen)
+    (fun raw ->
+      let table =
+        Array.map (fun (cb, cs, bb, bs) -> ((cb, cs), (bb, bs))) raw
+      in
+      let sizes = Array.map (fun _ -> 4) table in
+      let payoffs = quantized_payoffs ~sizes ~table in
+      let grouped = grouped_of_table ~sizes ~table in
+      List.for_all
+        (fun (dyn, rate) ->
+          let traj =
+            Evolve.run dyn ~rate ~max_generations:300 payoffs
+              ~init:(Array.map (fun _ -> 0.5) sizes)
+          in
+          let last = Array.length traj.Evolve.states - 1 in
+          let terminal = traj.Evolve.states.(last) in
+          let counts = Evolve.counts_of_shares ~sizes terminal in
+          (* Judge restness at the quantized profile the grouped check
+             sees, so an asymptotic straggler share does not make the
+             property vacuous. *)
+          let quantized = Evolve.shares_of_counts ~sizes counts in
+          Evolve.residual payoffs quantized > 0.05
+          || Grouped_game.is_equilibrium ~epsilon:0.1 ~sizes grouped counts)
+        [
+          (Evolve.Replicator, 1.0);
+          (Evolve.Best_response, 0.4);
+          (Evolve.Logit 0.1, 0.3);
+        ])
+
+(* Deterministic witness that the property's hypothesis is satisfiable:
+   a dominant-BBR table fixates and the all-BBR profile is epsilon-Nash. *)
+let test_bridge_non_vacuous () =
+  let table = [| ((9.0, 0.5), (12.0, -0.5)); ((9.0, 0.5), (12.0, -0.5)) |] in
+  let sizes = [| 4; 4 |] in
+  let payoffs = quantized_payoffs ~sizes ~table in
+  let traj =
+    Evolve.run Evolve.Best_response ~rate:0.4 ~max_generations:300 payoffs
+      ~init:[| 0.5; 0.5 |]
+  in
+  let last = Array.length traj.Evolve.states - 1 in
+  let counts = Evolve.counts_of_shares ~sizes traj.Evolve.states.(last) in
+  let quantized = Evolve.shares_of_counts ~sizes counts in
+  Alcotest.(check bool) "settled" true
+    (Evolve.residual payoffs quantized <= 0.05);
+  Alcotest.(check bool) "epsilon-Nash" true
+    (Grouped_game.is_equilibrium ~epsilon:0.1 ~sizes
+       (grouped_of_table ~sizes ~table)
+       counts)
+
+let tests =
+  [
+    Alcotest.test_case "dynamics parsing" `Quick test_dynamics_parse;
+    Alcotest.test_case "advantage normalization" `Quick test_advantage_of;
+    Alcotest.test_case "counts/shares roundtrip" `Quick
+      test_counts_shares_roundtrip;
+    Alcotest.test_case "replicator boundaries absorb" `Quick
+      test_replicator_boundaries_absorb;
+    Alcotest.test_case "best-response jumps at rate 1" `Quick
+      test_best_response_full_rate_jumps;
+    Alcotest.test_case "logit targets interior" `Quick
+      test_logit_targets_interior;
+    Alcotest.test_case "step clamps" `Quick test_step_clamps;
+    Alcotest.test_case "step in place" `Quick test_step_in_place;
+    Alcotest.test_case "step validation" `Quick test_step_validation;
+    Alcotest.test_case "dominant table fixates" `Quick
+      test_run_dominant_fixates;
+    Alcotest.test_case "init validation" `Quick test_run_validates_init;
+    Alcotest.test_case "weighted mean share" `Quick test_mean_share_weighted;
+    Alcotest.test_case "bridge non-vacuous" `Quick test_bridge_non_vacuous;
+    QCheck_alcotest.to_alcotest prop_rest_points_are_epsilon_nash;
+  ]

@@ -8,9 +8,9 @@ let test_catalog_complete () =
     (fun id ->
       Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
     [ "table1"; "fig01"; "fig03"; "fig04"; "fig05"; "fig06"; "fig07";
-      "fig08"; "fig09"; "fig10"; "fig11"; "fig12"; "fluidgrid"; "ext-red";
-      "ext-utility"; "ext-short"; "ext-internals"; "ext-2flow" ];
-  Alcotest.(check int) "18 artifacts" 18 (List.length ids);
+      "fig08"; "fig09"; "fig10"; "fig11"; "fig12"; "evolve"; "fluidgrid";
+      "ext-red"; "ext-utility"; "ext-short"; "ext-internals"; "ext-2flow" ];
+  Alcotest.(check int) "19 artifacts" 19 (List.length ids);
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq compare ids))
 
@@ -200,6 +200,107 @@ let test_fig10_threshold_profile () =
   Alcotest.(check (array int)) "all cubic" [| 0; 0; 0 |]
     (Fig10.threshold_profile 30)
 
+(* --- Fig10 best-response convergence flag --- *)
+
+let test_fig10_br_converges_on_dominant () =
+  (* CUBIC dominant in group 0, BBR dominant in group 1: best response
+     walks straight to the threshold profile and reports convergence. *)
+  let payoffs =
+    {
+      Ccgame.Grouped_game.u_cubic =
+        (fun ~group ~counts:_ -> if group = 0 then 10.0 else 1.0);
+      u_bbr = (fun ~group ~counts:_ -> if group = 0 then 1.0 else 10.0);
+    }
+  in
+  let counts, converged =
+    Fig10.best_response_fixpoint ~sizes:[| 2; 2 |] ~payoffs ~start:[| 2; 0 |]
+      ()
+  in
+  Alcotest.(check bool) "converged" true converged;
+  Alcotest.(check (array int)) "threshold NE" [| 0; 2 |] counts
+
+let test_fig10_br_detects_cycle () =
+  (* Matching pennies over two one-flow groups: group 0 wants to match
+     group 1's CCA, group 1 wants to mismatch. Best response chases its
+     tail forever (00 -> 01 -> 11 -> 10 -> 00 ...), which the pre-fix code
+     silently reported as a fixpoint when the step cap fired. *)
+  let payoffs =
+    {
+      Ccgame.Grouped_game.u_cubic =
+        (fun ~group ~counts ->
+          if group = 0 then if counts.(1) = 0 then 1.0 else 0.0
+          else if counts.(0) = 1 then 1.0
+          else 0.0);
+      u_bbr =
+        (fun ~group ~counts ->
+          if group = 0 then if counts.(1) = 1 then 1.0 else 0.0
+          else if counts.(0) = 0 then 1.0
+          else 0.0);
+    }
+  in
+  let counts, converged =
+    Fig10.best_response_fixpoint ~max_steps:40 ~sizes:[| 1; 1 |] ~payoffs
+      ~start:[| 0; 0 |] ()
+  in
+  Alcotest.(check bool) "non-convergence detected" false converged;
+  Array.iter
+    (fun k ->
+      Alcotest.(check bool) "terminal counts in range" true (k >= 0 && k <= 1))
+    counts;
+  (* And no profile of the cycle passes the NE check, so find_ne-style
+     callers must not fall back to the capped terminal. *)
+  Alcotest.(check (list (array int))) "no NE exists" []
+    (Ccgame.Grouped_game.equilibria ~sizes:[| 1; 1 |] payoffs)
+
+(* --- Runs.run_specs_memo --- *)
+
+let test_run_specs_memo_dedupes () =
+  let rtt = Sim_engine.Units.ms 40.0 in
+  let capacity_bps = Sim_engine.Units.mbps 50.0 in
+  let spec cca =
+    Sim_backend.spec ~rate_bps:capacity_bps
+      ~buffer_bytes:
+        (Sim_engine.Units.scale 2.0
+           (Sim_engine.Units.bdp_bytes ~rate_bps:capacity_bps ~rtt))
+      ~duration:(Sim_engine.Units.seconds 10.0)
+      ~warmup:(Sim_engine.Units.seconds 2.0)
+      [ { Sim_backend.cca; rtt } ]
+  in
+  let memo = Runs.memo () in
+  let before = (Sim_engine.Exec.counters ()).jobs_executed in
+  let outcomes =
+    Runs.run_specs_memo ~memo Common.quick Sim_backend.ode
+      [ spec "cubic"; spec "bbr"; spec "cubic" ]
+  in
+  let first_batch = (Sim_engine.Exec.counters ()).jobs_executed - before in
+  Alcotest.(check int) "order-preserving length" 3 (List.length outcomes);
+  Alcotest.(check int) "duplicates run once" 2 first_batch;
+  Alcotest.(check bool) "repeats share the outcome" true
+    (List.nth outcomes 0 = List.nth outcomes 2);
+  let again =
+    Runs.run_specs_memo ~memo Common.quick Sim_backend.ode [ spec "bbr" ]
+  in
+  let second_batch =
+    (Sim_engine.Exec.counters ()).jobs_executed - before - first_batch
+  in
+  Alcotest.(check int) "memo hit runs nothing" 0 second_batch;
+  Alcotest.(check bool) "memo returns the same outcome" true
+    (List.nth outcomes 1 = List.hd again)
+
+(* --- the evolve driver --- *)
+
+let test_adoption_jobs_deterministic () =
+  (* The acceptance property of the sharding design: trajectories are
+     byte-identical for any --jobs. Tiny grid (ODE backend, no packet
+     spot checks, few generations) to keep the two runs fast. *)
+  let table jobs =
+    Common.csv_of_table
+      (Adoption.run_with ~backend:Sim_backend.ode ~spot_checks:0
+         ~max_generations:6
+         (Common.ctx ~jobs Common.Quick))
+  in
+  Alcotest.(check string) "byte-identical across jobs" (table 1) (table 3)
+
 let test_fig12_regimes () =
   Alcotest.(check string) "shallow" "shallow"
     (Fig12.regime_name Ccmodel.Two_flow.Shallow);
@@ -232,5 +333,13 @@ let tests =
     Alcotest.test_case "runs config" `Quick test_runs_config;
     Alcotest.test_case "fig09 helpers" `Quick test_fig09_helpers;
     Alcotest.test_case "fig10 threshold" `Quick test_fig10_threshold_profile;
+    Alcotest.test_case "fig10 BR converges" `Quick
+      test_fig10_br_converges_on_dominant;
+    Alcotest.test_case "fig10 BR cycle detected" `Quick
+      test_fig10_br_detects_cycle;
+    Alcotest.test_case "run_specs_memo dedupes" `Quick
+      test_run_specs_memo_dedupes;
+    Alcotest.test_case "evolve jobs-deterministic" `Quick
+      test_adoption_jobs_deterministic;
     Alcotest.test_case "fig12 regimes" `Quick test_fig12_regimes;
   ]

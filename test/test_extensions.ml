@@ -185,7 +185,7 @@ let test_catalog_has_extensions () =
     [ "ext-red"; "ext-utility"; "ext-short"; "ext-internals"; "ext-2flow" ]
 
 let test_catalog_count () =
-  Alcotest.(check int) "18 artifacts" 18
+  Alcotest.(check int) "19 artifacts" 19
     (List.length (Experiments.Catalog.ids ()))
 
 let tests =

@@ -122,6 +122,77 @@ let test_of_samples () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "length mismatch should raise"
 
+(* --- Tolerance --- *)
+
+let test_tolerance_basic () =
+  Alcotest.(check bool) "equal passes" true
+    (Tolerance.no_gain ~epsilon:0.05 1.0 1.0);
+  Alcotest.(check bool) "within relative slack" true
+    (Tolerance.no_gain ~epsilon:0.05 0.96 1.0);
+  Alcotest.(check bool) "beyond relative slack" false
+    (Tolerance.no_gain ~epsilon:0.05 0.90 1.0);
+  Alcotest.(check bool) "strict by default" false
+    (Tolerance.no_gain 0.999_999 1.0)
+
+let test_tolerance_zero_target () =
+  (* The old relative-only form degenerated at target ~ 0: the slack
+     vanished and any negative noise registered as a profitable
+     deviation. [abs_tol] is the fix. *)
+  Alcotest.(check bool) "relative slack still vanishes at zero" false
+    (Tolerance.no_gain ~epsilon:0.1 (-1e-9) 0.0);
+  Alcotest.(check bool) "abs_tol absorbs noise at zero" true
+    (Tolerance.no_gain ~epsilon:0.1 ~abs_tol:1e-6 (-1e-9) 0.0);
+  Alcotest.(check bool) "abs_tol is a bound, not a blank check" false
+    (Tolerance.no_gain ~epsilon:0.1 ~abs_tol:1e-6 (-1.0) 0.0)
+
+let test_tolerance_negative_target () =
+  (* The old form's [target *. (1 -. epsilon)] moved the threshold the
+     wrong way for negative targets: even [current = target] failed. The
+     magnitude-based slack keeps the direction right. *)
+  Alcotest.(check bool) "equal negative payoffs pass" true
+    (Tolerance.no_gain ~epsilon:0.05 (-10.0) (-10.0));
+  Alcotest.(check bool) "slightly below within slack" true
+    (Tolerance.no_gain ~epsilon:0.05 (-10.4) (-10.0));
+  Alcotest.(check bool) "well below fails" false
+    (Tolerance.no_gain ~epsilon:0.05 (-12.0) (-10.0))
+
+let test_tolerance_always_passes_when_no_gain () =
+  List.iter
+    (fun (current, target) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%g vs %g" current target)
+        true
+        (Tolerance.no_gain current target))
+    [ (1.0, 1.0); (0.0, 0.0); (-5.0, -5.0); (3.0, 2.0); (-1.0, -2.0) ]
+
+let test_tolerance_nan_fails () =
+  (* NaN payoffs (empty-group means) must read as "cannot certify". *)
+  Alcotest.(check bool) "nan current" false
+    (Tolerance.no_gain ~epsilon:0.1 nan 1.0);
+  Alcotest.(check bool) "nan target" false
+    (Tolerance.no_gain ~epsilon:0.1 1.0 nan)
+
+let test_tolerance_validation () =
+  match Tolerance.no_gain ~epsilon:(-0.1) 1.0 1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative epsilon should raise"
+
+let test_cubic_counts_ordering () =
+  (* Contract locked by the rev_map simplification: increasing CUBIC
+     counts, one per equilibrium. Widen epsilon so several NE exist and
+     the ordering claim is non-trivial. *)
+  let counts =
+    Symmetric_game.equilibria_cubic_counts ~epsilon:0.3 ~n:10 paper_like
+  in
+  Alcotest.(check bool) "several NE" true (List.length counts > 1);
+  Alcotest.(check (list int)) "increasing order" (List.sort compare counts)
+    counts;
+  Alcotest.(check (list int)) "complements of the BBR counts"
+    (List.sort compare
+       (List.map (fun k -> 10 - k)
+          (Symmetric_game.equilibria ~epsilon:0.3 ~n:10 paper_like)))
+    counts
+
 (* --- Grouped_game --- *)
 
 (* Two groups of 2; BBR always better in group 1, CUBIC always better in
@@ -186,6 +257,17 @@ let tests =
     Alcotest.test_case "epsilon widens" `Quick test_symmetric_epsilon_widens;
     Alcotest.test_case "symmetric validation" `Quick test_symmetric_validation;
     Alcotest.test_case "of_samples" `Quick test_of_samples;
+    Alcotest.test_case "tolerance basic" `Quick test_tolerance_basic;
+    Alcotest.test_case "tolerance zero target" `Quick
+      test_tolerance_zero_target;
+    Alcotest.test_case "tolerance negative target" `Quick
+      test_tolerance_negative_target;
+    Alcotest.test_case "tolerance no-gain passes" `Quick
+      test_tolerance_always_passes_when_no_gain;
+    Alcotest.test_case "tolerance nan" `Quick test_tolerance_nan_fails;
+    Alcotest.test_case "tolerance validation" `Quick test_tolerance_validation;
+    Alcotest.test_case "cubic counts ordering" `Quick
+      test_cubic_counts_ordering;
     Alcotest.test_case "grouped NE" `Quick test_grouped_ne;
     Alcotest.test_case "grouped is_equilibrium" `Quick
       test_grouped_is_equilibrium;

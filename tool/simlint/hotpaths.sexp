@@ -40,7 +40,9 @@
    Fluid_sim.apply_losses
    Fluid_sim.compute_rates
    Fluid_sim.account
-   Fluid_sim.solve_step))
+   Fluid_sim.solve_step
+   ; Adoption-dynamics generation kernel.
+   Evolve.step_into))
 
  (spawn_apis (Domain.spawn Exec.map Exec.map_list))
 
