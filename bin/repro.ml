@@ -17,8 +17,8 @@
                   [--generations N] [--spot-checks N] [--out results/]
 *)
 
-let ctx_of ~full ~jobs ~cache_dir ~trace_dir =
-  Experiments.Common.ctx ~jobs ?cache_dir ?trace_dir
+let ctx_of ~full ~jobs ~batch ~cache_dir ~trace_dir =
+  Experiments.Common.ctx ~jobs ~batch ?cache_dir ?trace_dir
     (if full then Experiments.Common.Full else Experiments.Common.Quick)
 
 (* Aggregate the .metrics sidecars a traced entry produced into one
@@ -109,10 +109,13 @@ let run_entry ~out entry (ctx : Experiments.Common.ctx) =
     if new_metrics <> [] then
       Format.printf "%s trace: %s@." entry.id (trace_summary ~dir new_metrics)
   | _ -> ());
-  Format.printf "(%s took %.1f s; %d simulated, %d cache hits)@.@." entry.id
+  let evictions = after.memo_evictions - before.memo_evictions in
+  Format.printf "(%s took %.1f s; %d simulated, %d cache hits%s)@.@." entry.id
     (Unix.gettimeofday () -. t0 (* simlint: allow R1 *))
     (after.jobs_executed - before.jobs_executed)
     (after.cache_hits - before.cache_hits)
+    (if evictions = 0 then ""
+     else Printf.sprintf ", %d memo evictions" evictions)
 
 open Cmdliner
 
@@ -124,24 +127,33 @@ let out_arg =
   let doc = "Also write each table as CSV into $(docv)." in
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
 
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok _ -> Error (`Msg "must be >= 1")
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
 let jobs_arg =
   let doc =
     "Worker domains for simulation batches (default: the machine's \
      recommended domain count)."
   in
-  let positive_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 1 -> Ok n
-      | Ok _ -> Error (`Msg "must be >= 1")
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
-  in
   Arg.(
     value
     & opt positive_int (Sim_engine.Exec.domain_count ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc =
+    "Specs per batched analytic-backend call when dispatching grid cache \
+     misses ($(b,1) disables batching). Outcomes are byte-identical for \
+     every value; this only trades throughput against sharding \
+     granularity."
+  in
+  Arg.(value & opt positive_int 8 & info [ "batch" ] ~docv:"N" ~doc)
 
 let cache_arg =
   let doc =
@@ -173,19 +185,19 @@ let run_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run id full out jobs cache_dir trace_dir =
+  let run id full out jobs batch cache_dir trace_dir =
     match Experiments.Catalog.find id with
     | None ->
       Format.eprintf "unknown experiment %S; try: %s@." id
         (String.concat ", " (Experiments.Catalog.ids ()));
       exit 1
     | Some entry ->
-      run_entry ~out entry (ctx_of ~full ~jobs ~cache_dir ~trace_dir)
+      run_entry ~out entry (ctx_of ~full ~jobs ~batch ~cache_dir ~trace_dir)
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ id_arg $ full_arg $ out_arg $ jobs_arg $ cache_arg
-      $ trace_arg)
+      const run $ id_arg $ full_arg $ out_arg $ jobs_arg $ batch_arg
+      $ cache_arg $ trace_arg)
 
 let model_cmd =
   let doc =
@@ -228,13 +240,14 @@ let model_cmd =
 
 let all_cmd =
   let doc = "Run every experiment in paper order." in
-  let run full out jobs cache_dir trace_dir =
-    let ctx = ctx_of ~full ~jobs ~cache_dir ~trace_dir in
+  let run full out jobs batch cache_dir trace_dir =
+    let ctx = ctx_of ~full ~jobs ~batch ~cache_dir ~trace_dir in
     List.iter (fun entry -> run_entry ~out entry ctx) Experiments.Catalog.all
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ full_arg $ out_arg $ jobs_arg $ cache_arg $ trace_arg)
+      const run $ full_arg $ out_arg $ jobs_arg $ batch_arg $ cache_arg
+      $ trace_arg)
 
 (* --- correctness tooling: fuzz + replay ------------------------------- *)
 
@@ -506,7 +519,10 @@ let compare_cmd =
     let failed = ref false in
     List.iter
       (fun b ->
-        match Sim_backend.run b spec with
+        (* Through the batched entry point (a batch of one is exactly
+           [run]): compare doubles as an end-to-end smoke of the path
+           the grid drivers dispatch on. *)
+        match (Sim_backend.run_batch b [| spec |]).(0) with
         | Error e ->
           failed := true;
           Format.printf "%-8s %a@." (Sim_backend.name b) Sim_backend.pp_error e
@@ -588,9 +604,9 @@ let evolve_cmd =
             "Packet-level sign checks per trajectory; 0 disables (default: \
              1 quick / 2 full).")
   in
-  let run full out jobs cache_dir dynamics backend seed max_generations
+  let run full out jobs batch cache_dir dynamics backend seed max_generations
       spot_checks =
-    let ctx = ctx_of ~full ~jobs ~cache_dir ~trace_dir:None in
+    let ctx = ctx_of ~full ~jobs ~batch ~cache_dir ~trace_dir:None in
     let dynamics = if dynamics = [] then None else Some dynamics in
     let entry =
       {
@@ -605,8 +621,9 @@ let evolve_cmd =
   in
   Cmd.v (Cmd.info "evolve" ~doc)
     Term.(
-      const run $ full_arg $ out_arg $ jobs_arg $ cache_arg $ dynamics_arg
-      $ evolve_backend_arg $ seed_arg $ generations_arg $ spot_arg)
+      const run $ full_arg $ out_arg $ jobs_arg $ batch_arg $ cache_arg
+      $ dynamics_arg $ evolve_backend_arg $ seed_arg $ generations_arg
+      $ spot_arg)
 
 let main_cmd =
   let doc =

@@ -48,11 +48,36 @@ module type S = sig
   val validate : spec -> (unit, error) result
   val digest : spec -> string
   val run : spec -> (outcome, error) result
+  val run_batch : spec array -> (outcome, error) result array
 end
 
 type t = (module S)
 
 let ( let* ) = Result.bind
+
+(* Shared batched-dispatch shape for backends with a native batch
+   entry point: validate every spec, run the valid ones through one
+   [run_valid] call, and scatter outcomes back into spec order. The
+   per-spec results are position-independent — an invalid spec never
+   perturbs its neighbours. *)
+let batch_via ~validate ~run_valid specs =
+  let n = Array.length specs in
+  let checked = Array.map validate specs in
+  let ok = ref [] in
+  for i = n - 1 downto 0 do
+    if Result.is_ok checked.(i) then ok := i :: !ok
+  done;
+  let ok = Array.of_list !ok in
+  let outcomes = run_valid (Array.map (fun i -> specs.(i)) ok) in
+  let results =
+    Array.map
+      (function
+        | Ok () -> Error (Invalid_spec "unreachable: overwritten below")
+        | Error e -> Error e)
+      checked
+  in
+  Array.iteri (fun k i -> results.(i) <- Ok outcomes.(k)) ok;
+  results
 
 (* Backend-independent sanity of a spec. *)
 let validate_shape s =
@@ -138,6 +163,11 @@ module Packet = struct
         loss_events = r.E.drops;
         utilization = r.E.utilization;
       }
+
+  (* The packet engine has no batched stepper (each run is one event
+     loop over mutable per-connection state); the sequential fallback
+     keeps the API uniform. *)
+  let run_batch specs = Array.map run specs
 end
 
 (* --- Fluid backend -------------------------------------------------- *)
@@ -166,21 +196,29 @@ module Fluid = struct
     let* () = validate_shape s in
     validate_ccas ~backend:name ~supports ~supported:F.supported_ccas s
 
-  let digest s = canonical ~version:"fluid-soa-1" s
+  (* "-soa-2": the batched SoA kernel (DESIGN.md §15) folded the step
+     loop into one fused pass; queue-time and estimator sampling moved
+     by at most one step, shifting outcomes in the last ulp. *)
+  let digest s = canonical ~version:"fluid-soa-2" s
 
-  let run s =
-    let* () = validate s in
-    let r = F.run (to_config s) in
+  let outcome_of s (r : F.result) =
     let total = Array.fold_left ( +. ) 0.0 r.F.per_flow_bps in
-    Ok
-      {
-        per_flow_bps = r.F.per_flow_bps;
-        per_flow_cca = Array.map F.cca_of_kind r.F.flow_kinds;
-        mean_queue_bytes = r.F.mean_queue_bytes;
-        mean_queuing_delay = r.F.mean_queuing_delay;
-        loss_events = r.F.loss_events;
-        utilization = total /. Sim_engine.Units.Raw.to_float s.rate_bps;
-      }
+    {
+      per_flow_bps = r.F.per_flow_bps;
+      per_flow_cca = Array.map F.cca_of_kind r.F.flow_kinds;
+      mean_queue_bytes = r.F.mean_queue_bytes;
+      mean_queuing_delay = r.F.mean_queuing_delay;
+      loss_events = r.F.loss_events;
+      utilization = total /. Sim_engine.Units.Raw.to_float s.rate_bps;
+    }
+
+  let run_batch specs =
+    batch_via ~validate
+      ~run_valid:(fun valid ->
+        Array.map2 outcome_of valid (F.run_batch (Array.map to_config valid)))
+      specs
+
+  let run s = (run_batch [| s |]).(0)
 end
 
 (* --- ODE backend ---------------------------------------------------- *)
@@ -210,23 +248,30 @@ module Ode = struct
     validate_ccas ~backend:name ~supports ~supported:F.supported_ccas s
 
   (* The ODE model is deterministic: the seed deliberately does not
-     participate, so runs differing only by seed share a cache entry. *)
-  let digest s = canonical ~version:"ode-rk4-1" { s with seed = 0 }
+     participate, so runs differing only by seed share a cache entry.
+     "-rk4-2": the batched stepper (DESIGN.md §15) caches the shared
+     stage-1 derivative and evaluates CUBIC's x^(2/3) as a squared cube
+     root, shifting trajectories in the last ulp. *)
+  let digest s = canonical ~version:"ode-rk4-2" { s with seed = 0 }
 
-  let run s =
-    let* () = validate s in
-    let r = O.run (to_config s) in
+  let outcome_of s (r : O.result) =
     let total = Array.fold_left ( +. ) 0.0 r.O.per_flow_bps in
-    Ok
-      {
-        per_flow_bps = r.O.per_flow_bps;
-        per_flow_cca = Array.map F.cca_of_kind r.O.flow_kinds;
-        mean_queue_bytes = r.O.mean_queue_bytes;
-        mean_queuing_delay = r.O.mean_queuing_delay;
-        loss_events =
-          int_of_float (Float.round r.O.expected_backoffs);
-        utilization = total /. Sim_engine.Units.Raw.to_float s.rate_bps;
-      }
+    {
+      per_flow_bps = r.O.per_flow_bps;
+      per_flow_cca = Array.map F.cca_of_kind r.O.flow_kinds;
+      mean_queue_bytes = r.O.mean_queue_bytes;
+      mean_queuing_delay = r.O.mean_queuing_delay;
+      loss_events = int_of_float (Float.round r.O.expected_backoffs);
+      utilization = total /. Sim_engine.Units.Raw.to_float s.rate_bps;
+    }
+
+  let run_batch specs =
+    batch_via ~validate
+      ~run_valid:(fun valid ->
+        Array.map2 outcome_of valid (O.run_batch (Array.map to_config valid)))
+      specs
+
+  let run s = (run_batch [| s |]).(0)
 end
 
 let packet : t = (module Packet)
@@ -266,11 +311,24 @@ let validate (b : t) s =
   let module B = (val b) in
   B.validate s
 
+let run_batch (b : t) specs =
+  let module B = (val b) in
+  B.run_batch specs
+
 let run_exn b s =
   match run b s with
   | Ok o -> o
   | Error e ->
     invalid_arg (Format.asprintf "Sim_backend %s: %a" (name b) pp_error e)
+
+let run_batch_exn b specs =
+  Array.map
+    (function
+      | Ok o -> o
+      | Error e ->
+        invalid_arg
+          (Format.asprintf "Sim_backend %s: %a" (name b) pp_error e))
+    (run_batch b specs)
 
 let mean_bps_of_cca o cca =
   let sum = ref 0.0 and count = ref 0 in

@@ -5,18 +5,27 @@
    batch of runs can be farmed out to domains in any order and the results
    keyed on disk by a digest of the config. *)
 
-type counters = { jobs_executed : int; cache_hits : int; cache_misses : int }
+type counters = {
+  jobs_executed : int;
+  cache_hits : int;
+  cache_misses : int;
+  memo_evictions : int;
+}
 
 let jobs_executed = Atomic.make 0
 let hits = Atomic.make 0
 let misses = Atomic.make 0
+let memo_evictions = Atomic.make 0
 
 let counters () =
   {
     jobs_executed = Atomic.get jobs_executed;
     cache_hits = Atomic.get hits;
     cache_misses = Atomic.get misses;
+    memo_evictions = Atomic.get memo_evictions;
   }
+
+let note_memo_eviction () = Atomic.incr memo_evictions
 
 let domain_count () = Domain.recommended_domain_count ()
 

@@ -24,11 +24,17 @@ type counters = {
   jobs_executed : int;  (** Jobs evaluated by {!map} since process start. *)
   cache_hits : int;  (** {!Cache.find} calls answered from disk. *)
   cache_misses : int;  (** {!Cache.find} calls that fell through. *)
+  memo_evictions : int;
+      (** Entries displaced from capped in-memory memo layers
+          ({!note_memo_eviction} calls — see [Runs.run_specs_memo]). *)
 }
 
 val counters : unit -> counters
 (** Process-wide monotonic counters; take a snapshot before and after a
     batch and subtract to report per-batch work (as [bin/repro] does). *)
+
+val note_memo_eviction : unit -> unit
+(** Count one memo eviction (atomic; callable from worker domains). *)
 
 (** Content-addressed result store: values are marshalled under the MD5 of
     a caller-chosen key string (for experiments, the marshalled config).

@@ -3,13 +3,15 @@ type mode = Quick | Full
 type ctx = {
   mode : mode;
   jobs : int;
+  batch : int;
   cache_dir : string option;
   trace_dir : string option;
 }
 
-let ctx ?(jobs = 1) ?cache_dir ?trace_dir mode =
+let ctx ?(jobs = 1) ?(batch = 8) ?cache_dir ?trace_dir mode =
   if jobs < 1 then invalid_arg "Common.ctx: jobs must be >= 1";
-  { mode; jobs; cache_dir; trace_dir }
+  if batch < 1 then invalid_arg "Common.ctx: batch must be >= 1";
+  { mode; jobs; batch; cache_dir; trace_dir }
 
 let quick = ctx Quick
 

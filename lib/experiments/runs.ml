@@ -114,14 +114,78 @@ let eval (ctx : Common.ctx) configs =
       to_run computed;
     List.map (fun (key, _) -> Hashtbl.find known key) keyed)
 
+(* Batched dispatch of backend specs: group by shape (flow count ×
+   horizon — specs a backend's SoA stepper advances over the same step
+   grid), cut each group into [ctx.batch]-sized chunks, and evaluate
+   chunks across the worker pool through {!Sim_backend.run_batch}. The
+   shard unit is the chunk, so parallelism composes with batching.
+
+   Grouping and chunking are a pure scheduling choice: [run_batch] is
+   byte-identical to sequential evaluation per spec, so outcomes do not
+   depend on [ctx.batch], [ctx.jobs], or which specs share a chunk.
+   Groups keep first-appearance order and chunks preserve input order
+   within a group, so chunk composition itself is deterministic too. *)
+let dispatch_specs (ctx : Common.ctx) backend (specs : Sim_backend.spec array)
+    =
+  let n = Array.length specs in
+  let shape_order = ref [] in
+  let groups : (int * float, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (s : Sim_backend.spec) ->
+      let shape =
+        ( List.length s.flows,
+          Sim_engine.Units.Raw.to_float s.duration )
+      in
+      match Hashtbl.find_opt groups shape with
+      | Some members -> members := i :: !members
+      | None ->
+        Hashtbl.add groups shape (ref [ i ]);
+        shape_order := shape :: !shape_order)
+    specs;
+  let chunk_size = max 1 ctx.batch in
+  let rec chunks = function
+    | [] -> []
+    | idxs ->
+      let rec take k = function
+        | rest when k = 0 -> ([], rest)
+        | [] -> ([], [])
+        | i :: rest ->
+          let taken, dropped = take (k - 1) rest in
+          (i :: taken, dropped)
+      in
+      let c, rest = take chunk_size idxs in
+      c :: chunks rest
+  in
+  let work =
+    List.concat_map
+      (fun shape -> chunks (List.rev !(Hashtbl.find groups shape)))
+      (List.rev !shape_order)
+  in
+  let computed =
+    Sim_engine.Exec.map_list ~jobs:ctx.jobs
+      (fun idxs ->
+        Sim_backend.run_batch_exn backend
+          (Array.of_list (List.map (fun i -> specs.(i)) idxs)))
+      work
+  in
+  let results = Array.make n None in
+  List.iter2
+    (fun idxs outcomes ->
+      List.iteri (fun k i -> results.(i) <- Some outcomes.(k)) idxs)
+    work computed;
+  Array.map
+    (function Some o -> o | None -> assert false (* every index chunked *))
+    results
+
 (* [eval]'s cache discipline for the backend-neutral API: one lookup and
-   at most one run per distinct (backend, spec) digest, misses fanned out
-   over the ctx's worker pool. Analytic backends have no event stream, so
+   at most one run per distinct (backend, spec) digest, misses grouped by
+   shape and dispatched through the backend's batched entry point over
+   the ctx's worker pool. Analytic backends have no event stream, so
    [trace_dir] does not apply here. *)
 let run_specs (ctx : Common.ctx) backend specs =
-  let run_one s = Sim_backend.run_exn backend s in
   match ctx.cache_dir with
-  | None -> Sim_engine.Exec.map_list ~jobs:ctx.jobs run_one specs
+  | None ->
+    Array.to_list (dispatch_specs ctx backend (Array.of_list specs))
   | Some dir ->
     let cache = Sim_engine.Exec.Cache.create dir in
     let keyed = List.map (fun s -> (Sim_backend.digest backend s, s)) specs in
@@ -142,18 +206,60 @@ let run_specs (ctx : Common.ctx) backend specs =
         keyed
     in
     let computed =
-      Sim_engine.Exec.map_list ~jobs:ctx.jobs (fun (_, s) -> run_one s) to_run
+      dispatch_specs ctx backend (Array.of_list (List.map snd to_run))
     in
-    List.iter2
-      (fun (key, _) outcome ->
+    List.iteri
+      (fun i (key, _) ->
+        let outcome = computed.(i) in
         Sim_engine.Exec.Cache.store cache ~key outcome;
         Hashtbl.replace known key outcome)
-      to_run computed;
+      to_run;
     List.map (fun (key, _) -> Hashtbl.find known key) keyed
 
-type memo = (string, Sim_backend.outcome) Hashtbl.t
+(* A capped memo: outcomes keyed by digest, stamped with a logical access
+   tick. When full, the least-recently-used entry is evicted (an O(cap)
+   scan — vanishingly cheap next to the simulation run an insertion just
+   paid for) and counted via {!Sim_engine.Exec.note_memo_eviction}.
+   Eviction order is deterministic: ticks are unique, so the minimum is
+   unambiguous; and since a re-run of an evicted digest reproduces the
+   same outcome, results never depend on the cap at all. *)
+type memo = {
+  table : (string, Sim_backend.outcome * int ref) Hashtbl.t;
+  cap : int;
+  tick : int ref;
+}
 
-let memo () : memo = Hashtbl.create 64
+let memo ?(cap = 4096) () : memo =
+  if cap < 1 then invalid_arg "Runs.memo: cap must be >= 1";
+  { table = Hashtbl.create 64; cap; tick = ref 0 }
+
+let memo_find memo key =
+  match Hashtbl.find_opt memo.table key with
+  | None -> None
+  | Some (outcome, stamp) ->
+    incr memo.tick;
+    stamp := !(memo.tick);
+    Some outcome
+
+let memo_add memo key outcome =
+  if Hashtbl.length memo.table >= memo.cap then begin
+    let victim = ref None in
+    (* Stamps are unique (one monotonic tick per touch), so the min-stamp
+       victim is order-independent. *)
+    Hashtbl.iter (* simlint: allow R1 *)
+      (fun k (_, stamp) ->
+        match !victim with
+        | Some (_, best) when best <= !stamp -> ()
+        | _ -> victim := Some (k, !stamp))
+      memo.table;
+    match !victim with
+    | Some (k, _) ->
+      Hashtbl.remove memo.table k;
+      Sim_engine.Exec.note_memo_eviction ()
+    | None -> ()
+  end;
+  incr memo.tick;
+  Hashtbl.replace memo.table key (outcome, ref !(memo.tick))
 
 (* An in-memory layer over [run_specs] for adaptive drivers (the evolve
    loop) that revisit the same profile across generations: one digest
@@ -162,22 +268,29 @@ let memo () : memo = Hashtbl.create 64
    results. *)
 let run_specs_memo ~memo (ctx : Common.ctx) backend specs =
   let keyed = List.map (fun s -> (Sim_backend.digest backend s, s)) specs in
+  let found = Hashtbl.create 16 in
   let pending = Hashtbl.create 16 in
   let to_run =
     List.filter
       (fun (key, _) ->
-        if Hashtbl.mem memo key || Hashtbl.mem pending key then false
-        else begin
-          Hashtbl.add pending key ();
-          true
-        end)
+        if Hashtbl.mem found key || Hashtbl.mem pending key then false
+        else
+          match memo_find memo key with
+          | Some outcome ->
+            Hashtbl.add found key outcome;
+            false
+          | None ->
+            Hashtbl.add pending key ();
+            true)
       keyed
   in
   let computed = run_specs ctx backend (List.map snd to_run) in
   List.iter2
-    (fun (key, _) outcome -> Hashtbl.replace memo key outcome)
+    (fun (key, _) outcome ->
+      memo_add memo key outcome;
+      Hashtbl.replace found key outcome)
     to_run computed;
-  List.map (fun (key, _) -> Hashtbl.find memo key) keyed
+  List.map (fun (key, _) -> Hashtbl.find found key) keyed
 
 type mix_spec = {
   spec_duration : Sim_engine.Units.seconds option;

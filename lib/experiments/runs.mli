@@ -40,8 +40,13 @@ val run_specs :
 (** {!eval}'s backend-neutral sibling: run every spec on the given backend,
     in order, with the same cache discipline — outcomes are keyed by
     {!Sim_backend.digest} (which includes the backend's version token), so
-    the packet, fluid and ODE backends never share entries. Misses run on
-    [ctx.jobs] worker domains. [ctx.trace_dir] does not apply: analytic
+    the packet, fluid and ODE backends never share entries. Misses are
+    grouped by shape (flow count × duration), cut into [ctx.batch]-sized
+    chunks, and dispatched through {!Sim_backend.run_batch} with one
+    chunk per worker-pool job — the analytic backends advance each chunk
+    through one batched integrator pass. Outcomes are byte-identical
+    across [ctx.jobs] and [ctx.batch] settings (batched evaluation is
+    exact, see DESIGN.md §15). [ctx.trace_dir] does not apply: analytic
     backends emit no event stream. Raises [Invalid_argument] when the
     backend rejects a spec (unsupported CCA, malformed spec). *)
 
@@ -50,10 +55,15 @@ type memo
     front of {!run_specs}'s disk cache for adaptive drivers whose payoff
     queries revisit the same profile many times per process (the evolve
     generation loop: late generations are quantized onto a few profiles).
-    One memo per driver unit of work — memos are not domain-safe, so keep
-    each inside the worker that owns it. *)
+    Bounded: at most [cap] entries, evicting least-recently-used (each
+    eviction bumps {!Sim_engine.Exec.counters}' [memo_evictions]);
+    results never depend on the cap, only the hit rate does. One memo
+    per driver unit of work — memos are not domain-safe, so keep each
+    inside the worker that owns it. *)
 
-val memo : unit -> memo
+val memo : ?cap:int -> unit -> memo
+(** [cap] defaults to 4096 outcomes. Raises [Invalid_argument] when
+    [cap < 1]. *)
 
 val run_specs_memo :
   memo:memo ->

@@ -10,23 +10,32 @@
     data [wᵢ] is spread over its inflated round trip, and the queue length
     is whatever makes the arrival rate match the capacity. This module
     solves that equation over bare float arrays so the per-step inner loops
-    of both backends allocate nothing. *)
+    of both backends allocate nothing.
+
+    The [base] offset lets batched callers, whose per-flow arrays
+    concatenate many specs' flows, solve the slice
+    [w.(base) .. w.(base + n - 1)] in place; single-spec callers pass
+    [~base:0]. [base] is a required (not optional) argument so no call
+    site boxes a [Some] per solve on the per-step hot path. *)
 
 val offered :
+  base:int ->
   capacity:float -> w:float array -> rtt:float array -> n:int -> q:float ->
   float
-(** [offered ~capacity ~w ~rtt ~n ~q] is [Σᵢ wᵢ/(rttᵢ + q/capacity)] over
-    the first [n] entries — the aggregate arrival rate (bytes/s) at queue
-    length [q] (bytes). *)
+(** [offered ~base ~capacity ~w ~rtt ~n ~q] is [Σᵢ wᵢ/(rttᵢ + q/capacity)]
+    over the [n] entries starting at [base] — the aggregate arrival rate
+    (bytes/s) at queue length [q] (bytes). *)
 
 val solve :
+  base:int ->
   capacity:float -> w:float array -> rtt:float array -> n:int ->
-  init:float -> float
+  init:float ->
+  float
 (** The unconstrained fixed point [q* >= 0] (bytes). [init] is a warm-start
     guess (pass the previous step's solution, or [0.]); the solver is a
     safeguarded Newton iteration on the convex decreasing residual
     [offered q - capacity], so a warm start from a nearby solution
     converges in a couple of iterations. Allocation-free.
 
-    When every [rtt.(i)] is equal the fixed point is closed-form
-    ([Σ w - C·rtt]) and [init] is ignored. *)
+    When every [rtt.(i)] in the slice is equal the fixed point is
+    closed-form ([Σ w - C·rtt]) and [init] is ignored. *)

@@ -1,0 +1,268 @@
+(* Batched-vs-sequential parity for {!Sim_backend.run_batch}.
+
+   The batched steppers (DESIGN.md §15) promise [run_batch specs =
+   Array.map run specs] down to the byte. These tests hold every backend
+   to that — including the packet backend's sequential fallback — and
+   then to the two structural invariances that make shape-grouped
+   dispatch in {!Runs.run_specs} safe: permuting a batch permutes the
+   outcomes, and splitting a batch at any boundary changes nothing.
+
+   Also here: the LRU memo behind {!Runs.run_specs_memo} (bounded cap,
+   eviction counter, cap-independent results). *)
+
+open Experiments
+module Units = Sim_engine.Units
+module B = Sim_backend
+
+let mk_spec ?warmup ~mbps ~rtt_ms ~buffer_bdp ~duration ~seed ccas =
+  let rate_bps = Units.mbps mbps in
+  let rtt = Units.ms rtt_ms in
+  B.spec ?warmup ~seed ~rate_bps
+    ~buffer_bytes:(Units.scale buffer_bdp (Units.bdp_bytes ~rate_bps ~rtt))
+    ~duration:(Units.seconds duration)
+    (List.map (fun cca -> { B.cca; rtt }) ccas)
+
+(* Byte-level equality is the contract under test, so these tests marshal
+   directly rather than through the Exec cache. *)
+let bytes v = Marshal.to_string v [] (* simlint: allow R2 *)
+
+(* The differential-grid cells, scaled per backend: the analytic pair
+   reuses the calibrated 2-flow cells, the packet simulator gets short
+   horizons so the sequential fallback stays cheap. *)
+let grid_specs backend =
+  let duration, warmup =
+    if String.equal (B.name backend) "packet" then (5.0, Units.seconds 1.0)
+    else (20.0, Units.seconds 5.0)
+  in
+  let singles =
+    List.map
+      (fun cca ->
+        mk_spec ~warmup ~mbps:50.0 ~rtt_ms:40.0 ~buffer_bdp:1.0 ~duration
+          ~seed:1 [ cca ])
+      Fluidsim.Fluid_sim.supported_ccas
+  in
+  let pairs =
+    List.concat_map
+      (fun buffer_bdp ->
+        List.map
+          (fun ccas ->
+            mk_spec ~warmup ~mbps:100.0 ~rtt_ms:40.0 ~buffer_bdp ~duration
+              ~seed:1 ccas)
+          [ [ "cubic"; "bbr" ]; [ "cubic"; "bbr2" ] ])
+      [ 1.0; 10.0 ]
+  in
+  Array.of_list (singles @ pairs)
+
+let test_grid_parity () =
+  List.iter
+    (fun backend ->
+      let specs = grid_specs backend in
+      let sequential = Array.map (B.run backend) specs in
+      let batched = B.run_batch backend specs in
+      Array.iteri
+        (fun i seq ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s cell %d batched = sequential" (B.name backend)
+               i)
+            true
+            (String.equal (bytes seq) (bytes batched.(i))))
+        sequential)
+    B.all
+
+let test_empty_batch () =
+  List.iter
+    (fun backend ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s empty batch" (B.name backend))
+        0
+        (Array.length (B.run_batch backend [||])))
+    B.all
+
+(* An invalid spec must come back as its [Error] in place, without
+   perturbing the valid specs batched around it. *)
+let test_error_slots () =
+  let good ~seed =
+    mk_spec ~mbps:50.0 ~rtt_ms:40.0 ~buffer_bdp:1.0 ~duration:10.0 ~seed
+      [ "cubic" ]
+  in
+  let bad =
+    mk_spec ~mbps:50.0 ~rtt_ms:40.0 ~buffer_bdp:1.0 ~duration:10.0 ~seed:1
+      [ "reno" ]
+  in
+  List.iter
+    (fun backend ->
+      let specs = [| good ~seed:1; bad; good ~seed:2 |] in
+      let results = B.run_batch backend specs in
+      (match results.(1) with
+      | Error (B.Unsupported_cca { cca = "reno"; _ }) -> ()
+      | Error e ->
+          Alcotest.failf "%s: unexpected error %s" (B.name backend)
+            (Format.asprintf "%a" B.pp_error e)
+      | Ok _ -> Alcotest.failf "%s: reno accepted" (B.name backend));
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s slot %d matches sequential" (B.name backend) i)
+            true
+            (String.equal
+               (bytes (B.run backend specs.(i)))
+               (bytes results.(i))))
+        [ 0; 2 ];
+      match B.run_batch_exn backend specs with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "%s: run_batch_exn did not raise" (B.name backend))
+    [ B.fluid; B.ode ]
+
+(* --- QCheck structural invariances (fluid backend: fast, exercises the
+   real batched stepper rather than the sequential fallback) --------- *)
+
+(* A small pool of distinct, quick fluid specs to draw batches from. *)
+let spec_pool =
+  let cells =
+    [
+      ([ "cubic" ], 1.0);
+      ([ "bbr" ], 1.0);
+      ([ "bbr2" ], 2.0);
+      ([ "cubic"; "bbr" ], 1.0);
+      ([ "cubic"; "bbr" ], 10.0);
+      ([ "cubic"; "bbr2" ], 0.5);
+      ([ "cubic"; "cubic" ], 4.0);
+      ([ "bbr"; "bbr" ], 2.0);
+    ]
+  in
+  Array.of_list
+    (List.map
+       (fun (ccas, buffer_bdp) ->
+         mk_spec ~warmup:(Units.seconds 2.0) ~mbps:50.0 ~rtt_ms:40.0
+           ~buffer_bdp ~duration:8.0 ~seed:1 ccas)
+       cells)
+
+let batch_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 10) (int_range 0 (Array.length spec_pool - 1))
+    >|= fun idxs -> Array.of_list (List.map (Array.get spec_pool) idxs))
+
+let batch_arb =
+  QCheck.make batch_gen ~print:(fun specs ->
+      String.concat ";"
+        (Array.to_list
+           (Array.map
+              (fun (s : B.spec) ->
+                String.concat "+" (List.map (fun f -> f.B.cca) s.B.flows))
+              specs)))
+
+let permutation_of rng n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Sim_engine.Rng.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let prop_permutation_invariant =
+  QCheck.Test.make ~name:"permuting a batch permutes the outcomes" ~count:20
+    batch_arb (fun specs ->
+      let n = Array.length specs in
+      let base = B.run_batch B.fluid specs in
+      let p = permutation_of (Sim_engine.Rng.create (n + 7)) n in
+      let permuted = B.run_batch B.fluid (Array.map (Array.get specs) p) in
+      Array.for_all
+        (fun i -> String.equal (bytes base.(p.(i))) (bytes permuted.(i)))
+        (Array.init n Fun.id))
+
+let prop_split_invariant =
+  QCheck.Test.make ~name:"splitting a batch never changes outcomes" ~count:20
+    batch_arb (fun specs ->
+      let n = Array.length specs in
+      let whole = B.run_batch B.fluid specs in
+      let k = n / 2 in
+      let left = B.run_batch B.fluid (Array.sub specs 0 k) in
+      let right = B.run_batch B.fluid (Array.sub specs k (n - k)) in
+      String.equal (bytes whole) (bytes (Array.append left right)))
+
+(* --- run_specs: byte-identical across jobs and batch settings ------- *)
+
+let test_run_specs_invariant () =
+  let specs = Array.to_list (grid_specs B.fluid) in
+  let run ~jobs ~batch =
+    bytes (Runs.run_specs (Common.ctx ~jobs ~batch Common.Quick) B.fluid specs)
+  in
+  let reference = run ~jobs:1 ~batch:1 in
+  List.iter
+    (fun (jobs, batch) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d batch %d = sequential" jobs batch)
+        true
+        (String.equal reference (run ~jobs ~batch)))
+    [ (1, 3); (1, 8); (3, 1); (3, 8) ]
+
+(* --- LRU memo ------------------------------------------------------- *)
+
+let test_memo_cap_validation () =
+  match Runs.memo ~cap:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "memo ~cap:0 accepted"
+
+let test_memo_eviction () =
+  let ctx = Common.ctx ~batch:1 Common.Quick in
+  let specs =
+    List.map
+      (fun seed ->
+        mk_spec ~mbps:50.0 ~rtt_ms:40.0
+          ~buffer_bdp:(float_of_int seed)
+          ~duration:8.0 ~seed [ "cubic" ])
+      [ 1; 2; 3 ]
+  in
+  let expected = bytes (Runs.run_specs ctx B.fluid specs) in
+  let memo = Runs.memo ~cap:2 () in
+  let before = (Sim_engine.Exec.counters ()).memo_evictions in
+  (* Three distinct outcomes through a 2-slot memo: at least one entry
+     must be evicted, and a second pass (re-missing whatever was
+     evicted) must still return the same bytes. *)
+  let first = bytes (Runs.run_specs_memo ~memo ctx B.fluid specs) in
+  let second = bytes (Runs.run_specs_memo ~memo ctx B.fluid specs) in
+  let after = (Sim_engine.Exec.counters ()).memo_evictions in
+  Alcotest.(check bool) "evictions counted" true (after > before);
+  Alcotest.(check bool) "first pass correct" true (String.equal expected first);
+  Alcotest.(check bool)
+    "second pass correct despite evictions" true
+    (String.equal expected second)
+
+let test_memo_results_cap_independent () =
+  let ctx = Common.ctx Common.Quick in
+  let specs =
+    List.map
+      (fun seed ->
+        mk_spec ~mbps:50.0 ~rtt_ms:40.0 ~buffer_bdp:2.0 ~duration:8.0 ~seed
+          [ "bbr" ])
+      [ 1; 2; 3; 1; 2 ]
+  in
+  let run cap =
+    bytes (Runs.run_specs_memo ~memo:(Runs.memo ~cap ()) ctx B.fluid specs)
+  in
+  let unbounded = run 4096 in
+  List.iter
+    (fun cap ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d = cap 4096" cap)
+        true
+        (String.equal unbounded (run cap)))
+    [ 1; 2 ]
+
+let tests =
+  [
+    Alcotest.test_case "grid parity, all backends" `Slow test_grid_parity;
+    Alcotest.test_case "empty batch" `Quick test_empty_batch;
+    Alcotest.test_case "error slots preserved in place" `Quick test_error_slots;
+    QCheck_alcotest.to_alcotest prop_permutation_invariant;
+    QCheck_alcotest.to_alcotest prop_split_invariant;
+    Alcotest.test_case "run_specs invariant under jobs x batch" `Quick
+      test_run_specs_invariant;
+    Alcotest.test_case "memo cap validation" `Quick test_memo_cap_validation;
+    Alcotest.test_case "memo eviction counted, results intact" `Quick
+      test_memo_eviction;
+    Alcotest.test_case "memo results cap-independent" `Quick
+      test_memo_results_cap_independent;
+  ]

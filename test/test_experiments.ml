@@ -267,9 +267,13 @@ let test_run_specs_memo_dedupes () =
       [ { Sim_backend.cca; rtt } ]
   in
   let memo = Runs.memo () in
+  (* batch:1 so jobs_executed counts specs, making the dedup visible;
+     batching (batch > 1) merges misses into chunks and is covered by
+     test_batch.ml. *)
+  let ctx = Common.ctx ~batch:1 Common.Quick in
   let before = (Sim_engine.Exec.counters ()).jobs_executed in
   let outcomes =
-    Runs.run_specs_memo ~memo Common.quick Sim_backend.ode
+    Runs.run_specs_memo ~memo ctx Sim_backend.ode
       [ spec "cubic"; spec "bbr"; spec "cubic" ]
   in
   let first_batch = (Sim_engine.Exec.counters ()).jobs_executed - before in
@@ -277,9 +281,7 @@ let test_run_specs_memo_dedupes () =
   Alcotest.(check int) "duplicates run once" 2 first_batch;
   Alcotest.(check bool) "repeats share the outcome" true
     (List.nth outcomes 0 = List.nth outcomes 2);
-  let again =
-    Runs.run_specs_memo ~memo Common.quick Sim_backend.ode [ spec "bbr" ]
-  in
+  let again = Runs.run_specs_memo ~memo ctx Sim_backend.ode [ spec "bbr" ] in
   let second_batch =
     (Sim_engine.Exec.counters ()).jobs_executed - before - first_batch
   in

@@ -34,13 +34,19 @@
    Copa.on_ack
    Vegas.on_ack
    Vivace.on_ack
-   ; Fluid/ODE step loop.
+   ; Fluid/ODE batched step kernels (see DESIGN.md §15): the fused
+   ; per-spec fluid loop, its cold out-of-line helpers, the ODE stage
+   ; derivative cycle, and the shared queue fixed point.
+   Fluid_sim.run_spec
    Fluid_sim.update_btlbw
-   Fluid_sim.update_windows
    Fluid_sim.apply_losses
-   Fluid_sim.compute_rates
-   Fluid_sim.account
-   Fluid_sim.solve_step
+   Fluid_sim.cubic_backoff
+   Ode_model.compute_rates
+   Ode_model.deriv
+   Ode_model.rk4_step
+   Ode_model.clamp_state
+   Ode_model.step_error
+   Queue_fixpoint.solve
    ; Adoption-dynamics generation kernel.
    Evolve.step_into))
 
