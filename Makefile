@@ -61,7 +61,13 @@ check: build test lint
 	dune exec bin/repro.exe -- evolve --jobs 2 --cache "$(CHECK_CACHE)" \
 	  --out "$(CHECK_OUT)"
 	cmp test/golden/evolve_quick.csv "$(CHECK_OUT)/evolve.csv"
-	dune exec bin/repro.exe -- fuzz --count 50 --seed 1 --jobs 2 \
+	dune exec bin/repro.exe -- run ext-short --jobs 2 --out "$(CHECK_OUT)"
+	cmp test/golden/ext_short_quick.csv "$(CHECK_OUT)/ext-short.csv"
+	dune exec bin/repro.exe -- run workload --jobs 1 --out "$(CHECK_OUT)"
+	cmp test/golden/workload_quick.csv "$(CHECK_OUT)/workload.csv"
+	dune exec bin/repro.exe -- run workload --jobs 4 --out "$(CHECK_OUT)"
+	cmp test/golden/workload_quick.csv "$(CHECK_OUT)/workload.csv"
+	dune exec bin/repro.exe -- fuzz --count 60 --seed 1 --jobs 2 \
 	  --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"
 	dune exec bin/repro.exe -- fuzz --backend fluid --count 25 --seed 1 \
 	  --jobs 2 --replay-out "$(CHECK_OUT)/fuzz-failure.scenario"

@@ -284,6 +284,48 @@ let evolve_tests =
       (Staged.stage evolve_trajectory);
   ]
 
+(* --- Workload / churn kernels ---------------------------------------- *)
+
+(* Schedule generation alone: the deterministic seed-split generator over
+   the web-object mix, ~2400 transfers per run. *)
+let schedule_gen () =
+  ignore
+    (Workload.Schedule.generate_seeded
+       ~arrival:(Workload.Arrival.Poisson { rate_per_s = 40.0 })
+       ~sizes:Workload.Dist.web_objects ~horizon_s:60.0 ~seed:11 ())
+
+(* A 6 s open-loop churn run on an otherwise idle 20 Mbps dumbbell at ~40%
+   offered load (~70 transfers through a handful of pooled slots): the
+   lifecycle layer's whole hot path — arrival attach, slot rebind,
+   completion teardown — plus the transport underneath it. *)
+let churn_run () =
+  let sim = Sim_engine.Sim.create ~seed:3 () in
+  let rate_bps = Sim_engine.Units.mbps 20.0 in
+  let net =
+    Netsim.Dumbbell.create ~sim ~rate_bps ~buffer_bytes:60_000 ~flows:[] ()
+  in
+  let schedule =
+    Workload.Schedule.generate_seeded
+      ~arrival:
+        (Workload.Arrival.poisson_of_load ~load:0.4
+           ~rate_bps:(rate_bps :> float) ~mean_size_bytes:50_000.0)
+      ~sizes:(Workload.Dist.Uniform { lo_bytes = 20_000; hi_bytes = 80_000 })
+      ~horizon_s:6.0 ~seed:11 ()
+  in
+  let churn =
+    Tcpflow.Churn.create ~net ~base_flow:0 ~cca:"cubic"
+      ~base_rtt:(Sim_engine.Units.ms 20.0) ~schedule ()
+  in
+  Sim_engine.Sim.run ~until:8.0 sim;
+  Tcpflow.Churn.teardown churn
+
+let workload_tests =
+  [
+    Test.make ~name:"workload/schedule-gen-60s-web"
+      (Staged.stage schedule_gen);
+    Test.make ~name:"workload/churn-6s-40pct" (Staged.stage churn_run);
+  ]
+
 (* Pre-rewrite numbers for fluid/short-10flows (AoS fluid simulator,
    same kernel, same machine class) so BENCH_fluid.json carries its own
    before/after pair. *)
@@ -365,6 +407,11 @@ let alloc_gates =
        three 64-slot scratch arrays the harness sets up per run. *)
     ( "evolve/step-1k-logit", 50, 1_000.0,
       evolve_steps ~dyn:(Ccgame.Evolve.Logit 0.1) );
+    (* Steady-state churn reuses slots, so the budget is per-run setup
+       (sim + dumbbell + schedule) plus per-tenant CC state — it must not
+       scale with segments sent. A breach means the rebind/ACK path
+       started allocating per packet. *)
+    ("workload/churn-6s-40pct", 3, 310_000.0, churn_run);
   ]
 
 let run_alloc_gates () =
@@ -737,7 +784,8 @@ let scaling_jobs () =
 let sections () =
   match Sys.getenv_opt "REPRO_BENCH_SECTIONS" with
   | None | Some "" ->
-    [ "figures"; "micro"; "fluid"; "batch"; "evolve"; "scaling"; "ablations" ]
+    [ "figures"; "micro"; "fluid"; "batch"; "evolve"; "workload"; "scaling";
+      "ablations" ]
   | Some s -> String.split_on_char ',' s
 
 let () =
@@ -766,6 +814,10 @@ let () =
   if List.mem "evolve" sections then begin
     Printf.printf "==== Adoption-dynamics benchmarks ====\n%!";
     run_bechamel ~section:"evolve" evolve_tests
+  end;
+  if List.mem "workload" sections then begin
+    Printf.printf "==== Workload / churn benchmarks ====\n%!";
+    run_bechamel ~section:"workload" workload_tests
   end;
   if List.mem "scaling" sections then begin
     Printf.printf "\n==== Parallel executor scaling ====\n%!";

@@ -19,15 +19,20 @@ let invariant_names () =
     "ack-unknown-seq";
     "bottleneck-conservation";
     "cc-state-chain";
+    "completion-count";
     "conservation";
     "cwnd-ceiling";
     "cwnd-positive";
     "delivered-monotone";
     "drop-below-capacity";
     "drop-event-count";
+    "fct-positive";
     "final-inflight";
     "inflight-mismatch";
     "inflight-negative";
+    "lifecycle-event-after-complete";
+    "lifecycle-event-before-start";
+    "lifecycle-restart";
     "link-busy-bound";
     "loss-after-ack";
     "loss-unknown-seq";
@@ -60,6 +65,8 @@ type flow_state = {
   mutable f_in_recovery : bool;
   mutable f_mss : int;
   mutable f_cc_state : string;  (* "" until the first Cc_state_change *)
+  mutable f_started : bool;  (* Flow_start seen *)
+  mutable f_completed : bool;  (* Flow_complete seen *)
   f_out : (int, int) Hashtbl.t;
   f_acked : (int, unit) Hashtbl.t;
 }
@@ -69,6 +76,7 @@ type t = {
   cwnd_ceiling_bytes : float;
   pacing_ceiling_bps : float;
   max_violations : int;
+  lifecycle : bool;
   mutable violations_rev : violation list;
   mutable kept : int;
   mutable index : int;
@@ -76,17 +84,20 @@ type t = {
   flows : (int, flow_state) Hashtbl.t;
   mutable total_sends : int;
   mutable total_drop_events : int;
+  mutable total_completions : int;
   mutable stream_closed : bool;
 }
 
 let create ?queue_capacity_bytes ?(cwnd_ceiling_bytes = infinity)
-    ?(pacing_ceiling_bps = infinity) ?(max_violations = 16) () =
+    ?(pacing_ceiling_bps = infinity) ?(max_violations = 16)
+    ?(lifecycle = false) () =
   if max_violations <= 0 then invalid_arg "Audit.create: max_violations";
   {
     queue_capacity_bytes;
     cwnd_ceiling_bytes;
     pacing_ceiling_bps;
     max_violations;
+    lifecycle;
     violations_rev = [];
     kept = 0;
     index = 0;
@@ -94,6 +105,7 @@ let create ?queue_capacity_bytes ?(cwnd_ceiling_bytes = infinity)
     flows = Hashtbl.create 16;
     total_sends = 0;
     total_drop_events = 0;
+    total_completions = 0;
     stream_closed = false;
   }
 
@@ -130,6 +142,8 @@ let flow_state t flow =
         f_in_recovery = false;
         f_mss = 0;
         f_cc_state = "";
+        f_started = false;
+        f_completed = false;
         f_out = Hashtbl.create 64;
         f_acked = Hashtbl.create 64;
       }
@@ -159,6 +173,36 @@ let[@simlint.taint_ok
     fail "time-monotone"
       (Printf.sprintf "time %.9f after %.9f" time t.last_time)
   else t.last_time <- time;
+  (* Lifecycle window: sender-side transport events must fall between a
+     flow's activation and its completion. Observability events (Cc_sample,
+     Cc_state_change) are exempt — periodic tracers legitimately sample a
+     flow outside its active window. [Drop] is queue-side: completion is
+     decided by the ACK stream while duplicate copies of a completed flow's
+     segments can still sit in the bottleneck queue and be dropped, so a
+     drop is only checked against the start of the window. The before-start
+     half only fires in [lifecycle] mode, since legacy synthetic streams
+     carry no Flow_start; the after-complete half is unconditional (any
+     stream containing a Flow_complete is lifecycle-aware by
+     construction). *)
+  (match r.event with
+  | Tr.Send _ | Tr.Ack _ | Tr.Seg_lost _ | Tr.Rto_fire _ | Tr.Recovery_enter _
+  | Tr.Recovery_exit ->
+    let fs = flow_state t flow in
+    if fs.f_completed then
+      fail "lifecycle-event-after-complete"
+        (Printf.sprintf "%s after the flow completed" (Tr.event_name r.event))
+    else if t.lifecycle && not fs.f_started then
+      fail "lifecycle-event-before-start"
+        (Printf.sprintf "%s before the flow's Flow_start"
+           (Tr.event_name r.event))
+  | Tr.Drop _ ->
+    let fs = flow_state t flow in
+    if t.lifecycle && not fs.f_started then
+      fail "lifecycle-event-before-start"
+        (Printf.sprintf "%s before the flow's Flow_start"
+           (Tr.event_name r.event))
+  | Tr.Cc_state_change _ | Tr.Cc_sample _ | Tr.Queue_sample _ | Tr.Flow_start _
+  | Tr.Flow_complete _ -> ());
   match r.event with
   | Tr.Send { seq; size; retransmit = _ } ->
     let fs = flow_state t flow in
@@ -315,6 +359,27 @@ let[@simlint.taint_ok
         fail "queue-overflow"
           (Printf.sprintf "occupancy %d > capacity %d" queue_bytes cap)
     | None -> ())
+  | Tr.Flow_start { size_limit_bytes } ->
+    let fs = flow_state t flow in
+    if fs.f_started then
+      fail "lifecycle-restart"
+        "second Flow_start for a flow id (ids are never reused)";
+    if size_limit_bytes <> -1 && size_limit_bytes <= 0 then
+      fail "send-size" (Printf.sprintf "size limit %d" size_limit_bytes);
+    fs.f_started <- true
+  | Tr.Flow_complete { fct; size_bytes } ->
+    let fs = flow_state t flow in
+    if not fs.f_started then
+      fail "lifecycle-event-before-start" "Flow_complete without Flow_start";
+    if fs.f_completed then
+      fail "lifecycle-event-after-complete" "second Flow_complete for a flow";
+    if (not (Float.is_finite fct)) || fct <= 0.0 then
+      fail "fct-positive" (Printf.sprintf "fct %g (size %d)" fct size_bytes);
+    fs.f_completed <- true;
+    t.total_completions <- t.total_completions + 1;
+    (* At completion the flow's ledger must balance: every delivered or
+       dropped copy traces back to a send. *)
+    check_conservation t fs ~time ~flow ~index
 
 let attach t hub =
   Tr.subscribe_sink hub ~on_record:(observe t)
@@ -331,6 +396,7 @@ type final = {
   fin_dropped_packets : int;
   fin_delivered_packets : int;
   fin_inflight_bytes : (int * int) list;
+  fin_completed_flows : int option;
 }
 
 let finalize t final =
@@ -374,6 +440,15 @@ let finalize t final =
       fail ~flow:link "queue-overflow"
         (Printf.sprintf "final occupancy %d > capacity %d" final.fin_queue_bytes
            cap)
+  | None -> ());
+  (match final.fin_completed_flows with
+  | Some expected ->
+    if t.total_completions <> expected then
+      fail ~flow:link "completion-count"
+        (Printf.sprintf
+           "%d Flow_complete events but the lifecycle layer reports %d \
+            completions"
+           t.total_completions expected)
   | None -> ());
   List.iter
     (fun (flow, sender_inflight) ->

@@ -42,11 +42,20 @@ val create :
   ?cwnd_ceiling_bytes:float ->
   ?pacing_ceiling_bps:float ->
   ?max_violations:int ->
+  ?lifecycle:bool ->
   unit ->
   t
 (** [queue_capacity_bytes] enables the occupancy-bound and tail-drop-cause
     checks; the ceilings (default [infinity]) bound [Cc_sample] cwnd and
-    pacing rate; at most [max_violations] (default 16) are retained. *)
+    pacing rate; at most [max_violations] (default 16) are retained.
+
+    [lifecycle] (default false) additionally requires every transport event
+    to fall inside its flow's activation window: streams from senders that
+    emit [Flow_start] must show no [Send]/[Ack]/loss/recovery event before
+    it ("lifecycle-event-before-start"). The after-completion half of the
+    window check, FCT positivity, one-start-per-flow-id and the
+    at-completion conservation check are unconditional — legacy streams
+    contain no lifecycle events, so they cannot trip them. *)
 
 val observe : t -> Sim_engine.Trace.record -> unit
 (** Feed one record. Violations are recorded, never raised — the auditor
@@ -73,6 +82,10 @@ type final = {
   fin_inflight_bytes : (int * int) list;
       (** Per flow id, the sender's own in-flight byte count, for the
           event-reconstruction cross-check. *)
+  fin_completed_flows : int option;
+      (** The lifecycle layer's own completion count ({!Tcpflow.Churn}
+          plus any data-limited static flows); when given, it must equal
+          the number of [Flow_complete] events ("completion-count"). *)
 }
 
 val finalize : t -> final -> unit

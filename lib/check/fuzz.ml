@@ -82,7 +82,7 @@ let run_scenario ?fault scenario =
   let cwnd_ceiling_bytes, pacing_ceiling_bps = ceilings cfg in
   let audit =
     Audit.create ~queue_capacity_bytes:cfg.E.buffer_bytes ~cwnd_ceiling_bytes
-      ~pacing_ceiling_bps ()
+      ~pacing_ceiling_bps ~lifecycle:true ()
   in
   (match fault with
   | None -> Audit.attach audit hub
@@ -145,6 +145,8 @@ let run_scenario ?fault scenario =
                  (fun s ->
                    (Tcpflow.Sender.flow s, Tcpflow.Sender.inflight_bytes s))
                  senders);
+          fin_completed_flows =
+            Option.map Tcpflow.Churn.completed (E.live_churn live);
         };
       (match !sender_failure with
       | Some v -> Violation v

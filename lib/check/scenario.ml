@@ -6,6 +6,14 @@ type flow = { f_cca : string; f_rtt_ms : float; f_start_s : float }
 
 type aqm = Tail | Red
 
+type arrival_kind = Poisson_arrivals | Pareto_arrivals
+
+type workload = {
+  w_kind : arrival_kind;
+  w_load : float;
+  w_mean_kb : float;
+}
+
 type t = {
   seed : int;
   mbps : float;
@@ -14,21 +22,54 @@ type t = {
   duration_s : float;
   aqm : aqm;
   flows : flow list;
+  workload : workload option;
 }
 
 (* Quantize to 1e-4: %.4f then prints every float losslessly, so the
    replay-file round-trip is byte-for-byte. *)
 let q x = Float.round (x *. 1e4) /. 1e4
 
+(* The short-flow sizes a scenario workload denotes: uniform over
+   [mean/2, 3*mean/2), so runtimes stay bounded (no heavy tail) while the
+   mean matches the serialized [w_mean_kb]. *)
+let workload_sizes w =
+  let mean_bytes = int_of_float (w.w_mean_kb *. 1000.0) in
+  Workload.Dist.Uniform
+    { lo_bytes = max 1 (mean_bytes / 2); hi_bytes = mean_bytes * 3 / 2 }
+
+let to_workload t w =
+  let sizes = workload_sizes w in
+  let mean_size_bytes = Workload.Dist.mean_bytes sizes in
+  let rate_bps = (Units.mbps t.mbps :> float) in
+  let arrival =
+    match w.w_kind with
+    | Poisson_arrivals ->
+      Workload.Arrival.poisson_of_load ~load:w.w_load ~rate_bps
+        ~mean_size_bytes
+    | Pareto_arrivals ->
+      (* Same mean arrival rate as the Poisson reading, bursty gaps. *)
+      let mean_gap_s = 8.0 *. mean_size_bytes /. (w.w_load *. rate_bps) in
+      Workload.Arrival.Pareto_gaps { mean_gap_s; alpha = 1.5 }
+  in
+  {
+    E.wl_arrival = arrival;
+    wl_sizes = sizes;
+    (* Short flows run the first flow's CCA: keeps the churn population
+       homogeneous (one slot pool, one RTT) without a new axis. *)
+    wl_cca = (List.hd t.flows).f_cca;
+    wl_rtt = Units.ms t.base_rtt_ms;
+  }
+
 let to_config t =
   let rate_bps = Units.mbps t.mbps in
   let rtt = Units.ms t.base_rtt_ms in
+  let workload = Option.map (to_workload t) t.workload in
   E.config
     ~aqm:(match t.aqm with Tail -> E.Tail_drop | Red -> E.Red_default)
     ~seed:t.seed ~rate_bps
     ~buffer_bytes:(E.buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp:t.buffer_bdp)
     ~duration:(Units.seconds t.duration_s)
-    ~sample_period:(Units.ms 5.0)
+    ~sample_period:(Units.ms 5.0) ?workload
     (List.map
        (fun f ->
          E.flow_config
@@ -69,6 +110,20 @@ let generate ?ccas rng =
           f_start_s = q (Rng.uniform_in rng ~lo:0.0 ~hi:(duration_s /. 3.0));
         })
   in
+  (* Roughly a quarter of scenarios carry an open-loop churn population, so
+     every campaign also exercises the lifecycle layer (slot reuse,
+     mid-sim attach/detach) without doubling the average runtime. *)
+  let workload =
+    if Rng.int rng 4 = 0 then
+      Some
+        {
+          w_kind =
+            (if Rng.int rng 4 = 0 then Pareto_arrivals else Poisson_arrivals);
+          w_load = q (Rng.uniform_in rng ~lo:0.05 ~hi:0.5);
+          w_mean_kb = q (Rng.uniform_in rng ~lo:30.0 ~hi:300.0);
+        }
+    else None
+  in
   {
     seed = 1 + Rng.int rng 1_000_000_000;
     mbps = q (Rng.uniform_in rng ~lo:5.0 ~hi:50.0);
@@ -77,6 +132,7 @@ let generate ?ccas rng =
     duration_s;
     aqm = (if Rng.int rng 8 = 0 then Red else Tail);
     flows;
+    workload;
   }
 
 let generate_batch ?ccas ~seed ~count () =
@@ -133,8 +189,33 @@ let shrink_candidates ?ccas t =
        { t with flows = List.map (fun f -> { f with f_start_s = 0.0 }) t.flows });
   if t.duration_s > 1.5 then
     add { t with duration_s = q (Float.max 1.0 (t.duration_s /. 2.0)) };
+  (* Fewer/shorter churn flows before dropping the population entirely;
+     the outright drop is added last so it leads the candidate list. *)
+  (match t.workload with
+  | Some w ->
+    (match w.w_kind with
+    | Pareto_arrivals ->
+      add { t with workload = Some { w with w_kind = Poisson_arrivals } }
+    | Poisson_arrivals -> ());
+    if w.w_mean_kb > 30.0 then
+      add
+        {
+          t with
+          workload =
+            Some { w with w_mean_kb = q (Float.max 30.0 (w.w_mean_kb /. 2.0)) };
+        };
+    if w.w_load > 0.05 then
+      add
+        {
+          t with
+          workload = Some { w with w_load = q (Float.max 0.05 (w.w_load /. 2.0)) };
+        }
+  | None -> ());
   if List.length t.flows > 1 then
     List.iteri (fun i _ -> add (without_flow t i)) t.flows;
+  (match t.workload with
+  | Some _ -> add { t with workload = None }
+  | None -> ());
   !candidates
 
 (* ---------- serialization ---------- *)
@@ -153,6 +234,14 @@ let to_string t =
   Printf.bprintf b "base_rtt_ms %.4f\n" t.base_rtt_ms;
   Printf.bprintf b "duration_s %.4f\n" t.duration_s;
   Printf.bprintf b "aqm %s\n" (aqm_to_string t.aqm);
+  (match t.workload with
+  | Some w ->
+    Printf.bprintf b "workload %s %.4f %.4f\n"
+      (match w.w_kind with
+      | Poisson_arrivals -> "poisson"
+      | Pareto_arrivals -> "pareto")
+      w.w_load w.w_mean_kb
+  | None -> ());
   List.iter
     (fun f ->
       Printf.bprintf b "flow %s %.4f %.4f\n" f.f_cca f.f_rtt_ms f.f_start_s)
@@ -185,6 +274,7 @@ let of_string s =
           duration_s = nan;
           aqm = Tail;
           flows = [];
+          workload = None;
         }
       in
       let* parsed =
@@ -210,6 +300,32 @@ let of_string s =
               Ok { t with duration_s }
             | [ "aqm"; "tail" ] -> Ok { t with aqm = Tail }
             | [ "aqm"; "red" ] -> Ok { t with aqm = Red }
+            | [ "workload"; kind; load; mean_kb ] -> (
+              let* w_load = float_field "workload load" load in
+              let* w_mean_kb = float_field "workload mean_kb" mean_kb in
+              if w_load <= 0.0 then
+                Error "scenario: workload load must be > 0"
+              else if w_mean_kb <= 0.0 then
+                Error "scenario: workload mean_kb must be > 0"
+              else
+                match kind with
+                | "poisson" ->
+                  Ok
+                    {
+                      t with
+                      workload =
+                        Some { w_kind = Poisson_arrivals; w_load; w_mean_kb };
+                    }
+                | "pareto" ->
+                  Ok
+                    {
+                      t with
+                      workload =
+                        Some { w_kind = Pareto_arrivals; w_load; w_mean_kb };
+                    }
+                | _ ->
+                  Error
+                    (Printf.sprintf "scenario: unknown workload kind %S" kind))
             | [ "flow"; cca; rtt; start ] ->
               let* f_rtt_ms = float_field "flow rtt" rtt in
               let* f_start_s = float_field "flow start" start in
@@ -257,10 +373,19 @@ let load ~path =
     of_string s
 
 let describe t =
-  Printf.sprintf "seed=%d mbps=%.1f buffer=%.2fbdp rtt=%.1fms dur=%.1fs aqm=%s flows=%s"
+  Printf.sprintf
+    "seed=%d mbps=%.1f buffer=%.2fbdp rtt=%.1fms dur=%.1fs aqm=%s flows=%s%s"
     t.seed t.mbps t.buffer_bdp t.base_rtt_ms t.duration_s
     (aqm_to_string t.aqm)
     (String.concat ","
        (List.map
           (fun f -> Printf.sprintf "%s@%.1f+%.1f" f.f_cca f.f_rtt_ms f.f_start_s)
           t.flows))
+    (match t.workload with
+    | None -> ""
+    | Some w ->
+      Printf.sprintf " wl=%s:%.2f@%.0fkB"
+        (match w.w_kind with
+        | Poisson_arrivals -> "poisson"
+        | Pareto_arrivals -> "pareto")
+        w.w_load w.w_mean_kb)

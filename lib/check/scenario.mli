@@ -14,6 +14,17 @@ type flow = {
 
 type aqm = Tail | Red
 
+type arrival_kind = Poisson_arrivals | Pareto_arrivals
+
+type workload = {
+  w_kind : arrival_kind;  (** Arrival process shape (memoryless or bursty). *)
+  w_load : float;  (** Offered short-flow load as a capacity fraction. *)
+  w_mean_kb : float;  (** Mean transfer size in kB (uniform, no heavy tail). *)
+}
+(** The fuzzer's reading of an open-loop churn population: enough to
+    reconstruct a {!Tcpflow.Experiment.workload} (short flows run the first
+    flow's CCA at the base RTT), small enough to quantize and replay. *)
+
 type t = {
   seed : int;  (** The simulation seed (all randomness derives from it). *)
   mbps : float;  (** Bottleneck capacity. *)
@@ -22,6 +33,7 @@ type t = {
   duration_s : float;  (** Simulated horizon (quick-mode scale). *)
   aqm : aqm;
   flows : flow list;
+  workload : workload option;  (** Open-loop churn population, if any. *)
 }
 
 val to_config : t -> Tcpflow.Experiment.config
@@ -30,24 +42,26 @@ val to_config : t -> Tcpflow.Experiment.config
 
 val to_spec : t -> Sim_backend.spec
 (** The backend-neutral reading of the same scenario, for fuzzing the
-    analytic backends. Flow start times and the AQM are packet-level
-    refinements the analytic backends do not model: the spec starts every
-    flow at 0 on a drop-tail bottleneck. *)
+    analytic backends. Flow start times, the AQM and the churn workload are
+    packet-level refinements the analytic backends do not model: the spec
+    starts every flow at 0 on a drop-tail bottleneck with no churn. *)
 
 val generate : ?ccas:string list -> Sim_engine.Rng.t -> t
 (** Draw one scenario: 1–5 flows over every registered CCA (or the [ccas]
     subset — pass a backend's supported names when fuzzing it), 5–50 Mbps,
-    5–80 ms RTTs, 0.25–16 BDP buffers, 3–8 s horizons, occasional RED.
-    Raises [Invalid_argument] on an empty [ccas]. *)
+    5–80 ms RTTs, 0.25–16 BDP buffers, 3–8 s horizons, occasional RED, and
+    (roughly a quarter of the time) an open-loop churn workload at 5–50%
+    load. Raises [Invalid_argument] on an empty [ccas]. *)
 
 val generate_batch : ?ccas:string list -> seed:int -> count:int -> unit -> t list
 (** [count] scenarios, deterministically derived from [seed] alone (for a
     fixed [ccas] filter). *)
 
 val shrink_candidates : ?ccas:string list -> t -> t list
-(** Strictly-simpler variants, most aggressive first (drop a flow, halve
-    the horizon, zero the start times, drop RED, collapse RTTs, canonical
-    buffer/bandwidth, simplest CCA). [ccas] restricts the simplest-CCA
+(** Strictly-simpler variants, most aggressive first (drop the workload,
+    drop a flow, halve the horizon or the workload's load/mean size, zero
+    the start times, drop RED, collapse RTTs, canonical buffer/bandwidth,
+    simplest CCA). [ccas] restricts the simplest-CCA
     step to an allowed set (reno, else cubic, else skipped) so shrunk
     scenarios stay runnable on the backend that failed. The fuzz driver
     keeps a candidate only when it still fails, so each accepted step

@@ -43,3 +43,14 @@ let exponential t ~mean =
 let uniform_in t ~lo ~hi =
   assert (hi >= lo);
   lo +. (unit_float t *. (hi -. lo))
+
+let gaussian t =
+  (* Box–Muller, pair-discarding form: both uniforms are consumed on every
+     call so the stream position is a pure function of the call count (no
+     cached spare that would make interleaved consumers order-dependent). *)
+  let u1 =
+    let u = unit_float t in
+    if u <= 0.0 then 1e-300 else u
+  in
+  let u2 = unit_float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

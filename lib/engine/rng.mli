@@ -31,3 +31,7 @@ val exponential : t -> mean:float -> float
 
 val uniform_in : t -> lo:float -> hi:float -> float
 (** Uniform draw from [\[lo, hi)]. *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box–Muller). Every call consumes exactly two
+    uniforms, so the stream position is a pure function of the call count. *)

@@ -20,6 +20,9 @@ type event =
       cc_state : string;
     }
   | Queue_sample of { queue_bytes : int; queue_packets : int }
+  | Flow_start of { size_limit_bytes : int }
+      (* -1 when the flow is a long-lived backlogged sender *)
+  | Flow_complete of { fct : float; size_bytes : int }
 
 type record = { time : float; flow : int; event : event }
 
@@ -107,6 +110,8 @@ let event_name = function
   | Cc_state_change _ -> "cc_state_change"
   | Cc_sample _ -> "cc_sample"
   | Queue_sample _ -> "queue_sample"
+  | Flow_start _ -> "flow_start"
+  | Flow_complete _ -> "flow_complete"
 
 (* Deterministic float rendering: enough digits to round-trip, no locale
    dependence. *)
@@ -160,6 +165,10 @@ let fields = function
   | Queue_sample { queue_bytes; queue_packets } ->
     [ ("queue_bytes", string_of_int queue_bytes);
       ("queue_packets", string_of_int queue_packets) ]
+  | Flow_start { size_limit_bytes } ->
+    [ ("limit", string_of_int size_limit_bytes) ]
+  | Flow_complete { fct; size_bytes } ->
+    [ ("fct", fl fct); ("size", string_of_int size_bytes) ]
 
 (* Fields whose values must be JSON strings rather than bare literals. *)
 let json_value key v =
@@ -209,6 +218,9 @@ module Metrics = struct
     mutable recovery_entries : int;
     mutable states : (string * int) list;  (* Cc_sample counts per state *)
     mutable queue_delays : float list;  (* seconds, newest first *)
+    mutable flow_starts : int;
+    mutable flow_completes : int;
+    mutable fcts : float list;  (* seconds, newest first *)
   }
 
   let create ?rate_bps () =
@@ -224,6 +236,9 @@ module Metrics = struct
       recovery_entries = 0;
       states = [];
       queue_delays = [];
+      flow_starts = 0;
+      flow_completes = 0;
+      fcts = [];
     }
 
   let observe t r =
@@ -248,6 +263,10 @@ module Metrics = struct
           (float_of_int queue_bytes *. Units.bits_per_byte /. rate)
           :: t.queue_delays
       | _ -> ())
+    | Flow_start _ -> t.flow_starts <- t.flow_starts + 1
+    | Flow_complete { fct; _ } ->
+      t.flow_completes <- t.flow_completes + 1;
+      t.fcts <- fct :: t.fcts
 
   type summary = {
     events : int;
@@ -262,6 +281,9 @@ module Metrics = struct
     drop_rate : float;
     state_occupancy : (string * float) list;
     queue_delay_quantiles : (float * float) list;
+    flow_starts : int;
+    flow_completes : int;
+    fct_quantiles : (float * float) list;
   }
 
   let summary t =
@@ -293,6 +315,13 @@ module Metrics = struct
       drop_rate = rate t.drops t.sends;
       state_occupancy = (if total_samples = 0 then [] else occupancy);
       queue_delay_quantiles = quantiles;
+      flow_starts = t.flow_starts;
+      flow_completes = t.flow_completes;
+      fct_quantiles =
+        (match t.fcts with
+        | [] -> []
+        | fcts ->
+          List.map (fun p -> (p, Stats.percentile fcts ~p)) [ 50.0; 95.0; 99.0 ]);
     }
 
   let of_records ?rate_bps records =
@@ -316,6 +345,11 @@ module Metrics = struct
     List.iter
       (fun (p, d) -> add (Printf.sprintf "p%.0f_queue_delay" p) (fl d))
       s.queue_delay_quantiles;
+    add "flow_starts" (string_of_int s.flow_starts);
+    add "flow_completes" (string_of_int s.flow_completes);
+    List.iter
+      (fun (p, d) -> add (Printf.sprintf "p%.0f_fct" p) (fl d))
+      s.fct_quantiles;
     (match s.state_occupancy with
     | [] -> ()
     | occ ->

@@ -47,6 +47,12 @@ type event =
     }  (** A periodic congestion-state sample (emitted by [Flow_trace]). *)
   | Queue_sample of { queue_bytes : int; queue_packets : int }
       (** Bottleneck occupancy observed at a packet arrival. *)
+  | Flow_start of { size_limit_bytes : int }
+      (** The flow was activated (its sender scheduled its first send).
+          [size_limit_bytes] is -1 for long-lived backlogged flows. *)
+  | Flow_complete of { fct : float; size_bytes : int }
+      (** A size-limited flow acknowledged its last byte; [fct] is the
+          flow-completion time in seconds since activation. *)
 
 type record = { time : float; flow : int; event : event }
 (** One timestamped occurrence. [flow] is {!link_scope} for link-level
@@ -148,6 +154,11 @@ module Metrics : sig
     queue_delay_quantiles : (float * float) list;
         (** [(percentile, seconds)] for p50/p90/p99 over per-arrival queue
             delays; empty without [rate_bps] or queue samples. *)
+    flow_starts : int;  (** {!Flow_start} events seen. *)
+    flow_completes : int;  (** {!Flow_complete} events seen. *)
+    fct_quantiles : (float * float) list;
+        (** [(percentile, seconds)] for p50/p95/p99 over flow-completion
+            times; empty when no flow completed. *)
   }
 
   val summary : t -> summary

@@ -73,6 +73,11 @@ let all =
       run = Fluidgrid.run;
     };
     {
+      id = "workload";
+      summary = "Long flows under open-loop web-object churn (FCTs)";
+      run = Workload_exp.run;
+    };
+    {
       id = "ext-red";
       summary = "Extension: CUBIC vs BBR under a RED AQM";
       run = Ext_red.run;

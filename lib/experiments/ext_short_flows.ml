@@ -31,28 +31,27 @@ let run_point ~mode ~offered_load ~buffer_bdp ~seed =
   let sim = Sim.create ~seed () in
   let arrival_rng = Sim_engine.Rng.split (Sim.rng sim) in
   (* Pre-draw the short-flow schedule so the dumbbell knows every flow id's
-     RTT up front. *)
-  let arrival_rate =
-    offered_load *. (rate_bps :> float) /. 8.0
-    /. mean_size_bytes (* flows per second *)
+     RTT up front. [generate_shared] keeps the original single-stream
+     gap/size draw interleaving, so the numbers match the pre-workload-layer
+     runs exactly. *)
+  let schedule =
+    if offered_load <= 0.0 then [||]
+    else
+      Workload.Schedule.generate_shared
+        ~arrival:
+          (Workload.Arrival.poisson_of_load ~load:offered_load
+             ~rate_bps:(rate_bps :> float)
+             ~mean_size_bytes)
+        ~sizes:(Workload.Dist.Uniform { lo_bytes = 100_000; hi_bytes = 500_000 })
+        ~horizon_s:duration ~rng:arrival_rng ()
   in
-  let arrivals = ref [] in
-  (if arrival_rate > 0.0 then begin
-     let t = ref 0.0 in
-     let continue = ref true in
-     while !continue do
-       t := !t +. Sim_engine.Rng.exponential arrival_rng ~mean:(1.0 /. arrival_rate);
-       if !t >= duration then continue := false
-       else begin
-         let size =
-           100_000
-           + Sim_engine.Rng.int arrival_rng 400_000 (* 100-500 kB *)
-         in
-         arrivals := (!t, size) :: !arrivals
-       end
-     done
-   end);
-  let arrivals = List.rev !arrivals in
+  let arrivals =
+    Array.to_list
+      (Array.map
+         (fun it ->
+           (it.Workload.Schedule.arrival_s, it.Workload.Schedule.size_bytes))
+         schedule)
+  in
   let n_short = List.length arrivals in
   let specs =
     List.init (2 + n_short) (fun i -> { Netsim.Dumbbell.flow = i; base_rtt = rtt })

@@ -1,0 +1,8 @@
+(** Workload-layer experiment (id ["workload"]): two long flows (CUBIC vs
+    BBR) under open-loop web-object churn at offered loads 0-80%, reporting
+    FCT percentiles, size-binned slowdown, and the long-flow split. The
+    first-class exercise of {!Tcpflow.Experiment}'s [workload] config field
+    and the {!Tcpflow.Churn} lifecycle layer, batched through {!Runs.eval}
+    so results cache and are byte-identical across [--jobs]. *)
+
+val run : Common.ctx -> Common.table

@@ -69,8 +69,19 @@ let base_rtt_of t flow =
   | Some rtt -> Sim_engine.Units.seconds rtt
   | None -> raise Not_found
 
-let set_receiver t ~flow receive = Hashtbl.replace t.receivers flow receive
+let[@simlint.alloc_ok "one receiver-table bucket per flow (re)attach"]
+    set_receiver t ~flow receive =
+  Hashtbl.replace t.receivers flow receive
 let receiver t ~flow = Hashtbl.find_opt t.receivers flow
+
+let add_flow t ~flow ~base_rtt =
+  Hashtbl.replace t.rtts flow ((base_rtt : Sim_engine.Units.seconds) :> float)
+
+let remove_flow t ~flow =
+  Hashtbl.remove t.rtts flow;
+  Hashtbl.remove t.receivers flow
+
+let known_flow t ~flow = Hashtbl.mem t.rtts flow
 
 let send t p =
   let verdict = Droptail_queue.enqueue t.queue p in

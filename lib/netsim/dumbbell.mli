@@ -41,6 +41,19 @@ val receiver : t -> flow:int -> (Packet.t -> unit) option
 (** The currently installed receive callback (tests use this to detach a
     flow's receiver — black-holing its ACKs — and restore it later). *)
 
+val add_flow : t -> flow:int -> base_rtt:Sim_engine.Units.seconds -> unit
+(** Register a flow's path mid-simulation (the open-loop workload layer
+    attaches each arriving short flow this way). Idempotent per id: a
+    re-registration just updates the RTT. *)
+
+val remove_flow : t -> flow:int -> unit
+(** Tear a flow down: forget its RTT and receiver. Packets of the flow
+    still inside the queue or pipe are counted in {!orphaned} on arrival
+    and discarded — the lifecycle analogue of a closed port. *)
+
+val known_flow : t -> flow:int -> bool
+(** Whether the flow id currently has a registered path. *)
+
 val send : t -> Packet.t -> Droptail_queue.verdict
 (** Inject a packet at the bottleneck; on [Enqueued], it will eventually be
     delivered to the flow's receiver. The caller learns of drops only through

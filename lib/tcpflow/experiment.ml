@@ -13,6 +13,15 @@ let flow_config ?(start_time = Units.seconds 0.0) ?(base_rtt = Units.ms 40.0)
 
 type aqm = Tail_drop | Red_default
 
+(* Pure data (like the rest of [config]) so the open-loop population
+   participates in the Marshal digest. *)
+type workload = {
+  wl_arrival : Workload.Arrival.t;
+  wl_sizes : Workload.Dist.t;
+  wl_cca : string;
+  wl_rtt : Units.seconds;
+}
+
 type config = {
   rate_bps : Units.rate_bps;
   buffer_bytes : int;
@@ -22,6 +31,7 @@ type config = {
   seed : int;
   sample_period : Units.seconds;
   aqm : aqm;
+  workload : workload option;
 }
 
 let buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp =
@@ -29,10 +39,21 @@ let buffer_bytes_of_bdp ~rate_bps ~rtt ~bdp =
   max bytes Units.mss
 
 let config ?(aqm = Tail_drop) ?(warmup = Units.seconds 0.0)
-    ?(sample_period = Units.ms 1.0) ?(seed = 1) ~rate_bps ~buffer_bytes
-    ~duration flows =
-  if flows = [] then invalid_arg "Experiment.config: no flows";
-  { rate_bps; buffer_bytes; flows; duration; warmup; seed; sample_period; aqm }
+    ?(sample_period = Units.ms 1.0) ?(seed = 1) ?workload ~rate_bps
+    ~buffer_bytes ~duration flows =
+  if flows = [] && Option.is_none workload then
+    invalid_arg "Experiment.config: no flows";
+  {
+    rate_bps;
+    buffer_bytes;
+    flows;
+    duration;
+    warmup;
+    seed;
+    sample_period;
+    aqm;
+    workload;
+  }
 
 (* The key under which Exec.Cache stores a run's result. Marshalling the
    whole record means every field — including seed, aqm and the flow list —
@@ -52,6 +73,7 @@ let default_config =
     seed = 1;
     sample_period = Units.ms 1.0;
     aqm = Tail_drop;
+    workload = None;
   }
 
 type flow_result = {
@@ -64,6 +86,15 @@ type flow_result = {
   flow_min_rtt : float;
 }
 
+(* One completed open-loop transfer: schedule position, arrival instant,
+   transfer size and flow-completion time. *)
+type completion = {
+  cp_item : int;
+  cp_arrival : float;
+  cp_size : int;
+  cp_fct : float;
+}
+
 type result = {
   config : config;
   per_flow : flow_result list;
@@ -74,6 +105,10 @@ type result = {
   class_max_bytes : (string * float) list;
   drops : int;
   utilization : float;
+  workload_arrived : int;
+  workload_completed : int;
+  workload_delivered_bytes : float;
+  completions : completion list;
 }
 
 let distinct_ccas flows =
@@ -88,12 +123,23 @@ type live = {
   flow_tracers : Flow_trace.t array;
   delivered_at_warmup : float array;
   flow_classes : (string * (int -> bool)) list;
+  churn : Churn.t option;
 }
 
 let setup ?trace config =
   if (config.warmup :> float) >= (config.duration :> float) then
     invalid_arg "Experiment.run: warmup must precede duration";
   let sim = Sim.create ~seed:config.seed () in
+  (* The workload stream is split first, before the AQM policy and the
+     per-sender streams, so a schedule is a function of (seed, workload
+     parameters) alone — adding or reordering static flows cannot move an
+     arrival. Configs without a workload split nothing here and keep their
+     historical streams bit-for-bit. *)
+  let workload_rng =
+    match config.workload with
+    | None -> None
+    | Some _ -> Some (Sim_engine.Rng.split (Sim.rng sim))
+  in
   let flows = Array.of_list config.flows in
   let specs =
     Array.to_list
@@ -115,8 +161,13 @@ let setup ?trace config =
   in
   let cca_of_flow = Array.map (fun f -> f.cca) flows in
   let flow_classes =
+    (* The bound guard keeps the predicate total once churn flows (ids at
+       and above the static population) share the queue: class series
+       measure the long-lived flows only. *)
     List.map
-      (fun name -> (name, fun id -> cca_of_flow.(id) = name))
+      (fun name ->
+        ( name,
+          fun id -> id < Array.length cca_of_flow && cca_of_flow.(id) = name ))
       (distinct_ccas config.flows)
   in
   let sampler =
@@ -152,6 +203,18 @@ let setup ?trace config =
            (fun i sender ->
              delivered_at_warmup.(i) <- Sender.delivered_bytes sender)
            senders));
+  let churn =
+    match (config.workload, workload_rng) with
+    | Some w, Some rng ->
+      let schedule =
+        Workload.Schedule.generate ~arrival:w.wl_arrival ~sizes:w.wl_sizes
+          ~horizon_s:(config.duration :> float) ~rng ()
+      in
+      Some
+        (Churn.create ?trace ~net ~base_flow:(Array.length flows)
+           ~cca:w.wl_cca ~base_rtt:w.wl_rtt ~schedule ())
+    | _ -> None
+  in
   {
     live_config = config;
     sim;
@@ -161,11 +224,13 @@ let setup ?trace config =
     flow_tracers;
     delivered_at_warmup;
     flow_classes;
+    churn;
   }
 
 let live_sim l = l.sim
 let live_net l = l.net
 let live_senders l = l.senders
+let live_churn l = l.churn
 
 let finish l =
   let config = l.live_config in
@@ -177,6 +242,7 @@ let finish l =
   and delivered_at_warmup = l.delivered_at_warmup in
   let flows = Array.of_list config.flows in
   Sim.run ~until:(config.duration :> float) sim;
+  Option.iter Churn.teardown l.churn;
   let window = (config.duration :> float) -. (config.warmup :> float) in
   let per_flow =
     Array.to_list
@@ -234,6 +300,31 @@ let finish l =
         Float.min 1.0
           ((Netsim.Link.busy_seconds (Netsim.Dumbbell.link net) :> float)
           /. (config.duration :> float));
+      workload_arrived =
+        (match l.churn with None -> 0 | Some c -> Churn.arrived c);
+      workload_completed =
+        (match l.churn with None -> 0 | Some c -> Churn.completed c);
+      workload_delivered_bytes =
+        (match l.churn with None -> 0.0 | Some c -> Churn.delivered_bytes c);
+      completions =
+        (match l.churn with
+        | None -> []
+        | Some c ->
+          let sched = Churn.schedule c in
+          let fcts = Churn.fcts c in
+          let acc = ref [] in
+          for i = Array.length fcts - 1 downto 0 do
+            if not (Float.is_nan fcts.(i)) then
+              acc :=
+                {
+                  cp_item = i;
+                  cp_arrival = sched.(i).Workload.Schedule.arrival_s;
+                  cp_size = sched.(i).Workload.Schedule.size_bytes;
+                  cp_fct = fcts.(i);
+                }
+                :: !acc
+          done;
+          !acc);
     }
   in
   Netsim.Sampler.stop sampler;

@@ -24,6 +24,17 @@ type aqm =
   | Tail_drop  (** The paper's drop-tail setting. *)
   | Red_default  (** RED with {!Netsim.Droptail_queue.red_defaults}. *)
 
+type workload = {
+  wl_arrival : Workload.Arrival.t;
+  wl_sizes : Workload.Dist.t;
+  wl_cca : string;  (** CCA every short flow runs. *)
+  wl_rtt : Sim_engine.Units.seconds;  (** Base RTT of every short flow. *)
+}
+(** An open-loop short-flow population sharing the bottleneck with the
+    static flows: a {!Workload.Schedule.t} is generated from the config
+    seed at setup (workload stream split first, so the schedule is
+    independent of the static flow list) and driven by {!Churn}. *)
+
 type config = {
   rate_bps : Sim_engine.Units.rate_bps;  (** Bottleneck capacity. *)
   buffer_bytes : int;  (** Bottleneck buffer size. *)
@@ -34,6 +45,7 @@ type config = {
   seed : int;
   sample_period : Sim_engine.Units.seconds;  (** Queue sampling period. *)
   aqm : aqm;  (** Bottleneck drop policy. *)
+  workload : workload option;  (** Open-loop churn population, if any. *)
 }
 
 val default_config : config
@@ -45,14 +57,15 @@ val config :
   ?warmup:Sim_engine.Units.seconds ->
   ?sample_period:Sim_engine.Units.seconds ->
   ?seed:int ->
+  ?workload:workload ->
   rate_bps:Sim_engine.Units.rate_bps ->
   buffer_bytes:int ->
   duration:Sim_engine.Units.seconds ->
   flow_config list ->
   config
 (** Labelled builder, the preferred way to assemble a config. Defaults:
-    drop-tail, no warm-up, 1 ms sampling, seed 1. Raises
-    [Invalid_argument] on an empty flow list. *)
+    drop-tail, no warm-up, 1 ms sampling, seed 1, no workload. Raises
+    [Invalid_argument] on an empty flow list unless a workload is given. *)
 
 val digest : config -> string
 (** Hex digest of the full config (every field participates): the
@@ -77,6 +90,14 @@ type flow_result = {
   flow_min_rtt : float;
 }
 
+type completion = {
+  cp_item : int;  (** Position in the workload schedule. *)
+  cp_arrival : float;  (** Arrival instant (sim seconds). *)
+  cp_size : int;  (** Transfer size in bytes. *)
+  cp_fct : float;  (** Flow-completion time in seconds. *)
+}
+(** Per-flow completion record for one open-loop transfer. *)
+
 type result = {
   config : config;
   per_flow : flow_result list;
@@ -87,6 +108,13 @@ type result = {
   class_max_bytes : (string * float) list;
   drops : int;
   utilization : float;  (** Whole-run link utilization (approximate). *)
+  workload_arrived : int;  (** Short flows that arrived before the horizon. *)
+  workload_completed : int;  (** Short flows fully acknowledged. *)
+  workload_delivered_bytes : float;
+      (** Bytes delivered by completed short flows. *)
+  completions : completion list;
+      (** Completion records in schedule order (cut-off flows omitted);
+          empty without a workload. *)
 }
 
 val run : ?trace:Sim_engine.Trace.t -> config -> result
@@ -112,6 +140,9 @@ val live_sim : live -> Sim_engine.Sim.t
 val live_net : live -> Netsim.Dumbbell.t
 val live_senders : live -> Sender.t array
 (** Senders in flow-id order: [live_senders l).(i)] drives flow [i]. *)
+
+val live_churn : live -> Churn.t option
+(** The open-loop churn driver, when the config carries a workload. *)
 
 val finish : live -> result
 (** Run the simulation to [config.duration] (a no-op if a caller already

@@ -34,10 +34,11 @@ type float_state = {
 type t = {
   sim : Sim.t;
   net : Dumbbell.t;
-  flow : int;
+  mutable flow : int;
   mss : int;
-  cc : Cc.t;
-  seg_limit : int;  (* max_int = unlimited (bulk flow) *)
+  mutable cc : Cc.t;
+  mutable seg_limit : int;  (* max_int = unlimited (bulk flow) *)
+  mutable size_limit_bytes : int;  (* -1 = unlimited; for lifecycle events *)
   trace : Tr.t option;
   mutable next_seq : int;
   mutable cum_ack : int;  (* all segments below this are acked *)
@@ -81,6 +82,20 @@ type t = {
   (* Counters. *)
   mutable lost_segments : int;
   mutable retransmitted_segments : int;
+  (* Lifecycle. A sender slot is created once and can host a succession of
+     flows ([rebind]): [finished] gates ACK processing after completion so a
+     late retransmitted copy cannot touch the slot's next tenant, and
+     [reverse_delay] is re-read by the single receiver closure so the ACK
+     lane is reused across rebinds. The lane's FIFO contract requires every
+     tenant of one slot to share the same reverse-path delay. *)
+  mutable finished : bool;
+  mutable activation_time : float;  (* nan until activated *)
+  mutable completion_time : float;  (* nan until completed *)
+  mutable on_complete : unit -> unit;
+  mutable reverse_delay : float;
+  mutable recv_cb : Packet.t -> unit;
+  mutable start_handle : Sim.handle;
+  mutable start_cb : unit -> unit;
 }
 
 let flow t = t.flow
@@ -98,6 +113,12 @@ let min_rtt_observed t = t.fs.min_rtt
 let rto_backoff t = t.rto_backoff
 let snapshot_delivered t = (Sim.now t.sim, t.fs.delivered)
 let completed t = t.seg_limit < max_int && t.cum_ack >= t.seg_limit
+let finished t = t.finished
+let activation_time t = t.activation_time
+let completion_time t = t.completion_time
+let fct t = t.completion_time -. t.activation_time
+let size_limit_bytes t = t.size_limit_bytes
+let set_on_complete t f = t.on_complete <- f
 
 let[@simlint.alloc_ok "amortized geometric growth; the ring never shrinks"]
     order_grow t =
@@ -214,6 +235,25 @@ let[@simlint.alloc_ok
   | Some tr ->
     Tr.emit tr ~time:now ~flow:t.flow
       (Tr.Recovery_enter { via_timeout; lost_bytes })
+
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] trace_flow_start t ~now =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Flow_start { size_limit_bytes = t.size_limit_bytes })
+
+let[@simlint.alloc_ok
+     "trace event: built only with a sink attached; the record is the \
+      product"] trace_flow_complete t ~now =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Tr.emit tr ~time:now ~flow:t.flow
+      (Tr.Flow_complete
+         { fct = now -. t.activation_time; size_bytes = t.size_limit_bytes })
 
 (* Advance the cumulative ACK point, collecting old state. Toplevel
    (rather than a local [let rec]) so the per-ACK path builds no
@@ -367,6 +407,10 @@ and transmit t ~seq ~retransmit =
       t.pk_pool_len <- t.pk_pool_len - 1;
       let p = t.pk_pool.(t.pk_pool_len) in
       t.pk_pool.(t.pk_pool_len) <- Packet.dummy;
+      (* Restamp the flow id: after [rebind] the pool holds packets
+         recycled under the slot's previous tenant (late ACK copies keep
+         arriving even after the switch). *)
+      p.Packet.flow <- t.flow;
       p.Packet.seq <- seq;
       p.Packet.retransmit <- retransmit;
       p.Packet.sent_time <- now;
@@ -438,6 +482,16 @@ and schedule_pacer t =
 (* Process the arrival of the ACK generated by the (unique) reception of
    [trig]. *)
 let on_ack_packet t (trig : Packet.t) =
+  if t.finished then begin
+    (* A late copy of an already-delivered segment arriving after the flow
+       completed (or was deactivated): the slot may already host another
+       flow, so nothing here may be touched — just recycle the packet. *)
+    if t.pk_pool_len < Array.length t.pk_pool then begin
+      t.pk_pool.(t.pk_pool_len) <- trig;
+      t.pk_pool_len <- t.pk_pool_len + 1
+    end
+  end
+  else begin
   let now = Sim.now t.sim in
   let s = seg t trig.seq in
   (* Any ACK for an unacked segment means the receiver holds the data,
@@ -531,7 +585,18 @@ let on_ack_packet t (trig : Packet.t) =
     if not (Sim.is_null t.rto_handle) then begin
       Sim.cancel t.sim t.rto_handle;
       t.rto_handle <- Sim.null_handle
-    end
+    end;
+    if not (Sim.is_null t.pacing_handle) then begin
+      Sim.cancel t.sim t.pacing_handle;
+      t.pacing_handle <- Sim.null_handle
+    end;
+    (* Transition to [finished] exactly once: the completion event carries
+       the FCT, and the owner's callback may tear the flow down and rebind
+       this slot, so it runs after all per-ACK state updates. *)
+    t.finished <- true;
+    t.completion_time <- now;
+    trace_flow_complete t ~now;
+    t.on_complete ()
   end
   else begin
     arm_rto t;
@@ -543,17 +608,22 @@ let on_ack_packet t (trig : Packet.t) =
     t.pk_pool.(t.pk_pool_len) <- trig;
     t.pk_pool_len <- t.pk_pool_len + 1
   end
+  end
+
+let[@simlint.alloc_ok "one bounds tuple per slot (re)activation"] limits
+    ~mss ~data_limit_bytes ~who =
+  match data_limit_bytes with
+  | None -> (max_int, -1)
+  | Some bytes ->
+    if bytes <= 0 then invalid_arg (who ^ ": data_limit_bytes");
+    ((bytes + mss - 1) / mss, bytes)
 
 let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
     ?(start_time = Sim_engine.Units.seconds 0.0)
-    ?data_limit_bytes ?trace () =
+    ?data_limit_bytes ?on_complete ?trace () =
   let sim = Dumbbell.sim net in
-  let seg_limit =
-    match data_limit_bytes with
-    | None -> max_int
-    | Some bytes ->
-      if bytes <= 0 then invalid_arg "Sender.create: data_limit_bytes";
-      (bytes + mss - 1) / mss
+  let seg_limit, size_limit_bytes =
+    limits ~mss ~data_limit_bytes ~who:"Sender.create"
   in
   let t =
     {
@@ -563,6 +633,7 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
       mss;
       cc;
       seg_limit;
+      size_limit_bytes;
       trace;
       next_seq = 0;
       cum_ack = 0;
@@ -611,6 +682,14 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
       last_cc_state = cc.Cc.state ();
       lost_segments = 0;
       retransmitted_segments = 0;
+      finished = false;
+      activation_time = nan;
+      completion_time = nan;
+      on_complete = (match on_complete with None -> ignore | Some f -> f);
+      reverse_delay = 0.0;
+      recv_cb = ignore;
+      start_handle = Sim.null_handle;
+      start_cb = ignore;
     }
   in
   t.rto_cb <- (fun () -> on_rto t);
@@ -620,16 +699,98 @@ let create ~net ~flow ~cc ?(mss = Sim_engine.Units.mss)
       try_send t);
   (* Receiver: each arriving data packet generates one ACK that reaches the
      sender after the flow's reverse-path delay. The reverse delay is a
-     per-flow constant, so ACK arrivals are FIFO and ride a calendar lane. *)
-  let reverse = (Dumbbell.reverse_delay net ~flow :> float) in
+     per-flow constant (it is re-read per packet only so [rebind] can retune
+     it between tenants), so ACK arrivals are FIFO and ride a calendar
+     lane. *)
+  t.reverse_delay <- (Dumbbell.reverse_delay net ~flow :> float);
   let ack_lane =
     Sim.lane sim ~dummy:Packet.dummy
       ~deliver:(fun packet -> on_ack_packet t packet)
   in
-  Dumbbell.set_receiver net ~flow (fun packet ->
-      Sim.schedule_packet sim ack_lane ~delay:reverse packet);
-  ignore
-    (Sim.schedule sim ~delay:(start_time :> float) (fun () ->
-         t.fs.delivered_time <- Sim.now sim;
-         try_send t));
+  t.recv_cb <-
+    (fun packet ->
+      Sim.schedule_packet sim ack_lane ~delay:t.reverse_delay packet);
+  Dumbbell.set_receiver net ~flow t.recv_cb;
+  t.start_cb <-
+    (fun () ->
+      t.start_handle <- Sim.null_handle;
+      let now = Sim.now sim in
+      t.activation_time <- now;
+      t.fs.delivered_time <- now;
+      trace_flow_start t ~now;
+      try_send t);
+  t.start_handle <- Sim.schedule sim ~delay:(start_time :> float) t.start_cb;
   t
+
+let deactivate t =
+  if not t.finished then begin
+    if not (Sim.is_null t.start_handle) then begin
+      Sim.cancel t.sim t.start_handle;
+      t.start_handle <- Sim.null_handle
+    end;
+    if not (Sim.is_null t.rto_handle) then begin
+      Sim.cancel t.sim t.rto_handle;
+      t.rto_handle <- Sim.null_handle
+    end;
+    if not (Sim.is_null t.pacing_handle) then begin
+      Sim.cancel t.sim t.pacing_handle;
+      t.pacing_handle <- Sim.null_handle
+    end;
+    t.finished <- true
+  end
+
+(* Reset every piece of per-flow state while keeping the allocated
+   containers (segment table, order ring, retransmit queue, packet pool,
+   scratch records, timer callbacks, ACK lane): in steady-state churn the
+   arrival path allocates only the tenant's CC instance and its segment
+   bookkeeping, never the slot machinery. *)
+let rebind t ~flow ~cc ?data_limit_bytes () =
+  if not t.finished then
+    invalid_arg "Sender.rebind: slot still hosts an active flow";
+  let seg_limit, size_limit_bytes =
+    limits ~mss:t.mss ~data_limit_bytes ~who:"Sender.rebind"
+  in
+  t.flow <- flow;
+  t.cc <- cc;
+  t.seg_limit <- seg_limit;
+  t.size_limit_bytes <- size_limit_bytes;
+  t.next_seq <- 0;
+  t.cum_ack <- 0;
+  Hashtbl.clear t.segs;
+  t.o_head <- 0;
+  t.o_len <- 0;
+  Queue.clear t.retx_queue;
+  t.inflight_bytes <- 0;
+  t.fs.delivered <- 0.0;
+  t.fs.delivered_time <- 0.0;
+  t.fs.next_round_delivered <- 0.0;
+  t.fs.srtt <- nan;
+  t.fs.rttvar <- 0.0;
+  t.fs.min_rtt <- infinity;
+  t.fs.next_send_time <- 0.0;
+  t.round <- 0;
+  t.in_recovery <- false;
+  t.recovery_high <- 0;
+  t.rto_backoff <- 0;
+  t.last_cc_state <- cc.Cc.state ();
+  t.lost_segments <- 0;
+  t.retransmitted_segments <- 0;
+  t.completion_time <- nan;
+  (* The slot's ACK lane is FIFO; a tenant with a different reverse delay
+     would let a later flow's ACK overtake an earlier one. Enforce, rather
+     than document, the homogeneity requirement. *)
+  let reverse = (Dumbbell.reverse_delay t.net ~flow :> float) in
+  if
+    Float.abs (reverse -. t.reverse_delay) > 1e-12
+    && not (Float.is_nan t.activation_time) (* slot was used before *)
+  then invalid_arg "Sender.rebind: tenants of one slot must share an RTT";
+  t.reverse_delay <- reverse;
+  Dumbbell.set_receiver t.net ~flow t.recv_cb;
+  (* Activate immediately: rebinding happens at the new flow's arrival
+     instant. *)
+  let now = Sim.now t.sim in
+  t.finished <- false;
+  t.activation_time <- now;
+  t.fs.delivered_time <- now;
+  trace_flow_start t ~now;
+  try_send t

@@ -14,7 +14,15 @@
     Flows are backlogged by default (the paper studies long flows); pass
     [data_limit_bytes] to model the short flows of the §5 "more diverse
     workloads" discussion — the sender stops after delivering that much and
-    {!completed} turns true. *)
+    {!completed} turns true.
+
+    A [t] is a {e slot}, not just a flow: after its tenant completes,
+    {!rebind} resets the per-flow state and activates a new flow in place,
+    reusing every allocated container (segment table, rings, packet pool,
+    timer callbacks, ACK lane) so open-loop churn stays allocation-free in
+    steady state. All tenants of one slot must share a reverse-path delay:
+    the slot's ACK lane is a FIFO calendar and a different delay would let a
+    later flow's ACKs overtake an earlier one's ([rebind] enforces this). *)
 
 type t
 
@@ -25,21 +33,60 @@ val create :
   ?mss:int ->
   ?start_time:Sim_engine.Units.seconds ->
   ?data_limit_bytes:int ->
+  ?on_complete:(unit -> unit) ->
   ?trace:Sim_engine.Trace.t ->
   unit ->
   t
 (** Wires a sender and its receiver into [net] for flow id [flow]. The
     sender begins transmitting at [start_time] (default 0) and, when
-    [data_limit_bytes] is given, stops once that much data is delivered.
+    [data_limit_bytes] is given, stops once that much data is delivered, at
+    which point [on_complete] (if any) runs — after all per-ACK state
+    updates, so the callback may tear the flow down and release the slot.
 
     When [trace] is given, the sender emits [Send]/[Ack]/[Seg_lost]/
     [Rto_fire]/[Recovery_enter]/[Recovery_exit]/[Cc_state_change] events
-    into it; without one, every instrumentation site is a single [match]
-    on [None] — no allocation, no behavioural change. *)
+    into it, plus [Flow_start] at activation and [Flow_complete] (carrying
+    the FCT) at completion; without one, every instrumentation site is a
+    single [match] on [None] — no allocation, no behavioural change. *)
+
+val rebind :
+  t -> flow:int -> cc:Cca.Cc_types.t -> ?data_limit_bytes:int -> unit -> unit
+(** [rebind t ~flow ~cc ?data_limit_bytes ()] points the (finished) slot at
+    a new flow id, installs its receiver on the slot's network, resets all
+    per-flow transport state and activates the flow at the current sim time
+    (emitting [Flow_start] when traced). Raises [Invalid_argument] if the
+    current tenant has not finished, or if the new flow's reverse delay
+    differs from the slot's. The caller must have registered [flow]'s path
+    via {!Netsim.Dumbbell.add_flow} first. *)
+
+val deactivate : t -> unit
+(** Cancel the slot's pending start/RTO/pacing timers and mark it finished
+    without a completion event — teardown for flows cut off by the end of a
+    simulation. Idempotent; no-op on an already-finished slot. *)
 
 val completed : t -> bool
 (** True once a data-limited flow has delivered everything (always false
     for bulk flows). *)
+
+val finished : t -> bool
+(** True once the slot's tenant completed or was {!deactivate}d: ACK
+    processing is gated off and the slot is eligible for {!rebind}. *)
+
+val activation_time : t -> float
+(** Sim time at which the current tenant started sending; [nan] before. *)
+
+val completion_time : t -> float
+(** Sim time at which the current tenant completed; [nan] before. *)
+
+val fct : t -> float
+(** [completion_time - activation_time]; [nan] until completed. *)
+
+val size_limit_bytes : t -> int
+(** The tenant's transfer size; -1 for bulk (unlimited) flows. *)
+
+val set_on_complete : t -> (unit -> unit) -> unit
+(** Replace the completion callback (e.g. when a pooled slot changes
+    owner). *)
 
 val flow : t -> int
 val cc : t -> Cca.Cc_types.t

@@ -1,0 +1,65 @@
+(** Typed flow schedules: the output of an arrival process x size
+    distribution x traffic pattern, and the shared representation consumed by
+    the lifecycle layer ([Tcpflow.Churn]), the fuzzer and the workload
+    experiments.
+
+    Generation is deterministic: the same parameters and the same RNG state
+    produce a byte-identical schedule ({!to_string}), independently of
+    [--jobs] or host. *)
+
+type item = { arrival_s : float; size_bytes : int }
+type t = item array
+
+type pattern =
+  | Single  (** one transfer per arrival *)
+  | Request_response of { request_bytes : int; think_s : float }
+      (** a fixed-size request at the arrival instant, then a size-drawn
+          response [think_s] later *)
+  | Dash of { segments : int; gap_s : float }
+      (** a DASH-style session: [segments] size-drawn transfers spaced
+          [gap_s] apart *)
+
+val generate :
+  ?pattern:pattern ->
+  arrival:Arrival.t ->
+  sizes:Dist.t ->
+  horizon_s:float ->
+  rng:Sim_engine.Rng.t ->
+  unit ->
+  t
+(** Seed-split mode (the default for experiments): two independent
+    sub-streams are split off [rng], one for arrival gaps and one for sizes,
+    so changing the size distribution cannot move an arrival instant and vice
+    versa. Transfers starting at or after [horizon_s] are dropped. *)
+
+val generate_seeded :
+  ?pattern:pattern ->
+  arrival:Arrival.t ->
+  sizes:Dist.t ->
+  horizon_s:float ->
+  seed:int ->
+  unit ->
+  t
+(** [generate] with a fresh generator from [seed]. *)
+
+val generate_shared :
+  ?pattern:pattern ->
+  arrival:Arrival.t ->
+  sizes:Dist.t ->
+  horizon_s:float ->
+  rng:Sim_engine.Rng.t ->
+  unit ->
+  t
+(** Single-stream compatibility mode: gap and size draws interleave on [rng]
+    in generation order — the draw order of the original hand-rolled
+    ext_short_flows loop, kept so its numbers reproduce exactly. *)
+
+val count : t -> int
+val total_bytes : t -> int
+
+val offered_load : t -> rate_bps:float -> horizon_s:float -> float
+(** Realised offered load: scheduled bits / horizon / capacity. *)
+
+val to_string : t -> string
+(** Canonical text form ("workload schedule v1" header, one
+    ["%.9f size"] line per transfer) used by byte-identity tests. *)

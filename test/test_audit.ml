@@ -45,6 +45,7 @@ let all_delivered ~time ~sends =
     fin_dropped_packets = 0;
     fin_delivered_packets = sends;
     fin_inflight_bytes = [ (0, 0) ];
+    fin_completed_flows = None;
   }
 
 let test_catalogue () =
@@ -56,7 +57,9 @@ let test_catalogue () =
     (fun key ->
       Alcotest.(check bool) (key ^ " catalogued") true (List.mem key names))
     [ "inflight-mismatch"; "time-monotone"; "queue-overflow";
-      "sender-self-check"; "link-busy-bound" ]
+      "sender-self-check"; "link-busy-bound"; "completion-count";
+      "fct-positive"; "lifecycle-event-after-complete";
+      "lifecycle-event-before-start"; "lifecycle-restart" ]
 
 let test_clean_stream () =
   let audit = Audit.create () in
@@ -251,6 +254,93 @@ let test_conservation () =
       rec_ 0.03 0 (Tr.Drop { seq = 1; size = 1500; early = false; queue_bytes = 0 }) ];
   check_first "acks + drops > sends" audit "conservation"
 
+(* --- Flow-lifecycle invariants --- *)
+
+let flow_start ?(t = 0.0) ?(flow = 0) ?(size = 1500) () =
+  rec_ t flow (Tr.Flow_start { size_limit_bytes = size })
+
+let flow_complete ?(t = 0.1) ?(flow = 0) ?(fct = 0.1) ?(size = 1500) () =
+  rec_ t flow (Tr.Flow_complete { fct; size_bytes = size })
+
+(* One complete transfer: activation, one segment, its ACK, completion. *)
+let one_transfer =
+  [
+    flow_start ();
+    send ~t:0.01 0;
+    ack ~t:0.03 ~delivered:1500.0 ~inflight:0 0;
+    flow_complete ~t:0.03 ~fct:0.03 ();
+  ]
+
+let test_lifecycle_clean_transfer () =
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit one_transfer;
+  Audit.finalize audit
+    { (all_delivered ~time:0.03 ~sends:1) with
+      Audit.fin_completed_flows = Some 1 };
+  check_ok "clean transfer" audit
+
+let test_lifecycle_event_after_complete () =
+  let audit = Audit.create () in
+  feed audit (one_transfer @ [ send ~t:0.05 1 ]);
+  (* Unconditional: the stream declared itself lifecycle-aware with its
+     Flow_complete, no [lifecycle] flag needed. *)
+  check_first "send after complete" audit "lifecycle-event-after-complete";
+  let audit = Audit.create () in
+  feed audit (one_transfer @ [ flow_complete ~t:0.05 () ]);
+  check_first "double complete" audit "lifecycle-event-after-complete"
+
+let test_lifecycle_drop_after_complete_ok () =
+  (* Drops are queue-side: a duplicate copy of a completed flow's segment
+     can still be sitting in the bottleneck when the tail-drop hits it. *)
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit
+    (one_transfer
+    @ [ rec_ 0.05 0
+          (Tr.Drop { seq = 0; size = 1500; early = false; queue_bytes = 0 }) ]);
+  (match Audit.first_violation audit with
+  | Some v when String.equal v.Audit.invariant "lifecycle-event-after-complete"
+    ->
+    Alcotest.fail "drop after completion wrongly treated as sender-side"
+  | _ -> ())
+
+let test_lifecycle_event_before_start () =
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit [ send 0 ];
+  check_first "send before start" audit "lifecycle-event-before-start";
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit [ flow_complete () ];
+  check_first "complete before start" audit "lifecycle-event-before-start";
+  (* Legacy mode: streams without Flow_start stay legal. *)
+  let audit = Audit.create () in
+  feed audit [ send 0; ack ~t:0.02 ~delivered:1500.0 ~inflight:0 0 ];
+  check_ok "legacy stream" audit
+
+let test_lifecycle_restart () =
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit (one_transfer @ [ flow_start ~t:0.05 () ]);
+  check_first "flow id reuse" audit "lifecycle-restart"
+
+let test_fct_positive () =
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit [ flow_start (); flow_complete ~fct:0.0 () ];
+  check_first "zero fct" audit "fct-positive";
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit [ flow_start (); flow_complete ~fct:nan () ];
+  check_first "nan fct" audit "fct-positive"
+
+let test_completion_count () =
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit one_transfer;
+  Audit.finalize audit
+    { (all_delivered ~time:0.03 ~sends:1) with
+      Audit.fin_completed_flows = Some 2 };
+  check_first "count mismatch" audit "completion-count";
+  (* [None] opts out: streams without a lifecycle layer don't count. *)
+  let audit = Audit.create ~lifecycle:true () in
+  feed audit one_transfer;
+  Audit.finalize audit (all_delivered ~time:0.03 ~sends:1);
+  check_ok "opt-out" audit
+
 let test_finalize_busy_bound () =
   let base = all_delivered ~time:1.0 ~sends:0 in
   let base = { base with Audit.fin_inflight_bytes = [] } in
@@ -352,6 +442,17 @@ let tests =
     Alcotest.test_case "queue checks" `Quick test_queue_checks;
     Alcotest.test_case "drop checks" `Quick test_drop_checks;
     Alcotest.test_case "conservation" `Quick test_conservation;
+    Alcotest.test_case "lifecycle clean transfer" `Quick
+      test_lifecycle_clean_transfer;
+    Alcotest.test_case "lifecycle after-complete" `Quick
+      test_lifecycle_event_after_complete;
+    Alcotest.test_case "lifecycle drop exemption" `Quick
+      test_lifecycle_drop_after_complete_ok;
+    Alcotest.test_case "lifecycle before-start" `Quick
+      test_lifecycle_event_before_start;
+    Alcotest.test_case "lifecycle restart" `Quick test_lifecycle_restart;
+    Alcotest.test_case "fct positive" `Quick test_fct_positive;
+    Alcotest.test_case "completion count" `Quick test_completion_count;
     Alcotest.test_case "finalize busy bound" `Quick test_finalize_busy_bound;
     Alcotest.test_case "finalize conservation" `Quick test_finalize_conservation;
     Alcotest.test_case "finalize inflight" `Quick test_finalize_inflight;

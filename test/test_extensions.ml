@@ -185,7 +185,7 @@ let test_catalog_has_extensions () =
     [ "ext-red"; "ext-utility"; "ext-short"; "ext-internals"; "ext-2flow" ]
 
 let test_catalog_count () =
-  Alcotest.(check int) "19 artifacts" 19
+  Alcotest.(check int) "20 artifacts" 20
     (List.length (Experiments.Catalog.ids ()))
 
 let tests =

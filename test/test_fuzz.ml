@@ -18,6 +18,20 @@ let small_scenario =
     aqm = Scenario.Tail;
     flows =
       [ { Scenario.f_cca = "reno"; f_rtt_ms = 20.0; f_start_s = 0.0 } ];
+    workload = None;
+  }
+
+let churn_scenario =
+  {
+    small_scenario with
+    Scenario.duration_s = 2.0;
+    workload =
+      Some
+        {
+          Scenario.w_kind = Scenario.Poisson_arrivals;
+          w_load = 0.2;
+          w_mean_kb = 50.0;
+        };
   }
 
 let test_generator_deterministic () =
@@ -84,6 +98,31 @@ let test_clean_run_passes () =
   match Fuzz.run_scenario small_scenario with
   | Fuzz.Pass -> ()
   | o -> Alcotest.failf "clean scenario failed: %s" (Fuzz.outcome_to_string o)
+
+(* A churn scenario runs the whole lifecycle machinery (slot reuse, mid-sim
+   attach/detach, completion events) under the auditor's lifecycle checks —
+   a clean pass means every invariant held on a real open-loop stream. *)
+let test_clean_churn_run_passes () =
+  match Fuzz.run_scenario churn_scenario with
+  | Fuzz.Pass -> ()
+  | o -> Alcotest.failf "churn scenario failed: %s" (Fuzz.outcome_to_string o)
+
+let test_workload_roundtrip_and_shrink () =
+  (match Scenario.of_string (Scenario.to_string churn_scenario) with
+  | Ok s' -> Alcotest.(check scenario_eq) "round-trips" churn_scenario s'
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  let candidates = Scenario.shrink_candidates churn_scenario in
+  Alcotest.(check bool) "leads with dropping the workload" true
+    (match candidates with
+    | first :: _ -> Option.is_none first.Scenario.workload
+    | [] -> false);
+  Alcotest.(check bool) "offers a halved load" true
+    (List.exists
+       (fun (c : Scenario.t) ->
+         match c.Scenario.workload with
+         | Some w -> w.Scenario.w_load < 0.2
+         | None -> false)
+       candidates)
 
 let test_run_deterministic () =
   let fault = Option.get (Fuzz.fault_named "inflight") in
@@ -206,6 +245,10 @@ let tests =
     Alcotest.test_case "shrink candidates simpler" `Quick
       test_shrink_candidates_simpler;
     Alcotest.test_case "clean run passes" `Quick test_clean_run_passes;
+    Alcotest.test_case "clean churn run passes" `Quick
+      test_clean_churn_run_passes;
+    Alcotest.test_case "workload round-trip and shrink" `Quick
+      test_workload_roundtrip_and_shrink;
     Alcotest.test_case "run deterministic" `Quick test_run_deterministic;
     Alcotest.test_case "fault caught, shrunk, replayed" `Slow
       test_fault_caught_shrunk_replayed;

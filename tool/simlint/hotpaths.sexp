@@ -23,6 +23,12 @@
    Sender.seg
    Sender.order_push
    Sender.order_pop
+   ; Lifecycle churn steady state: slot release and rebind run once per
+   ; transfer and must reuse the slot's containers (annotated exceptions
+   ; only). [Churn.arrive] is deliberately absent: its pool-miss branch
+   ; allocates a fresh slot (Sender.create), the cold half by design.
+   Sender.rebind
+   Churn.on_slot_complete
    ; Shared CCA machinery.
    Windowed_filter.Max_rounds.update
    Windowed_filter.Min_time.update
